@@ -1,0 +1,65 @@
+package repro
+
+// One testing.B benchmark per table and figure of the paper's evaluation.
+// Each benchmark regenerates its artifact at quick scale; run the CLI
+// (cmd/shardsim) with -scale full for paper-scale sweeps.
+//
+//	go test -bench=. -benchmem
+//
+// The reported ns/op is the wall-clock cost of regenerating the artifact
+// once; the artifact itself is written to benchmark output via b.Log at
+// verbosity, and recorded in EXPERIMENTS.md.
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		t := e.Run(bench.Quick())
+		if len(t.Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+		if i == 0 && testing.Verbose() {
+			var sb strings.Builder
+			t.Fprint(&sb)
+			b.Log("\n" + sb.String())
+		}
+		_ = io.Discard
+	}
+}
+
+func BenchmarkExpTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkExpTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkExpTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkExpFig2(b *testing.B)   { benchExperiment(b, "fig2") }
+func BenchmarkExpFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkExpFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkExpFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkExpFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkExpFig11x(b *testing.B) { benchExperiment(b, "fig11x") }
+func BenchmarkExpFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkExpFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkExpFig13x(b *testing.B) { benchExperiment(b, "fig13x") }
+func BenchmarkExpFig13r(b *testing.B) { benchExperiment(b, "fig13r") }
+func BenchmarkExpFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkExpFig15(b *testing.B)  { benchExperiment(b, "fig15") }
+func BenchmarkExpFig16(b *testing.B)  { benchExperiment(b, "fig16") }
+func BenchmarkExpFig17(b *testing.B)  { benchExperiment(b, "fig17") }
+func BenchmarkExpFig18(b *testing.B)  { benchExperiment(b, "fig18") }
+func BenchmarkExpFig19(b *testing.B)  { benchExperiment(b, "fig19") }
+func BenchmarkExpFig20(b *testing.B)  { benchExperiment(b, "fig20") }
+func BenchmarkExpFig21(b *testing.B)  { benchExperiment(b, "fig21") }
+func BenchmarkExpFig22(b *testing.B)  { benchExperiment(b, "fig22") }
+func BenchmarkExpEq1(b *testing.B)    { benchExperiment(b, "eq1") }
+func BenchmarkExpEq2(b *testing.B)    { benchExperiment(b, "eq2") }
+func BenchmarkExpEq3(b *testing.B)    { benchExperiment(b, "eq3") }

@@ -1,0 +1,71 @@
+// Command shardsim regenerates the paper's tables and figures on the
+// discrete-event simulator.
+//
+// Usage:
+//
+//	shardsim -list
+//	shardsim -exp fig8 [-scale quick|standard|full]
+//	shardsim -exp all  [-scale ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "", "experiment id (e.g. fig8, table2, eq1) or 'all'")
+		scale = flag.String("scale", "standard", "quick | standard | full")
+		list  = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+
+	if *list || *expID == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *expID == "" && !*list {
+			fmt.Println("\nrun one with: shardsim -exp <id>")
+		}
+		return
+	}
+
+	var s bench.Scale
+	switch *scale {
+	case "quick":
+		s = bench.Quick()
+	case "standard":
+		s = bench.Standard()
+	case "full":
+		s = bench.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	run := func(e bench.Experiment) {
+		start := time.Now()
+		t := e.Run(s)
+		t.Fprint(os.Stdout)
+		fmt.Printf("  (%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *expID == "all" {
+		for _, e := range bench.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := bench.Get(*expID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expID)
+		os.Exit(2)
+	}
+	run(e)
+}

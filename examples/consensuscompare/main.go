@@ -1,0 +1,46 @@
+// Consensuscompare runs the §4 consensus protocols side by side on the
+// same simulated cluster and prints a small version of Figures 2 and 8:
+// the stock-Hyperledger PBFT (HL), the trusted-log variants (AHL, AHL+,
+// AHLR), and the lockstep baselines (Tendermint, IBFT, Quorum-Raft).
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/consensus/pbft"
+)
+
+func main() {
+	dur := 4 * time.Second
+	fmt.Println("protocol     N=7        N=19   (tps, KVStore, 10 open-loop clients, LAN)")
+	for _, p := range []string{"hl", "ahl", "ahl+", "ahlr", "tendermint", "ibft", "raft"} {
+		fmt.Printf("%-11s", p)
+		for _, n := range []int{7, 19} {
+			r := bench.RunConsensus(bench.ConsensusCfg{
+				Protocol: p, N: n, Clients: 10, Duration: dur, Seed: 42,
+			})
+			fmt.Printf("  %7.0f", r.Tps)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nwith f equivocating Byzantine replicas (HL runs N=3f+1; attested variants N=2f+1):")
+	fmt.Println("protocol     f=1        f=3")
+	for _, p := range []string{"hl", "ahl", "ahl+", "ahlr"} {
+		fmt.Printf("%-11s", p)
+		for _, f := range []int{1, 3} {
+			n := 2*f + 1
+			if p == "hl" {
+				n = 3*f + 1
+			}
+			r := bench.RunConsensus(bench.ConsensusCfg{
+				Protocol: p, N: n, Clients: 10, Duration: dur, Seed: 42,
+				Failures: f, FailureMode: pbft.BehaviorEquivocate,
+			})
+			fmt.Printf("  %7.0f", r.Tps)
+		}
+		fmt.Println()
+	}
+}

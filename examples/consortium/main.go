@@ -1,0 +1,101 @@
+// Consortium reproduces the paper's running example (§3.1): a consortium
+// of financial institutions offering cross-border services over a shared,
+// sharded ledger. A quarter of the members actively collude; the demo
+// shows that (a) the committee-size mathematics keeps every shard safe,
+// (b) payments commit across shards despite the Byzantine members, and
+// (c) a malicious transaction coordinator cannot freeze anyone's funds —
+// the failure OmniLedger's client-driven protocol suffers (§6.1).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro"
+	"repro/internal/consensus/pbft"
+	"repro/internal/sharding"
+	"repro/internal/simnet"
+)
+
+func main() {
+	// The paper's example: N=400 institutions, s=25% colluding. With AHL's
+	// f=(n-1)/2 rule, what committee size keeps shards safe for 2^-20?
+	fmt.Println("— committee sizing for the consortium (N=400, s=25%) —")
+	n := sharding.CommitteeSize(400, 0.25, sharding.HalfRule, sharding.NeglProb)
+	pbftN := sharding.CommitteeSize(400, 0.25, sharding.ThirdRule, sharding.NeglProb)
+	fmt.Printf("AHL+ committees need n=%d members; plain PBFT would need n=%d (>N means impossible)\n", n, pbftN)
+
+	// Scaled-down deployment for the demo: 4 committees, 25% of members
+	// Byzantine-silent (worst case for liveness).
+	const shards, per = 4, 9
+	byz := map[simnet.NodeID]pbft.Behavior{}
+	rng := rand.New(rand.NewSource(7))
+	for s := 0; s < shards; s++ {
+		// 2 of 9 members per committee misbehave (under f=4).
+		for k := 0; k < 2; k++ {
+			byz[simnet.NodeID(s*per+rng.Intn(per))] = pbft.BehaviorEquivocate
+		}
+	}
+	sys := repro.NewSystem(repro.SystemConfig{
+		Seed: 2, Shards: shards, ShardSize: per, RefSize: per,
+		Variant: repro.VariantAHLPlus, Clients: 2, SendReplies: true,
+		Behaviors: byz,
+	})
+	sys.Seed(40, 10_000)
+
+	fmt.Println("\n— cross-border settlements with Byzantine members present —")
+	type payment struct{ from, to string }
+	var payments []payment
+	used := map[string]bool{}
+	for i := 0; i < 6; i++ {
+		from := fmt.Sprintf("acc%d", i)
+		// Pick a distinct payee on a different shard (cross-border
+		// settlement; distinct so the demo payments don't contend on 2PL
+		// locks).
+		to := ""
+		for j := 20; j < 40; j++ {
+			cand := fmt.Sprintf("acc%d", j)
+			if !used[cand] && sys.ShardOfKey(cand) != sys.ShardOfKey(from) {
+				to = cand
+				used[cand] = true
+				break
+			}
+		}
+		payments = append(payments, payment{from, to})
+	}
+	done := 0
+	sys.Engine.Schedule(0, func() {
+		for i, p := range payments {
+			d := sys.PaymentDTx(fmt.Sprintf("settle-%d", i), p.from, p.to, 100)
+			sys.Client(i%2).SubmitDistributed(d, func(r repro.TxResult) {
+				done++
+				fmt.Printf("  settlement %s: committed=%v latency=%v\n", r.TxID, r.Committed, r.Latency)
+			})
+		}
+	})
+	sys.Run(60 * time.Second)
+	fmt.Printf("%d/%d settlements completed\n", done, len(payments))
+
+	fmt.Println("\n— a coordinator that crashes mid-protocol cannot freeze funds —")
+	payee := ""
+	for j := 20; j < 40; j++ {
+		cand := fmt.Sprintf("acc%d", j)
+		if sys.ShardOfKey(cand) != sys.ShardOfKey("acc7") {
+			payee = cand
+			break
+		}
+	}
+	d := sys.PaymentDTx("orphaned", "acc7", payee, 50)
+	sys.Engine.Schedule(0, func() {
+		c := sys.Client(0)
+		c.SubmitDistributed(d, nil)
+		sys.Net.Endpoint(c.ID()).SetDown(true) // the client vanishes
+	})
+	sys.Run(60 * time.Second)
+	fb, _ := sys.BalanceOnShard("acc7")
+	fmt.Printf("acc7 balance after the orphaned transaction: %d\n", fb)
+	store := sys.ShardCommittees[sys.ShardOfKey("acc7")].Replicas[0].Store()
+	_, locked := store.Get("L_c_acc7")
+	fmt.Printf("lock on acc7 still held: %v (the BFT reference committee completed the 2PC)\n", locked)
+}

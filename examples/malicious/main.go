@@ -1,0 +1,122 @@
+// Malicious demonstrates the §6.1/§6.2 liveness argument side by side:
+//
+//  1. Under OmniLedger's client-driven lock/unlock protocol, a malicious
+//     coordinator (the client itself) that "pretends to crash" after the
+//     prepare phase freezes the payer's funds forever — no other party
+//     may decide the transaction's fate.
+//  2. Under this system's protocol, the client only initiates the
+//     transaction; the 2PC coordinator state machine is replicated across
+//     a BFT reference committee, so the transaction commits (or aborts)
+//     and releases its locks even if the client vanishes immediately
+//     after submitting.
+//
+// This is the payment-channel scenario of §6.1: "a malicious payee may
+// pretend to crash indefinitely during the lock/unlock protocol, hence,
+// the payer's funds are locked forever."
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/txn"
+)
+
+func newSystem(refSize int) *repro.System {
+	return repro.NewSystem(repro.SystemConfig{
+		Seed:        5,
+		Shards:      3,
+		ShardSize:   4,
+		RefSize:     refSize,
+		Variant:     repro.VariantAHLPlus,
+		Clients:     2,
+		SendReplies: true,
+	})
+}
+
+func crossShardPair(sys *repro.System, accounts int) (string, string) {
+	for i := 0; i < accounts; i++ {
+		for j := 0; j < accounts; j++ {
+			a, b := repro.AccountName(i), repro.AccountName(j)
+			if i != j && sys.ShardOfKey(a) != sys.ShardOfKey(b) {
+				return a, b
+			}
+		}
+	}
+	panic("no cross-shard pair")
+}
+
+func lockStuck(sys *repro.System, acc string) bool {
+	store := sys.ShardCommittees[sys.ShardOfKey(acc)].Replicas[0].Store()
+	_, locked := store.Get("L_c_" + acc)
+	return locked
+}
+
+func main() {
+	fmt.Println("— OmniLedger-style client-driven coordination (baseline) —")
+	{
+		sys := newSystem(0) // no reference committee: the client coordinates
+		sys.Seed(20, 100)
+		payer, payee := crossShardPair(sys, 20)
+
+		evil := txn.NewOmniClient(sys.Client(0), sys.Topology)
+		evil.MaliciousStopAfterPrepare = true
+		d := sys.PaymentDTx("evil-payment", payer, payee, 10)
+		sys.Engine.Schedule(0, func() { evil.Run(d, nil) })
+		sys.Run(5 * time.Minute) // give it every chance to resolve
+
+		fmt.Printf("after 5 minutes: payer %s lock stuck = %v\n", payer, lockStuck(sys, payer))
+
+		// An honest payment touching the frozen account can never commit.
+		var honestOutcome *bool
+		honest := txn.NewOmniClient(sys.Client(1), sys.Topology)
+		d2 := sys.PaymentDTx("honest-payment", payer, payee, 5)
+		sys.Engine.Schedule(0, func() {
+			honest.Run(d2, func(ok bool) { honestOutcome = &ok })
+		})
+		sys.Run(2 * time.Minute)
+		if honestOutcome == nil {
+			fmt.Println("honest payment on the same account: no outcome (blocked)")
+		} else {
+			fmt.Printf("honest payment on the same account: committed=%v (aborted by stuck lock)\n", *honestOutcome)
+		}
+		bal, _ := sys.BalanceOnShard(payer)
+		fmt.Printf("payer balance frozen at %d\n\n", bal)
+	}
+
+	fmt.Println("— this system: BFT reference committee as coordinator —")
+	{
+		sys := newSystem(4) // 4-node AHL+ reference committee
+		sys.Seed(20, 100)
+		payer, payee := crossShardPair(sys, 20)
+
+		d := sys.PaymentDTx("orphan-payment", payer, payee, 10)
+		sys.Engine.Schedule(0, func() {
+			c := sys.Client(0)
+			c.SubmitDistributed(d, nil)
+			// The client vanishes immediately after submitting — the most
+			// malicious thing the §6.2 protocol lets a client do.
+			sys.Net.Endpoint(c.ID()).SetDown(true)
+		})
+		sys.Run(2 * time.Minute)
+
+		payerBal, _ := sys.BalanceOnShard(payer)
+		payeeBal, _ := sys.BalanceOnShard(payee)
+		fmt.Printf("payment completed without the client: payer=%d payee=%d\n", payerBal, payeeBal)
+		fmt.Printf("locks stuck: payer=%v payee=%v\n", lockStuck(sys, payer), lockStuck(sys, payee))
+
+		// The account remains fully usable by honest clients.
+		var res *repro.TxResult
+		d2 := sys.PaymentDTx("followup-payment", payer, payee, 5)
+		sys.Engine.Schedule(0, func() {
+			sys.Client(1).SubmitDistributed(d2, func(r repro.TxResult) { res = &r })
+		})
+		sys.Run(time.Minute)
+		if res != nil {
+			fmt.Printf("follow-up honest payment: committed=%v latency=%v\n", res.Committed, res.Latency)
+		} else {
+			fmt.Println("follow-up honest payment: no outcome")
+		}
+	}
+}

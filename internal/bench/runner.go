@@ -1,0 +1,338 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/blockcrypto"
+	"repro/internal/chain"
+	"repro/internal/chaincode"
+	"repro/internal/consensus"
+	"repro/internal/consensus/ibft"
+	"repro/internal/consensus/pbft"
+	"repro/internal/consensus/raft"
+	"repro/internal/consensus/tendermint"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Env selects the network environment of §7: the local cluster or GCP
+// across a number of Table 3 regions.
+type Env struct {
+	GCPRegions int // 0 = LAN cluster
+}
+
+func (e Env) String() string {
+	if e.GCPRegions == 0 {
+		return "cluster"
+	}
+	return fmt.Sprintf("gcp-%dregions", e.GCPRegions)
+}
+
+func (e Env) latency(nodes []simnet.NodeID) simnet.LatencyModel {
+	if e.GCPRegions == 0 {
+		return simnet.LAN()
+	}
+	return simnet.GCP(e.GCPRegions, nodes)
+}
+
+// ConsensusCfg is one single-committee benchmark configuration.
+type ConsensusCfg struct {
+	Protocol string // hl | ahl | ahl+op1 | ahl+ | ahlr | tendermint | ibft | raft
+	N        int
+	Env      Env
+	Clients  int
+	// RatePerClient is each client's request rate (req/s).
+	RatePerClient float64
+	Benchmark     string // kvstore | smallbank
+	// Failures injects this many Byzantine replicas.
+	Failures int
+	// FailureMode is the pbft.Behavior for the faulty replicas.
+	FailureMode pbft.Behavior
+	Duration    time.Duration
+	Warmup      time.Duration
+	Seed        int64
+}
+
+// ConsensusResult aggregates one run's metrics.
+type ConsensusResult struct {
+	Tps           float64
+	AvgLatency    time.Duration
+	ViewChanges   int
+	ConsensusBusy time.Duration
+	ExecBusy      time.Duration
+	Executed      int
+}
+
+// variantOf maps protocol names to pbft variants.
+func variantOf(p string) (pbft.Variant, bool) {
+	switch p {
+	case "hl":
+		return pbft.VariantHL, true
+	case "ahl":
+		return pbft.VariantAHL, true
+	case "ahl+op1":
+		return pbft.VariantAHLOpt1, true
+	case "ahl+":
+		return pbft.VariantAHLPlus, true
+	case "ahlr":
+		return pbft.VariantAHLR, true
+	}
+	return 0, false
+}
+
+// RunConsensus executes one single-committee benchmark and returns its
+// metrics. The throughput is the quorum-executed transaction count over
+// the post-warmup window, as in the paper's BLOCKBENCH runs.
+func RunConsensus(cfg ConsensusCfg) ConsensusResult {
+	if cfg.Duration == 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = cfg.Duration / 4
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = 10
+	}
+	if cfg.RatePerClient == 0 {
+		cfg.RatePerClient = 400
+	}
+	if cfg.Benchmark == "" {
+		cfg.Benchmark = "kvstore"
+	}
+	engine := sim.NewEngine(cfg.Seed + 7)
+	nodes := make([]simnet.NodeID, cfg.N)
+	for i := range nodes {
+		nodes[i] = simnet.NodeID(i)
+	}
+	net := simnet.New(engine, cfg.Env.latency(nodes))
+
+	timing := consensus.DefaultTiming()
+	if cfg.Env.GCPRegions > 1 {
+		timing = consensus.WANTiming()
+	}
+
+	submitFns, measure := buildProtocol(cfg, engine, net, nodes, timing)
+
+	// Open-loop clients: each sends RatePerClient req/s to a replica
+	// (round-robin over replicas across clients).
+	rng := rand.New(rand.NewSource(cfg.Seed + 99))
+	var nextID uint64 = 1
+	interval := time.Duration(float64(time.Second) / cfg.RatePerClient)
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		var tick func()
+		tick = func() {
+			tx := genTx(cfg.Benchmark, &nextID, rng)
+			submitFns[c%len(submitFns)](tx)
+			if engine.Now().Add(interval) < sim.Time(cfg.Warmup+cfg.Duration) {
+				engine.Schedule(interval, tick)
+			}
+		}
+		engine.Schedule(time.Duration(c)*interval/time.Duration(cfg.Clients), tick)
+	}
+
+	// Seed SmallBank accounts through consensus before measuring.
+	if cfg.Benchmark == "smallbank" {
+		for i := 0; i < 64; i++ {
+			tx := chain.Tx{ID: uint64(1<<50) + uint64(i), Chaincode: "smallbank",
+				Fn: "create", Args: []string{fmt.Sprintf("acc%d", i), "1000000", "0"}}
+			submitFns[0](tx)
+		}
+	}
+
+	engine.Run(sim.Time(cfg.Warmup))
+	startExec := measure()
+	engine.Run(sim.Time(cfg.Warmup + cfg.Duration))
+	endExec := measure()
+
+	res := collectResult(cfg)
+	res.Executed = endExec - startExec
+	res.Tps = float64(res.Executed) / cfg.Duration.Seconds()
+	return res
+}
+
+// run state shared between buildProtocol and collectResult (single-threaded
+// benchmark; reset per call).
+var runState struct {
+	pbftBC   *pbft.BuiltCommittee
+	tmReps   []*tendermint.Replica
+	raftReps []*raft.Replica
+	submits  []chain.Tx
+	latSum   time.Duration
+	latN     int
+}
+
+func buildProtocol(cfg ConsensusCfg, engine *sim.Engine, net *simnet.Network,
+	nodes []simnet.NodeID, timing consensus.Timing) ([]func(chain.Tx), func() int) {
+
+	runState.pbftBC = nil
+	runState.tmReps = nil
+	runState.raftReps = nil
+	runState.latSum = 0
+	runState.latN = 0
+
+	submitAt := make(map[uint64]sim.Time)
+	trackSubmit := func(tx chain.Tx) { submitAt[tx.ID] = engine.Now() }
+	trackExec := func(ev consensus.BlockEvent) {
+		for _, res := range ev.Results {
+			if at, ok := submitAt[res.Tx.ID]; ok {
+				runState.latSum += ev.Time.Sub(at)
+				runState.latN++
+				delete(submitAt, res.Tx.ID)
+			}
+		}
+	}
+
+	registry := func() *chaincode.Registry {
+		return chaincode.NewRegistry(chaincode.KVStore{}, chaincode.SmallBank{})
+	}
+
+	if v, ok := variantOf(cfg.Protocol); ok {
+		behaviors := make(map[int]pbft.Behavior)
+		for i := 0; i < cfg.Failures && i < cfg.N; i++ {
+			behaviors[i] = cfg.FailureMode
+		}
+		scheme := blockcrypto.NewSimScheme()
+		bc := pbft.Build(net, scheme, rand.New(rand.NewSource(cfg.Seed+3)), pbft.CommitteeSpec{
+			Variant:   v,
+			Nodes:     nodes,
+			Behaviors: behaviors,
+			Registry:  registry,
+			Tune: func(o *pbft.Options) {
+				o.Timing = timing
+				if v == pbft.VariantHL && cfg.N == 1 {
+					o.IntakeCap = 400 // Hyperledger REST cap (§C.2)
+				}
+			},
+		})
+		runState.pbftBC = bc
+		bc.Replicas[0].OnExecute(trackExec)
+		fns := make([]func(chain.Tx), len(bc.Replicas))
+		for i, r := range bc.Replicas {
+			r := r
+			fns[i] = func(tx chain.Tx) { trackSubmit(tx); r.SubmitLocal(tx) }
+		}
+		return fns, func() int { return bc.ExecutedOnQuorum() }
+	}
+
+	switch cfg.Protocol {
+	case "tendermint", "ibft":
+		committee := consensus.BFTCommittee(nodes)
+		reps := make([]*tendermint.Replica, cfg.N)
+		for i := range nodes {
+			ep := net.Attach(nodes[i], simnet.DefaultSplitQueue())
+			var opts tendermint.Options
+			if cfg.Protocol == "ibft" {
+				opts = ibft.Options(committee, i)
+			} else {
+				opts = tendermint.DefaultOptions(committee, i)
+			}
+			reps[i] = tendermint.New(opts, ep, registry())
+		}
+		for _, r := range reps {
+			r.Start(engine)
+		}
+		runState.tmReps = reps
+		reps[0].OnExecute(trackExec)
+		fns := make([]func(chain.Tx), len(reps))
+		for i, r := range reps {
+			r := r
+			fns[i] = func(tx chain.Tx) { trackSubmit(tx); r.SubmitLocal(tx) }
+		}
+		return fns, func() int { return quorumExecutedTM(reps, committee.Quorum) }
+
+	case "raft":
+		committee := consensus.CrashCommittee(nodes)
+		reps := make([]*raft.Replica, cfg.N)
+		for i := range nodes {
+			ep := net.Attach(nodes[i], simnet.DefaultSplitQueue())
+			reps[i] = raft.New(raft.DefaultOptions(committee, i), ep, registry())
+		}
+		for _, r := range reps {
+			r.Start(engine)
+		}
+		runState.raftReps = reps
+		reps[0].OnExecute(trackExec)
+		fns := make([]func(chain.Tx), len(reps))
+		for i, r := range reps {
+			r := r
+			fns[i] = func(tx chain.Tx) { trackSubmit(tx); r.SubmitLocal(tx) }
+		}
+		return fns, func() int { return quorumExecutedRaft(reps, committee.Quorum) }
+	}
+	panic("bench: unknown protocol " + cfg.Protocol)
+}
+
+func quorumExecutedTM(reps []*tendermint.Replica, q int) int {
+	counts := make([]int, len(reps))
+	for i, r := range reps {
+		counts[i] = r.Executed()
+	}
+	return kthLargest(counts, q)
+}
+
+func quorumExecutedRaft(reps []*raft.Replica, q int) int {
+	counts := make([]int, len(reps))
+	for i, r := range reps {
+		counts[i] = r.Executed()
+	}
+	return kthLargest(counts, q)
+}
+
+func kthLargest(counts []int, k int) int {
+	for i := 0; i < len(counts); i++ {
+		for j := i + 1; j < len(counts); j++ {
+			if counts[j] > counts[i] {
+				counts[i], counts[j] = counts[j], counts[i]
+			}
+		}
+	}
+	if k > len(counts) {
+		k = len(counts)
+	}
+	if k < 1 {
+		k = 1
+	}
+	return counts[k-1]
+}
+
+func collectResult(cfg ConsensusCfg) ConsensusResult {
+	var res ConsensusResult
+	if runState.latN > 0 {
+		res.AvgLatency = runState.latSum / time.Duration(runState.latN)
+	}
+	switch {
+	case runState.pbftBC != nil:
+		res.ViewChanges = runState.pbftBC.MaxViewChanges()
+		r := runState.pbftBC.Replicas[0]
+		res.ExecBusy = r.ExecBusy
+		res.ConsensusBusy = r.Endpoint().CPU().BusyTime - r.ExecBusy
+	case runState.tmReps != nil:
+		res.ViewChanges = 0
+		for _, r := range runState.tmReps {
+			if v := r.ViewChanges(); v > res.ViewChanges {
+				res.ViewChanges = v
+			}
+		}
+	}
+	return res
+}
+
+func genTx(benchmark string, nextID *uint64, rng *rand.Rand) chain.Tx {
+	id := *nextID
+	*nextID++
+	switch benchmark {
+	case "smallbank":
+		a, b := rng.Intn(64), rng.Intn(64)
+		for b == a {
+			b = rng.Intn(64)
+		}
+		return chain.Tx{ID: id, Chaincode: "smallbank", Fn: "sendPayment",
+			Args: []string{fmt.Sprintf("acc%d", a), fmt.Sprintf("acc%d", b), "1"}}
+	default:
+		return chain.Tx{ID: id, Chaincode: "kvstore", Fn: "put",
+			Args: []string{fmt.Sprintf("key%d", rng.Intn(10000)), "v"}}
+	}
+}

@@ -1,0 +1,146 @@
+// Package bench is the experiment harness: one experiment per table and
+// figure of the paper, each regenerating the corresponding rows/series.
+// The experiments run on the discrete-event simulator, so absolute numbers
+// differ from the paper's testbed; the shapes (who wins, by what factor,
+// where curves cross) are the reproduction target — see EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID    string
+	Title string
+	Cols  []string
+	Rows  [][]string
+	Notes []string
+}
+
+// Add appends a row, formatting each cell.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		case time.Duration:
+			if v < 10*time.Millisecond {
+				row[i] = v.Round(time.Microsecond).String()
+			} else {
+				row[i] = v.Round(time.Millisecond).String()
+			}
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 0.001:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Cols)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+// Scale shrinks experiments for quick runs. Quick keeps every sweep's
+// shape but caps committee sizes and shortens measurement windows; Full
+// approaches the paper's parameters (minutes of wall-clock time).
+type Scale struct {
+	// MaxN caps single-committee sizes.
+	MaxN int
+	// Duration is the per-configuration measurement window (virtual).
+	Duration time.Duration
+	// Nodes caps whole-system node counts (Figure 14).
+	Nodes int
+}
+
+// Quick is the default scale used by `go test -bench`.
+func Quick() Scale { return Scale{MaxN: 19, Duration: 3 * time.Second, Nodes: 72} }
+
+// Standard is the default CLI scale.
+func Standard() Scale { return Scale{MaxN: 43, Duration: 8 * time.Second, Nodes: 160} }
+
+// Full approaches paper scale; expect minutes per experiment.
+func Full() Scale { return Scale{MaxN: 79, Duration: 20 * time.Second, Nodes: 972} }
+
+// Experiment regenerates one table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(s Scale) *Table
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) { registry[e.ID] = e }
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,136 @@
+package blockcrypto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func schemes() map[string]func() Scheme {
+	return map[string]func() Scheme{
+		"ed25519": func() Scheme { return NewEd25519Scheme() },
+		"sim":     func() Scheme { return NewSimScheme() },
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	for name, mk := range schemes() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			rng := rand.New(rand.NewSource(1))
+			a := s.NewSigner(1, rng)
+			b := s.NewSigner(2, rng)
+			d := Hash([]byte("hello"))
+			sig := a.Sign(d)
+			if sig.Signer != 1 {
+				t.Fatalf("signer id = %d, want 1", sig.Signer)
+			}
+			if !s.Verify(d, sig) {
+				t.Fatal("valid signature rejected")
+			}
+			if s.Verify(Hash([]byte("other")), sig) {
+				t.Fatal("signature verified against wrong digest")
+			}
+			bad := sig
+			bad.Signer = b.ID()
+			if s.Verify(d, bad) {
+				t.Fatal("signature verified under wrong key id")
+			}
+			unknown := sig
+			unknown.Signer = 99
+			if s.Verify(d, unknown) {
+				t.Fatal("signature verified under unregistered key")
+			}
+		})
+	}
+}
+
+func TestTamperedSignatureRejected(t *testing.T) {
+	for name, mk := range schemes() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			rng := rand.New(rand.NewSource(2))
+			a := s.NewSigner(1, rng)
+			d := Hash([]byte("msg"))
+			sig := a.Sign(d)
+			sig.Bytes = append([]byte(nil), sig.Bytes...)
+			sig.Bytes[0] ^= 0xff
+			if s.Verify(d, sig) {
+				t.Fatal("tampered signature accepted")
+			}
+			if s.Verify(d, Signature{Signer: 1}) {
+				t.Fatal("empty signature accepted")
+			}
+		})
+	}
+}
+
+func TestDuplicateKeyPanics(t *testing.T) {
+	for name, mk := range schemes() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			rng := rand.New(rand.NewSource(3))
+			s.NewSigner(7, rng)
+			defer func() {
+				if recover() == nil {
+					t.Fatal("duplicate key id did not panic")
+				}
+			}()
+			s.NewSigner(7, rng)
+		})
+	}
+}
+
+func TestDeterministicKeyGen(t *testing.T) {
+	mk := func() Signature {
+		s := NewSimScheme()
+		signer := s.NewSigner(5, rand.New(rand.NewSource(9)))
+		return signer.Sign(Hash([]byte("x")))
+	}
+	a, b := mk(), mk()
+	if string(a.Bytes) != string(b.Bytes) {
+		t.Fatal("same seed produced different signatures")
+	}
+}
+
+func TestHashProperties(t *testing.T) {
+	if Hash([]byte("a"), []byte("b")) != Hash([]byte("a"), []byte("b")) {
+		t.Fatal("hash not deterministic")
+	}
+	if Hash([]byte("ab")) != Hash([]byte("a"), []byte("b")) {
+		t.Fatal("hash should be over concatenation")
+	}
+	if Hash([]byte("a")) == Hash([]byte("b")) {
+		t.Fatal("distinct inputs collided")
+	}
+	var zero Digest
+	if !zero.IsZero() || Hash([]byte("a")).IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+// Property: any signed digest verifies, and verification is bound to the
+// exact digest bytes.
+func TestSignVerifyProperty(t *testing.T) {
+	for name, mk := range schemes() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			rng := rand.New(rand.NewSource(4))
+			signer := s.NewSigner(1, rng)
+			f := func(msg []byte, flip byte) bool {
+				d := Hash(msg)
+				sig := signer.Sign(d)
+				if !s.Verify(d, sig) {
+					return false
+				}
+				d2 := d
+				d2[int(flip)%len(d2)] ^= 1
+				return !s.Verify(d2, sig)
+			}
+			cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(5))}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+package chain
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/blockcrypto"
+)
+
+// Tx is a transaction as ordered by consensus: an invocation of a
+// chaincode function. ID is assigned by the submitting client and must be
+// unique; committees deduplicate on it.
+type Tx struct {
+	ID        uint64
+	Chaincode string
+	Fn        string
+	Args      []string
+	// Client is the submitting client's key id, used for replies.
+	Client blockcrypto.KeyID
+}
+
+// Digest returns the canonical transaction digest.
+func (t Tx) Digest() blockcrypto.Digest {
+	var idb [16]byte
+	binary.BigEndian.PutUint64(idb[:8], t.ID)
+	binary.BigEndian.PutUint64(idb[8:], uint64(t.Client))
+	chunks := [][]byte{idb[:], []byte(t.Chaincode), []byte(t.Fn)}
+	for _, a := range t.Args {
+		chunks = append(chunks, []byte{0}, []byte(a))
+	}
+	return blockcrypto.Hash(chunks...)
+}
+
+// SizeBytes estimates the serialized transaction size for network
+// modelling.
+func (t Tx) SizeBytes() int {
+	n := 64 + len(t.Chaincode) + len(t.Fn)
+	for _, a := range t.Args {
+		n += len(a) + 4
+	}
+	return n
+}
+
+// Header is a block header.
+type Header struct {
+	Height    uint64
+	PrevHash  blockcrypto.Digest
+	TxRoot    blockcrypto.Digest
+	StateRoot blockcrypto.Digest
+	Proposer  blockcrypto.KeyID
+	View      uint64
+}
+
+// Block is a batch of transactions agreed on by a committee.
+type Block struct {
+	Header Header
+	Txs    []Tx
+}
+
+// TxRoot computes the Merkle root over the block's transactions.
+func TxRoot(txs []Tx) blockcrypto.Digest {
+	leaves := make([]blockcrypto.Digest, len(txs))
+	for i, t := range txs {
+		leaves[i] = t.Digest()
+	}
+	return MerkleRoot(leaves)
+}
+
+// Digest returns the block digest (over the header; the header commits to
+// the transactions through TxRoot).
+func (b *Block) Digest() blockcrypto.Digest {
+	var buf [24]byte
+	binary.BigEndian.PutUint64(buf[:8], b.Header.Height)
+	binary.BigEndian.PutUint64(buf[8:16], uint64(b.Header.Proposer))
+	binary.BigEndian.PutUint64(buf[16:], b.Header.View)
+	return blockcrypto.Hash(buf[:], b.Header.PrevHash[:], b.Header.TxRoot[:], b.Header.StateRoot[:])
+}
+
+// SizeBytes estimates the serialized block size.
+func (b *Block) SizeBytes() int {
+	n := 160
+	for _, t := range b.Txs {
+		n += t.SizeBytes()
+	}
+	return n
+}
+
+// Ledger is a shard's append-only chain of blocks.
+type Ledger struct {
+	blocks []*Block
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// Height returns the number of appended blocks.
+func (l *Ledger) Height() uint64 { return uint64(len(l.blocks)) }
+
+// Tip returns the last block, or nil when empty.
+func (l *Ledger) Tip() *Block {
+	if len(l.blocks) == 0 {
+		return nil
+	}
+	return l.blocks[len(l.blocks)-1]
+}
+
+// TipHash returns the digest of the last block (zero digest when empty).
+func (l *Ledger) TipHash() blockcrypto.Digest {
+	tip := l.Tip()
+	if tip == nil {
+		return blockcrypto.Digest{}
+	}
+	return tip.Digest()
+}
+
+// Block returns the block at height h (0-based), or nil.
+func (l *Ledger) Block(h uint64) *Block {
+	if h >= uint64(len(l.blocks)) {
+		return nil
+	}
+	return l.blocks[h]
+}
+
+// Append validates the chain linkage and appends b.
+func (l *Ledger) Append(b *Block) error {
+	if b.Header.Height != l.Height() {
+		return fmt.Errorf("chain: block height %d, want %d", b.Header.Height, l.Height())
+	}
+	if b.Header.PrevHash != l.TipHash() {
+		return fmt.Errorf("chain: block %d prev-hash mismatch", b.Header.Height)
+	}
+	if got := TxRoot(b.Txs); got != b.Header.TxRoot {
+		return fmt.Errorf("chain: block %d tx-root mismatch", b.Header.Height)
+	}
+	l.blocks = append(l.blocks, b)
+	return nil
+}
+
+// VerifyChain re-validates all hash links; used in tests and after state
+// transfer.
+func (l *Ledger) VerifyChain() error {
+	prev := blockcrypto.Digest{}
+	for i, b := range l.blocks {
+		if b.Header.Height != uint64(i) {
+			return fmt.Errorf("chain: height %d at index %d", b.Header.Height, i)
+		}
+		if b.Header.PrevHash != prev {
+			return fmt.Errorf("chain: broken link at height %d", i)
+		}
+		if TxRoot(b.Txs) != b.Header.TxRoot {
+			return fmt.Errorf("chain: tx-root mismatch at height %d", i)
+		}
+		prev = b.Digest()
+	}
+	return nil
+}

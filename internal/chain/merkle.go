@@ -1,0 +1,76 @@
+package chain
+
+import (
+	"repro/internal/blockcrypto"
+)
+
+// MerkleRoot computes the Merkle root of the given leaf digests. An odd
+// level duplicates its last element (Bitcoin-style). The root of zero
+// leaves is the zero digest.
+func MerkleRoot(leaves []blockcrypto.Digest) blockcrypto.Digest {
+	if len(leaves) == 0 {
+		return blockcrypto.Digest{}
+	}
+	level := append([]blockcrypto.Digest(nil), leaves...)
+	for len(level) > 1 {
+		if len(level)%2 == 1 {
+			level = append(level, level[len(level)-1])
+		}
+		next := level[:0:cap(level)]
+		for i := 0; i < len(level); i += 2 {
+			next = append(next, blockcrypto.HashOfDigests(level[i], level[i+1]))
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// MerkleStep is one step of an inclusion proof: the sibling digest and
+// whether it sits to the left of the running hash.
+type MerkleStep struct {
+	Sibling blockcrypto.Digest
+	Left    bool
+}
+
+// MerkleProof is an inclusion proof for one leaf.
+type MerkleProof struct {
+	Index int
+	Steps []MerkleStep
+}
+
+// BuildMerkleProof returns the inclusion proof for leaf index i.
+func BuildMerkleProof(leaves []blockcrypto.Digest, i int) MerkleProof {
+	if i < 0 || i >= len(leaves) {
+		panic("chain: merkle proof index out of range")
+	}
+	proof := MerkleProof{Index: i}
+	level := append([]blockcrypto.Digest(nil), leaves...)
+	pos := i
+	for len(level) > 1 {
+		if len(level)%2 == 1 {
+			level = append(level, level[len(level)-1])
+		}
+		sib := pos ^ 1
+		proof.Steps = append(proof.Steps, MerkleStep{Sibling: level[sib], Left: sib < pos})
+		next := make([]blockcrypto.Digest, 0, len(level)/2)
+		for j := 0; j < len(level); j += 2 {
+			next = append(next, blockcrypto.HashOfDigests(level[j], level[j+1]))
+		}
+		level = next
+		pos /= 2
+	}
+	return proof
+}
+
+// VerifyMerkleProof checks that leaf is included under root via proof.
+func VerifyMerkleProof(root blockcrypto.Digest, leaf blockcrypto.Digest, proof MerkleProof) bool {
+	h := leaf
+	for _, st := range proof.Steps {
+		if st.Left {
+			h = blockcrypto.HashOfDigests(st.Sibling, h)
+		} else {
+			h = blockcrypto.HashOfDigests(h, st.Sibling)
+		}
+	}
+	return h == root
+}

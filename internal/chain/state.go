@@ -1,0 +1,125 @@
+// Package chain implements the blockchain substrate each committee
+// maintains: a hash-chained ledger of blocks, a Merkle tree over block
+// transactions, and the versioned key-value state store that chaincodes
+// (smart contracts) read and write — the parts of Hyperledger Fabric v0.6
+// the paper's system is built on.
+package chain
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/blockcrypto"
+)
+
+// Store is the world state of one shard: a key-value map with a running
+// version counter and an incrementally-maintained state digest.
+//
+// The digest is a chain over applied write-sets rather than a full Merkle
+// root over all keys; recomputing a whole-state Merkle root per block is
+// what Fabric avoids too. Two stores that applied the same write-set
+// sequence from the same genesis have equal digests, which is all the
+// protocols need (state transfer verification at resharding, §5.3).
+type Store struct {
+	kv      map[string][]byte
+	version uint64
+	digest  blockcrypto.Digest
+}
+
+// NewStore returns an empty state store.
+func NewStore() *Store {
+	return &Store{kv: make(map[string][]byte)}
+}
+
+// Get returns the value for key and whether it exists.
+func (s *Store) Get(key string) ([]byte, bool) {
+	v, ok := s.kv[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int { return len(s.kv) }
+
+// Version returns the number of write-sets applied.
+func (s *Store) Version() uint64 { return s.version }
+
+// Digest returns the current state digest.
+func (s *Store) Digest() blockcrypto.Digest { return s.digest }
+
+// Write is a single key mutation; a nil Value deletes the key.
+type Write struct {
+	Key   string
+	Value []byte
+}
+
+// WriteSet is an ordered set of mutations produced by executing one
+// transaction.
+type WriteSet []Write
+
+// Digest returns a canonical digest of the write-set (sorted by key so
+// semantically equal sets hash equally).
+func (ws WriteSet) Digest() blockcrypto.Digest {
+	sorted := append(WriteSet(nil), ws...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	chunks := make([][]byte, 0, len(sorted)*3)
+	for _, w := range sorted {
+		chunks = append(chunks, []byte(fmt.Sprintf("%d:", len(w.Key))), []byte(w.Key), w.Value)
+	}
+	return blockcrypto.Hash(chunks...)
+}
+
+// Apply applies the write-set and folds it into the state digest.
+func (s *Store) Apply(ws WriteSet) {
+	if len(ws) == 0 {
+		return
+	}
+	for _, w := range ws {
+		if w.Value == nil {
+			delete(s.kv, w.Key)
+		} else {
+			s.kv[w.Key] = append([]byte(nil), w.Value...)
+		}
+	}
+	s.version++
+	s.digest = blockcrypto.HashOfDigests(s.digest, ws.Digest())
+}
+
+// Snapshot captures the full state for transfer to a node joining the
+// shard. The returned snapshot is independent of future mutations.
+type Snapshot struct {
+	KV      map[string][]byte
+	Version uint64
+	Digest  blockcrypto.Digest
+}
+
+// Snapshot returns a deep copy of the current state.
+func (s *Store) Snapshot() Snapshot {
+	kv := make(map[string][]byte, len(s.kv))
+	for k, v := range s.kv {
+		kv[k] = append([]byte(nil), v...)
+	}
+	return Snapshot{KV: kv, Version: s.version, Digest: s.digest}
+}
+
+// SizeBytes estimates the serialized size of the snapshot, used to model
+// state-transfer time during shard reconfiguration.
+func (sn Snapshot) SizeBytes() int {
+	n := 48
+	for k, v := range sn.KV {
+		n += len(k) + len(v) + 16
+	}
+	return n
+}
+
+// Restore replaces the store contents with the snapshot.
+func (s *Store) Restore(sn Snapshot) {
+	s.kv = make(map[string][]byte, len(sn.KV))
+	for k, v := range sn.KV {
+		s.kv[k] = append([]byte(nil), v...)
+	}
+	s.version = sn.Version
+	s.digest = sn.Digest
+}

@@ -1,0 +1,313 @@
+package chaincode
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chain"
+)
+
+func exec(t *testing.T, r *Registry, s *chain.Store, cc, fn string, args ...string) Result {
+	t.Helper()
+	return r.Execute(s, chain.Tx{ID: 1, Chaincode: cc, Fn: fn, Args: args})
+}
+
+func balance(t *testing.T, s *chain.Store, key string) int64 {
+	t.Helper()
+	v, ok := s.Get(key)
+	if !ok {
+		t.Fatalf("key %q missing", key)
+	}
+	n, err := atoi(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestKVStoreOps(t *testing.T) {
+	r := NewRegistry(KVStore{})
+	s := chain.NewStore()
+	if res := exec(t, r, s, "kvstore", "put", "k", "v"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if v, _ := s.Get("k"); string(v) != "v" {
+		t.Fatalf("k = %q", v)
+	}
+	if res := exec(t, r, s, "kvstore", "get", "k"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if res := exec(t, r, s, "kvstore", "get", "missing"); res.OK() {
+		t.Fatal("get of missing key succeeded")
+	}
+	if res := exec(t, r, s, "kvstore", "update", "a", "1", "b", "2", "c", "3"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len = %d, want 4", s.Len())
+	}
+	if res := exec(t, r, s, "kvstore", "del", "k"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("del did not delete")
+	}
+	if res := exec(t, r, s, "kvstore", "nope"); !errors.Is(res.Err, ErrUnknownFn) {
+		t.Fatalf("unknown fn: %v", res.Err)
+	}
+	if res := exec(t, r, s, "kvstore", "put", "only-one-arg"); !errors.Is(res.Err, ErrBadArgs) {
+		t.Fatalf("bad args: %v", res.Err)
+	}
+}
+
+func TestFailedInvocationLeavesNoTrace(t *testing.T) {
+	r := NewRegistry(KVStore{})
+	s := chain.NewStore()
+	exec(t, r, s, "kvstore", "put", "a", "1")
+	d := s.Digest()
+	// update writes a then fails on arg parity — wait, update validates
+	// args upfront; use a sharded prepare that writes a lock then fails.
+	r2 := NewRegistry(ShardedSmallBank{})
+	s2 := chain.NewStore()
+	exec(t, r2, s2, "smallbank-sharded", "create", "alice", "10", "0")
+	d2 := s2.Digest()
+	res := exec(t, r2, s2, "smallbank-sharded", "preparePayment", "tx1", "alice", "-50")
+	if !errors.Is(res.Err, ErrInsufficientFunds) {
+		t.Fatalf("got %v, want insufficient funds", res.Err)
+	}
+	if s2.Digest() != d2 {
+		t.Fatal("failed invocation mutated state (lock leak)")
+	}
+	ctx := NewCtx(s2)
+	if IsLocked(ctx, "c_alice") {
+		t.Fatal("lock leaked from failed prepare")
+	}
+	_ = d
+	if res := exec(t, r, s, "kvstore", "unknown-fn"); res.OK() {
+		t.Fatal("unknown fn succeeded")
+	}
+	if s.Digest() != d {
+		t.Fatal("failed invocation changed digest")
+	}
+}
+
+func TestUnknownChaincode(t *testing.T) {
+	r := NewRegistry()
+	s := chain.NewStore()
+	if res := exec(t, r, s, "ghost", "fn"); res.OK() {
+		t.Fatal("unknown chaincode succeeded")
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate register did not panic")
+		}
+	}()
+	NewRegistry(KVStore{}, KVStore{})
+}
+
+func TestSmallBankLifecycle(t *testing.T) {
+	r := NewRegistry(SmallBank{})
+	s := chain.NewStore()
+	exec(t, r, s, "smallbank", "create", "alice", "100", "50")
+	exec(t, r, s, "smallbank", "create", "bob", "10", "0")
+
+	if res := exec(t, r, s, "smallbank", "sendPayment", "alice", "bob", "30"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if got := balance(t, s, "c_alice"); got != 70 {
+		t.Fatalf("alice checking = %d, want 70", got)
+	}
+	if got := balance(t, s, "c_bob"); got != 40 {
+		t.Fatalf("bob checking = %d, want 40", got)
+	}
+
+	if res := exec(t, r, s, "smallbank", "sendPayment", "bob", "alice", "1000"); !errors.Is(res.Err, ErrInsufficientFunds) {
+		t.Fatalf("overdraft: %v", res.Err)
+	}
+	if got := balance(t, s, "c_bob"); got != 40 {
+		t.Fatal("failed payment changed balance")
+	}
+
+	if res := exec(t, r, s, "smallbank", "depositChecking", "bob", "5"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if res := exec(t, r, s, "smallbank", "writeCheck", "bob", "45"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if got := balance(t, s, "c_bob"); got != 0 {
+		t.Fatalf("bob checking = %d, want 0", got)
+	}
+
+	if res := exec(t, r, s, "smallbank", "transactSavings", "alice", "-20"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if got := balance(t, s, "s_alice"); got != 30 {
+		t.Fatalf("alice savings = %d, want 30", got)
+	}
+	if res := exec(t, r, s, "smallbank", "transactSavings", "alice", "-500"); !errors.Is(res.Err, ErrInsufficientFunds) {
+		t.Fatalf("savings overdraft: %v", res.Err)
+	}
+
+	if res := exec(t, r, s, "smallbank", "amalgamate", "alice", "bob"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if got := balance(t, s, "c_bob"); got != 100 {
+		t.Fatalf("bob after amalgamate = %d, want 100", got)
+	}
+	if balance(t, s, "c_alice") != 0 || balance(t, s, "s_alice") != 0 {
+		t.Fatal("alice not drained by amalgamate")
+	}
+
+	if res := exec(t, r, s, "smallbank", "query", "bob"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if res := exec(t, r, s, "smallbank", "query", "nobody"); res.OK() {
+		t.Fatal("query of missing account succeeded")
+	}
+}
+
+func TestShardedPaymentTwoPhaseCommit(t *testing.T) {
+	// Two shards: alice on s1, bob on s2. Run the chaincode halves of a
+	// cross-shard sendPayment as the 2PC participants would.
+	r := NewRegistry(ShardedSmallBank{})
+	s1, s2 := chain.NewStore(), chain.NewStore()
+	exec(t, r, s1, "smallbank-sharded", "create", "alice", "100", "0")
+	exec(t, r, s2, "smallbank-sharded", "create", "bob", "10", "0")
+
+	// Phase 1: prepare on both shards.
+	if res := exec(t, r, s1, "smallbank-sharded", "preparePayment", "t9", "alice", "-30"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if res := exec(t, r, s2, "smallbank-sharded", "preparePayment", "t9", "bob", "30"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	// Effects invisible before commit.
+	if got := balance(t, s1, "c_alice"); got != 100 {
+		t.Fatalf("alice visible balance = %d before commit, want 100", got)
+	}
+	// Locks held: a competing prepare must fail.
+	if res := exec(t, r, s1, "smallbank-sharded", "preparePayment", "other", "alice", "-1"); !errors.Is(res.Err, ErrLocked) {
+		t.Fatalf("competing prepare: %v, want ErrLocked", res.Err)
+	}
+
+	// Phase 2: commit on both shards.
+	if res := exec(t, r, s1, "smallbank-sharded", "commitPayment", "t9"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if res := exec(t, r, s2, "smallbank-sharded", "commitPayment", "t9"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if got := balance(t, s1, "c_alice"); got != 70 {
+		t.Fatalf("alice = %d, want 70", got)
+	}
+	if got := balance(t, s2, "c_bob"); got != 40 {
+		t.Fatalf("bob = %d, want 40", got)
+	}
+	// Locks released.
+	if res := exec(t, r, s1, "smallbank-sharded", "preparePayment", "t10", "alice", "-1"); !res.OK() {
+		t.Fatalf("lock not released: %v", res.Err)
+	}
+	exec(t, r, s1, "smallbank-sharded", "abortPayment", "t10")
+}
+
+func TestShardedPaymentAbort(t *testing.T) {
+	r := NewRegistry(ShardedSmallBank{})
+	s := chain.NewStore()
+	exec(t, r, s, "smallbank-sharded", "create", "alice", "100", "0")
+	if res := exec(t, r, s, "smallbank-sharded", "preparePayment", "t1", "alice", "-60"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if res := exec(t, r, s, "smallbank-sharded", "abortPayment", "t1"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if got := balance(t, s, "c_alice"); got != 100 {
+		t.Fatalf("alice = %d after abort, want 100", got)
+	}
+	// Abort of a never-prepared tx is a harmless no-op.
+	if res := exec(t, r, s, "smallbank-sharded", "abortPayment", "ghost"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	// Commit of a never-prepared tx must fail.
+	if res := exec(t, r, s, "smallbank-sharded", "commitPayment", "ghost"); res.OK() {
+		t.Fatal("commit of unprepared tx succeeded")
+	}
+	// Re-prepare works after abort.
+	if res := exec(t, r, s, "smallbank-sharded", "preparePayment", "t2", "alice", "-60"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+}
+
+func TestShardedPrepareIdempotentPerTx(t *testing.T) {
+	r := NewRegistry(ShardedSmallBank{})
+	s := chain.NewStore()
+	exec(t, r, s, "smallbank-sharded", "create", "a", "100", "0")
+	// Re-prepare by the same tx (e.g. duplicate PrepareTx delivery) is OK.
+	if res := exec(t, r, s, "smallbank-sharded", "preparePayment", "t1", "a", "-10"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if res := exec(t, r, s, "smallbank-sharded", "preparePayment", "t1", "a", "-10"); !res.OK() {
+		t.Fatalf("idempotent re-prepare failed: %v", res.Err)
+	}
+	if res := exec(t, r, s, "smallbank-sharded", "commitPayment", "t1"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if got := balance(t, s, "c_a"); got != 90 {
+		t.Fatalf("a = %d, want 90 (staged write applied once)", got)
+	}
+}
+
+func TestShardedKVStore(t *testing.T) {
+	r := NewRegistry(ShardedKVStore{})
+	s := chain.NewStore()
+	if res := exec(t, r, s, "kvstore-sharded", "prepare", "t1", "k1", "v1", "k2", "v2"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if _, ok := s.Get("k1"); ok {
+		t.Fatal("staged write visible before commit")
+	}
+	if res := exec(t, r, s, "kvstore-sharded", "prepare", "t2", "k1", "x"); !errors.Is(res.Err, ErrLocked) {
+		t.Fatalf("conflicting prepare: %v", res.Err)
+	}
+	if res := exec(t, r, s, "kvstore-sharded", "commit", "t1"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if v, _ := s.Get("k1"); string(v) != "v1" {
+		t.Fatalf("k1 = %q", v)
+	}
+	if v, _ := s.Get("k2"); string(v) != "v2" {
+		t.Fatalf("k2 = %q", v)
+	}
+	if res := exec(t, r, s, "kvstore-sharded", "prepare", "t3", "k1", "z"); !res.OK() {
+		t.Fatalf("lock not released: %v", res.Err)
+	}
+	if res := exec(t, r, s, "kvstore-sharded", "abort", "t3"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if v, _ := s.Get("k1"); string(v) != "v1" {
+		t.Fatal("abort applied staged write")
+	}
+}
+
+func TestCtxReadYourWrites(t *testing.T) {
+	s := chain.NewStore()
+	s.Apply(chain.WriteSet{{Key: "a", Value: []byte("old")}})
+	ctx := NewCtx(s)
+	ctx.Put("a", []byte("new"))
+	if v, _ := ctx.Get("a"); string(v) != "new" {
+		t.Fatalf("ctx get = %q, want pending write", v)
+	}
+	ctx.Del("a")
+	if _, ok := ctx.Get("a"); ok {
+		t.Fatal("pending delete not observed")
+	}
+	if ctx.Reads() != 2 {
+		t.Fatalf("reads = %d, want 2", ctx.Reads())
+	}
+	ws := ctx.WriteSet()
+	if len(ws) != 1 || ws[0].Key != "a" || ws[0].Value != nil {
+		t.Fatalf("write-set = %+v", ws)
+	}
+}

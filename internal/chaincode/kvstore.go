@@ -1,0 +1,109 @@
+package chaincode
+
+import (
+	"fmt"
+)
+
+// KVStore is the BLOCKBENCH KVStore chaincode: a plain key-value workload
+// used to measure raw ordering + execution throughput. The paper's
+// multi-shard driver issues 3 updates per transaction (§7).
+//
+// Functions:
+//
+//	put k v          — write one tuple
+//	get k            — read one tuple (state unchanged)
+//	del k            — delete one tuple
+//	update k1 v1 k2 v2 ...  — write many tuples in one transaction
+//
+// The sharded variant (prepare/commit/abort) used by the distributed
+// transaction protocol lives in ShardedKVStore.
+type KVStore struct{}
+
+// Name implements Chaincode.
+func (KVStore) Name() string { return "kvstore" }
+
+// Invoke implements Chaincode.
+func (KVStore) Invoke(ctx *Ctx, fn string, args []string) error {
+	return KVStoreLogic(ctx, fn, args)
+}
+
+// KVStoreLogic is the KVStore business logic over the KV interface,
+// reusable by shardlib's automatic transformation (§6.4).
+func KVStoreLogic(ctx KV, fn string, args []string) error {
+	switch fn {
+	case "put":
+		if len(args) != 2 {
+			return ErrBadArgs
+		}
+		ctx.Put(args[0], []byte(args[1]))
+		return nil
+	case "get":
+		if len(args) != 1 {
+			return ErrBadArgs
+		}
+		if _, ok := ctx.Get(args[0]); !ok {
+			return fmt.Errorf("%w: key %q", ErrNoAccount, args[0])
+		}
+		return nil
+	case "del":
+		if len(args) != 1 {
+			return ErrBadArgs
+		}
+		ctx.Del(args[0])
+		return nil
+	case "update":
+		if len(args) == 0 || len(args)%2 != 0 {
+			return ErrBadArgs
+		}
+		for i := 0; i < len(args); i += 2 {
+			ctx.Put(args[i], []byte(args[i+1]))
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: kvstore.%s", ErrUnknownFn, fn)
+	}
+}
+
+// ShardedKVStore is the manually refactored KVStore of §6.3/§6.4: each
+// cross-shard update is split into a prepare that takes per-key locks and
+// stages the write, and a commit/abort that applies or discards it.
+//
+// Functions (txid identifies the distributed transaction):
+//
+//	prepare txid k1 v1 [k2 v2 ...] — lock keys, stage writes
+//	commit  txid                   — apply staged writes, release locks
+//	abort   txid                   — discard staged writes, release locks
+type ShardedKVStore struct{}
+
+// Name implements Chaincode.
+func (ShardedKVStore) Name() string { return "kvstore-sharded" }
+
+// Invoke implements Chaincode.
+func (ShardedKVStore) Invoke(ctx *Ctx, fn string, args []string) error {
+	switch fn {
+	case "prepare":
+		if len(args) < 3 || len(args)%2 != 1 {
+			return ErrBadArgs
+		}
+		txid := args[0]
+		for i := 1; i < len(args); i += 2 {
+			if err := AcquireLock(ctx, args[i], txid); err != nil {
+				return err
+			}
+			StageWrite(ctx, txid, args[i], []byte(args[i+1]))
+		}
+		return nil
+	case "commit":
+		if len(args) != 1 {
+			return ErrBadArgs
+		}
+		return CommitStaged(ctx, args[0])
+	case "abort":
+		if len(args) != 1 {
+			return ErrBadArgs
+		}
+		return AbortStaged(ctx, args[0])
+	default:
+		return fmt.Errorf("%w: kvstore-sharded.%s", ErrUnknownFn, fn)
+	}
+}

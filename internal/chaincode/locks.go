@@ -1,0 +1,146 @@
+package chaincode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lock and staging keys live in the same blockchain state as application
+// data, exactly as in §6.3: "we implement locking for an account acc by
+// storing a boolean value to a blockchain state with the key L_acc". We
+// additionally record the owning distributed-transaction id so commit and
+// abort release only their own locks, and we stage pending values under
+// S_<txid>_<key> so that prepare's effects are invisible until commit.
+//
+// These helpers are exported: they are the "library containing common
+// functionalities for sharded applications" that §6.4 proposes, and the
+// shardlib subpackage builds its automatic chaincode transformation on
+// them.
+
+// LockKey returns the blockchain state key holding the 2PL lock for key.
+func LockKey(key string) string { return "L_" + key }
+
+func stageKey(txid, key string) string { return "S_" + txid + "\x00" + key }
+
+func stageIndexKey(txid string) string { return "SIDX_" + txid }
+
+// Staged values are tagged so a staged deletion is distinguishable from a
+// staged write of an empty value.
+const (
+	stagedDelete byte = 0
+	stagedPut    byte = 1
+)
+
+// AcquireLock takes the 2PL write lock on key for txid. Re-acquisition by
+// the same txid is idempotent; a lock held by another transaction fails
+// the prepare (the paper's design aborts rather than waits, which also
+// rules out deadlock).
+func AcquireLock(ctx *Ctx, key, txid string) error {
+	if owner, held := ctx.Get(LockKey(key)); held {
+		if string(owner) == txid {
+			return nil
+		}
+		return fmt.Errorf("%w: key %q held by tx %s", ErrLocked, key, owner)
+	}
+	ctx.Put(LockKey(key), []byte(txid))
+	return nil
+}
+
+// StageWrite records the pending value for key under txid and indexes it.
+// The caller must already hold txid's lock on key.
+func StageWrite(ctx *Ctx, txid, key string, value []byte) {
+	stage(ctx, txid, key, append([]byte{stagedPut}, value...))
+}
+
+// StageDelete records a pending deletion of key under txid.
+func StageDelete(ctx *Ctx, txid, key string) {
+	stage(ctx, txid, key, []byte{stagedDelete})
+}
+
+func stage(ctx *Ctx, txid, key string, tagged []byte) {
+	ctx.Put(stageKey(txid, key), tagged)
+	IndexTouched(ctx, txid, key)
+}
+
+// IndexTouched records key in txid's staging index without staging a
+// value. Commit and abort release the locks of every indexed key, so a
+// prepare that locks a key it only reads must index it too — otherwise
+// the read lock would outlive the transaction.
+func IndexTouched(ctx *Ctx, txid, key string) {
+	idx, _ := ctx.Get(stageIndexKey(txid))
+	keys := decodeIndex(idx)
+	for _, k := range keys {
+		if k == key {
+			return
+		}
+	}
+	keys = append(keys, key)
+	ctx.Put(stageIndexKey(txid), encodeIndex(keys))
+}
+
+// StagedValue reads back txid's pending value for key. deleted reports a
+// staged tombstone; ok reports whether any staging exists.
+func StagedValue(ctx *Ctx, txid, key string) (value []byte, deleted, ok bool) {
+	raw, found := ctx.Get(stageKey(txid, key))
+	if !found || len(raw) == 0 {
+		return nil, false, false
+	}
+	if raw[0] == stagedDelete {
+		return nil, true, true
+	}
+	return raw[1:], false, true
+}
+
+// CommitStaged applies all staged writes of txid and releases its locks.
+func CommitStaged(ctx *Ctx, txid string) error {
+	idx, ok := ctx.Get(stageIndexKey(txid))
+	if !ok {
+		return fmt.Errorf("%w: tx %s", ErrNotLocked, txid)
+	}
+	for _, key := range decodeIndex(idx) {
+		v, deleted, ok := StagedValue(ctx, txid, key)
+		if ok {
+			if deleted {
+				ctx.Del(key)
+			} else {
+				ctx.Put(key, v)
+			}
+		}
+		ctx.Del(stageKey(txid, key))
+		ctx.Del(LockKey(key))
+	}
+	ctx.Del(stageIndexKey(txid))
+	return nil
+}
+
+// AbortStaged discards all staged writes of txid and releases its locks.
+// Aborting a transaction that never prepared here is a no-op (the 2PC
+// coordinator may broadcast aborts to committees that voted NotOK).
+func AbortStaged(ctx *Ctx, txid string) error {
+	idx, ok := ctx.Get(stageIndexKey(txid))
+	if !ok {
+		return nil
+	}
+	for _, key := range decodeIndex(idx) {
+		ctx.Del(stageKey(txid, key))
+		ctx.Del(LockKey(key))
+	}
+	ctx.Del(stageIndexKey(txid))
+	return nil
+}
+
+// IsLocked reports whether key currently carries a lock in store-visible
+// state; used by tests and the abort-rate accounting.
+func IsLocked(ctx *Ctx, key string) bool {
+	_, held := ctx.Get(LockKey(key))
+	return held
+}
+
+func encodeIndex(keys []string) []byte { return []byte(strings.Join(keys, "\x00")) }
+
+func decodeIndex(b []byte) []string {
+	if len(b) == 0 {
+		return nil
+	}
+	return strings.Split(string(b), "\x00")
+}

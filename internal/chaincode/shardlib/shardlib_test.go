@@ -1,0 +1,557 @@
+package shardlib
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chain"
+	"repro/internal/chaincode"
+)
+
+func exec(t *testing.T, r *chaincode.Registry, s *chain.Store, cc, fn string, args ...string) chaincode.Result {
+	t.Helper()
+	return r.Execute(s, chain.Tx{ID: 1, Chaincode: cc, Fn: fn, Args: args})
+}
+
+func balance(t *testing.T, s *chain.Store, key string) int64 {
+	t.Helper()
+	v, ok := s.Get(key)
+	if !ok {
+		t.Fatalf("key %q missing", key)
+	}
+	n, err := strconv.ParseInt(string(v), 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func autoBank() (*chaincode.Registry, *chain.Store) {
+	r := chaincode.NewRegistry(AutoShard("bank", chaincode.SmallBankLogic))
+	s := chain.NewStore()
+	return r, s
+}
+
+func locked(s *chain.Store, key string) bool {
+	_, held := s.Get(chaincode.LockKey(key))
+	return held
+}
+
+func TestAutoShardPrepareCommit(t *testing.T) {
+	r, s := autoBank()
+	if res := exec(t, r, s, "bank", "create", "a", "100", "0"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if res := exec(t, r, s, "bank", "create", "b", "50", "0"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+
+	// Prepare replays sendPayment in staging mode: balances unchanged,
+	// locks held on every touched key.
+	if res := exec(t, r, s, "bank", FnPrepare, "t1", "sendPayment", "a", "b", "30"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if got := balance(t, s, "c_a"); got != 100 {
+		t.Fatalf("c_a after prepare = %d, want 100 (unchanged)", got)
+	}
+	if !locked(s, "c_a") || !locked(s, "c_b") {
+		t.Fatal("prepare did not lock touched keys")
+	}
+
+	if res := exec(t, r, s, "bank", FnCommit, "t1"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if got := balance(t, s, "c_a"); got != 70 {
+		t.Fatalf("c_a after commit = %d, want 70", got)
+	}
+	if got := balance(t, s, "c_b"); got != 80 {
+		t.Fatalf("c_b after commit = %d, want 80", got)
+	}
+	if locked(s, "c_a") || locked(s, "c_b") {
+		t.Fatal("commit did not release locks")
+	}
+}
+
+func TestAutoShardPrepareAbort(t *testing.T) {
+	r, s := autoBank()
+	exec(t, r, s, "bank", "create", "a", "100", "0")
+	exec(t, r, s, "bank", "create", "b", "50", "0")
+
+	if res := exec(t, r, s, "bank", FnPrepare, "t1", "sendPayment", "a", "b", "30"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if res := exec(t, r, s, "bank", FnAbort, "t1"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if got := balance(t, s, "c_a"); got != 100 {
+		t.Fatalf("c_a after abort = %d, want 100", got)
+	}
+	if locked(s, "c_a") || locked(s, "c_b") {
+		t.Fatal("abort did not release locks")
+	}
+	// Aborting twice (coordinator may broadcast aborts) is a no-op.
+	if res := exec(t, r, s, "bank", FnAbort, "t1"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+}
+
+func TestAutoShardLockConflict(t *testing.T) {
+	r, s := autoBank()
+	exec(t, r, s, "bank", "create", "a", "100", "0")
+	exec(t, r, s, "bank", "create", "b", "50", "0")
+	exec(t, r, s, "bank", "create", "c", "10", "0")
+
+	if res := exec(t, r, s, "bank", FnPrepare, "t1", "writeCheck", "a", "20"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	// t2 touches a (held by t1) after locking c: the prepare must fail and
+	// its partial lock on c must be discarded with the failed write-set.
+	res := exec(t, r, s, "bank", FnPrepare, "t2", "sendPayment", "c", "a", "5")
+	if !errors.Is(res.Err, chaincode.ErrLocked) {
+		t.Fatalf("conflicting prepare: %v, want ErrLocked", res.Err)
+	}
+	if locked(s, "c_c") {
+		t.Fatal("failed prepare leaked a lock on c_c")
+	}
+	// t1 is unaffected and can still commit.
+	if res := exec(t, r, s, "bank", FnCommit, "t1"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if got := balance(t, s, "c_a"); got != 80 {
+		t.Fatalf("c_a = %d, want 80", got)
+	}
+}
+
+func TestAutoShardPrepareReacquireOwnLock(t *testing.T) {
+	r, s := autoBank()
+	exec(t, r, s, "bank", "create", "a", "100", "100")
+	exec(t, r, s, "bank", "create", "b", "5", "0")
+	// amalgamate reads then writes each balance key, so every key is
+	// locked by the Get and re-locked by the Put of the same transaction;
+	// re-acquisition must be idempotent.
+	if res := exec(t, r, s, "bank", FnPrepare, "t1", "amalgamate", "a", "b"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if res := exec(t, r, s, "bank", FnCommit, "t1"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if got := balance(t, s, "c_b"); got != 205 {
+		t.Fatalf("c_b = %d, want 205", got)
+	}
+	if got := balance(t, s, "c_a"); got != 0 {
+		t.Fatalf("c_a = %d, want 0", got)
+	}
+	if got := balance(t, s, "s_a"); got != 0 {
+		t.Fatalf("s_a = %d, want 0", got)
+	}
+}
+
+func TestAutoShardDirectWriteRefusedUnderLock(t *testing.T) {
+	r, s := autoBank()
+	exec(t, r, s, "bank", "create", "a", "100", "0")
+	if res := exec(t, r, s, "bank", FnPrepare, "t1", "writeCheck", "a", "20"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	// A direct single-shard write to the locked account must be refused.
+	res := exec(t, r, s, "bank", "depositChecking", "a", "5")
+	if !errors.Is(res.Err, chaincode.ErrLocked) {
+		t.Fatalf("direct write under lock: %v, want ErrLocked", res.Err)
+	}
+	if got := balance(t, s, "c_a"); got != 100 {
+		t.Fatalf("c_a = %d, want 100", got)
+	}
+	// Direct reads still see the last committed value.
+	if res := exec(t, r, s, "bank", "query", "a"); !res.OK() {
+		t.Fatalf("direct read under lock: %v", res.Err)
+	}
+	// After commit the direct write goes through.
+	exec(t, r, s, "bank", FnCommit, "t1")
+	if res := exec(t, r, s, "bank", "depositChecking", "a", "5"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if got := balance(t, s, "c_a"); got != 85 {
+		t.Fatalf("c_a = %d, want 85", got)
+	}
+}
+
+func TestAutoShardInsufficientFundsDiscardsLocks(t *testing.T) {
+	r, s := autoBank()
+	exec(t, r, s, "bank", "create", "a", "10", "0")
+	exec(t, r, s, "bank", "create", "b", "0", "0")
+	res := exec(t, r, s, "bank", FnPrepare, "t1", "sendPayment", "a", "b", "999")
+	if !errors.Is(res.Err, chaincode.ErrInsufficientFunds) {
+		t.Fatalf("prepare: %v, want ErrInsufficientFunds", res.Err)
+	}
+	if locked(s, "c_a") || locked(s, "c_b") {
+		t.Fatal("failed prepare leaked locks")
+	}
+	// The coordinator still broadcasts an abort to committees that voted
+	// NotOK; it must be harmless.
+	if res := exec(t, r, s, "bank", FnAbort, "t1"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+}
+
+func TestAutoShardStagedDelete(t *testing.T) {
+	r := chaincode.NewRegistry(AutoShard("kv", chaincode.KVStoreLogic))
+	s := chain.NewStore()
+	exec(t, r, s, "kv", "put", "k", "v")
+
+	if res := exec(t, r, s, "kv", FnPrepare, "t1", "del", "k"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if v, ok := s.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("k after staged delete = %q,%v; want v,true", v, ok)
+	}
+	if res := exec(t, r, s, "kv", FnCommit, "t1"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("committed delete did not remove key")
+	}
+	if locked(s, "k") {
+		t.Fatal("commit did not release lock")
+	}
+}
+
+func TestAutoShardAbortedDeleteKeepsKey(t *testing.T) {
+	r := chaincode.NewRegistry(AutoShard("kv", chaincode.KVStoreLogic))
+	s := chain.NewStore()
+	exec(t, r, s, "kv", "put", "k", "v")
+	exec(t, r, s, "kv", FnPrepare, "t1", "del", "k")
+	if res := exec(t, r, s, "kv", FnAbort, "t1"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if v, ok := s.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("k after aborted delete = %q,%v; want v,true", v, ok)
+	}
+}
+
+// readYourWrites is a contract that writes then reads the same key, to
+// verify the staging view observes the transaction's own pending writes.
+func readYourWrites(kv chaincode.KV, fn string, args []string) error {
+	switch fn {
+	case "rw":
+		kv.Put("x", []byte("staged"))
+		v, ok := kv.Get("x")
+		if !ok || string(v) != "staged" {
+			return fmt.Errorf("read-your-writes violated: %q,%v", v, ok)
+		}
+		kv.Del("x")
+		if _, ok := kv.Get("x"); ok {
+			return fmt.Errorf("read-your-deletes violated")
+		}
+		kv.Put("x", []byte("final"))
+		return nil
+	default:
+		return chaincode.ErrUnknownFn
+	}
+}
+
+func TestAutoShardReadYourStagedWrites(t *testing.T) {
+	r := chaincode.NewRegistry(AutoShard("ryw", readYourWrites))
+	s := chain.NewStore()
+	if res := exec(t, r, s, "ryw", FnPrepare, "t1", "rw"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if res := exec(t, r, s, "ryw", FnCommit, "t1"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if v, _ := s.Get("x"); string(v) != "final" {
+		t.Fatalf("x = %q, want final", v)
+	}
+}
+
+func TestAutoShardPrepareBatch(t *testing.T) {
+	r, s := autoBank()
+	exec(t, r, s, "bank", "create", "a", "100", "0")
+	exec(t, r, s, "bank", "create", "b", "50", "0")
+
+	// Two sub-calls of the same logical transaction on one shard: a debit
+	// of a and a credit of b, staged atomically under one txid.
+	args := EncodeBatch("t1", []Call{
+		{Fn: "writeCheck", Args: []string{"a", "30"}},
+		{Fn: "depositChecking", Args: []string{"b", "30"}},
+	})
+	if res := exec(t, r, s, "bank", FnPrepareBatch, args...); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if got := balance(t, s, "c_a"); got != 100 {
+		t.Fatalf("c_a after batch prepare = %d, want 100", got)
+	}
+	if res := exec(t, r, s, "bank", FnCommit, "t1"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if got := balance(t, s, "c_a"); got != 70 {
+		t.Fatalf("c_a = %d, want 70", got)
+	}
+	if got := balance(t, s, "c_b"); got != 80 {
+		t.Fatalf("c_b = %d, want 80", got)
+	}
+}
+
+func TestAutoShardPrepareBatchFailsAtomically(t *testing.T) {
+	r, s := autoBank()
+	exec(t, r, s, "bank", "create", "a", "100", "0")
+	exec(t, r, s, "bank", "create", "b", "50", "0")
+
+	// Second call in the batch overdraws: the whole batch must fail and
+	// leave no locks or staged state behind.
+	args := EncodeBatch("t1", []Call{
+		{Fn: "depositChecking", Args: []string{"b", "10"}},
+		{Fn: "writeCheck", Args: []string{"a", "999"}},
+	})
+	res := exec(t, r, s, "bank", FnPrepareBatch, args...)
+	if !errors.Is(res.Err, chaincode.ErrInsufficientFunds) {
+		t.Fatalf("batch prepare: %v, want ErrInsufficientFunds", res.Err)
+	}
+	if locked(s, "c_a") || locked(s, "c_b") {
+		t.Fatal("failed batch prepare leaked locks")
+	}
+	if got := balance(t, s, "c_b"); got != 50 {
+		t.Fatalf("c_b = %d, want 50", got)
+	}
+}
+
+func TestAutoShardPrepareBatchSecondCallSeesFirst(t *testing.T) {
+	r, s := autoBank()
+	exec(t, r, s, "bank", "create", "a", "10", "0")
+	// First call credits a by 90; second debits 100 — only valid if the
+	// staged credit is visible inside the same batch.
+	args := EncodeBatch("t1", []Call{
+		{Fn: "depositChecking", Args: []string{"a", "90"}},
+		{Fn: "writeCheck", Args: []string{"a", "100"}},
+	})
+	if res := exec(t, r, s, "bank", FnPrepareBatch, args...); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	exec(t, r, s, "bank", FnCommit, "t1")
+	if got := balance(t, s, "c_a"); got != 0 {
+		t.Fatalf("c_a = %d, want 0", got)
+	}
+}
+
+func TestAutoShardPrepareBatchBadEncodings(t *testing.T) {
+	r, s := autoBank()
+	for _, args := range [][]string{
+		{"t1"},                         // no calls
+		{"t1", "writeCheck"},           // missing argc
+		{"t1", "writeCheck", "two"},    // argc not a number
+		{"t1", "writeCheck", "3", "a"}, // fewer args than argc
+		{"", "writeCheck", "1", "a"},   // empty txid
+	} {
+		res := exec(t, r, s, "bank", FnPrepareBatch, args...)
+		if !errors.Is(res.Err, chaincode.ErrBadArgs) {
+			t.Fatalf("prepareBatch(%q): %v, want ErrBadArgs", args, res.Err)
+		}
+	}
+}
+
+func TestAutoShardReadOnlyPrepareReleasesLocksOnCommit(t *testing.T) {
+	// Regression: a prepare that only READS keys takes their locks but
+	// stages nothing; commit and abort must still release them.
+	r, s := autoBank()
+	exec(t, r, s, "bank", "create", "a", "100", "50")
+
+	if res := exec(t, r, s, "bank", FnPrepare, "t1", "query", "a"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if !locked(s, "c_a") || !locked(s, "s_a") {
+		t.Fatal("read-only prepare did not lock its read set")
+	}
+	if res := exec(t, r, s, "bank", FnCommit, "t1"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if locked(s, "c_a") || locked(s, "s_a") {
+		t.Fatal("commit leaked read locks")
+	}
+
+	// Same through the abort path.
+	if res := exec(t, r, s, "bank", FnPrepare, "t2", "query", "a"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if res := exec(t, r, s, "bank", FnAbort, "t2"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if locked(s, "c_a") || locked(s, "s_a") {
+		t.Fatal("abort leaked read locks")
+	}
+	// Balances untouched throughout.
+	if got := balance(t, s, "c_a"); got != 100 {
+		t.Fatalf("c_a = %d, want 100", got)
+	}
+}
+
+// touchNothing is a contract whose fn succeeds without touching state.
+func touchNothing(chaincode.KV, string, []string) error { return nil }
+
+func TestAutoShardZeroTouchPrepareCommitsCleanly(t *testing.T) {
+	r := chaincode.NewRegistry(AutoShard("noop", touchNothing))
+	s := chain.NewStore()
+	if res := exec(t, r, s, "noop", FnPrepare, "t1", "anything"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	// Phase 2 must never fail after unanimous OK votes, even when there
+	// is nothing to apply.
+	if res := exec(t, r, s, "noop", FnCommit, "t1"); !res.OK() {
+		t.Fatalf("zero-touch commit failed: %v", res.Err)
+	}
+	if res := exec(t, r, s, "noop", FnAbort, "t1"); !res.OK() {
+		t.Fatalf("post-commit abort not a no-op: %v", res.Err)
+	}
+}
+
+func TestAutoShardBadArgs(t *testing.T) {
+	r, s := autoBank()
+	for _, args := range [][]string{
+		{},                  // prepare with nothing
+		{"t1"},              // prepare without inner fn
+		{"", "sendPayment"}, // empty txid
+	} {
+		res := exec(t, r, s, "bank", FnPrepare, args...)
+		if !errors.Is(res.Err, chaincode.ErrBadArgs) {
+			t.Fatalf("prepare(%q): %v, want ErrBadArgs", args, res.Err)
+		}
+	}
+	if res := exec(t, r, s, "bank", FnCommit, "a", "b"); !errors.Is(res.Err, chaincode.ErrBadArgs) {
+		t.Fatalf("commit: %v", res.Err)
+	}
+	if res := exec(t, r, s, "bank", FnAbort); !errors.Is(res.Err, chaincode.ErrBadArgs) {
+		t.Fatalf("abort: %v", res.Err)
+	}
+}
+
+// TestAutoShardMatchesHandSharded is the differential test: the same
+// random sequence of logical payments is driven through the hand-written
+// ShardedSmallBank (the paper's §6.3 refactoring) and through the
+// automatic transformation; both must produce identical account balances.
+func TestAutoShardMatchesHandSharded(t *testing.T) {
+	const accounts = 8
+	rng := rand.New(rand.NewSource(42))
+
+	hand := chaincode.NewRegistry(chaincode.ShardedSmallBank{})
+	hs := chain.NewStore()
+	auto := chaincode.NewRegistry(AutoShard("bank", chaincode.SmallBankLogic))
+	as := chain.NewStore()
+
+	for i := 0; i < accounts; i++ {
+		acc, bal := "acc"+strconv.Itoa(i), strconv.Itoa(100*(i+1))
+		exec(t, hand, hs, "smallbank-sharded", "create", acc, bal, "0")
+		exec(t, auto, as, "bank", "create", acc, bal, "0")
+	}
+
+	for i := 0; i < 500; i++ {
+		txid := "t" + strconv.Itoa(i)
+		from := "acc" + strconv.Itoa(rng.Intn(accounts))
+		to := "acc" + strconv.Itoa(rng.Intn(accounts))
+		if from == to {
+			continue
+		}
+		amt := strconv.Itoa(rng.Intn(150))
+
+		// Hand-sharded path: one prepare per side, as the manager splits it.
+		h1 := exec(t, hand, hs, "smallbank-sharded", "preparePayment", txid, from, "-"+amt)
+		h2 := exec(t, hand, hs, "smallbank-sharded", "preparePayment", txid, to, amt)
+		handOK := h1.OK() && h2.OK()
+
+		// Auto-sharded path: one prepare replaying the whole sendPayment.
+		a1 := exec(t, auto, as, "bank", FnPrepare, txid, "sendPayment", from, to, amt)
+		autoOK := a1.OK()
+
+		if handOK != autoOK {
+			t.Fatalf("op %d (%s->%s %s): hand ok=%v auto ok=%v (%v / %v / %v)",
+				i, from, to, amt, handOK, autoOK, h1.Err, h2.Err, a1.Err)
+		}
+		if handOK {
+			exec(t, hand, hs, "smallbank-sharded", "commitPayment", txid)
+			exec(t, auto, as, "bank", FnCommit, txid)
+		} else {
+			exec(t, hand, hs, "smallbank-sharded", "abortPayment", txid)
+			exec(t, auto, as, "bank", FnAbort, txid)
+		}
+	}
+
+	for i := 0; i < accounts; i++ {
+		key := "c_acc" + strconv.Itoa(i)
+		if h, a := balance(t, hs, key), balance(t, as, key); h != a {
+			t.Errorf("%s: hand=%d auto=%d", key, h, a)
+		}
+	}
+}
+
+// TestAutoShardMoneyConservation drives random prepare/commit/abort
+// interleavings (several transactions in flight at once) and checks that
+// the total balance is invariant and no lock outlives its transaction.
+func TestAutoShardMoneyConservation(t *testing.T) {
+	const accounts = 6
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, s := autoBank()
+		var total int64
+		for i := 0; i < accounts; i++ {
+			b := int64(rng.Intn(1000))
+			total += b
+			exec(t, r, s, "bank", "create", "acc"+strconv.Itoa(i),
+				strconv.FormatInt(b, 10), "0")
+		}
+		inflight := make(map[string]bool)
+		nextTx := 0
+		for step := 0; step < 200; step++ {
+			switch {
+			case len(inflight) > 0 && rng.Intn(2) == 0:
+				// Resolve a random in-flight transaction.
+				for txid := range inflight {
+					fn := FnCommit
+					if rng.Intn(2) == 0 {
+						fn = FnAbort
+					}
+					if res := exec(t, r, s, "bank", fn, txid); !res.OK() {
+						return false
+					}
+					delete(inflight, txid)
+					break
+				}
+			default:
+				txid := "t" + strconv.Itoa(nextTx)
+				nextTx++
+				from := "acc" + strconv.Itoa(rng.Intn(accounts))
+				to := "acc" + strconv.Itoa(rng.Intn(accounts))
+				if from == to {
+					// Self-payments write the same key twice and are never
+					// issued by the SmallBank driver; skip them.
+					continue
+				}
+				amt := strconv.Itoa(rng.Intn(500))
+				res := exec(t, r, s, "bank", FnPrepare, txid, "sendPayment", from, to, amt)
+				if res.OK() {
+					inflight[txid] = true
+				}
+			}
+		}
+		for txid := range inflight {
+			exec(t, r, s, "bank", FnAbort, txid)
+		}
+		var sum int64
+		for i := 0; i < accounts; i++ {
+			sum += balance(t, s, "c_acc"+strconv.Itoa(i))
+		}
+		if sum != total {
+			t.Logf("seed %d: total %d != initial %d", seed, sum, total)
+			return false
+		}
+		for i := 0; i < accounts; i++ {
+			if locked(s, "c_acc"+strconv.Itoa(i)) {
+				t.Logf("seed %d: lock leaked on acc%d", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+package chaincode
+
+import (
+	"fmt"
+)
+
+// SmallBank is the BLOCKBENCH SmallBank chaincode: the OLTP banking
+// workload the paper uses for its sharding experiments. Each account has a
+// checking and a savings balance stored under "c_<acc>" and "s_<acc>".
+//
+// Functions (the classic six plus account creation):
+//
+//	create acc checking savings
+//	transactSavings acc amount   — add amount to savings (may be negative)
+//	depositChecking acc amount   — add amount to checking
+//	sendPayment from to amount   — move amount between checking balances
+//	writeCheck acc amount        — deduct amount from checking
+//	amalgamate from to           — move all of from's funds into to's checking
+//	query acc                    — read both balances
+type SmallBank struct{}
+
+// Name implements Chaincode.
+func (SmallBank) Name() string { return "smallbank" }
+
+func checkingKey(acc string) string { return "c_" + acc }
+func savingsKey(acc string) string  { return "s_" + acc }
+
+func readBalance(kv KV, key string) (int64, error) {
+	v, ok := kv.Get(key)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoAccount, key)
+	}
+	return atoi(v)
+}
+
+// Invoke implements Chaincode.
+func (SmallBank) Invoke(ctx *Ctx, fn string, args []string) error {
+	return SmallBankLogic(ctx, fn, args)
+}
+
+// SmallBankLogic is the SmallBank business logic over the KV interface,
+// reusable by shardlib's automatic transformation (§6.4).
+func SmallBankLogic(ctx KV, fn string, args []string) error {
+	switch fn {
+	case "create":
+		if len(args) != 3 {
+			return ErrBadArgs
+		}
+		ctx.Put(checkingKey(args[0]), []byte(args[1]))
+		ctx.Put(savingsKey(args[0]), []byte(args[2]))
+		return nil
+
+	case "transactSavings":
+		if len(args) != 2 {
+			return ErrBadArgs
+		}
+		amount, err := atoi([]byte(args[1]))
+		if err != nil {
+			return ErrBadArgs
+		}
+		bal, err := readBalance(ctx, savingsKey(args[0]))
+		if err != nil {
+			return err
+		}
+		if bal+amount < 0 {
+			return ErrInsufficientFunds
+		}
+		ctx.Put(savingsKey(args[0]), itoa(bal+amount))
+		return nil
+
+	case "depositChecking":
+		if len(args) != 2 {
+			return ErrBadArgs
+		}
+		amount, err := atoi([]byte(args[1]))
+		if err != nil || amount < 0 {
+			return ErrBadArgs
+		}
+		bal, err := readBalance(ctx, checkingKey(args[0]))
+		if err != nil {
+			return err
+		}
+		ctx.Put(checkingKey(args[0]), itoa(bal+amount))
+		return nil
+
+	case "sendPayment":
+		if len(args) != 3 {
+			return ErrBadArgs
+		}
+		amount, err := atoi([]byte(args[2]))
+		if err != nil || amount < 0 {
+			return ErrBadArgs
+		}
+		from, err := readBalance(ctx, checkingKey(args[0]))
+		if err != nil {
+			return err
+		}
+		to, err := readBalance(ctx, checkingKey(args[1]))
+		if err != nil {
+			return err
+		}
+		if from < amount {
+			return ErrInsufficientFunds
+		}
+		ctx.Put(checkingKey(args[0]), itoa(from-amount))
+		ctx.Put(checkingKey(args[1]), itoa(to+amount))
+		return nil
+
+	case "writeCheck":
+		if len(args) != 2 {
+			return ErrBadArgs
+		}
+		amount, err := atoi([]byte(args[1]))
+		if err != nil || amount < 0 {
+			return ErrBadArgs
+		}
+		bal, err := readBalance(ctx, checkingKey(args[0]))
+		if err != nil {
+			return err
+		}
+		if bal < amount {
+			return ErrInsufficientFunds
+		}
+		ctx.Put(checkingKey(args[0]), itoa(bal-amount))
+		return nil
+
+	case "amalgamate":
+		if len(args) != 2 {
+			return ErrBadArgs
+		}
+		sav, err := readBalance(ctx, savingsKey(args[0]))
+		if err != nil {
+			return err
+		}
+		chk, err := readBalance(ctx, checkingKey(args[0]))
+		if err != nil {
+			return err
+		}
+		dst, err := readBalance(ctx, checkingKey(args[1]))
+		if err != nil {
+			return err
+		}
+		ctx.Put(savingsKey(args[0]), itoa(0))
+		ctx.Put(checkingKey(args[0]), itoa(0))
+		ctx.Put(checkingKey(args[1]), itoa(dst+sav+chk))
+		return nil
+
+	case "query":
+		if len(args) != 1 {
+			return ErrBadArgs
+		}
+		if _, err := readBalance(ctx, checkingKey(args[0])); err != nil {
+			return err
+		}
+		_, err := readBalance(ctx, savingsKey(args[0]))
+		return err
+
+	default:
+		return fmt.Errorf("%w: smallbank.%s", ErrUnknownFn, fn)
+	}
+}
+
+// ShardedSmallBank is SmallBank refactored for cross-shard execution as in
+// §6.3: sendPayment is split into preparePayment, commitPayment and
+// abortPayment. The debit side and the credit side of a payment each run
+// on their own shard; prepare locks the local account and stages the
+// balance change, commit/abort finish the 2PC.
+//
+// Functions:
+//
+//	create acc checking savings          — single-shard, as in SmallBank
+//	preparePayment txid acc delta        — lock acc, verify funds if delta<0, stage
+//	commitPayment txid                   — apply staged deltas, unlock
+//	abortPayment txid                    — discard staged deltas, unlock
+//	query acc                            — single-shard read
+type ShardedSmallBank struct{}
+
+// Name implements Chaincode.
+func (ShardedSmallBank) Name() string { return "smallbank-sharded" }
+
+// Invoke implements Chaincode.
+func (ShardedSmallBank) Invoke(ctx *Ctx, fn string, args []string) error {
+	switch fn {
+	case "create":
+		return SmallBank{}.Invoke(ctx, "create", args)
+
+	case "preparePayment":
+		if len(args) != 3 {
+			return ErrBadArgs
+		}
+		txid, acc := args[0], args[1]
+		delta, err := atoi([]byte(args[2]))
+		if err != nil {
+			return ErrBadArgs
+		}
+		key := checkingKey(acc)
+		if err := AcquireLock(ctx, key, txid); err != nil {
+			return err
+		}
+		bal, err := readBalance(ctx, key)
+		if err != nil {
+			return err
+		}
+		if bal+delta < 0 {
+			// Vote NotOK: release the just-taken lock by failing the
+			// invocation — a failed invocation discards all writes,
+			// including the lock write, so no cleanup transaction is
+			// needed for a local refusal.
+			return ErrInsufficientFunds
+		}
+		StageWrite(ctx, txid, key, itoa(bal+delta))
+		return nil
+
+	case "commitPayment":
+		if len(args) != 1 {
+			return ErrBadArgs
+		}
+		return CommitStaged(ctx, args[0])
+
+	case "abortPayment":
+		if len(args) != 1 {
+			return ErrBadArgs
+		}
+		return AbortStaged(ctx, args[0])
+
+	case "query":
+		return SmallBank{}.Invoke(ctx, "query", args)
+
+	default:
+		return fmt.Errorf("%w: smallbank-sharded.%s", ErrUnknownFn, fn)
+	}
+}

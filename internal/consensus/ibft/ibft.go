@@ -1,0 +1,36 @@
+// Package ibft models Istanbul BFT as shipped in Quorum, for the Figure 2
+// baseline comparison. Structurally it is the same lockstep rotating-
+// proposer protocol as package tendermint; the differences the paper
+// highlights (§C.2) are the lock-handling defect — "IBFT suffers from
+// deadlock, because its locks are not released properly" — plus Quorum's
+// heavyweight EVM + Merkle-tree execution path.
+package ibft
+
+import (
+	"time"
+
+	"repro/internal/chaincode"
+	"repro/internal/consensus"
+	"repro/internal/consensus/tendermint"
+	"repro/internal/simnet"
+)
+
+// Replica is an IBFT replica: a tendermint-style engine with the lock
+// defect and Quorum's execution cost.
+type Replica = tendermint.Replica
+
+// Options returns the IBFT configuration for a committee member.
+func Options(committee consensus.Committee, index int) tendermint.Options {
+	opts := tendermint.DefaultOptions(committee, index)
+	opts.LockBug = true
+	// Quorum executes transactions in the EVM and updates Merkle tries;
+	// the paper contrasts this with Tendermint's bare key-value store
+	// (§C.2, last paragraph).
+	opts.ExecPerTx = 500 * time.Microsecond
+	return opts
+}
+
+// New wires an IBFT replica onto ep.
+func New(committee consensus.Committee, index int, ep *simnet.Endpoint, registry *chaincode.Registry) *Replica {
+	return tendermint.New(Options(committee, index), ep, registry)
+}

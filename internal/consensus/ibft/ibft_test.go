@@ -1,0 +1,23 @@
+package ibft
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/simnet"
+)
+
+func TestOptionsCarryTheDefect(t *testing.T) {
+	nodes := []simnet.NodeID{0, 1, 2, 3}
+	opts := Options(consensus.BFTCommittee(nodes), 1)
+	if !opts.LockBug {
+		t.Fatal("IBFT options must enable the lock defect")
+	}
+	if opts.ExecPerTx != 500*time.Microsecond {
+		t.Fatalf("exec cost = %v, want Quorum's EVM-grade 500us", opts.ExecPerTx)
+	}
+	if opts.Index != 1 || opts.Committee.N() != 4 {
+		t.Fatal("committee wiring wrong")
+	}
+}

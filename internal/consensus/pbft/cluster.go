@@ -1,0 +1,121 @@
+package pbft
+
+import (
+	"math/rand"
+
+	"repro/internal/blockcrypto"
+	"repro/internal/chaincode"
+	"repro/internal/consensus"
+	"repro/internal/simnet"
+	"repro/internal/tee"
+	"repro/internal/tee/aaom"
+)
+
+// CommitteeSpec describes one committee to build on a network.
+type CommitteeSpec struct {
+	Variant Variant
+	// Nodes lists the committee members; they must not yet be attached to
+	// the network.
+	Nodes []simnet.NodeID
+	// Behaviors maps replica index -> misbehavior (absent = honest).
+	Behaviors map[int]Behavior
+	// Registry constructs each replica's chaincode registry (must yield
+	// identical registries; called once per replica).
+	Registry func() *chaincode.Registry
+	// Tune edits the default options before each replica is built.
+	Tune func(*Options)
+	// Costs is the TEE cost model (DefaultCosts when zero-value).
+	Costs tee.CostModel
+}
+
+// BuiltCommittee is the wired result: replicas in committee order.
+type BuiltCommittee struct {
+	Committee consensus.Committee
+	Replicas  []*Replica
+	Platforms []*tee.Platform
+}
+
+// KeyOf maps a node to its key id in the deployment-wide scheme.
+func KeyOf(id simnet.NodeID) blockcrypto.KeyID { return blockcrypto.KeyID(id) }
+
+// Build attaches and wires all replicas of one committee onto net, using
+// scheme as the deployment-wide key registry and rng for deterministic key
+// generation. It returns the built committee.
+func Build(net *simnet.Network, scheme blockcrypto.Scheme, rng *rand.Rand, spec CommitteeSpec) *BuiltCommittee {
+	committee := spec.Variant.Committee(spec.Nodes)
+	costs := spec.Costs
+	if costs == (tee.CostModel{}) {
+		costs = tee.DefaultCosts()
+	}
+	peerKeys := make([]blockcrypto.KeyID, len(spec.Nodes))
+	for i, id := range spec.Nodes {
+		peerKeys[i] = KeyOf(id)
+	}
+	bc := &BuiltCommittee{Committee: committee}
+	for i, id := range spec.Nodes {
+		ep := net.Attach(id, spec.Variant.QueueConfig())
+		signer := scheme.NewSigner(KeyOf(id), rng)
+		platform := tee.NewPlatform(net.Engine(), ep.CPU(), costs, signer, rng.Int63())
+		mem := aaom.New(platform)
+		opts := DefaultOptions(spec.Variant, committee, i)
+		if b, ok := spec.Behaviors[i]; ok {
+			opts.Behavior = b
+		}
+		if spec.Tune != nil {
+			spec.Tune(&opts)
+		}
+		var registry *chaincode.Registry
+		if spec.Registry != nil {
+			registry = spec.Registry()
+		} else {
+			registry = chaincode.NewRegistry(chaincode.KVStore{}, chaincode.SmallBank{})
+		}
+		r := New(opts, Deps{
+			Endpoint: ep,
+			Scheme:   scheme,
+			Signer:   signer,
+			PeerKeys: peerKeys,
+			Platform: platform,
+			AAOM:     mem,
+			Registry: registry,
+		})
+		bc.Replicas = append(bc.Replicas, r)
+		bc.Platforms = append(bc.Platforms, platform)
+	}
+	return bc
+}
+
+// ExecutedOnQuorum returns the highest transaction count that at least
+// quorum replicas have executed — the committee-level progress metric used
+// by the throughput experiments.
+func (bc *BuiltCommittee) ExecutedOnQuorum() int {
+	counts := make([]int, 0, len(bc.Replicas))
+	for _, r := range bc.Replicas {
+		counts = append(counts, r.Executed())
+	}
+	// quorum-th largest value.
+	for i := 0; i < len(counts); i++ {
+		for j := i + 1; j < len(counts); j++ {
+			if counts[j] > counts[i] {
+				counts[i], counts[j] = counts[j], counts[i]
+			}
+		}
+	}
+	q := bc.Committee.Quorum
+	if q > len(counts) {
+		q = len(counts)
+	}
+	return counts[q-1]
+}
+
+// MaxViewChanges returns the largest per-replica view-change count, the
+// Figure 16 metric.
+func (bc *BuiltCommittee) MaxViewChanges() int {
+	max := 0
+	for _, r := range bc.Replicas {
+		if v := r.ViewChanges(); v > max {
+			max = v
+		}
+	}
+	return max
+}

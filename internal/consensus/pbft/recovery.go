@@ -1,0 +1,139 @@
+package pbft
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Enclave recovery (Appendix A). When a node's A2M enclave crashes and
+// restarts, the host may supply stale sealed state — the rollback attack:
+// with a "forgotten" log the node could re-bind old slots and equivocate.
+// The defense makes the resuming enclave refuse all bindings until the
+// host proves the committee has moved past everything the old enclave
+// might have attested:
+//
+//  1. the node queries all peers for the sequence number of their last
+//     stable checkpoint, ckp;
+//  2. it selects ckpM — a reported value such that at least f *other*
+//     replicas reported values <= ckpM (quorum intersection then
+//     guarantees ckpM is at least the node's own last stable checkpoint);
+//  3. the estimate HM = L + ckpM upper-bounds the highest sequence number
+//     the crashed enclave could have observed (L is the watermark window);
+//  4. the enclave accepts bindings again only once presented a stable
+//     checkpoint with sequence number >= HM, at which point every slot it
+//     might have bound before the crash is already finalized and pruned.
+//
+// While recovering, the node cannot attest any message, so it is
+// effectively silent for consensus — safety is preserved even against a
+// host replaying arbitrarily old sealed state.
+
+const (
+	msgCkpQuery = "pbft/ckp-query"
+	msgCkpReply = "pbft/ckp-reply"
+)
+
+type ckpQueryMsg struct {
+	Replica int
+}
+
+type ckpReplyMsg struct {
+	Ckp     uint64
+	Replica int
+}
+
+// RestartEnclave simulates a crash + restart of this replica's A2M enclave
+// (the host may have rolled back its sealed state beforehand via the
+// platform). It starts the Appendix A estimation procedure.
+func (r *Replica) RestartEnclave() {
+	if r.deps.AAOM == nil {
+		return
+	}
+	// Until the estimate exists, the enclave refuses everything.
+	r.deps.AAOM.Restart(math.MaxUint64)
+	r.ckpReplies = make(map[int]uint64)
+	r.recoveryHM = 0
+	r.broadcast(msgCkpQuery, &ckpQueryMsg{Replica: r.self()}, 64)
+}
+
+// EnclaveRecovering reports whether the trusted log is still locked.
+func (r *Replica) EnclaveRecovering() bool {
+	return r.deps.AAOM != nil && r.deps.AAOM.Recovering()
+}
+
+func (r *Replica) handleCkpQuery(m *ckpQueryMsg) {
+	if m.Replica < 0 || m.Replica >= r.n() {
+		return
+	}
+	r.sendTo(r.opts.Committee.Nodes[m.Replica], msgCkpReply,
+		&ckpReplyMsg{Ckp: r.h, Replica: r.self()}, 64)
+}
+
+func (r *Replica) handleCkpReply(m *ckpReplyMsg) {
+	if r.ckpReplies == nil || m.Replica < 0 || m.Replica >= r.n() {
+		return
+	}
+	if _, dup := r.ckpReplies[m.Replica]; dup {
+		return
+	}
+	r.ckpReplies[m.Replica] = m.Ckp
+	if len(r.ckpReplies) < r.opts.Committee.F+1 {
+		return
+	}
+	// Recompute on every further reply: the estimate can only rise, and a
+	// later honest reply may raise it past an early low sample.
+	// Select ckpM: the largest reported value with at least F other
+	// replies at or below it.
+	type rep struct {
+		replica int
+		ckp     uint64
+	}
+	reps := make([]rep, 0, len(r.ckpReplies))
+	for idx, ckp := range r.ckpReplies {
+		reps = append(reps, rep{idx, ckp})
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i].ckp > reps[j].ckp })
+	for _, cand := range reps {
+		others := 0
+		for _, o := range reps {
+			if o.replica != cand.replica && o.ckp <= cand.ckp {
+				others++
+			}
+		}
+		if others >= r.opts.Committee.F {
+			hm := cand.ckp + r.opts.Window
+			if hm <= r.recoveryHM {
+				return
+			}
+			r.recoveryHM = hm
+			r.deps.AAOM.SetRecoveryHM(hm)
+			// Jumpstart catch-up toward the unlock point.
+			r.lastSyncReq = 0
+			r.noteAhead()
+			r.maybeFinishEnclaveRecovery()
+			return
+		}
+	}
+}
+
+// maybeFinishEnclaveRecovery unlocks the enclave once the replica holds a
+// stable checkpoint at or beyond HM. Called whenever the stable checkpoint
+// advances.
+func (r *Replica) maybeFinishEnclaveRecovery() {
+	if r.recoveryHM == 0 || !r.EnclaveRecovering() {
+		return
+	}
+	if r.h < r.recoveryHM {
+		return
+	}
+	if err := r.deps.AAOM.CompleteRecovery(r.h); err == nil {
+		r.ckpReplies = nil
+		// The node can attest again; rejoin the protocol.
+		if len(r.pending) > 0 {
+			r.armProgressTimer()
+		}
+	}
+}
+
+// recoveryMsgCost is the processing cost for the tiny query/reply.
+const recoveryMsgCost = 10 * time.Microsecond

@@ -1,0 +1,82 @@
+package pbft
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEnclaveRollbackRecovery mounts the Appendix A attack end to end: a
+// follower's A2M enclave is restarted after its sealed state is rolled
+// back. The enclave must refuse to attest anything until the committee's
+// stable checkpoint passes the estimated high-water mark, and the replica
+// must then rejoin and keep executing.
+func TestEnclaveRollbackRecovery(t *testing.T) {
+	tc := newTestCluster(t, 5, VariantAHLPlus, nil, func(o *Options) {
+		o.BatchSize = 5
+		o.CheckpointEvery = 4
+		o.Window = 8
+	})
+	victim := tc.bc.Replicas[3]
+	platform := tc.bc.Platforms[3]
+
+	// Phase 1: normal traffic so the enclave accumulates sealed state.
+	tc.engine.Schedule(0, func() { tc.submit(0, 100) })
+	tc.run(20 * time.Second)
+	if victim.Executed() != 100 {
+		t.Fatalf("warmup executed %d, want 100", victim.Executed())
+	}
+
+	// Phase 2: the malicious host rolls back the enclave's sealed state
+	// and restarts it. (tc.run times are absolute virtual times.)
+	recoveringAfterRestart := false
+	tc.engine.Schedule(0, func() {
+		platform.Rollback("aaom-state", 2)
+		victim.RestartEnclave()
+		tc.engine.Schedule(500*time.Millisecond, func() {
+			recoveringAfterRestart = victim.EnclaveRecovering()
+		})
+	})
+	tc.run(22 * time.Second)
+	if !recoveringAfterRestart {
+		t.Fatal("enclave not in recovery shortly after restart")
+	}
+
+	// Phase 3: more traffic. The victim cannot attest while recovering,
+	// but the committee (quorum 3 of the other 4) keeps going; once the
+	// stable checkpoint passes HM the victim unlocks and rejoins.
+	tc.engine.Schedule(0, func() { tc.submit(0, 200) })
+	tc.run(90 * time.Second)
+
+	if victim.EnclaveRecovering() {
+		t.Fatal("enclave never completed recovery")
+	}
+	tc.requireAgreement(t, 300)
+	if victim.Executed() < 250 {
+		t.Fatalf("victim executed %d, want near 300 (rejoined)", victim.Executed())
+	}
+	// And it can attest fresh messages again: submit more and require the
+	// victim to keep pace.
+	tc.engine.Schedule(0, func() { tc.submit(3, 50) })
+	tc.run(130 * time.Second)
+	if victim.Executed() < 300 {
+		t.Fatalf("victim stuck after recovery: %d", victim.Executed())
+	}
+}
+
+// TestRecoveryHMEstimate checks the ckpM selection rule directly: the
+// chosen value must have at least F other replies at or below it, so a
+// single Byzantine peer cannot push HM below the true stable checkpoint.
+func TestRecoveryHMEstimate(t *testing.T) {
+	tc := newTestCluster(t, 5, VariantAHLPlus, nil, nil) // F = 2
+	r := tc.bc.Replicas[0]
+	r.ckpReplies = make(map[int]uint64)
+	// Peers report: one stale liar (0), three honest (16, 16, 20).
+	for i, v := range map[int]uint64{1: 0, 2: 16, 3: 16, 4: 20} {
+		r.handleCkpReply(&ckpReplyMsg{Ckp: v, Replica: i})
+	}
+	// Largest value with >= 2 other replies <= it is 20.
+	want := uint64(20) + r.opts.Window
+	if r.recoveryHM != want {
+		t.Fatalf("HM = %d, want %d", r.recoveryHM, want)
+	}
+}

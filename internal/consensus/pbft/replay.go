@@ -1,0 +1,141 @@
+package pbft
+
+import (
+	"repro/internal/blockcrypto"
+	"repro/internal/chain"
+)
+
+// Block replay: the second catch-up mechanism, complementing snapshot
+// state-sync. A replica that is only a few sequences behind (its peers
+// executed blocks it missed, but no new stable checkpoint exists yet) asks
+// its peers to replay those blocks. Each peer answers with the blocks and
+// an attestation "I executed sequence n with digest D" from its trusted
+// log; once f+1 distinct peers attest the same digest for the next
+// sequence, at least one of them is honest, so that digest is the decided
+// one and the matching block is safe to execute.
+//
+// This closes the recovery gap that pure vote retransmission leaves open:
+// after view changes, votes are only valid in the current view, and the
+// current leader may itself be a replica that missed the blocks.
+
+const (
+	msgReplayReq  = "pbft/replay-req"
+	msgReplayResp = "pbft/replay-resp"
+)
+
+type replayReqMsg struct {
+	FromSeq uint64
+	Replica int
+}
+
+type replayItem struct {
+	Seq    uint64
+	Digest blockcrypto.Digest
+	Block  *chain.Block
+	Att    attestation
+}
+
+type replayRespMsg struct {
+	Items   []replayItem
+	Replica int
+}
+
+const executedLog = "executed"
+
+// requestReplay asks all peers to replay blocks from executedThrough+1.
+// Called from noteAhead (already rate-limited by the caller).
+func (r *Replica) requestReplay() {
+	req := &replayReqMsg{FromSeq: r.executedThrough + 1, Replica: r.self()}
+	r.broadcast(msgReplayReq, req, 64)
+}
+
+func (r *Replica) handleReplayReq(m *replayReqMsg) {
+	if m.Replica < 0 || m.Replica >= r.n() || m.Replica == r.self() {
+		return
+	}
+	resp := &replayRespMsg{Replica: r.self()}
+	size := 128
+	for seq := m.FromSeq; seq <= m.FromSeq+r.opts.Window; seq++ {
+		e := r.entries[seq]
+		if e == nil || !e.executed || e.block == nil {
+			continue
+		}
+		att, err := r.att.attest(executedLog, seq, e.digest)
+		if err != nil {
+			continue
+		}
+		resp.Items = append(resp.Items, replayItem{Seq: seq, Digest: e.digest, Block: e.block, Att: att})
+		size += e.block.SizeBytes() + 96
+	}
+	if len(resp.Items) == 0 {
+		return
+	}
+	r.sendTo(r.opts.Committee.Nodes[m.Replica], msgReplayResp, resp, size)
+}
+
+func (r *Replica) handleReplayResp(m *replayRespMsg) {
+	if m.Replica < 0 || m.Replica >= r.n() {
+		return
+	}
+	for _, it := range m.Items {
+		if it.Seq <= r.executedThrough || it.Block == nil {
+			continue
+		}
+		if it.Block.Digest() != it.Digest {
+			continue
+		}
+		if !r.att.verify(m.Replica, executedLog, it.Seq, it.Digest, it.Att) {
+			continue
+		}
+		votes := r.replayVotes[it.Seq]
+		if votes == nil {
+			votes = make(map[blockcrypto.Digest]map[int]bool)
+			r.replayVotes[it.Seq] = votes
+		}
+		byDigest := votes[it.Digest]
+		if byDigest == nil {
+			byDigest = make(map[int]bool)
+			votes[it.Digest] = byDigest
+		}
+		byDigest[m.Replica] = true
+		if r.replayBlocks == nil {
+			r.replayBlocks = make(map[blockcrypto.Digest]*chain.Block)
+		}
+		r.replayBlocks[it.Digest] = it.Block
+	}
+	r.tryReplayExecute()
+}
+
+// tryReplayExecute marks every replay-certified sequence committed so the
+// normal in-order execution path picks them up.
+func (r *Replica) tryReplayExecute() {
+	for seq, votes := range r.replayVotes {
+		if seq <= r.executedThrough {
+			delete(r.replayVotes, seq)
+			continue
+		}
+		if e := r.entries[seq]; e != nil && (e.committed || e.executed) {
+			continue
+		}
+		for d, voters := range votes {
+			if len(voters) < r.opts.Committee.F+1 {
+				continue
+			}
+			block := r.replayBlocks[d]
+			if block == nil {
+				continue
+			}
+			// An execution certificate is evidence of the committee's
+			// decision; it overrides any locally buffered proposal.
+			e := r.getEntry(seq)
+			e.digest = d
+			e.block = block
+			e.prePrepared = true
+			e.prepared = true
+			e.committed = true
+			delete(r.replayVotes, seq)
+			break
+		}
+	}
+	r.tryExecute()
+}

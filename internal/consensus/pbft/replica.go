@@ -1,0 +1,1018 @@
+package pbft
+
+import (
+	"time"
+
+	"repro/internal/blockcrypto"
+	"repro/internal/chain"
+	"repro/internal/chaincode"
+	"repro/internal/consensus"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/tee/aggregator"
+)
+
+// entry tracks one in-flight sequence number.
+type entry struct {
+	view           uint64
+	seq            uint64
+	digest         blockcrypto.Digest
+	block          *chain.Block
+	prePrepared    bool
+	prepares       map[int]bool
+	commits        map[int]bool
+	prepared       bool
+	committed      bool
+	executed       bool
+	sentCommitVote bool
+
+	// AHLR leader-side vote accumulation.
+	prepVotes    []aggregator.Vote
+	prepVoters   map[int]bool
+	commitVotes  []aggregator.Vote
+	commitVoters map[int]bool
+	prepQCSent   bool
+	commitQCSent bool
+}
+
+// Replica is one PBFT/AHL-family replica.
+type Replica struct {
+	opts Options
+	deps Deps
+
+	engine *sim.Engine
+	ep     *simnet.Endpoint
+	att    attestor
+	agg    *aggregator.Aggregator
+
+	view         uint64
+	inViewChange bool
+	suspected    bool   // progress timeout seen once (see onProgressTimeout)
+	vcView       uint64 // highest view we voted to change to
+	seqAssign    uint64 // leader: last assigned sequence
+	h            uint64 // low watermark (last stable checkpoint)
+	entries      map[uint64]*entry
+
+	executedThrough uint64
+	executing       bool
+	executedTxIDs   map[uint64]bool
+	pending         map[uint64]chain.Tx
+	pendingOrder    []uint64
+	batchedIn       map[uint64]uint64 // txID -> seq
+
+	ledger *chain.Ledger
+	store  *chain.Store
+
+	vcVotes     map[uint64]map[int]*viewChangeMsg
+	checkpoints map[uint64]map[int]*checkpointMsg
+
+	// State-sync bookkeeping (see statesync.go).
+	stableSnap    chain.Snapshot
+	stableSnapSeq uint64
+	stableCert    []*checkpointMsg
+	stableExecIDs []uint64
+	lastSyncReq   int64
+	lastNewView   *newViewMsg
+
+	// Replay catch-up state (see replay.go).
+	replayVotes  map[uint64]map[blockcrypto.Digest]map[int]bool
+	replayBlocks map[blockcrypto.Digest]*chain.Block
+
+	// Enclave recovery state (see recovery.go).
+	ckpReplies map[int]uint64
+	recoveryHM uint64
+
+	batchTimer *sim.Timer
+	vcTimer    *sim.Timer
+
+	onExec        func(consensus.BlockEvent)
+	executedCount int
+	vcCount       int
+
+	// intake throttling (token bucket), see Options.IntakeCap.
+	intakeTokens float64
+	intakeLast   sim.Time
+
+	// ExecBusy accumulates virtual CPU time spent executing transactions,
+	// as opposed to running consensus (Figure 17).
+	ExecBusy time.Duration
+}
+
+// New constructs a replica and installs it as its endpoint's handler.
+func New(opts Options, deps Deps) *Replica {
+	if opts.CheckpointEvery > opts.Window {
+		// The leader can only assign sequences within (h, h+Window], so a
+		// checkpoint must occur within every window or h never advances.
+		panic("pbft: CheckpointEvery must be <= Window")
+	}
+	r := &Replica{
+		opts:          opts,
+		deps:          deps,
+		ep:            deps.Endpoint,
+		entries:       make(map[uint64]*entry),
+		executedTxIDs: make(map[uint64]bool),
+		pending:       make(map[uint64]chain.Tx),
+		batchedIn:     make(map[uint64]uint64),
+		ledger:        chain.NewLedger(),
+		store:         deps.Store,
+		vcVotes:       make(map[uint64]map[int]*viewChangeMsg),
+		checkpoints:   make(map[uint64]map[int]*checkpointMsg),
+		replayVotes:   make(map[uint64]map[blockcrypto.Digest]map[int]bool),
+		replayBlocks:  make(map[blockcrypto.Digest]*chain.Block),
+		intakeTokens:  opts.IntakeCap, // start with a full bucket
+	}
+	r.engine = deps.Platform.Engine()
+	if r.store == nil {
+		r.store = chain.NewStore()
+	}
+	charge := func(d time.Duration) { deps.Endpoint.CPU().Charge(d) }
+	costs := deps.Platform.Costs()
+	if opts.Variant.Attested() {
+		r.att = &logAttestor{mem: deps.AAOM, scheme: deps.Scheme, peers: deps.PeerKeys, costs: costs, charge: charge}
+	} else {
+		r.att = &sigAttestor{signer: deps.Signer, scheme: deps.Scheme, peers: deps.PeerKeys, costs: costs, charge: charge}
+	}
+	if opts.Variant.Aggregated() {
+		r.agg = aggregator.New(deps.Platform, deps.Scheme)
+	}
+	r.batchTimer = r.engine.NewTimer()
+	r.vcTimer = r.engine.NewTimer()
+	deps.Endpoint.SetHandler(r)
+	return r
+}
+
+// --- accessors ---
+
+// View returns the current view number.
+func (r *Replica) View() uint64 { return r.view }
+
+// Executed implements consensus.Replica.
+func (r *Replica) Executed() int { return r.executedCount }
+
+// ViewChanges implements consensus.Replica.
+func (r *Replica) ViewChanges() int { return r.vcCount }
+
+// OnExecute implements consensus.Replica.
+func (r *Replica) OnExecute(fn func(consensus.BlockEvent)) { r.onExec = fn }
+
+// Ledger exposes the replica's chain for verification in tests.
+func (r *Replica) Ledger() *chain.Ledger { return r.ledger }
+
+// Store exposes the replica's state for verification in tests.
+func (r *Replica) Store() *chain.Store { return r.store }
+
+// StableCheckpoint returns the low watermark.
+func (r *Replica) StableCheckpoint() uint64 { return r.h }
+
+// Endpoint returns the replica's network attachment, letting composing
+// layers (the transaction manager) wrap its handler.
+func (r *Replica) Endpoint() *simnet.Endpoint { return r.ep }
+
+// Committee returns the replica's committee description.
+func (r *Replica) Committee() consensus.Committee { return r.opts.Committee }
+
+// Engine returns the simulation engine the replica runs on; layered
+// protocols (e.g. the transaction managers) use it for their own timers.
+func (r *Replica) Engine() *sim.Engine { return r.engine }
+
+func (r *Replica) self() int               { return r.opts.Index }
+func (r *Replica) n() int                  { return r.opts.Committee.N() }
+func (r *Replica) quorum() int             { return r.opts.Committee.Quorum }
+func (r *Replica) isLeader() bool          { return r.opts.Committee.Leader(r.view) == r.ep.ID() }
+func (r *Replica) leaderID() simnet.NodeID { return r.opts.Committee.Leader(r.view) }
+func (r *Replica) byz(b Behavior) bool     { return r.opts.Behavior == b }
+
+func (r *Replica) sendTo(id simnet.NodeID, typ string, payload any, size int) {
+	r.ep.Send(simnet.Message{To: id, Class: simnet.ClassConsensus, Type: typ, Payload: payload, Size: size})
+}
+
+func (r *Replica) broadcast(typ string, payload any, size int) {
+	for _, id := range r.opts.Committee.Nodes {
+		if id != r.ep.ID() {
+			r.sendTo(id, typ, payload, size)
+		}
+	}
+}
+
+// --- simnet.Handler ---
+
+// Cost implements simnet.Handler: the CPU service time for processing m,
+// dominated by signature/attestation verification (Table 2 costs).
+func (r *Replica) Cost(m simnet.Message) time.Duration {
+	c := r.deps.Platform.Costs()
+	switch m.Type {
+	case msgRequest, msgRequestFwd:
+		return r.opts.RequestVerify
+	case msgPrePrepare:
+		pp := m.Payload.(*prePrepareMsg)
+		nt := 0
+		if pp.Block != nil {
+			nt = len(pp.Block.Txs)
+		}
+		return c.Verify + time.Duration(nt)*c.SHA256
+	case msgPrepare, msgCommit, msgCheckpoint:
+		return c.Verify
+	case msgVote:
+		// Verified inside the aggregation enclave when the quorum is
+		// assembled; receipt itself is cheap.
+		return c.EnclaveSwitch
+	case msgQC:
+		return c.Verify
+	case msgViewChange:
+		return c.Verify
+	case msgNewView:
+		nv := m.Payload.(*newViewMsg)
+		return c.Verify * time.Duration(1+len(nv.Reissue))
+	case msgStateReq, msgNVReq, msgReplayReq:
+		return 10 * time.Microsecond
+	case msgCkpQuery, msgCkpReply:
+		return recoveryMsgCost
+	case msgStateResp:
+		return stateSyncCost
+	case msgReplayResp:
+		rr := m.Payload.(*replayRespMsg)
+		return time.Duration(len(rr.Items)) * c.Verify
+	default:
+		return 0
+	}
+}
+
+// Handle implements simnet.Handler.
+func (r *Replica) Handle(m simnet.Message) {
+	if r.byz(BehaviorSilent) {
+		return
+	}
+	switch m.Type {
+	case msgRequest:
+		r.handleRequest(m.Payload.(chain.Tx), true)
+	case msgRequestFwd:
+		r.handleRequest(m.Payload.(chain.Tx), false)
+	case msgPrePrepare:
+		r.handlePrePrepare(m.Payload.(*prePrepareMsg))
+	case msgPrepare, msgCommit:
+		r.handleVote(m.Payload.(*voteMsg))
+	case msgVote:
+		r.handleAggVote(m.Payload.(*voteMsg))
+	case msgQC:
+		r.handleQC(m.Payload.(*qcMsg))
+	case msgCheckpoint:
+		r.handleCheckpoint(m.Payload.(*checkpointMsg))
+	case msgViewChange:
+		r.handleViewChange(m.Payload.(*viewChangeMsg))
+	case msgNewView:
+		r.handleNewView(m.Payload.(*newViewMsg))
+	case msgNVReq:
+		r.handleNVReq(m.Payload.(*nvReqMsg))
+	case msgStateReq:
+		r.handleStateReq(m.Payload.(*stateReqMsg))
+	case msgStateResp:
+		r.handleStateResp(m.Payload.(*stateRespMsg))
+	case msgReplayReq:
+		r.handleReplayReq(m.Payload.(*replayReqMsg))
+	case msgReplayResp:
+		r.handleReplayResp(m.Payload.(*replayRespMsg))
+	case msgCkpQuery:
+		r.handleCkpQuery(m.Payload.(*ckpQueryMsg))
+	case msgCkpReply:
+		r.handleCkpReply(m.Payload.(*ckpReplyMsg))
+	}
+}
+
+// --- client requests ---
+
+// SubmitLocal implements consensus.Replica: a client request arriving at
+// this replica.
+func (r *Replica) SubmitLocal(tx chain.Tx) { r.handleRequest(tx, true) }
+
+// admitRequest applies the REST intake cap.
+func (r *Replica) admitRequest() bool {
+	if r.opts.IntakeCap <= 0 {
+		return true
+	}
+	now := r.engine.Now()
+	elapsed := now.Sub(r.intakeLast).Seconds()
+	r.intakeLast = now
+	r.intakeTokens += elapsed * r.opts.IntakeCap
+	if r.intakeTokens > r.opts.IntakeCap {
+		r.intakeTokens = r.opts.IntakeCap
+	}
+	if r.intakeTokens < 1 {
+		return false
+	}
+	r.intakeTokens--
+	return true
+}
+
+// handleRequest admits a client request. external marks requests arriving
+// from outside the committee (client or SubmitLocal) as opposed to
+// replica-to-replica dissemination.
+// maxPending bounds the request pool: a replica sheds load it cannot
+// possibly order in time instead of queueing unboundedly (Fabric's gRPC
+// buffers behave the same way; clients retry).
+const maxPending = 20000
+
+func (r *Replica) handleRequest(tx chain.Tx, external bool) {
+	if r.executedTxIDs[tx.ID] {
+		return
+	}
+	if _, known := r.pending[tx.ID]; known {
+		return
+	}
+	if external && (len(r.pending) >= maxPending || !r.admitRequest()) {
+		return
+	}
+	r.pending[tx.ID] = tx
+	r.pendingOrder = append(r.pendingOrder, tx.ID)
+	if external {
+		// Dissemination policy: stock PBFT/Hyperledger broadcasts the
+		// request to every replica; optimization 2 forwards it to the
+		// leader only (§4.1).
+		if r.opts.Variant.ForwardToLeader() {
+			if !r.isLeader() {
+				r.ep.Send(simnet.Message{To: r.leaderID(), Class: simnet.ClassRequest,
+					Type: msgRequestFwd, Payload: tx, Size: tx.SizeBytes()})
+			}
+		} else {
+			for _, id := range r.opts.Committee.Nodes {
+				if id != r.ep.ID() {
+					r.ep.Send(simnet.Message{To: id, Class: simnet.ClassRequest,
+						Type: msgRequestFwd, Payload: tx, Size: tx.SizeBytes()})
+				}
+			}
+		}
+	}
+	if !r.vcTimer.Active() && !r.inViewChange {
+		r.armProgressTimer()
+	}
+	if r.isLeader() && !r.inViewChange {
+		r.scheduleBatch()
+	}
+}
+
+func (r *Replica) armProgressTimer() {
+	r.vcTimer.Reset(r.opts.Timing.ViewChangeTimeout, r.onProgressTimeout)
+}
+
+// --- leader batching ---
+
+func (r *Replica) scheduleBatch() {
+	if r.unbatchedCount() >= r.opts.BatchSize {
+		r.tryBatch()
+		return
+	}
+	if !r.batchTimer.Active() {
+		r.batchTimer.Reset(r.opts.Timing.BatchTimeout, r.tryBatch)
+	}
+}
+
+func (r *Replica) unbatchedCount() int {
+	n := 0
+	for id := range r.pending {
+		if _, in := r.batchedIn[id]; !in {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Replica) tryBatch() {
+	if !r.isLeader() || r.inViewChange {
+		return
+	}
+	for r.unbatchedCount() > 0 && r.seqAssign < r.h+r.opts.Window {
+		batch := r.takeBatch()
+		if len(batch) == 0 {
+			return
+		}
+		r.seqAssign++
+		r.propose(r.seqAssign, batch)
+	}
+	if r.unbatchedCount() > 0 && !r.batchTimer.Active() {
+		// Window full: retry after the batch timeout; checkpoint
+		// progress will also retrigger batching. Retransmit the oldest
+		// in-flight proposal so replicas that fell behind (and replicas
+		// that missed it) can react — the partially-synchronous model
+		// assumes exactly this kind of repeated send.
+		r.batchTimer.Reset(r.opts.Timing.BatchTimeout, func() {
+			r.retransmitOldest()
+			r.tryBatch()
+		})
+	}
+}
+
+// retransmitVotes re-broadcasts this replica's pre-prepares and votes for
+// every entry above the stable checkpoint — including entries this replica
+// already executed, because until a checkpoint is *stable* some peers may
+// still need them (PBFT garbage-collects protocol messages only at stable
+// checkpoints for exactly this reason). A leader additionally re-proposes
+// entries decided in earlier views under the current view, so replicas
+// that joined after a view change can vote for them.
+func (r *Replica) retransmitVotes() {
+	if r.inViewChange || r.byz(BehaviorSilent) {
+		return
+	}
+	for seq := r.h + 1; seq <= r.h+r.opts.Window; seq++ {
+		e := r.entries[seq]
+		if e == nil || !e.prePrepared || e.block == nil && r.isLeader() {
+			continue
+		}
+		if r.isLeader() && e.block != nil {
+			if e.view != r.view {
+				// Re-propose under the current view. The digest is
+				// unchanged, so replicas that executed this sequence
+				// accept it (and conflicting digests are refused).
+				if att, err := r.att.attest(logName(phasePrePrepare, r.view), e.seq, e.digest); err == nil {
+					e.view = r.view
+					e.prepares = map[int]bool{r.self(): true}
+					e.commits = make(map[int]bool)
+					e.sentCommitVote = false
+					r.broadcast(msgPrePrepare, &prePrepareMsg{View: r.view, Seq: e.seq, Block: e.block, Att: att}, e.block.SizeBytes()+96)
+				}
+			} else if att, err := r.att.attest(logName(phasePrePrepare, e.view), e.seq, e.digest); err == nil {
+				r.broadcast(msgPrePrepare, &prePrepareMsg{View: e.view, Seq: e.seq, Block: e.block, Att: att}, e.block.SizeBytes()+96)
+			}
+		}
+		if e.view != r.view {
+			continue // followers only retransmit current-view votes
+		}
+		if r.opts.Variant.Aggregated() {
+			// Under AHLR the leader's certificates are the carriers;
+			// followers re-vote to the leader.
+			if !r.isLeader() {
+				r.sendAggVote(e, phasePrepare)
+				if e.prepared {
+					r.sendAggVote(e, phaseCommit)
+				}
+			}
+			continue
+		}
+		if e.prepares[r.self()] {
+			r.castVote(e, phasePrepare)
+		}
+		if e.sentCommitVote || e.executed || e.committed {
+			e.sentCommitVote = true
+			r.castVote(e, phaseCommit)
+		}
+	}
+}
+
+// retransmitOldest re-broadcasts the pre-prepare for the oldest
+// non-executed sequence; duplicates are ignored by up-to-date replicas and
+// serve as a state-sync trigger for lagging ones.
+func (r *Replica) retransmitOldest() {
+	if !r.isLeader() || r.inViewChange {
+		return
+	}
+	e := r.entries[r.h+1]
+	if e == nil || !e.prePrepared || e.block == nil || e.view != r.view {
+		return
+	}
+	att, err := r.att.attest(logName(phasePrePrepare, e.view), e.seq, e.digest)
+	if err != nil {
+		return
+	}
+	msg := &prePrepareMsg{View: e.view, Seq: e.seq, Block: e.block, Att: att}
+	r.broadcast(msgPrePrepare, msg, e.block.SizeBytes()+96)
+}
+
+func (r *Replica) takeBatch() []chain.Tx {
+	batch := make([]chain.Tx, 0, r.opts.BatchSize)
+	kept := r.pendingOrder[:0]
+	for _, id := range r.pendingOrder {
+		tx, ok := r.pending[id]
+		if !ok {
+			continue // executed and pruned
+		}
+		kept = append(kept, id)
+		if _, in := r.batchedIn[id]; in {
+			continue
+		}
+		if len(batch) < r.opts.BatchSize {
+			batch = append(batch, tx)
+			r.batchedIn[id] = r.seqAssign + 1
+		}
+	}
+	r.pendingOrder = kept
+	return batch
+}
+
+func (r *Replica) buildBlock(seq uint64, txs []chain.Tx) *chain.Block {
+	return &chain.Block{
+		Header: chain.Header{
+			Height:   seq - 1,
+			PrevHash: blockcrypto.Digest{}, // linked at execution time
+			TxRoot:   chain.TxRoot(txs),
+			Proposer: r.deps.Signer.ID(),
+			View:     r.view,
+		},
+		Txs: txs,
+	}
+}
+
+func (r *Replica) propose(seq uint64, txs []chain.Tx) {
+	block := r.buildBlock(seq, txs)
+	digest := block.Digest()
+
+	if r.byz(BehaviorEquivocate) {
+		r.proposeEquivocating(seq, block)
+		return
+	}
+
+	att, err := r.att.attest(logName(phasePrePrepare, r.view), seq, digest)
+	if err != nil {
+		return // trusted log refused (e.g. recovering)
+	}
+	e := r.getEntry(seq)
+	e.view, e.digest, e.block, e.prePrepared = r.view, digest, block, true
+	e.prepares[r.self()] = true
+	msg := &prePrepareMsg{View: r.view, Seq: seq, Block: block, Att: att}
+	r.broadcast(msgPrePrepare, msg, block.SizeBytes()+96)
+	r.maybePrepared(e)
+}
+
+// proposeEquivocating implements the Figure 8 attack: the Byzantine leader
+// sends conflicting proposals for the same sequence number to different
+// halves of the committee. Under AHL the trusted log refuses the second
+// binding, so the attack degrades to withholding the proposal from half
+// the replicas.
+func (r *Replica) proposeEquivocating(seq uint64, block *chain.Block) {
+	alt := r.buildBlock(seq, nil) // conflicting (empty) proposal
+	attA, errA := r.att.attest(logName(phasePrePrepare, r.view), seq, block.Digest())
+	attB, errB := r.att.attest(logName(phasePrePrepare, r.view), seq, alt.Digest())
+	half := r.n() / 2
+	for i, id := range r.opts.Committee.Nodes {
+		if id == r.ep.ID() {
+			continue
+		}
+		if i < half && errA == nil {
+			r.sendTo(id, msgPrePrepare, &prePrepareMsg{View: r.view, Seq: seq, Block: block, Att: attA}, block.SizeBytes()+96)
+		} else if i >= half && errB == nil {
+			r.sendTo(id, msgPrePrepare, &prePrepareMsg{View: r.view, Seq: seq, Block: alt, Att: attB}, alt.SizeBytes()+96)
+		}
+	}
+}
+
+// --- normal-case message handling ---
+
+func logName(phase string, view uint64) string {
+	// One trusted log per (phase, view): a slot then encodes the sequence
+	// number, so one replica can never attest two different digests for
+	// the same protocol position.
+	return phase + "/" + uitoa(view)
+}
+
+func uitoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func (r *Replica) getEntry(seq uint64) *entry {
+	e := r.entries[seq]
+	if e == nil {
+		e = &entry{
+			seq:          seq,
+			view:         r.view,
+			prepares:     make(map[int]bool),
+			commits:      make(map[int]bool),
+			prepVoters:   make(map[int]bool),
+			commitVoters: make(map[int]bool),
+		}
+		r.entries[seq] = e
+	}
+	return e
+}
+
+func (r *Replica) inWindow(seq uint64) bool {
+	return seq > r.h && seq <= r.h+r.opts.Window
+}
+
+func (r *Replica) handlePrePrepare(m *prePrepareMsg) {
+	if m.Seq > r.h+r.opts.Window {
+		// The committee has moved beyond our window: we are behind and
+		// must state-sync (see statesync.go).
+		r.noteAhead()
+	}
+	if m.View > r.view {
+		// Evidence a newer view was installed; ask its leader for the
+		// new-view certificate.
+		r.requestNewView(m.View)
+	}
+	if m.View != r.view || r.inViewChange || !r.inWindow(m.Seq) {
+		return
+	}
+	leaderIdx := r.opts.Committee.Index(r.opts.Committee.Leader(m.View))
+	var digest blockcrypto.Digest
+	if m.Block != nil {
+		digest = m.Block.Digest()
+	}
+	if !r.att.verify(leaderIdx, logName(phasePrePrepare, m.View), m.Seq, digest, m.Att) {
+		return
+	}
+	e := r.getEntry(m.Seq)
+	if e.prePrepared && e.view == m.View {
+		if e.digest != digest {
+			// Conflicting proposal for an accepted slot (HL equivocation):
+			// refuse; progress stalls until the view change.
+			return
+		}
+		return
+	}
+	if (e.executed || e.committed) && e.digest != digest {
+		// A decided sequence can only be re-proposed with its decided
+		// digest.
+		return
+	}
+	if e.prePrepared && e.view != m.View {
+		// Re-proposal under a newer view: reset per-view vote state.
+		e.prepares = make(map[int]bool)
+		e.commits = make(map[int]bool)
+		e.sentCommitVote = false
+		if !e.committed && !e.executed {
+			e.prepared = false
+		}
+	}
+	e.view, e.digest, e.block, e.prePrepared = m.View, digest, m.Block, true
+	e.prepares[leaderIdx] = true
+
+	if r.opts.Variant.Aggregated() {
+		r.sendAggVote(e, phasePrepare)
+		if e.committed || e.executed {
+			r.sendAggVote(e, phaseCommit)
+		}
+	} else {
+		r.castVote(e, phasePrepare)
+		if e.committed || e.executed {
+			e.sentCommitVote = true
+			r.castVote(e, phaseCommit)
+		}
+	}
+	r.maybePrepared(e)
+}
+
+// castVote broadcasts a prepare/commit vote (non-AHLR path).
+func (r *Replica) castVote(e *entry, phase string) {
+	att, err := r.att.attest(logName(phase, e.view), e.seq, e.digest)
+	if err != nil {
+		return
+	}
+	m := &voteMsg{View: e.view, Seq: e.seq, Phase: phase, Digest: e.digest, Replica: r.self(), Att: att}
+	typ := msgPrepare
+	if phase == phaseCommit {
+		typ = msgCommit
+	}
+	if r.byz(BehaviorEquivocate) && !r.opts.Variant.Attested() {
+		// Byzantine follower under HL: vote for a conflicting digest to
+		// half the peers.
+		fake := blockcrypto.Hash([]byte("equivocation"), e.digest[:])
+		fatt, _ := r.att.attest(logName(phase, e.view), e.seq, fake)
+		half := r.n() / 2
+		for i, id := range r.opts.Committee.Nodes {
+			if id == r.ep.ID() {
+				continue
+			}
+			if i < half {
+				r.sendTo(id, typ, m, 160)
+			} else {
+				fm := *m
+				fm.Digest = fake
+				fm.Att = fatt
+				r.sendTo(id, typ, &fm, 160)
+			}
+		}
+		return
+	}
+	r.broadcast(typ, m, 160)
+	if phase == phasePrepare {
+		e.prepares[r.self()] = true
+	} else {
+		e.commits[r.self()] = true
+	}
+}
+
+func (r *Replica) handleVote(m *voteMsg) {
+	if m.View != r.view || r.inViewChange || !r.inWindow(m.Seq) {
+		return
+	}
+	slot := m.Seq
+	if !r.att.verify(m.Replica, logName(m.Phase, m.View), slot, m.Digest, m.Att) {
+		return
+	}
+	e := r.getEntry(m.Seq)
+	if e.prePrepared && m.Digest != e.digest {
+		return // vote for a conflicting proposal
+	}
+	switch m.Phase {
+	case phasePrepare:
+		e.prepares[m.Replica] = true
+		r.maybePrepared(e)
+	case phaseCommit:
+		e.commits[m.Replica] = true
+		r.maybeCommitted(e)
+	}
+}
+
+func (r *Replica) maybePrepared(e *entry) {
+	if e.prepared || !e.prePrepared || len(e.prepares) < r.quorum() {
+		return
+	}
+	e.prepared = true
+	if r.opts.Variant.Aggregated() {
+		return // AHLR prepared state is driven by certificates
+	}
+	if !e.sentCommitVote {
+		e.sentCommitVote = true
+		r.castVote(e, phaseCommit)
+	}
+	r.maybeCommitted(e)
+}
+
+func (r *Replica) maybeCommitted(e *entry) {
+	if e.committed || !e.prepared || len(e.commits) < r.quorum() {
+		return
+	}
+	e.committed = true
+	r.tryExecute()
+}
+
+// --- AHLR certificate path ---
+
+func (r *Replica) aggItem(e *entry, phase string) aggregator.Item {
+	return aggregator.Item{View: e.view, Seq: e.seq, Phase: phase, Digest: e.digest}
+}
+
+// sendAggVote sends this replica's signed vote for (e, phase) to the
+// leader.
+func (r *Replica) sendAggVote(e *entry, phase string) {
+	vd := aggregator.VoteDigest(r.aggItem(e, phase))
+	r.ep.CPU().Charge(r.deps.Platform.Costs().Sign)
+	vote := aggregator.Vote{Voter: r.deps.Signer.ID(), Sig: r.deps.Signer.Sign(vd)}
+	m := &voteMsg{View: e.view, Seq: e.seq, Phase: phase, Digest: e.digest, Replica: r.self(), AggVote: vote}
+	if r.isLeader() {
+		r.handleAggVote(m)
+		return
+	}
+	r.sendTo(r.leaderID(), msgVote, m, 160)
+}
+
+// handleAggVote runs at the AHLR leader: accumulate votes, and once a
+// quorum is present have the enclave mint the certificate.
+func (r *Replica) handleAggVote(m *voteMsg) {
+	if !r.opts.Variant.Aggregated() || m.View != r.view || r.inViewChange || !r.isLeader() || !r.inWindow(m.Seq) {
+		return
+	}
+	e := r.getEntry(m.Seq)
+	if e.prePrepared && m.Digest != e.digest {
+		return
+	}
+	switch m.Phase {
+	case phasePrepare:
+		if e.prepVoters[m.Replica] {
+			return
+		}
+		e.prepVoters[m.Replica] = true
+		e.prepVotes = append(e.prepVotes, m.AggVote)
+		if !e.prepQCSent && e.prePrepared && len(e.prepVotes) >= r.quorum() {
+			cert, err := r.agg.Aggregate(r.aggItem(e, phasePrepare), e.prepVotes, r.quorum())
+			if err != nil {
+				return
+			}
+			e.prepQCSent = true
+			e.prepared = true
+			r.broadcast(msgQC, &qcMsg{View: e.view, Seq: e.seq, Phase: phasePrepare, Cert: cert, Block: e.block}, e.block.SizeBytes()+256)
+			// Leader votes commit immediately.
+			r.sendAggVote(e, phaseCommit)
+		}
+	case phaseCommit:
+		if e.commitVoters[m.Replica] {
+			return
+		}
+		e.commitVoters[m.Replica] = true
+		e.commitVotes = append(e.commitVotes, m.AggVote)
+		if !e.commitQCSent && e.prepared && len(e.commitVotes) >= r.quorum() {
+			cert, err := r.agg.Aggregate(r.aggItem(e, phaseCommit), e.commitVotes, r.quorum())
+			if err != nil {
+				return
+			}
+			e.commitQCSent = true
+			e.committed = true
+			r.broadcast(msgQC, &qcMsg{View: e.view, Seq: e.seq, Phase: phaseCommit, Cert: cert}, 256)
+			r.tryExecute()
+		}
+	}
+}
+
+// handleQC runs at AHLR followers.
+func (r *Replica) handleQC(m *qcMsg) {
+	if !r.opts.Variant.Aggregated() || m.View != r.view || r.inViewChange || !r.inWindow(m.Seq) {
+		return
+	}
+	it := aggregator.Item{View: m.View, Seq: m.Seq, Phase: m.Phase, Digest: m.Cert.Item.Digest}
+	if m.Cert.Item != it || !m.Cert.Verify(r.deps.Scheme, r.quorum()) {
+		return
+	}
+	e := r.getEntry(m.Seq)
+	if e.prePrepared && e.digest != m.Cert.Item.Digest {
+		return
+	}
+	if !e.prePrepared && m.Block != nil && m.Block.Digest() == m.Cert.Item.Digest {
+		e.view, e.digest, e.block, e.prePrepared = m.View, m.Cert.Item.Digest, m.Block, true
+	}
+	switch m.Phase {
+	case phasePrepare:
+		if !e.prepared && e.prePrepared {
+			e.prepared = true
+			r.sendAggVote(e, phaseCommit)
+		}
+	case phaseCommit:
+		if e.prepared && !e.committed {
+			e.committed = true
+			r.tryExecute()
+		}
+	}
+}
+
+// --- execution ---
+
+func (r *Replica) tryExecute() {
+	if r.executing {
+		return
+	}
+	next := r.executedThrough + 1
+	e := r.entries[next]
+	if e == nil || !e.committed || e.executed || e.block == nil {
+		return
+	}
+	r.executing = true
+	cost := time.Duration(len(e.block.Txs)) * r.opts.ExecPerTx
+	r.ExecBusy += cost
+	r.ep.CPU().Exec(cost, func() {
+		r.executing = false
+		r.finishExecute(e)
+		r.tryExecute()
+	})
+}
+
+func (r *Replica) finishExecute(e *entry) {
+	if e.executed || e.seq != r.executedThrough+1 {
+		return
+	}
+	e.executed = true
+	r.executedThrough = e.seq
+
+	// Link and append to the local ledger.
+	blk := &chain.Block{Header: e.block.Header, Txs: e.block.Txs}
+	blk.Header.Height = r.ledger.Height()
+	blk.Header.PrevHash = r.ledger.TipHash()
+	if err := r.ledger.Append(blk); err != nil {
+		panic("pbft: ledger append: " + err.Error())
+	}
+
+	results := make([]chaincode.Result, 0, len(e.block.Txs))
+	for _, tx := range e.block.Txs {
+		if r.executedTxIDs[tx.ID] {
+			continue
+		}
+		r.executedTxIDs[tx.ID] = true
+		res := r.deps.Registry.Execute(r.store, tx)
+		results = append(results, res)
+		delete(r.pending, tx.ID)
+		delete(r.batchedIn, tx.ID)
+		r.executedCount++
+		if r.opts.SendReplies && tx.Client != 0 {
+			r.ep.Send(simnet.Message{To: simnet.NodeID(tx.Client), Class: simnet.ClassConsensus,
+				Type: MsgReply, Payload: Reply{TxID: tx.ID, OK: res.OK(), Replica: r.self()}, Size: 128})
+		}
+	}
+	if r.onExec != nil {
+		r.onExec(consensus.BlockEvent{Block: blk, Results: results, Time: r.engine.Now()})
+	}
+
+	// Progress achieved: re-arm or clear the view-change timer.
+	r.suspected = false
+	if len(r.pending) > 0 {
+		r.armProgressTimer()
+	} else {
+		r.vcTimer.Stop()
+	}
+
+	if e.seq%r.opts.CheckpointEvery == 0 {
+		r.emitCheckpoint(e.seq)
+	}
+	if r.isLeader() {
+		r.scheduleBatch()
+	}
+}
+
+// --- checkpoints ---
+
+func (r *Replica) emitCheckpoint(seq uint64) {
+	d := r.store.Digest()
+	att, err := r.att.attest("checkpoint", seq, d)
+	if err != nil {
+		return
+	}
+	m := &checkpointMsg{Seq: seq, State: d, Replica: r.self(), Att: att}
+	r.recordCheckpoint(m)
+	r.broadcast(msgCheckpoint, m, 128)
+}
+
+func (r *Replica) handleCheckpoint(m *checkpointMsg) {
+	if m.Seq <= r.h {
+		return
+	}
+	if !r.att.verify(m.Replica, "checkpoint", m.Seq, m.State, m.Att) {
+		return
+	}
+	r.recordCheckpoint(m)
+}
+
+func (r *Replica) recordCheckpoint(m *checkpointMsg) {
+	ck := r.checkpoints[m.Seq]
+	if ck == nil {
+		ck = make(map[int]*checkpointMsg)
+		r.checkpoints[m.Seq] = ck
+	}
+	ck[m.Replica] = m
+	// Count matching digests; a quorum makes the checkpoint stable.
+	counts := make(map[blockcrypto.Digest]int)
+	for _, msg := range ck {
+		counts[msg.State]++
+	}
+	for digest, c := range counts {
+		if c >= r.quorum() && m.Seq > r.h {
+			r.advanceStable(m.Seq, digest, ck)
+			return
+		}
+	}
+}
+
+func (r *Replica) advanceStable(seq uint64, digest blockcrypto.Digest, ck map[int]*checkpointMsg) {
+	r.h = seq
+	// Keep a snapshot aligned with our own checkpoint for state transfer,
+	// along with the quorum certificate that made it stable — but only if
+	// we have actually executed through seq (otherwise our state does not
+	// correspond to this checkpoint).
+	if r.executedThrough >= seq && r.store.Digest() == digest {
+		r.stableSnap = r.store.Snapshot()
+		r.stableSnapSeq = seq
+		r.stableCert = certFor(ck, digest)
+		ids := make([]uint64, 0, len(r.executedTxIDs))
+		for id := range r.executedTxIDs {
+			ids = append(ids, id)
+		}
+		r.stableExecIDs = ids
+	}
+	var holders []int
+	for idx, msg := range ck {
+		if msg.State == digest {
+			holders = append(holders, idx)
+		}
+	}
+	for s, e := range r.entries {
+		if s <= seq && (e.executed || !e.committed) {
+			delete(r.entries, s)
+		}
+	}
+	for s := range r.checkpoints {
+		if s < seq {
+			delete(r.checkpoints, s)
+		}
+	}
+	r.att.onStableCheckpoint(seq)
+	r.maybeFinishEnclaveRecovery()
+
+	// A checkpoint quorum is proof the current view is live: a replica
+	// that unilaterally suspected the leader (e.g. because it fell behind
+	// and could not execute) abandons its view change and defers to state
+	// sync instead of stalling in a one-member view change forever.
+	if r.inViewChange {
+		r.inViewChange = false
+		r.suspected = false
+	}
+	if len(r.pending) > 0 {
+		r.armProgressTimer()
+	}
+
+	r.maybeRequestSync(seq, holders)
+	if r.isLeader() {
+		if r.seqAssign < r.h {
+			r.seqAssign = r.h
+		}
+		r.scheduleBatch()
+	}
+}
+
+// DebugSyncState exposes internals for diagnosing state-sync issues in
+// tests; not part of the stable API.
+func (r *Replica) DebugSyncState() (h, executedThrough, stableSnapSeq uint64, certLen, pendingLen int) {
+	return r.h, r.executedThrough, r.stableSnapSeq, len(r.stableCert), len(r.pending)
+}

@@ -1,0 +1,330 @@
+package pbft
+
+import (
+	"sort"
+
+	"repro/internal/blockcrypto"
+	"repro/internal/simnet"
+)
+
+// View changes follow PBFT's structure, simplified where the simulation
+// permits: a view-change vote carries the sender's stable checkpoint and
+// its prepared entries (with blocks, so the new leader can re-propose);
+// the new leader installs the view with a new-view message re-issuing
+// every prepared sequence above the maximum stable checkpoint. Under the
+// attested variants a replica can cast at most one view-change vote per
+// target view (trusted-log slot = view), so the certificate set a new
+// leader assembles is equivocation-free.
+
+func vcDigest(m *viewChangeMsg) blockcrypto.Digest {
+	ds := []blockcrypto.Digest{tee64(m.NewView), tee64(m.StableSeq)}
+	for _, p := range m.Prepared {
+		ds = append(ds, tee64(p.Seq), p.Digest)
+	}
+	return blockcrypto.HashOfDigests(ds...)
+}
+
+func nvDigest(m *newViewMsg) blockcrypto.Digest {
+	ds := []blockcrypto.Digest{tee64(m.View), tee64(m.StableSeq)}
+	for _, p := range m.Reissue {
+		ds = append(ds, tee64(p.Seq), p.Digest)
+	}
+	return blockcrypto.HashOfDigests(ds...)
+}
+
+func tee64(v uint64) blockcrypto.Digest {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * (7 - i)))
+	}
+	return blockcrypto.Hash(b[:])
+}
+
+// requestNewView asks the leader of an observed newer view for its
+// new-view certificate; used by replicas that were away during the view
+// change (rate-limited alongside state-sync probes).
+func (r *Replica) requestNewView(view uint64) {
+	if view <= r.view {
+		return
+	}
+	leader := r.opts.Committee.Leader(view)
+	if leader == r.ep.ID() {
+		return
+	}
+	r.sendTo(leader, msgNVReq, &nvReqMsg{View: view, Replica: r.self()}, 64)
+}
+
+type nvReqMsg struct {
+	View    uint64
+	Replica int
+}
+
+func (r *Replica) handleNVReq(m *nvReqMsg) {
+	if r.lastNewView == nil || r.lastNewView.View < m.View {
+		return
+	}
+	if m.Replica < 0 || m.Replica >= r.n() {
+		return
+	}
+	size := 256
+	for _, p := range r.lastNewView.Reissue {
+		size += p.Block.SizeBytes()
+	}
+	r.sendTo(r.opts.Committee.Nodes[m.Replica], msgNewView, r.lastNewView, size)
+}
+
+// onProgressTimeout fires when a replica with pending work has seen no
+// execution progress for the view-change timeout.
+//
+// Under optimization 2 only the replica that received a request (and the
+// possibly-faulty leader) knows about it, so before voting to change the
+// view the replica falls back to PBFT's request dissemination: broadcast
+// the pending requests so every replica arms its own progress timer. Only
+// a second timeout escalates to a view change.
+func (r *Replica) onProgressTimeout() {
+	if len(r.pending) == 0 {
+		return
+	}
+	// We may be stalled simply because we fell behind; probe for a
+	// snapshot before suspecting the leader, and retransmit our own
+	// protocol messages so peers that fell behind can rejoin the quorum
+	// (PBFT's repeated-send under partial synchrony).
+	r.noteAhead()
+	r.retransmitVotes()
+	if r.opts.Variant.ForwardToLeader() && !r.suspected {
+		r.suspected = true
+		for _, tx := range r.pending {
+			for _, id := range r.opts.Committee.Nodes {
+				if id != r.ep.ID() {
+					r.ep.Send(simnet.Message{To: id, Class: simnet.ClassRequest,
+						Type: msgRequestFwd, Payload: tx, Size: tx.SizeBytes()})
+				}
+			}
+		}
+		r.armProgressTimer()
+		return
+	}
+	r.startViewChange(r.view + 1)
+}
+
+// RequestViewChange lets the reconfiguration layer trigger a proactive
+// view change (graceful leader handoff when the current leader is about to
+// transition out of the committee, §5.3). It is a no-op if the replica has
+// already voted for target or beyond.
+func (r *Replica) RequestViewChange(target uint64) {
+	if target > r.view && target > r.vcView {
+		r.startViewChange(target)
+	}
+}
+
+func (r *Replica) startViewChange(newView uint64) {
+	if newView <= r.vcView || newView <= r.view {
+		return
+	}
+	if r.byz(BehaviorSilent) {
+		return
+	}
+	r.vcView = newView
+	r.inViewChange = true
+	r.vcCount++
+	r.batchTimer.Stop()
+
+	m := &viewChangeMsg{NewView: newView, StableSeq: r.h, Replica: r.self()}
+	seqs := make([]uint64, 0, len(r.entries))
+	for s := range r.entries {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, s := range seqs {
+		e := r.entries[s]
+		if e.prepared && !e.executed && e.block != nil && s > r.h {
+			m.Prepared = append(m.Prepared, preparedProof{Seq: s, Digest: e.digest, Block: e.block})
+		}
+	}
+	att, err := r.att.attest("view-change", newView, vcDigest(m))
+	if err != nil {
+		return
+	}
+	m.Att = att
+	r.recordViewChange(m)
+	size := 256
+	for _, p := range m.Prepared {
+		size += p.Block.SizeBytes()
+	}
+	r.broadcast(msgViewChange, m, size)
+
+	// Escalate if this view change does not complete in time.
+	r.vcTimer.Reset(2*r.opts.Timing.ViewChangeTimeout, func() {
+		if r.inViewChange {
+			r.startViewChange(r.vcView + 1)
+		}
+	})
+}
+
+func (r *Replica) handleViewChange(m *viewChangeMsg) {
+	if m.NewView <= r.view {
+		return
+	}
+	if !r.att.verify(m.Replica, "view-change", m.NewView, vcDigest(m), m.Att) {
+		return
+	}
+	r.recordViewChange(m)
+}
+
+func (r *Replica) recordViewChange(m *viewChangeMsg) {
+	votes := r.vcVotes[m.NewView]
+	if votes == nil {
+		votes = make(map[int]*viewChangeMsg)
+		r.vcVotes[m.NewView] = votes
+	}
+	if _, dup := votes[m.Replica]; dup {
+		return
+	}
+	votes[m.Replica] = m
+
+	// Join an in-progress view change once f+1 distinct replicas vote for
+	// a higher view (PBFT's liveness rule): we cannot be left behind.
+	if !r.inViewChange || m.NewView > r.vcView {
+		if len(votes) >= r.opts.Committee.F+1 && m.NewView > r.vcView {
+			r.startViewChange(m.NewView)
+		}
+	}
+
+	// The designated leader of the new view assembles the certificate.
+	if r.opts.Committee.Leader(m.NewView) == r.ep.ID() && len(votes) >= r.quorum() {
+		r.installNewView(m.NewView, votes)
+	}
+}
+
+// installNewView runs at the new leader once it holds a quorum of
+// view-change votes.
+func (r *Replica) installNewView(view uint64, votes map[int]*viewChangeMsg) {
+	if r.view >= view {
+		return
+	}
+	var stable uint64
+	reissue := make(map[uint64]preparedProof)
+	for _, vc := range votes {
+		if vc.StableSeq > stable {
+			stable = vc.StableSeq
+		}
+		for _, p := range vc.Prepared {
+			// Under attested variants conflicting proofs for a sequence
+			// cannot exist. Under HL we keep the first seen; see the
+			// package comment for the simplification note.
+			if _, ok := reissue[p.Seq]; !ok {
+				reissue[p.Seq] = p
+			}
+		}
+	}
+	nv := &newViewMsg{View: view, StableSeq: stable, Replica: r.self()}
+	seqs := make([]uint64, 0, len(reissue))
+	for s := range reissue {
+		if s > stable {
+			seqs = append(seqs, s)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	size := 256
+	for _, s := range seqs {
+		nv.Reissue = append(nv.Reissue, reissue[s])
+		size += reissue[s].Block.SizeBytes()
+	}
+	att, err := r.att.attest("new-view", view, nvDigest(nv))
+	if err != nil {
+		return
+	}
+	nv.Att = att
+	r.broadcast(msgNewView, nv, size)
+	r.adoptNewView(nv)
+}
+
+func (r *Replica) handleNewView(m *newViewMsg) {
+	if m.View <= r.view {
+		return
+	}
+	leaderIdx := r.opts.Committee.Index(r.opts.Committee.Leader(m.View))
+	if m.Replica != leaderIdx {
+		return
+	}
+	if !r.att.verify(m.Replica, "new-view", m.View, nvDigest(m), m.Att) {
+		return
+	}
+	r.adoptNewView(m)
+}
+
+// adoptNewView installs view m.View on this replica.
+func (r *Replica) adoptNewView(m *newViewMsg) {
+	r.view = m.View
+	r.inViewChange = false
+	r.suspected = false
+	r.lastNewView = m
+	if r.vcView < m.View {
+		r.vcView = m.View
+	}
+	if m.StableSeq > r.h {
+		r.h = m.StableSeq
+	}
+
+	// Reset per-view consensus state above the stable checkpoint:
+	// un-executed entries are either re-issued now or re-proposed later
+	// from the pending pool.
+	reissued := make(map[uint64]bool, len(m.Reissue))
+	for _, p := range m.Reissue {
+		reissued[p.Seq] = true
+	}
+	for s, e := range r.entries {
+		if e.executed {
+			continue
+		}
+		delete(r.entries, s)
+		// Make the dropped entry's transactions eligible for re-batching.
+		if e.block != nil && !reissued[s] {
+			for _, tx := range e.block.Txs {
+				delete(r.batchedIn, tx.ID)
+			}
+		}
+	}
+	for v := range r.vcVotes {
+		if v <= m.View {
+			delete(r.vcVotes, v)
+		}
+	}
+	r.seqAssign = r.h
+	for _, p := range m.Reissue {
+		if p.Seq > r.seqAssign {
+			r.seqAssign = p.Seq
+		}
+	}
+
+	// Process re-issued proposals as fresh pre-prepares in the new view.
+	leaderIdx := r.opts.Committee.Index(r.opts.Committee.Leader(m.View))
+	for _, p := range m.Reissue {
+		if p.Seq <= r.h {
+			continue
+		}
+		e := r.getEntry(p.Seq)
+		e.view, e.digest, e.block, e.prePrepared = m.View, p.Digest, p.Block, true
+		e.prepares[leaderIdx] = true
+		for _, tx := range p.Block.Txs {
+			r.batchedIn[tx.ID] = p.Seq
+		}
+		if r.ep.ID() != r.opts.Committee.Leader(m.View) {
+			if r.opts.Variant.Aggregated() {
+				r.sendAggVote(e, phasePrepare)
+			} else {
+				r.castVote(e, phasePrepare)
+			}
+		}
+		r.maybePrepared(e)
+	}
+
+	if len(r.pending) > 0 {
+		r.armProgressTimer()
+	} else {
+		r.vcTimer.Stop()
+	}
+	if r.isLeader() {
+		r.scheduleBatch()
+	}
+}

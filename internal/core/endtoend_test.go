@@ -1,0 +1,101 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/consensus/pbft"
+	"repro/internal/tee"
+	"repro/internal/txn"
+)
+
+// TestEndToEndGCPDeployment combines the moving parts in one deployment:
+// the 8-region GCP latency matrix, two parallel reference committee
+// instances, the §6.4 router over an auto-sharded chaincode, and a
+// recurring §5.3 epoch in the background. It asserts commits, money
+// conservation, and replica convergence.
+func TestEndToEndGCPDeployment(t *testing.T) {
+	s := NewSystem(Config{
+		Seed:        17,
+		Shards:      3,
+		ShardSize:   4,
+		RefSize:     4,
+		RefGroups:   2,
+		Variant:     pbft.VariantAHLPlus,
+		Env:         Environment{GCPRegions: 8},
+		Clients:     2,
+		SendReplies: true,
+		Costs:       tee.FreeCosts(),
+	})
+	const accounts = 30
+	s.Seed(accounts, 1000)
+
+	var initial int64
+	for i := 0; i < accounts; i++ {
+		b, ok := s.BalanceOnShard(Account(i))
+		if !ok {
+			t.Fatalf("account %d missing", i)
+		}
+		initial += b
+	}
+
+	router := s.NewRouter(0)
+
+	committed, resolved := 0, 0
+	n := 0
+	for i := 0; i < accounts && n < 10; i++ {
+		from, to := Account(i), Account((i+13)%accounts)
+		if from == to {
+			continue
+		}
+		n++
+		// Mix router submissions (which pick fast path vs 2PC themselves)
+		// with raw distributed submissions on the second client.
+		if n%2 == 0 {
+			args := []string{from, to, "5"}
+			s.Engine.Schedule(time.Duration(n)*2*time.Second, func() {
+				router.Submit(AutoSmallBank, "sendPayment", args, func(r txn.Result) {
+					resolved++
+					if r.Committed {
+						committed++
+					}
+				})
+			})
+		} else if s.ShardOfKey(from) != s.ShardOfKey(to) {
+			d := s.PaymentDTx("e2e"+strconv.Itoa(n), from, to, 5)
+			s.Engine.Schedule(time.Duration(n)*2*time.Second, func() {
+				s.Client(1).SubmitDistributed(d, func(r txn.Result) {
+					resolved++
+					if r.Committed {
+						committed++
+					}
+				})
+			})
+		}
+	}
+
+	s.EnableEpochs(EpochConfig{
+		Interval: 90 * time.Second,
+		Reshard:  DefaultReshardConfig(ReshardSwapBatch),
+	})
+
+	s.Run(200 * time.Second)
+
+	if resolved == 0 || committed == 0 {
+		t.Fatalf("resolved=%d committed=%d on GCP deployment", resolved, committed)
+	}
+	if s.Epoch() < 1 {
+		t.Fatal("no epoch fired")
+	}
+
+	var final int64
+	for i := 0; i < accounts; i++ {
+		b, _ := s.BalanceOnShard(Account(i))
+		final += b
+	}
+	if final != initial {
+		t.Fatalf("money not conserved: %d -> %d", initial, final)
+	}
+	assertSystemConverged(t, s, nil)
+}

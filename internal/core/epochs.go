@@ -1,0 +1,70 @@
+package core
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/blockcrypto"
+	"repro/internal/sharding"
+)
+
+// Recurring epochs (§5.3): "Shard reconfiguration occurs at every epoch.
+// At the end of epoch e-1, nodes obtain the random seed rnd following the
+// protocol described in Section 5.1. They compute the new committee
+// assignment for epoch e based on rnd."
+//
+// EnableEpochs drives that loop on a running system: at every epoch
+// boundary the beacon protocol runs (modelled as its synchrony bound Δ of
+// lock-in delay — the enclave output itself is a fresh uniform value, here
+// derived deterministically from the system seed and the epoch number,
+// which is exactly how the simulated RandomnessBeacon enclave produces
+// it), and the resulting rnd seeds the batched node transition.
+
+// EpochConfig configures recurring shard reconfiguration.
+type EpochConfig struct {
+	// Interval is the epoch length; every Interval a new assignment takes
+	// effect.
+	Interval time.Duration
+	// Reshard tunes each transition (batch size, state-transfer costs).
+	Reshard ReshardConfig
+	// OnEpoch, if set, is called when each epoch's rnd locks in.
+	OnEpoch func(epoch uint64, rnd uint64)
+}
+
+// EnableEpochs starts the recurring §5.3 epoch loop. It must be called
+// before Run; the first reconfiguration fires one Interval from now.
+func (s *System) EnableEpochs(cfg EpochConfig) {
+	if cfg.Interval <= 0 {
+		panic("core: epoch interval must be positive")
+	}
+	delta := sharding.DeltaFor(s.Net.Latency())
+	var tick func()
+	tick = func() {
+		s.epoch++
+		epoch := s.epoch
+		// The beacon needs Δ to lock in the epoch's randomness (§5.1);
+		// only then do nodes learn the new assignment and start moving.
+		s.Engine.Schedule(delta, func() {
+			rnd := s.EpochRnd(epoch)
+			if cfg.OnEpoch != nil {
+				cfg.OnEpoch(epoch, rnd)
+			}
+			s.reshard(epoch, rnd, cfg.Reshard)
+		})
+		s.Engine.Schedule(cfg.Interval, tick)
+	}
+	s.Engine.Schedule(cfg.Interval, tick)
+}
+
+// Epoch returns the current epoch number (0 until the first transition).
+func (s *System) Epoch() uint64 { return s.epoch }
+
+// EpochRnd derives epoch e's beacon value: the lowest enclave output is a
+// fresh uniform value, reproduced deterministically from the system seed.
+func (s *System) EpochRnd(e uint64) uint64 {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(s.Config.Seed))
+	binary.BigEndian.PutUint64(buf[8:], e)
+	d := blockcrypto.Hash([]byte("epoch-beacon:"), buf[:])
+	return binary.BigEndian.Uint64(d[:8])
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/consensus/pbft"
+	"repro/internal/sim"
+	"repro/internal/tee"
+)
+
+// injectLoad submits rate kvstore puts per second per shard, each to a
+// currently-live replica, until the stop time.
+func injectLoad(s *System, rate int, stop time.Duration) {
+	interval := time.Second / time.Duration(rate)
+	var id uint64 = 1 << 50
+	var tick func()
+	n := 0
+	tick = func() {
+		if s.Engine.Now() >= sim.Time(stop) {
+			return
+		}
+		n++
+		for sh, bc := range s.ShardCommittees {
+			var target *pbft.Replica
+			for _, r := range bc.Replicas {
+				if !r.Endpoint().Down() {
+					target = r
+					break
+				}
+			}
+			if target == nil {
+				continue
+			}
+			id++
+			target.SubmitLocal(chain.Tx{
+				ID: id, Chaincode: "kvstore", Fn: "put",
+				Args: []string{"k" + strconv.Itoa(sh) + "_" + strconv.Itoa(n%64), "v"},
+			})
+		}
+		s.Engine.Schedule(interval, tick)
+	}
+	s.Engine.Schedule(interval, tick)
+}
+
+func TestEpochsRecurAndSystemKeepsCommitting(t *testing.T) {
+	s := NewSystem(Config{
+		Seed: 13, Shards: 2, ShardSize: 9, RefSize: 0,
+		Variant: pbft.VariantAHLPlus, Clients: 1,
+		Costs: tee.FreeCosts(),
+	})
+	injectLoad(s, 50, 170*time.Second)
+
+	var epochs []uint64
+	rnds := make(map[uint64]bool)
+	s.EnableEpochs(EpochConfig{
+		Interval: 60 * time.Second,
+		Reshard:  DefaultReshardConfig(ReshardSwapBatch),
+		OnEpoch: func(e, rnd uint64) {
+			epochs = append(epochs, e)
+			rnds[rnd] = true
+		},
+	})
+	before := s.TotalExecuted()
+	s.Run(170 * time.Second)
+
+	if len(epochs) < 2 {
+		t.Fatalf("only %d epochs fired in 170s at 60s interval", len(epochs))
+	}
+	for i, e := range epochs {
+		if e != uint64(i+1) {
+			t.Fatalf("epoch sequence %v not consecutive", epochs)
+		}
+	}
+	if len(rnds) != len(epochs) {
+		t.Fatalf("epoch rnds not fresh: %d distinct for %d epochs", len(rnds), len(epochs))
+	}
+	if s.Epoch() != uint64(len(epochs)) {
+		t.Fatalf("Epoch() = %d, want %d", s.Epoch(), len(epochs))
+	}
+	// Throughput survived two batched reconfigurations.
+	total := s.TotalExecuted() - before
+	if total < 1000 {
+		t.Fatalf("only %d txs executed across epochs; resharding starved the system", total)
+	}
+}
+
+func TestEpochRndDeterministicPerSeed(t *testing.T) {
+	a := NewSystem(Config{Seed: 5, Shards: 1, ShardSize: 3, Variant: pbft.VariantAHLPlus, Costs: tee.FreeCosts()})
+	b := NewSystem(Config{Seed: 5, Shards: 1, ShardSize: 3, Variant: pbft.VariantAHLPlus, Costs: tee.FreeCosts()})
+	c := NewSystem(Config{Seed: 6, Shards: 1, ShardSize: 3, Variant: pbft.VariantAHLPlus, Costs: tee.FreeCosts()})
+	for e := uint64(1); e <= 5; e++ {
+		if a.EpochRnd(e) != b.EpochRnd(e) {
+			t.Fatalf("same seed, different rnd at epoch %d", e)
+		}
+		if a.EpochRnd(e) == c.EpochRnd(e) {
+			t.Fatalf("different seeds collided at epoch %d", e)
+		}
+		if e > 1 && a.EpochRnd(e) == a.EpochRnd(e-1) {
+			t.Fatalf("consecutive epochs share rnd at %d", e)
+		}
+	}
+}
+
+func TestEnableEpochsRejectsBadInterval(t *testing.T) {
+	s := NewSystem(Config{Seed: 5, Shards: 1, ShardSize: 3, Variant: pbft.VariantAHLPlus, Costs: tee.FreeCosts()})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnableEpochs accepted a zero interval")
+		}
+	}()
+	s.EnableEpochs(EpochConfig{})
+}

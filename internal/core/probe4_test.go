@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/consensus/pbft"
+	"repro/internal/sim"
+	"repro/internal/tee"
+	"repro/internal/txn"
+)
+
+func TestProbeBatch11(t *testing.T) {
+	s := NewSystem(Config{
+		Seed: 2, Shards: 2, ShardSize: 11, RefSize: 0,
+		Variant: pbft.VariantAHLPlus, Clients: 1,
+		Costs: tee.FreeCosts(),
+		Tune:  func(o *pbft.Options) { o.CheckpointEvery = 8; o.Window = 8 },
+	})
+	var id uint64
+	var pump func()
+	pump = func() {
+		for i := 0; i < 10; i++ {
+			id++
+			key := "k" + strconv.FormatUint(id, 10)
+			shard := s.ShardOfKey(key)
+			tx := chain.Tx{ID: id, Chaincode: "kvstore", Fn: "put", Args: []string{key, "v"}}
+			target := s.Topology.ShardNodes[shard][id%uint64(len(s.Topology.ShardNodes[shard]))]
+			txn.SubmitPlain(s.Net.Endpoint(s.Client(0).ID()), target, tx)
+		}
+		if s.Engine.Now() < sim.Time(180*time.Second) {
+			s.Engine.Schedule(100*time.Millisecond, pump)
+		}
+	}
+	s.Engine.Schedule(0, pump)
+	sampler := s.SampleThroughput(10*time.Second, 200*time.Second)
+	s.ReshardAt(60*time.Second, 777, DefaultReshardConfig(ReshardSwapBatch))
+	for _, tt := range []time.Duration{75, 85} {
+		tt := tt
+		s.Engine.At(sim.Time(tt*time.Second), func() {
+			fmt.Printf("== t=%v\n", s.Engine.Now())
+			for si, bc := range s.ShardCommittees {
+				for ri, r := range bc.Replicas {
+					h, et, ss, cl, pl := r.DebugSyncState()
+					fmt.Printf("  s%d r%d exec=%d h=%d et=%d snap=%d cert=%d pend=%d view=%d down=%v dig=%v\n",
+						si, ri, r.Executed(), h, et, ss, cl, pl, r.View(), s.Net.Endpoint(s.Topology.ShardNodes[si][ri]).Down(), r.Store().Digest())
+				}
+			}
+		})
+	}
+	s.Run(200 * time.Second)
+	fmt.Printf("samples=%v total=%d\n", sampler.Samples, s.TotalExecuted())
+}

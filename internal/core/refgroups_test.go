@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/consensus/pbft"
+	"repro/internal/simnet"
+	"repro/internal/tee"
+	"repro/internal/txn"
+)
+
+// The §6.2 scale-out deployment: several parallel reference committee
+// instances, each coordinating the slice of transactions hashed to it.
+
+func testGroupedSystem(t *testing.T, groups int) *System {
+	t.Helper()
+	s := NewSystem(Config{
+		Seed:        1,
+		Shards:      3,
+		ShardSize:   4,
+		RefSize:     4,
+		RefGroups:   groups,
+		Variant:     pbft.VariantAHLPlus,
+		Clients:     1,
+		SendReplies: true,
+		Costs:       tee.FreeCosts(),
+	})
+	s.Seed(24, 100)
+	return s
+}
+
+func TestRefGroupsCommitAcrossGroups(t *testing.T) {
+	s := testGroupedSystem(t, 3)
+
+	// Submit enough payments that every group coordinates at least one.
+	const payments = 12
+	results := make(map[string]bool)
+	groupsUsed := make(map[int]bool)
+	i := 0
+	for n := 0; n < payments; n++ {
+		from, to := Account(i%24), Account((i+7)%24)
+		i++
+		if s.ShardOfKey(from) == s.ShardOfKey(to) || from == to {
+			n--
+			continue
+		}
+		txid := fmt.Sprintf("gpay%d", n)
+		groupsUsed[s.Topology.GroupForTx(txid)] = true
+		d := s.PaymentDTx(txid, from, to, 1)
+		s.Engine.Schedule(0, func() {
+			s.Client(0).SubmitDistributed(d, func(r txn.Result) {
+				results[r.TxID] = r.Committed
+			})
+		})
+	}
+	s.Run(90 * time.Second)
+
+	if len(groupsUsed) < 2 {
+		t.Fatalf("hash routing used only %d group(s); want >=2", len(groupsUsed))
+	}
+	if len(results) != payments {
+		t.Fatalf("only %d/%d payments resolved", len(results), payments)
+	}
+	committed := 0
+	for _, ok := range results {
+		if ok {
+			committed++
+		}
+	}
+	if committed == 0 {
+		t.Fatal("no payment committed")
+	}
+}
+
+func TestRefGroupsOnlyCoordinatingGroupRecordsTx(t *testing.T) {
+	s := testGroupedSystem(t, 2)
+	from, to := findCrossShardPair(s, 24)
+
+	txid := "grouped-tx"
+	var done bool
+	d := s.PaymentDTx(txid, from, to, 10)
+	s.Engine.Schedule(0, func() {
+		s.Client(0).SubmitDistributed(d, func(r txn.Result) { done = r.Committed })
+	})
+	s.Run(60 * time.Second)
+	if !done {
+		t.Fatal("payment did not commit")
+	}
+
+	owner := s.Topology.GroupForTx(txid)
+	for g, bc := range s.RefCommittees {
+		_, recorded := bc.Replicas[0].Store().Get("T_" + txid)
+		if g == owner && !recorded {
+			t.Fatalf("coordinating group %d has no record of %s", g, txid)
+		}
+		if g != owner && recorded {
+			t.Fatalf("non-coordinating group %d recorded %s", g, txid)
+		}
+	}
+}
+
+func TestRefGroupsMoneyConserved(t *testing.T) {
+	s := testGroupedSystem(t, 2)
+	const accounts = 24
+
+	var initial int64
+	for i := 0; i < accounts; i++ {
+		b, ok := s.BalanceOnShard(Account(i))
+		if !ok {
+			t.Fatalf("account %d not seeded", i)
+		}
+		initial += b
+	}
+
+	resolved := 0
+	for n := 0; n < 10; n++ {
+		from, to := Account((3*n)%accounts), Account((3*n+5)%accounts)
+		if from == to || s.ShardOfKey(from) == s.ShardOfKey(to) {
+			continue
+		}
+		d := s.PaymentDTx("conserve"+strconv.Itoa(n), from, to, int64(5+n))
+		s.Engine.Schedule(0, func() {
+			s.Client(0).SubmitDistributed(d, func(txn.Result) { resolved++ })
+		})
+	}
+	s.Run(90 * time.Second)
+
+	if resolved == 0 {
+		t.Fatal("no payment resolved")
+	}
+	var final int64
+	for i := 0; i < accounts; i++ {
+		b, _ := s.BalanceOnShard(Account(i))
+		final += b
+	}
+	if final != initial {
+		t.Fatalf("money not conserved: initial %d, final %d", initial, final)
+	}
+}
+
+func TestRefGroupsTopologyHelpers(t *testing.T) {
+	s := testGroupedSystem(t, 3)
+	topo := s.Topology
+
+	if got := topo.NumRefGroups(); got != 3 {
+		t.Fatalf("NumRefGroups = %d, want 3", got)
+	}
+	// Group membership is disjoint and covers all reference nodes.
+	seen := make(map[simnet.NodeID]int)
+	for g := 0; g < 3; g++ {
+		nodes, f := topo.RefGroup(g)
+		if len(nodes) != 4 {
+			t.Fatalf("group %d has %d nodes, want 4", g, len(nodes))
+		}
+		if f != 1 {
+			t.Fatalf("group %d f = %d, want 1 (AHL rule on n=4)", g, f)
+		}
+		for _, n := range nodes {
+			if prev, dup := seen[n]; dup {
+				t.Fatalf("node %d in groups %d and %d", n, prev, g)
+			}
+			seen[n] = g
+		}
+	}
+	// GroupForTx is deterministic and lands in range.
+	for i := 0; i < 50; i++ {
+		txid := "probe" + strconv.Itoa(i)
+		g1, g2 := topo.GroupForTx(txid), topo.GroupForTx(txid)
+		if g1 != g2 || g1 < 0 || g1 >= 3 {
+			t.Fatalf("GroupForTx(%s) = %d / %d", txid, g1, g2)
+		}
+	}
+}

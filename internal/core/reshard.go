@@ -1,0 +1,199 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/sharding"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Shard reconfiguration (§5.3). At each epoch the beacon yields a new
+// node-to-committee assignment; transitioning nodes stop processing their
+// old committee's requests, fetch their new committee's state, and only
+// then rejoin. The experiment of Figure 12 compares three strategies:
+// no resharding, the naive swap-all (every transitioning node at once,
+// rendering shards non-operational for the sync period), and the paper's
+// batched swap of B = log(n) nodes at a time, which preserves quorums
+// throughout.
+//
+// In this deployment model a transitioning node's unavailability window is
+// what matters for throughput, so the reconfiguration marks nodes down for
+// their state-transfer duration (discovery plus snapshot transfer at the
+// environment's bandwidth) and back up afterwards; consensus-level
+// catch-up then reintegrates them (see the pbft state-transfer path).
+
+// ReshardMode selects the transition strategy.
+type ReshardMode int
+
+// The Figure 12 strategies.
+const (
+	ReshardSwapAll ReshardMode = iota
+	ReshardSwapBatch
+)
+
+// ReshardConfig tunes one reconfiguration.
+type ReshardConfig struct {
+	Mode ReshardMode
+	// B is the per-committee batch size for ReshardSwapBatch; 0 selects
+	// the paper's log2(n).
+	B int
+	// Discovery is the fixed peer-discovery overhead per transitioning
+	// node before state transfer begins.
+	Discovery time.Duration
+	// Bandwidth for state snapshots, bytes/second.
+	Bandwidth int64
+}
+
+// DefaultReshardConfig mirrors the paper's setting.
+func DefaultReshardConfig(mode ReshardMode) ReshardConfig {
+	return ReshardConfig{
+		Mode:      mode,
+		Discovery: 10 * time.Second,
+		Bandwidth: 12_500_000, // 100 Mbps effective sync rate
+	}
+}
+
+// ReshardAt schedules a one-off reconfiguration at virtual time at,
+// deriving the new assignment from the given beacon value. Recurring
+// reconfiguration is EnableEpochs.
+func (s *System) ReshardAt(at time.Duration, rnd uint64, cfg ReshardConfig) {
+	s.Engine.At(sim.Time(at), func() {
+		s.epoch++
+		s.reshard(s.epoch, rnd, cfg)
+	})
+}
+
+func (s *System) reshard(epoch uint64, rnd uint64, cfg ReshardConfig) {
+	var nodes []simnet.NodeID
+	for _, bc := range s.ShardCommittees {
+		nodes = append(nodes, bc.Committee.Nodes...)
+	}
+	old := currentAssignment(s)
+	next := sharding.Assign(epoch, rnd, nodes, s.Config.Shards)
+
+	b := cfg.B
+	if cfg.Mode == ReshardSwapAll {
+		b = len(nodes) // everything in one step
+	} else if b == 0 {
+		b = log2int(s.Config.ShardSize)
+	}
+	steps := sharding.PlanTransition(old, next, b)
+
+	var start time.Duration
+	for _, step := range steps {
+		step := step
+		var stepDur time.Duration
+		// Concurrent fetchers share the donors' uplinks: the naive
+		// swap-all pays for its parallelism with proportionally slower
+		// state transfer.
+		concurrent := len(step.Moves)
+		if concurrent < 1 {
+			concurrent = 1
+		}
+		for _, mv := range step.Moves {
+			d := s.transferTime(mv.To, cfg, concurrent)
+			if d > stepDur {
+				stepDur = d
+			}
+		}
+		s.Engine.Schedule(start, func() {
+			s.gracefulHandoff(step)
+			for _, mv := range step.Moves {
+				s.Net.Endpoint(mv.Node).SetDown(true)
+			}
+		})
+		s.Engine.Schedule(start+stepDur, func() {
+			for _, mv := range step.Moves {
+				s.Net.Endpoint(mv.Node).SetDown(false)
+			}
+		})
+		start += stepDur
+	}
+}
+
+// gracefulHandoff performs the "stop processing requests of their old
+// committees" part of §5.3: if a departing batch contains a shard's
+// current leader, the remaining replicas proactively change to the first
+// view led by a node that is staying, instead of waiting out a timeout.
+func (s *System) gracefulHandoff(step sharding.TransitionStep) {
+	leaving := make(map[simnet.NodeID]bool, len(step.Moves))
+	shards := make(map[int]bool)
+	for _, mv := range step.Moves {
+		leaving[mv.Node] = true
+		shards[mv.From] = true
+	}
+	for shard := range shards {
+		bc := s.ShardCommittees[shard]
+		var maxView uint64
+		for _, r := range bc.Replicas {
+			if !r.Endpoint().Down() && r.View() > maxView {
+				maxView = r.View()
+			}
+		}
+		if !leaving[bc.Committee.Leader(maxView)] {
+			continue
+		}
+		target := maxView + 1
+		for leaving[bc.Committee.Leader(target)] || s.Net.Endpoint(bc.Committee.Leader(target)).Down() {
+			target++
+		}
+		for _, r := range bc.Replicas {
+			if !r.Endpoint().Down() && !leaving[simnet.NodeID(r.Endpoint().ID())] {
+				r.RequestViewChange(target)
+			}
+		}
+	}
+}
+
+// transferTime estimates how long a node joining committee `to` needs to
+// discover peers and fetch the shard state, with `concurrent` fetchers
+// sharing the sync bandwidth.
+func (s *System) transferTime(to int, cfg ReshardConfig, concurrent int) time.Duration {
+	snap := s.ShardCommittees[to].Replicas[0].Store().Snapshot()
+	bytes := snap.SizeBytes() * concurrent
+	return cfg.Discovery + time.Duration(float64(bytes)/float64(cfg.Bandwidth)*float64(time.Second))
+}
+
+func currentAssignment(s *System) sharding.Assignment {
+	a := sharding.Assignment{Epoch: s.epoch}
+	for _, bc := range s.ShardCommittees {
+		a.Committees = append(a.Committees, append([]simnet.NodeID(nil), bc.Committee.Nodes...))
+	}
+	return a
+}
+
+func log2int(n int) int {
+	l := 0
+	for v := n; v > 1; v >>= 1 {
+		l++
+	}
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// ThroughputSampler records executed-transaction deltas at a fixed
+// interval, producing the Figure 12 time series.
+type ThroughputSampler struct {
+	Interval time.Duration
+	Samples  []float64 // tps per interval
+	last     int
+}
+
+// SampleThroughput starts sampling every interval until the engine stops.
+func (s *System) SampleThroughput(interval time.Duration, until time.Duration) *ThroughputSampler {
+	ts := &ThroughputSampler{Interval: interval}
+	var tick func()
+	tick = func() {
+		cur := s.TotalExecuted()
+		ts.Samples = append(ts.Samples, float64(cur-ts.last)/interval.Seconds())
+		ts.last = cur
+		if s.Engine.Now().Add(interval) <= sim.Time(until) {
+			s.Engine.Schedule(interval, tick)
+		}
+	}
+	s.Engine.Schedule(interval, tick)
+	return ts
+}

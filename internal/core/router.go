@@ -1,0 +1,61 @@
+package core
+
+import (
+	"repro/internal/chaincode"
+	"repro/internal/txn"
+)
+
+// This file wires the §6.4 usability extensions into a deployment: the
+// automatically transformed benchmark chaincodes (shardlib.AutoShard) and
+// a client router with their decomposition rules, so applications submit
+// logical transactions and never see prepare/commit/abort or the
+// reference committee.
+
+// Names of the automatically transformed benchmark chaincodes installed
+// on every shard (alongside the paper's hand-refactored ones).
+const (
+	AutoSmallBank = "smallbank-auto"
+	AutoKVStore   = "kvstore-auto"
+)
+
+// NewRouter returns a §6.4 transparent client over client gateway i, with
+// the decomposition rules for the two benchmark chaincodes registered.
+// Single-shard invocations need SendReplies enabled in the system config.
+func (s *System) NewRouter(i int) *txn.Router {
+	r := txn.NewRouter(s.Client(i), s.ShardOfKey)
+	r.Register(AutoSmallBank, "sendPayment", SmallBankPaymentSplit)
+	r.Register(AutoKVStore, "update", KVStoreUpdateSplit)
+	return r
+}
+
+// SmallBankPaymentSplit decomposes sendPayment(from, to, amount) into a
+// debit (writeCheck) on the payer's shard and a credit (depositChecking)
+// on the payee's shard — the Figure 4 decomposition, executed under our
+// 2PC/2PL protocol instead of RapidChain's unsafe independent commits.
+func SmallBankPaymentSplit(args []string) ([]txn.SubCall, error) {
+	if len(args) != 3 {
+		return nil, chaincode.ErrBadArgs
+	}
+	from, to, amount := args[0], args[1], args[2]
+	return []txn.SubCall{
+		{PlacementKey: from, Fn: "writeCheck", Args: []string{from, amount}},
+		{PlacementKey: to, Fn: "depositChecking", Args: []string{to, amount}},
+	}, nil
+}
+
+// KVStoreUpdateSplit decomposes update(k1, v1, k2, v2, ...) into one put
+// per key, each on the key's owning shard.
+func KVStoreUpdateSplit(args []string) ([]txn.SubCall, error) {
+	if len(args) == 0 || len(args)%2 != 0 {
+		return nil, chaincode.ErrBadArgs
+	}
+	subs := make([]txn.SubCall, 0, len(args)/2)
+	for i := 0; i < len(args); i += 2 {
+		subs = append(subs, txn.SubCall{
+			PlacementKey: args[i],
+			Fn:           "put",
+			Args:         []string{args[i], args[i+1]},
+		})
+	}
+	return subs, nil
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/txn"
+)
+
+// findSameShardPair returns two seeded accounts living on the same shard.
+func findSameShardPair(s *System, accounts int) (string, string) {
+	for i := 0; i < accounts; i++ {
+		for j := 0; j < accounts; j++ {
+			a, b := Account(i), Account(j)
+			if i != j && s.ShardOfKey(a) == s.ShardOfKey(b) {
+				return a, b
+			}
+		}
+	}
+	panic("no same-shard pair")
+}
+
+func TestRouterCrossShardPayment(t *testing.T) {
+	s := testSystem(t, 3, 4, 4, 1)
+	s.Seed(20, 100)
+	from, to := findCrossShardPair(s, 20)
+	r := s.NewRouter(0)
+
+	var res *txn.Result
+	s.Engine.Schedule(0, func() {
+		if _, err := r.Submit(AutoSmallBank, "sendPayment",
+			[]string{from, to, "30"}, func(rr txn.Result) { res = &rr }); err != nil {
+			t.Errorf("submit: %v", err)
+		}
+	})
+	s.Run(60 * time.Second)
+
+	if res == nil {
+		t.Fatal("no outcome delivered")
+	}
+	if !res.Committed {
+		t.Fatal("payment aborted, want commit")
+	}
+	if bal, _ := s.BalanceOnShard(from); bal != 70 {
+		t.Fatalf("%s = %d, want 70", from, bal)
+	}
+	if bal, _ := s.BalanceOnShard(to); bal != 130 {
+		t.Fatalf("%s = %d, want 130", to, bal)
+	}
+}
+
+func TestRouterSingleShardFastPath(t *testing.T) {
+	s := testSystem(t, 3, 4, 4, 1)
+	s.Seed(20, 100)
+	from, to := findSameShardPair(s, 20)
+	r := s.NewRouter(0)
+
+	var res *txn.Result
+	var txid string
+	s.Engine.Schedule(0, func() {
+		id, err := r.Submit(AutoSmallBank, "sendPayment",
+			[]string{from, to, "25"}, func(rr txn.Result) { res = &rr })
+		if err != nil {
+			t.Errorf("submit: %v", err)
+		}
+		txid = id
+	})
+	s.Run(60 * time.Second)
+
+	if res == nil {
+		t.Fatal("no outcome delivered")
+	}
+	if !res.Committed {
+		t.Fatal("payment failed, want success")
+	}
+	if res.TxID != txid {
+		t.Fatalf("result txid %q, want %q", res.TxID, txid)
+	}
+	if bal, _ := s.BalanceOnShard(from); bal != 75 {
+		t.Fatalf("%s = %d, want 75", from, bal)
+	}
+	if bal, _ := s.BalanceOnShard(to); bal != 125 {
+		t.Fatalf("%s = %d, want 125", to, bal)
+	}
+	// The fast path must not involve the reference committee.
+	if _, recorded := s.RefCommittee.Replicas[0].Store().Get("T_" + txid); recorded {
+		t.Fatal("single-shard tx was coordinated by the reference committee")
+	}
+}
+
+func TestRouterInsufficientFundsAborts(t *testing.T) {
+	s := testSystem(t, 3, 4, 4, 1)
+	s.Seed(20, 100)
+	from, to := findCrossShardPair(s, 20)
+	r := s.NewRouter(0)
+
+	var res *txn.Result
+	s.Engine.Schedule(0, func() {
+		r.Submit(AutoSmallBank, "sendPayment",
+			[]string{from, to, "5000"}, func(rr txn.Result) { res = &rr })
+	})
+	s.Run(60 * time.Second)
+
+	if res == nil {
+		t.Fatal("no outcome delivered")
+	}
+	if res.Committed {
+		t.Fatal("overdraft committed")
+	}
+	if bal, _ := s.BalanceOnShard(from); bal != 100 {
+		t.Fatalf("%s = %d, want 100 (unchanged)", from, bal)
+	}
+	// Locks must be released by the abort.
+	for _, acc := range []string{from, to} {
+		store := s.ShardCommittees[s.ShardOfKey(acc)].Replicas[0].Store()
+		if _, locked := store.Get("L_c_" + acc); locked {
+			t.Fatalf("lock on %s not released after abort", acc)
+		}
+	}
+}
+
+func TestRouterKVUpdateWithBatching(t *testing.T) {
+	s := testSystem(t, 2, 4, 4, 1)
+	s.Seed(4, 100)
+	r := s.NewRouter(0)
+
+	// Choose three keys such that at least two share a shard (with 2
+	// shards and 3 keys that's guaranteed), forcing a prepareBatch op.
+	keys := []string{"rk1", "rk2", "rk3"}
+	args := make([]string, 0, 6)
+	shardSeen := make(map[int]int)
+	for i, k := range keys {
+		args = append(args, k, "v"+strconv.Itoa(i))
+		shardSeen[s.ShardOfKey(k)]++
+	}
+	batched := false
+	for _, cnt := range shardSeen {
+		if cnt > 1 {
+			batched = true
+		}
+	}
+	if !batched {
+		t.Fatal("test setup: expected at least one shard with 2+ keys")
+	}
+
+	var res *txn.Result
+	s.Engine.Schedule(0, func() {
+		r.Submit(AutoKVStore, "update", args, func(rr txn.Result) { res = &rr })
+	})
+	s.Run(60 * time.Second)
+
+	if res == nil {
+		t.Fatal("no outcome delivered")
+	}
+	if !res.Committed {
+		t.Fatal("update aborted, want commit")
+	}
+	for i, k := range keys {
+		store := s.ShardCommittees[s.ShardOfKey(k)].Replicas[0].Store()
+		v, ok := store.Get(k)
+		if !ok || string(v) != "v"+strconv.Itoa(i) {
+			t.Fatalf("%s = %q,%v; want v%d", k, v, ok, i)
+		}
+		if _, locked := store.Get("L_" + k); locked {
+			t.Fatalf("lock on %s not released", k)
+		}
+	}
+}
+
+func TestRouterUnregisteredFnDefaultsToFirstArgPlacement(t *testing.T) {
+	s := testSystem(t, 3, 4, 4, 1)
+	s.Seed(8, 100)
+	r := s.NewRouter(0)
+
+	acc := Account(3)
+	var res *txn.Result
+	s.Engine.Schedule(0, func() {
+		r.Submit(AutoSmallBank, "depositChecking",
+			[]string{acc, "11"}, func(rr txn.Result) { res = &rr })
+	})
+	s.Run(60 * time.Second)
+
+	if res == nil || !res.Committed {
+		t.Fatalf("deposit did not commit: %+v", res)
+	}
+	if bal, _ := s.BalanceOnShard(acc); bal != 111 {
+		t.Fatalf("%s = %d, want 111", acc, bal)
+	}
+}
+
+func TestRouterRejectsMalformedInvocations(t *testing.T) {
+	s := testSystem(t, 2, 4, 4, 1)
+	r := s.NewRouter(0)
+
+	if _, err := r.Submit(AutoSmallBank, "sendPayment", []string{"only", "two"}, nil); err == nil {
+		t.Fatal("malformed sendPayment accepted")
+	}
+	if _, err := r.Submit(AutoSmallBank, "noArgsNoRule", nil, nil); err == nil {
+		t.Fatal("invocation without placement argument accepted")
+	}
+	if _, err := r.Submit(AutoKVStore, "update", []string{"odd"}, nil); err == nil {
+		t.Fatal("odd-length update accepted")
+	}
+}
+
+func TestRouterTxIDsDistinct(t *testing.T) {
+	s := testSystem(t, 2, 4, 4, 2)
+	r0, r1 := s.NewRouter(0), s.NewRouter(1)
+	seen := make(map[string]bool)
+	for i := 0; i < 10; i++ {
+		for _, r := range []*txn.Router{r0, r1} {
+			id, err := r.Submit(AutoSmallBank, "query", []string{Account(i)}, func(txn.Result) {})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seen[id] {
+				t.Fatalf("duplicate txid %q", id)
+			}
+			if !strings.HasPrefix(id, "r") {
+				t.Fatalf("unexpected txid format %q", id)
+			}
+			seen[id] = true
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package sharding
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/simnet"
+)
+
+// Assignment maps nodes to committees for one epoch.
+type Assignment struct {
+	Epoch      uint64
+	Rnd        uint64
+	Committees [][]simnet.NodeID
+}
+
+// Assign computes the epoch's node-to-committee assignment from the beacon
+// output rnd (§5.1): a random permutation of the nodes seeded by rnd,
+// divided into k approximately equal chunks.
+func Assign(epoch uint64, rnd uint64, nodes []simnet.NodeID, k int) Assignment {
+	if k < 1 {
+		panic("sharding: k must be >= 1")
+	}
+	perm := append([]simnet.NodeID(nil), nodes...)
+	// Deterministic base order regardless of caller's slice order.
+	sort.Slice(perm, func(i, j int) bool { return perm[i] < perm[j] })
+	rng := rand.New(rand.NewSource(int64(rnd)))
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+
+	committees := make([][]simnet.NodeID, k)
+	base := len(perm) / k
+	extra := len(perm) % k
+	idx := 0
+	for c := 0; c < k; c++ {
+		size := base
+		if c < extra {
+			size++
+		}
+		committees[c] = append([]simnet.NodeID(nil), perm[idx:idx+size]...)
+		idx += size
+	}
+	return Assignment{Epoch: epoch, Rnd: rnd, Committees: committees}
+}
+
+// CommitteeOf returns the committee index containing node id, or -1.
+func (a Assignment) CommitteeOf(id simnet.NodeID) int {
+	for c, members := range a.Committees {
+		for _, m := range members {
+			if m == id {
+				return c
+			}
+		}
+	}
+	return -1
+}
+
+// TransitionStep is one batch of node moves during an epoch transition.
+type TransitionStep struct {
+	// Moves lists (node, from-committee, to-committee).
+	Moves []Move
+}
+
+// Move relocates one node between committees.
+type Move struct {
+	Node simnet.NodeID
+	From int
+	To   int
+}
+
+// PlanTransition computes the batched reconfiguration schedule from old to
+// new (§5.3): per step, at most B transitioning nodes leave each
+// committee, in an order derived from the beacon value (unbiased). Nodes
+// whose committee does not change never move.
+func PlanTransition(old, next Assignment, b int) []TransitionStep {
+	if b < 1 {
+		b = 1
+	}
+	// Collect transitioning nodes per source committee, deterministically
+	// ordered by the new epoch's randomness.
+	perSource := make(map[int][]Move)
+	for c, members := range old.Committees {
+		for _, m := range members {
+			to := next.CommitteeOf(m)
+			if to != -1 && to != c {
+				perSource[c] = append(perSource[c], Move{Node: m, From: c, To: to})
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(int64(next.Rnd) ^ 0x5eed))
+	for c := range perSource {
+		ms := perSource[c]
+		rng.Shuffle(len(ms), func(i, j int) { ms[i], ms[j] = ms[j], ms[i] })
+	}
+
+	var steps []TransitionStep
+	for {
+		var step TransitionStep
+		for c := 0; c < len(old.Committees); c++ {
+			ms := perSource[c]
+			take := b
+			if take > len(ms) {
+				take = len(ms)
+			}
+			step.Moves = append(step.Moves, ms[:take]...)
+			perSource[c] = ms[take:]
+		}
+		if len(step.Moves) == 0 {
+			return steps
+		}
+		steps = append(steps, step)
+	}
+}

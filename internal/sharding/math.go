@@ -1,0 +1,141 @@
+// Package sharding implements the shard formation machinery of §5: the
+// committee-size mathematics (Equation 1), the epoch-transition safety
+// bound (Equation 2), the cross-shard transaction probability (Appendix B,
+// Equation 3), the distributed randomness-beacon protocol, node-to-
+// committee assignment, and the RandHound baseline used in Figure 11.
+package sharding
+
+import (
+	"math"
+)
+
+// logChoose returns log C(n, k) computed in log-space for stability.
+func logChoose(n, k float64) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(n + 1)
+	ln2, _ := math.Lgamma(k + 1)
+	ln3, _ := math.Lgamma(n - k + 1)
+	return ln1 - ln2 - ln3
+}
+
+// HypergeomPMF returns Pr[X = x] for X ~ Hypergeometric(N, F, n): drawing
+// n nodes without replacement from a population of N containing F
+// Byzantine ones.
+func HypergeomPMF(N, F, n, x int) float64 {
+	if x < 0 || x > n || x > F || n-x > N-F {
+		return 0
+	}
+	l := logChoose(float64(F), float64(x)) +
+		logChoose(float64(N-F), float64(n-x)) -
+		logChoose(float64(N), float64(n))
+	return math.Exp(l)
+}
+
+// FaultyProb returns Equation 1: the probability that a randomly sampled
+// committee of size n contains at least f Byzantine nodes, out of a
+// network of N nodes of which F are Byzantine.
+func FaultyProb(N, F, n, f int) float64 {
+	p := 0.0
+	for x := f; x <= n; x++ {
+		p += HypergeomPMF(N, F, n, x)
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// ResilienceRule maps a committee size to the failure threshold its
+// consensus protocol tolerates.
+type ResilienceRule func(n int) int
+
+// ThirdRule is PBFT's f = floor((n-1)/3).
+func ThirdRule(n int) int { return (n - 1) / 3 }
+
+// HalfRule is AHL's f = floor((n-1)/2).
+func HalfRule(n int) int { return (n - 1) / 2 }
+
+// CommitteeSize returns the smallest committee size n such that the
+// probability of sampling a faulty committee (Equation 1, with the
+// protocol's threshold f = rule(n)) is at most maxProb, for a network of
+// N nodes with adversarial fraction s. It returns 0 if no n <= N
+// satisfies the bound.
+func CommitteeSize(N int, s float64, rule ResilienceRule, maxProb float64) int {
+	F := int(s * float64(N))
+	for n := 1; n <= N; n++ {
+		f := rule(n)
+		if f < 1 {
+			continue
+		}
+		if FaultyProb(N, F, n, f) <= maxProb {
+			return n
+		}
+	}
+	return 0
+}
+
+// NeglProb is the paper's negligibility target, 2^-20.
+var NeglProb = math.Pow(2, -20)
+
+// RepeatProb returns the probability that a beacon round produces no
+// certificate at all, Prepeat = (1 - 2^-l)^N (§5.1): the epoch number is
+// then incremented and the protocol repeats.
+func RepeatProb(n int, l uint) float64 {
+	return math.Pow(1-math.Pow(2, -float64(l)), float64(n))
+}
+
+// ExpectedBroadcasters returns the expected number of nodes whose enclave
+// emits a certificate in one round, N·2^-l — the factor by which the
+// l-bit filter cuts the O(N²) all-broadcast communication (§5.1).
+func ExpectedBroadcasters(n int, l uint) float64 {
+	return float64(n) * math.Pow(2, -float64(l))
+}
+
+// EpochTransitionFaultProb returns Equation 2's Boole bound on the
+// probability that any intermediate committee during one shard's epoch
+// transition is faulty, when B nodes swap at a time: there are about
+// n(k-1)/(kB) intermediate committees, each faulty with Equation 1's
+// probability.
+func EpochTransitionFaultProb(N, F, n, f, k, B int) float64 {
+	if B < 1 {
+		B = 1
+	}
+	steps := int(math.Ceil(float64(n*(k-1)) / float64(k*B)))
+	p := float64(steps) * FaultyProb(N, F, n, f)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// CrossShardProb returns Equation 3 (Appendix B): the probability that a
+// transaction touching d uniformly-hashed arguments spans exactly x of k
+// shards.
+func CrossShardProb(d, k, x int) float64 {
+	if x < 1 || x > d || x > k {
+		return 0
+	}
+	// C(k, x) ways to pick the shards, times the number of surjections
+	// from d arguments onto the x shards, over k^d total mappings.
+	surj := 0.0
+	for j := 0; j <= x; j++ {
+		sign := 1.0
+		if j%2 == 1 {
+			sign = -1
+		}
+		surj += sign * math.Exp(logChoose(float64(x), float64(j))+float64(d)*math.Log(float64(x-j)))
+	}
+	l := logChoose(float64(k), float64(x)) + math.Log(surj) - float64(d)*math.Log(float64(k))
+	return math.Exp(l)
+}
+
+// CrossShardFraction returns the probability that a d-argument transaction
+// is distributed (touches more than one shard).
+func CrossShardFraction(d, k int) float64 {
+	if k <= 1 || d <= 1 {
+		return 0
+	}
+	return 1 - CrossShardProb(d, k, 1)
+}

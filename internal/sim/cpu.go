@@ -1,0 +1,54 @@
+package sim
+
+// CPU models a single serial processor owned by one node. Work submitted to
+// the CPU executes in FIFO order; each item occupies the processor for its
+// service time before its completion callback runs.
+//
+// This is the mechanism that converts message complexity into throughput
+// loss: a PBFT replica that must verify O(N) signatures per block sees its
+// CPU busy-until horizon recede as N grows, exactly like the saturated
+// Hyperledger validators in the paper's evaluation (§7.1).
+type CPU struct {
+	engine    *Engine
+	busyUntil Time
+
+	// BusyTime accumulates total virtual time spent executing work, used by
+	// the Figure 17 cost-breakdown experiment.
+	BusyTime Duration
+}
+
+// NewCPU returns an idle CPU on engine e.
+func NewCPU(e *Engine) *CPU { return &CPU{engine: e} }
+
+// Exec enqueues work with the given service cost and runs fn when the work
+// completes. A zero cost still preserves FIFO ordering with queued work.
+func (c *CPU) Exec(cost Duration, fn func()) {
+	start := c.engine.Now()
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	done := start.Add(cost)
+	c.busyUntil = done
+	c.BusyTime += cost
+	c.engine.At(done, fn)
+}
+
+// Charge accounts for cost without a completion callback. It is used for
+// work whose effects are applied synchronously but whose time must still be
+// billed (e.g. hashing a batch while building a block).
+func (c *CPU) Charge(cost Duration) {
+	c.Exec(cost, func() {})
+}
+
+// QueueDelay reports how long newly submitted work would wait before
+// starting, i.e. the current backlog.
+func (c *CPU) QueueDelay() Duration {
+	now := c.engine.Now()
+	if c.busyUntil <= now {
+		return 0
+	}
+	return c.busyUntil.Sub(now)
+}
+
+// Idle reports whether the CPU has no backlog.
+func (c *CPU) Idle() bool { return c.QueueDelay() == 0 }

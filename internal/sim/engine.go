@@ -1,0 +1,179 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Everything in this repository — network delivery, node CPUs, enclave
+// operation costs, protocol timers — runs on a single virtual clock owned
+// by an Engine. Events are executed in (time, insertion-sequence) order, so
+// a run is a pure function of its seed and inputs: two runs with the same
+// seed produce identical traces, which makes the large-scale experiments in
+// internal/bench reproducible bit for bit.
+//
+// The engine is intentionally single-threaded. Protocol code runs inside
+// event callbacks and must not block; anything that takes (virtual) time is
+// expressed by scheduling a follow-up event.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, measured as an offset from the start of
+// the simulation. The zero Time is the simulation epoch.
+type Time time.Duration
+
+// Duration re-exports time.Duration for callers that want to avoid importing
+// both packages.
+type Duration = time.Duration
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among events scheduled for the same time
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler.
+//
+// Engine is not safe for concurrent use; all interaction must happen from
+// the goroutine driving Run (which includes all event callbacks).
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+
+	// Executed counts events run so far; useful as a progress metric and a
+	// runaway guard in tests.
+	Executed uint64
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. All protocol
+// randomness must come from here (or from generators seeded by it) to keep
+// runs reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn after virtual duration d (>= 0) from now.
+func (e *Engine) Schedule(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// At runs fn at virtual time t, which must not be in the past.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling in the past: %v < %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Stop makes the current Run invocation return after the in-flight event
+// completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until no events remain, the virtual clock
+// passes until, or Stop is called. It returns the virtual time at exit.
+// An until of zero means "run until idle".
+func (e *Engine) Run(until Time) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if until > 0 && next.at > until {
+			e.now = until
+			return e.now
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		e.Executed++
+		next.fn()
+	}
+	if until > 0 && e.now < until {
+		e.now = until
+	}
+	return e.now
+}
+
+// RunUntilIdle executes all pending events (including ones scheduled while
+// running) and returns the final virtual time.
+func (e *Engine) RunUntilIdle() Time { return e.Run(0) }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Timer is a cancellable one-shot timer on the virtual clock. PBFT view
+// change timers, beacon timeouts and client retries are built from it.
+type Timer struct {
+	engine  *Engine
+	version uint64
+	active  bool
+}
+
+// NewTimer returns an inactive timer bound to e.
+func (e *Engine) NewTimer() *Timer { return &Timer{engine: e} }
+
+// Reset (re)arms the timer to fire fn after d. Any previously armed firing
+// is cancelled.
+func (t *Timer) Reset(d Duration, fn func()) {
+	t.version++
+	t.active = true
+	v := t.version
+	t.engine.Schedule(d, func() {
+		if t.active && t.version == v {
+			t.active = false
+			fn()
+		}
+	})
+}
+
+// Stop cancels the timer if armed.
+func (t *Timer) Stop() {
+	t.version++
+	t.active = false
+}
+
+// Active reports whether the timer is armed.
+func (t *Timer) Active() bool { return t.active }

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(3*time.Millisecond, func() { order = append(order, 3) })
+	e.Schedule(1*time.Millisecond, func() { order = append(order, 1) })
+	e.Schedule(2*time.Millisecond, func() { order = append(order, 2) })
+	e.RunUntilIdle()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if e.Now() != Time(3*time.Millisecond) {
+		t.Fatalf("clock = %v, want 3ms", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	e.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var hits int
+	e.Schedule(time.Millisecond, func() {
+		hits++
+		e.Schedule(time.Millisecond, func() { hits++ })
+	})
+	e.RunUntilIdle()
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+	if e.Now() != Time(2*time.Millisecond) {
+		t.Fatalf("clock = %v, want 2ms", e.Now())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var hits int
+	e.Schedule(time.Millisecond, func() { hits++ })
+	e.Schedule(time.Hour, func() { hits++ })
+	e.Run(Time(time.Second))
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+	if e.Now() != Time(time.Second) {
+		t.Fatalf("clock = %v, want 1s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	var hits int
+	e.Schedule(time.Millisecond, func() { hits++; e.Stop() })
+	e.Schedule(2*time.Millisecond, func() { hits++ })
+	e.RunUntilIdle()
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1 (stop should halt run)", hits)
+	}
+	e.RunUntilIdle() // resumes
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2 after resume", hits)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(time.Millisecond, func() {
+		e.At(0, func() {})
+	})
+	e.RunUntilIdle()
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := NewEngine(seed)
+		var trace []int64
+		var step func()
+		step = func() {
+			trace = append(trace, int64(e.Now()), e.Rand().Int63n(1000))
+			if len(trace) < 100 {
+				e.Schedule(Duration(e.Rand().Int63n(int64(time.Millisecond))), step)
+			}
+		}
+		e.Schedule(0, step)
+		e.RunUntilIdle()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimerResetAndStop(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.NewTimer()
+	var fired int
+	tm.Reset(time.Millisecond, func() { fired++ })
+	tm.Reset(2*time.Millisecond, func() { fired += 10 })
+	e.RunUntilIdle()
+	if fired != 10 {
+		t.Fatalf("fired = %d, want 10 (first arm cancelled by reset)", fired)
+	}
+	tm.Reset(time.Millisecond, func() { fired += 100 })
+	tm.Stop()
+	e.RunUntilIdle()
+	if fired != 10 {
+		t.Fatalf("fired = %d, want 10 (stop should cancel)", fired)
+	}
+	if tm.Active() {
+		t.Fatal("timer reports active after stop")
+	}
+}
+
+func TestCPUSerialExecution(t *testing.T) {
+	e := NewEngine(1)
+	cpu := NewCPU(e)
+	var doneAt []Time
+	e.Schedule(0, func() {
+		cpu.Exec(10*time.Millisecond, func() { doneAt = append(doneAt, e.Now()) })
+		cpu.Exec(5*time.Millisecond, func() { doneAt = append(doneAt, e.Now()) })
+	})
+	e.RunUntilIdle()
+	if len(doneAt) != 2 {
+		t.Fatalf("completions = %d, want 2", len(doneAt))
+	}
+	if doneAt[0] != Time(10*time.Millisecond) || doneAt[1] != Time(15*time.Millisecond) {
+		t.Fatalf("completion times = %v, want [10ms 15ms]", doneAt)
+	}
+	if cpu.BusyTime != 15*time.Millisecond {
+		t.Fatalf("busy time = %v, want 15ms", cpu.BusyTime)
+	}
+}
+
+func TestCPUQueueDelay(t *testing.T) {
+	e := NewEngine(1)
+	cpu := NewCPU(e)
+	e.Schedule(0, func() {
+		cpu.Exec(time.Second, func() {})
+		if d := cpu.QueueDelay(); d != time.Second {
+			t.Errorf("queue delay = %v, want 1s", d)
+		}
+		if cpu.Idle() {
+			t.Error("cpu reports idle with backlog")
+		}
+	})
+	e.RunUntilIdle()
+	if !cpu.Idle() {
+		t.Error("cpu not idle after drain")
+	}
+}
+
+// Property: for any batch of scheduled delays, events execute in
+// nondecreasing time order and the final clock equals the max delay.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine(7)
+		var last Time
+		ok := true
+		var max Duration
+		for _, d := range delays {
+			dd := Duration(d) * time.Microsecond
+			if dd > max {
+				max = dd
+			}
+			e.Schedule(dd, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.RunUntilIdle()
+		return ok && e.Now() == Time(max)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CPU completion times are a prefix-sum of costs when submitted
+// back-to-back, i.e. the CPU never overlaps work.
+func TestCPUPrefixSumProperty(t *testing.T) {
+	f := func(costs []uint16) bool {
+		e := NewEngine(7)
+		cpu := NewCPU(e)
+		var got []Time
+		e.Schedule(0, func() {
+			for _, c := range costs {
+				cpu.Exec(Duration(c)*time.Microsecond, func() { got = append(got, e.Now()) })
+			}
+		})
+		e.RunUntilIdle()
+		var sum Duration
+		for i, c := range costs {
+			sum += Duration(c) * time.Microsecond
+			if got[i] != Time(sum) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}

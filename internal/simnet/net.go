@@ -1,0 +1,341 @@
+// Package simnet provides the simulated message-passing network that every
+// protocol in this repository runs on.
+//
+// The network reproduces the two environments of the paper's evaluation
+// (§7): an in-house LAN cluster with sub-millisecond latency, and a Google
+// Cloud Platform deployment spanning up to 8 regions whose inter-region
+// latencies are the paper's Table 3. On top of raw delivery it models the
+// two resource constraints that drive the paper's results:
+//
+//   - a per-node serial CPU (sim.CPU) through which every received message
+//     must pass, charging verification/execution costs; and
+//   - bounded inbound queues. Hyperledger v0.6 used one shared queue for
+//     request and consensus traffic, so request floods dropped consensus
+//     messages and livelocked PBFT at scale; optimization 1 of AHL+ splits
+//     the queue in two (§4.1). Both configurations are available here.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// NodeID identifies an endpoint on the network. IDs are small dense
+// integers assigned by the harness; ID 0 is valid.
+type NodeID int
+
+// Class partitions traffic for queue management, mirroring the message
+// metadata Hyperledger uses to route messages to channels.
+type Class uint8
+
+const (
+	// ClassRequest is client request traffic.
+	ClassRequest Class = iota
+	// ClassConsensus is consensus protocol traffic.
+	ClassConsensus
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassRequest:
+		return "request"
+	case ClassConsensus:
+		return "consensus"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Message is a network message. Payload is an arbitrary protocol-defined
+// value; Size is the serialized size in bytes used for transmission-time
+// modelling.
+type Message struct {
+	From, To NodeID
+	Class    Class
+	Type     string
+	Payload  any
+	Size     int
+}
+
+// Handler processes messages delivered to an endpoint. Cost reports the CPU
+// service time required to process m (signature verifications, execution,
+// enclave calls); Handle is invoked once that time has elapsed on the
+// node's serial CPU.
+type Handler interface {
+	Cost(m Message) time.Duration
+	Handle(m Message)
+}
+
+// HandlerFunc adapts a pair of functions to Handler.
+type HandlerFunc struct {
+	CostFn   func(m Message) time.Duration
+	HandleFn func(m Message)
+}
+
+// Cost implements Handler.
+func (h HandlerFunc) Cost(m Message) time.Duration {
+	if h.CostFn == nil {
+		return 0
+	}
+	return h.CostFn(m)
+}
+
+// Handle implements Handler.
+func (h HandlerFunc) Handle(m Message) { h.HandleFn(m) }
+
+// Filter lets a test or adversary intercept traffic. It returns the extra
+// delay to impose and whether to deliver at all.
+type Filter func(m Message) (extra time.Duration, deliver bool)
+
+// QueueConfig configures an endpoint's inbound queues.
+type QueueConfig struct {
+	// Split selects the AHL+ optimization-1 layout: one queue per Class.
+	// When false, all classes share a single FIFO (Hyperledger v0.6).
+	Split bool
+	// SharedCap is the shared queue capacity when Split is false.
+	SharedCap int
+	// RequestCap and ConsensusCap are the per-class capacities when Split
+	// is true.
+	RequestCap   int
+	ConsensusCap int
+}
+
+// DefaultSharedQueue mirrors the stock Hyperledger configuration: one
+// bounded buffer for everything, so request floods evict consensus traffic
+// once the CPU falls behind.
+func DefaultSharedQueue() QueueConfig { return QueueConfig{SharedCap: 4096} }
+
+// DefaultSplitQueue mirrors AHL+ optimization 1: request pressure can no
+// longer displace consensus messages.
+func DefaultSplitQueue() QueueConfig {
+	return QueueConfig{Split: true, RequestCap: 4096, ConsensusCap: 16384}
+}
+
+// EndpointStats counts an endpoint's traffic.
+type EndpointStats struct {
+	Sent      int
+	Delivered int
+	Dropped   [numClasses]int
+}
+
+// DroppedTotal returns total dropped messages across classes.
+func (s EndpointStats) DroppedTotal() int {
+	t := 0
+	for _, d := range s.Dropped {
+		t += d
+	}
+	return t
+}
+
+// DroppedByClass returns the drop count for class c.
+func (s EndpointStats) DroppedByClass(c Class) int { return s.Dropped[c] }
+
+// Endpoint is a node's attachment to the network.
+type Endpoint struct {
+	id      NodeID
+	net     *Network
+	cpu     *sim.CPU
+	handler Handler
+	cfg     QueueConfig
+	queues  [numClasses][]Message
+	busy    bool
+	down    bool
+	stats   EndpointStats
+}
+
+// ID returns the endpoint's node ID.
+func (ep *Endpoint) ID() NodeID { return ep.id }
+
+// CPU returns the node's serial processor, shared with non-network work
+// such as block execution.
+func (ep *Endpoint) CPU() *sim.CPU { return ep.cpu }
+
+// Stats returns a snapshot of traffic counters.
+func (ep *Endpoint) Stats() EndpointStats { return ep.stats }
+
+// SetHandler installs the message handler. It must be set before any
+// message arrives.
+func (ep *Endpoint) SetHandler(h Handler) { ep.handler = h }
+
+// SetQueueConfig replaces the queue layout (used when a node switches from
+// stock to optimized configuration between experiments).
+func (ep *Endpoint) SetQueueConfig(cfg QueueConfig) { ep.cfg = cfg }
+
+// SetDown marks the node crashed (true) or alive (false). A crashed node
+// discards arrivals and sends nothing.
+func (ep *Endpoint) SetDown(down bool) {
+	ep.down = down
+	if down {
+		for c := range ep.queues {
+			ep.queues[c] = nil
+		}
+	}
+}
+
+// Down reports whether the node is crashed.
+func (ep *Endpoint) Down() bool { return ep.down }
+
+// Send transmits m from this endpoint. The From field is stamped here.
+func (ep *Endpoint) Send(m Message) {
+	if ep.down {
+		return
+	}
+	m.From = ep.id
+	ep.stats.Sent++
+	ep.net.route(m)
+}
+
+// Broadcast sends m to every other endpoint on the network.
+func (ep *Endpoint) Broadcast(m Message) {
+	for _, other := range ep.net.order {
+		if other != ep.id {
+			m2 := m
+			m2.To = other
+			ep.Send(m2)
+		}
+	}
+}
+
+func (ep *Endpoint) capOf(c Class) int {
+	if ep.cfg.Split {
+		if c == ClassConsensus {
+			return ep.cfg.ConsensusCap
+		}
+		return ep.cfg.RequestCap
+	}
+	return ep.cfg.SharedCap
+}
+
+func (ep *Endpoint) queuedTotal() int {
+	if ep.cfg.Split {
+		return -1 // not used in split mode
+	}
+	t := 0
+	for c := range ep.queues {
+		t += len(ep.queues[c])
+	}
+	return t
+}
+
+// arrive is called by the network when a message reaches this endpoint.
+func (ep *Endpoint) arrive(m Message) {
+	if ep.down {
+		return
+	}
+	full := false
+	if ep.cfg.Split {
+		full = len(ep.queues[m.Class]) >= ep.capOf(m.Class)
+	} else {
+		full = ep.queuedTotal() >= ep.cfg.SharedCap
+	}
+	if full {
+		ep.stats.Dropped[m.Class]++
+		return
+	}
+	ep.queues[m.Class] = append(ep.queues[m.Class], m)
+	ep.dispatch()
+}
+
+// dispatch pulls the next message through the CPU, alternating between the
+// two classes when both have work. The point of the split-queue
+// optimization is isolation — a request flood can no longer *evict*
+// consensus messages — not starvation of either class, so service stays
+// fair in both layouts; what differs is whether a full request buffer can
+// cause consensus drops (shared) or not (split).
+func (ep *Endpoint) dispatch() {
+	if ep.busy || ep.down {
+		return
+	}
+	var m Message
+	switch {
+	case len(ep.queues[ClassConsensus]) > 0 && (len(ep.queues[ClassRequest]) == 0 || ep.stats.Delivered%2 == 0):
+		m, ep.queues[ClassConsensus] = ep.queues[ClassConsensus][0], ep.queues[ClassConsensus][1:]
+	case len(ep.queues[ClassRequest]) > 0:
+		m, ep.queues[ClassRequest] = ep.queues[ClassRequest][0], ep.queues[ClassRequest][1:]
+	default:
+		return
+	}
+	ep.busy = true
+	cost := ep.handler.Cost(m)
+	ep.cpu.Exec(cost, func() {
+		ep.busy = false
+		if !ep.down {
+			ep.stats.Delivered++
+			ep.handler.Handle(m)
+		}
+		ep.dispatch()
+	})
+}
+
+// Network connects endpoints through a latency model.
+type Network struct {
+	engine  *sim.Engine
+	latency LatencyModel
+	eps     map[NodeID]*Endpoint
+	order   []NodeID
+	filter  Filter
+	rng     *rand.Rand
+
+	// Messages and Bytes count all routed traffic.
+	Messages int
+	Bytes    int
+}
+
+// New creates a network on engine with the given latency model.
+func New(engine *sim.Engine, latency LatencyModel) *Network {
+	return &Network{
+		engine:  engine,
+		latency: latency,
+		eps:     make(map[NodeID]*Endpoint),
+		rng:     rand.New(rand.NewSource(engine.Rand().Int63())),
+	}
+}
+
+// Engine returns the underlying simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// Latency returns the network's latency model.
+func (n *Network) Latency() LatencyModel { return n.latency }
+
+// SetFilter installs an adversarial traffic filter (nil to clear).
+func (n *Network) SetFilter(f Filter) { n.filter = f }
+
+// Attach creates an endpoint for id with the given queue layout.
+func (n *Network) Attach(id NodeID, cfg QueueConfig) *Endpoint {
+	if _, dup := n.eps[id]; dup {
+		panic(fmt.Sprintf("simnet: duplicate endpoint %d", id))
+	}
+	ep := &Endpoint{id: id, net: n, cpu: sim.NewCPU(n.engine), cfg: cfg}
+	n.eps[id] = ep
+	n.order = append(n.order, id)
+	return ep
+}
+
+// Endpoint returns the endpoint for id, or nil.
+func (n *Network) Endpoint(id NodeID) *Endpoint { return n.eps[id] }
+
+// NodeIDs returns all attached node IDs in attach order.
+func (n *Network) NodeIDs() []NodeID { return append([]NodeID(nil), n.order...) }
+
+func (n *Network) route(m Message) {
+	dst, ok := n.eps[m.To]
+	if !ok {
+		panic(fmt.Sprintf("simnet: send to unknown node %d", m.To))
+	}
+	extra := time.Duration(0)
+	if n.filter != nil {
+		var deliver bool
+		extra, deliver = n.filter(m)
+		if !deliver {
+			return
+		}
+	}
+	n.Messages++
+	n.Bytes += m.Size
+	d := n.latency.Delay(m.From, m.To, m.Size, n.rng) + extra
+	n.engine.Schedule(d, func() { dst.arrive(m) })
+}

@@ -1,0 +1,270 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+type recorder struct {
+	cost     time.Duration
+	received []Message
+	times    []sim.Time
+	engine   *sim.Engine
+}
+
+func (r *recorder) Cost(Message) time.Duration { return r.cost }
+func (r *recorder) Handle(m Message) {
+	r.received = append(r.received, m)
+	r.times = append(r.times, r.engine.Now())
+}
+
+func pair(t *testing.T, lat LatencyModel, cfg QueueConfig) (*sim.Engine, *Network, *Endpoint, *Endpoint, *recorder, *recorder) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	n := New(e, lat)
+	a := n.Attach(0, cfg)
+	b := n.Attach(1, cfg)
+	ra := &recorder{engine: e}
+	rb := &recorder{engine: e}
+	a.SetHandler(ra)
+	b.SetHandler(rb)
+	return e, n, a, b, ra, rb
+}
+
+func TestDeliveryWithLatency(t *testing.T) {
+	e, _, a, _, _, rb := pair(t, Uniform{Base: 5 * time.Millisecond}, DefaultSharedQueue())
+	e.Schedule(0, func() {
+		a.Send(Message{To: 1, Type: "ping", Size: 100})
+	})
+	e.RunUntilIdle()
+	if len(rb.received) != 1 {
+		t.Fatalf("received %d messages, want 1", len(rb.received))
+	}
+	if rb.received[0].From != 0 || rb.received[0].Type != "ping" {
+		t.Fatalf("bad message: %+v", rb.received[0])
+	}
+	if rb.times[0] != sim.Time(5*time.Millisecond) {
+		t.Fatalf("delivered at %v, want 5ms", rb.times[0])
+	}
+}
+
+func TestProcessingCostSerializes(t *testing.T) {
+	e, _, a, _, _, rb := pair(t, Uniform{Base: time.Millisecond}, DefaultSharedQueue())
+	rb.cost = 10 * time.Millisecond
+	e.Schedule(0, func() {
+		a.Send(Message{To: 1, Type: "m1"})
+		a.Send(Message{To: 1, Type: "m2"})
+	})
+	e.RunUntilIdle()
+	if len(rb.times) != 2 {
+		t.Fatalf("received %d, want 2", len(rb.times))
+	}
+	if rb.times[0] != sim.Time(11*time.Millisecond) || rb.times[1] != sim.Time(21*time.Millisecond) {
+		t.Fatalf("delivery times %v, want [11ms 21ms]", rb.times)
+	}
+}
+
+func TestBandwidthAddsTransmission(t *testing.T) {
+	lat := Uniform{Base: time.Millisecond, Bandwidth: 1_000_000} // 1 MB/s
+	e, _, a, _, _, rb := pair(t, lat, DefaultSharedQueue())
+	e.Schedule(0, func() {
+		a.Send(Message{To: 1, Size: 500_000}) // 0.5s transmission
+	})
+	e.RunUntilIdle()
+	want := sim.Time(time.Millisecond + 500*time.Millisecond)
+	if rb.times[0] != want {
+		t.Fatalf("delivered at %v, want %v", rb.times[0], want)
+	}
+}
+
+func TestSharedQueueDropsConsensusUnderRequestFlood(t *testing.T) {
+	e, _, a, b, _, rb := pair(t, Uniform{}, QueueConfig{SharedCap: 4})
+	rb.cost = time.Second // b is slow, queue builds up
+	e.Schedule(0, func() {
+		for i := 0; i < 10; i++ {
+			a.Send(Message{To: 1, Class: ClassRequest, Type: "req"})
+		}
+		a.Send(Message{To: 1, Class: ClassConsensus, Type: "prepare"})
+	})
+	e.Run(sim.Time(2 * time.Second))
+	st := b.Stats()
+	if st.DroppedByClass(ClassConsensus) != 1 {
+		t.Fatalf("consensus drops = %d, want 1 (shared queue full)", st.DroppedByClass(ClassConsensus))
+	}
+	_ = rb
+}
+
+func TestSplitQueueProtectsConsensus(t *testing.T) {
+	cfg := QueueConfig{Split: true, RequestCap: 4, ConsensusCap: 64}
+	e, _, a, b, _, rb := pair(t, Uniform{}, cfg)
+	rb.cost = time.Millisecond
+	e.Schedule(0, func() {
+		for i := 0; i < 50; i++ {
+			a.Send(Message{To: 1, Class: ClassRequest, Type: "req"})
+		}
+		a.Send(Message{To: 1, Class: ClassConsensus, Type: "prepare"})
+	})
+	e.RunUntilIdle()
+	st := b.Stats()
+	if st.DroppedByClass(ClassConsensus) != 0 {
+		t.Fatalf("consensus drops = %d, want 0 (split queue)", st.DroppedByClass(ClassConsensus))
+	}
+	if st.DroppedByClass(ClassRequest) == 0 {
+		t.Fatal("expected request drops under flood")
+	}
+	// Consensus message must be served with priority: it is delivered
+	// before the request backlog drains.
+	found := false
+	for i, m := range rb.received {
+		if m.Class == ClassConsensus {
+			if i > 4 {
+				t.Fatalf("consensus message served at position %d, want priority", i)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("consensus message never delivered")
+	}
+}
+
+func TestDownNodeDiscards(t *testing.T) {
+	e, _, a, b, _, rb := pair(t, Uniform{Base: time.Millisecond}, DefaultSharedQueue())
+	b.SetDown(true)
+	e.Schedule(0, func() { a.Send(Message{To: 1}) })
+	e.RunUntilIdle()
+	if len(rb.received) != 0 {
+		t.Fatal("down node received a message")
+	}
+	b.SetDown(false)
+	e.Schedule(0, func() { a.Send(Message{To: 1}) })
+	e.RunUntilIdle()
+	if len(rb.received) != 1 {
+		t.Fatal("revived node did not receive")
+	}
+	b.SetDown(true)
+	e.Schedule(0, func() { b.Send(Message{To: 0}) })
+	e.RunUntilIdle()
+	if a.Stats().Delivered != 0 {
+		t.Fatal("down node sent a message")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, Uniform{Base: time.Millisecond})
+	recs := make([]*recorder, 5)
+	for i := 0; i < 5; i++ {
+		ep := n.Attach(NodeID(i), DefaultSharedQueue())
+		recs[i] = &recorder{engine: e}
+		ep.SetHandler(recs[i])
+	}
+	e.Schedule(0, func() {
+		n.Endpoint(0).Broadcast(Message{Type: "hello"})
+	})
+	e.RunUntilIdle()
+	if len(recs[0].received) != 0 {
+		t.Fatal("broadcast delivered to sender")
+	}
+	for i := 1; i < 5; i++ {
+		if len(recs[i].received) != 1 {
+			t.Fatalf("node %d received %d, want 1", i, len(recs[i].received))
+		}
+	}
+}
+
+func TestFilterDropsAndDelays(t *testing.T) {
+	e, n, a, _, _, rb := pair(t, Uniform{Base: time.Millisecond}, DefaultSharedQueue())
+	n.SetFilter(func(m Message) (time.Duration, bool) {
+		if m.Type == "drop" {
+			return 0, false
+		}
+		return 10 * time.Millisecond, true
+	})
+	e.Schedule(0, func() {
+		a.Send(Message{To: 1, Type: "drop"})
+		a.Send(Message{To: 1, Type: "keep"})
+	})
+	e.RunUntilIdle()
+	if len(rb.received) != 1 || rb.received[0].Type != "keep" {
+		t.Fatalf("received %v, want only keep", rb.received)
+	}
+	if rb.times[0] != sim.Time(11*time.Millisecond) {
+		t.Fatalf("delivered at %v, want 11ms (filtered delay)", rb.times[0])
+	}
+}
+
+func TestRegionalDelays(t *testing.T) {
+	nodes := []NodeID{0, 1, 2, 3}
+	g := GCP(4, nodes)
+	rng := rand.New(rand.NewSource(1))
+	g.JitterFrac = 0
+	g.Bandwidth = 0
+	// Node 0 -> region 0 (us-west1), node 1 -> region 1 (us-west2).
+	d := g.Delay(0, 1, 0, rng)
+	if d != time.Duration(24.7*float64(time.Millisecond)) {
+		t.Fatalf("cross-region delay = %v, want 24.7ms", d)
+	}
+	// Same region: nodes 0 and... with 4 nodes in 4 regions none share.
+	g2 := GCP(2, nodes) // nodes 0,2 in region 0
+	g2.JitterFrac = 0
+	g2.Bandwidth = 0
+	if d := g2.Delay(0, 2, 0, rng); d != g2.Intra {
+		t.Fatalf("intra-region delay = %v, want %v", d, g2.Intra)
+	}
+	if g.MaxDelay() <= 0 {
+		t.Fatal("max delay must be positive")
+	}
+	full := GCP(8, nodes)
+	if got := full.MaxDelay(); got != time.Duration(288.8*float64(time.Millisecond)) {
+		t.Fatalf("8-region max delay = %v, want 288.8ms", got)
+	}
+}
+
+func TestGCPMatrixSymmetryish(t *testing.T) {
+	m := GCPMatrix()
+	for i := 0; i < 8; i++ {
+		if m[i][i] != 0 {
+			t.Fatalf("diagonal not zero at %d", i)
+		}
+		for j := 0; j < 8; j++ {
+			diff := m[i][j] - m[j][i]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 5 { // Table 3 is measured, allow small asymmetry
+				t.Fatalf("matrix wildly asymmetric at %d,%d: %v vs %v", i, j, m[i][j], m[j][i])
+			}
+		}
+	}
+}
+
+func TestDuplicateAttachPanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, Uniform{})
+	n.Attach(3, DefaultSharedQueue())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate attach did not panic")
+		}
+	}()
+	n.Attach(3, DefaultSharedQueue())
+}
+
+func TestNetworkCounters(t *testing.T) {
+	e, n, a, _, _, _ := pair(t, Uniform{}, DefaultSharedQueue())
+	e.Schedule(0, func() {
+		a.Send(Message{To: 1, Size: 100})
+		a.Send(Message{To: 1, Size: 50})
+	})
+	e.RunUntilIdle()
+	if n.Messages != 2 || n.Bytes != 150 {
+		t.Fatalf("counters = %d msgs %d bytes, want 2/150", n.Messages, n.Bytes)
+	}
+	if a.Stats().Sent != 2 {
+		t.Fatalf("sent = %d, want 2", a.Stats().Sent)
+	}
+}

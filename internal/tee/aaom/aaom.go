@@ -1,0 +1,212 @@
+// Package aaom implements the attested append-only memory (A2M) of Chun et
+// al. (SOSP'07), the small trusted log abstraction that AHL keeps inside
+// the enclave to remove equivocation (§4.1).
+//
+// A node must bind each outgoing consensus message to a slot of the log for
+// its message type before sending it; the enclave signs an attestation of
+// the binding. Because a slot can hold exactly one digest, a Byzantine node
+// cannot produce two conflicting messages (e.g. two different prepares for
+// the same view and sequence number) that both carry valid attestations —
+// which is what lets AHL tolerate f = (N-1)/2 failures with quorum f+1.
+//
+// The package also implements the sealing/recovery hooks used by the
+// Appendix A rollback defense: after a restart the log refuses all
+// bindings until the host presents a stable checkpoint at or beyond the
+// estimated high-water mark HM.
+package aaom
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/blockcrypto"
+	"repro/internal/tee"
+)
+
+// EnclaveName identifies the A2M enclave binary.
+const EnclaveName = "aaom"
+
+// Measurement is the code measurement of the A2M enclave.
+func Measurement() tee.Measurement { return tee.MeasurementOf(EnclaveName) }
+
+// Attestation proves that digest was bound to slot of the named log by a
+// genuine A2M enclave.
+type Attestation struct {
+	Log    string
+	Slot   uint64
+	Digest blockcrypto.Digest
+	Report tee.Report
+}
+
+func bindingDigest(log string, slot uint64, d blockcrypto.Digest) blockcrypto.Digest {
+	var sb [8]byte
+	binary.BigEndian.PutUint64(sb[:], slot)
+	return blockcrypto.Hash([]byte("bind:"+log), sb[:], d[:])
+}
+
+// Verify checks the attestation under the deployment's key registry.
+func (a Attestation) Verify(scheme blockcrypto.Verifier) bool {
+	if a.Report.ReportData != bindingDigest(a.Log, a.Slot, a.Digest) {
+		return false
+	}
+	return tee.VerifyReport(scheme, Measurement(), a.Report)
+}
+
+// ErrConflict is returned when a slot is already bound to a different
+// digest — an equivocation attempt.
+var ErrConflict = &tee.ErrEnclave{Op: "aaom.Bind", Reason: "slot already bound to a different digest"}
+
+// ErrRecovering is returned while the enclave awaits rollback-safe recovery.
+var ErrRecovering = &tee.ErrEnclave{Op: "aaom.Bind", Reason: "log is recovering; present a stable checkpoint >= HM"}
+
+// Memory is one node's A2M enclave holding any number of named logs.
+type Memory struct {
+	platform *tee.Platform
+	logs     map[string]map[uint64]blockcrypto.Digest
+
+	recovering bool
+	hm         uint64
+}
+
+// New instantiates the A2M enclave on platform.
+func New(platform *tee.Platform) *Memory {
+	return &Memory{
+		platform: platform,
+		logs:     make(map[string]map[uint64]blockcrypto.Digest),
+	}
+}
+
+// Bind appends digest d at slot of the named log and returns a signed
+// attestation. Binding the same (log, slot, digest) again is idempotent and
+// returns a fresh attestation; binding a different digest fails with
+// ErrConflict. While the enclave is recovering, all bindings fail with
+// ErrRecovering.
+func (m *Memory) Bind(log string, slot uint64, d blockcrypto.Digest) (Attestation, error) {
+	if m.recovering {
+		return Attestation{}, ErrRecovering
+	}
+	l := m.logs[log]
+	if l == nil {
+		l = make(map[uint64]blockcrypto.Digest)
+		m.logs[log] = l
+	}
+	if prev, ok := l[slot]; ok && prev != d {
+		return Attestation{}, ErrConflict
+	}
+	l[slot] = d
+	m.platform.Charge(m.platform.Costs().Append)
+	report := m.platform.Quote(Measurement(), bindingDigest(log, slot, d))
+	return Attestation{Log: log, Slot: slot, Digest: d, Report: report}, nil
+}
+
+// Lookup returns a fresh attestation for an existing binding.
+func (m *Memory) Lookup(log string, slot uint64) (Attestation, bool) {
+	l := m.logs[log]
+	d, ok := l[slot]
+	if !ok {
+		return Attestation{}, false
+	}
+	m.platform.Charge(m.platform.Costs().Append)
+	report := m.platform.Quote(Measurement(), bindingDigest(log, slot, d))
+	return Attestation{Log: log, Slot: slot, Digest: d, Report: report}, true
+}
+
+// End returns the highest bound slot of the named log and whether the log
+// is non-empty.
+func (m *Memory) End(log string) (uint64, bool) {
+	l := m.logs[log]
+	if len(l) == 0 {
+		return 0, false
+	}
+	var max uint64
+	for s := range l {
+		if s > max {
+			max = s
+		}
+	}
+	return max, true
+}
+
+// Truncate drops all bindings at or below slot for every log; AHL calls it
+// at stable checkpoints to bound enclave memory.
+func (m *Memory) Truncate(slot uint64) {
+	for _, l := range m.logs {
+		for s := range l {
+			if s <= slot {
+				delete(l, s)
+			}
+		}
+	}
+}
+
+type sealedState struct {
+	Logs map[string]map[uint64]blockcrypto.Digest `json:"logs"`
+}
+
+const sealName = "aaom-state"
+
+// Seal persists the log contents to the platform's sealed storage.
+func (m *Memory) Seal() {
+	blob, err := json.Marshal(sealedState{Logs: m.logs})
+	if err != nil {
+		panic(fmt.Sprintf("aaom: seal: %v", err))
+	}
+	m.platform.Seal(sealName, blob)
+}
+
+// Restart simulates an enclave crash + restart: state is reloaded from
+// sealed storage (which the host may have rolled back) and the enclave
+// enters recovery mode with the given high-water mark estimate HM. Until
+// CompleteRecovery is called the enclave refuses all bindings, which keeps
+// the host from sending any consensus message (Appendix A).
+func (m *Memory) Restart(hm uint64) {
+	m.logs = make(map[string]map[uint64]blockcrypto.Digest)
+	if blob := m.platform.Unseal(sealName); blob != nil {
+		var st sealedState
+		if err := json.Unmarshal(blob, &st); err == nil && st.Logs != nil {
+			m.logs = st.Logs
+		}
+	}
+	m.recovering = true
+	m.hm = hm
+}
+
+// Recovering reports whether the enclave is awaiting recovery.
+func (m *Memory) Recovering() bool { return m.recovering }
+
+// SetRecoveryHM installs the high-water-mark estimate computed by the
+// Appendix A peer-query procedure (HM = L + ckpM, where ckpM passed the
+// f-other-replicas test, so it is backed by at least one honest peer).
+// Restart's initial mark is a refuse-everything placeholder; the first
+// estimate replaces it, after which the mark can only be raised.
+func (m *Memory) SetRecoveryHM(hm uint64) {
+	if !m.recovering {
+		return
+	}
+	if m.hm == ^uint64(0) || hm > m.hm {
+		m.hm = hm
+	}
+}
+
+// HM returns the current recovery high-water mark.
+func (m *Memory) HM() uint64 { return m.hm }
+
+// CompleteRecovery exits recovery mode once the host presents a stable
+// checkpoint sequence number at or beyond HM. The checkpoint's validity
+// (a quorum of signed checkpoint messages) is verified by the consensus
+// layer before calling this.
+func (m *Memory) CompleteRecovery(stableCheckpoint uint64) error {
+	if !m.recovering {
+		return nil
+	}
+	if stableCheckpoint < m.hm {
+		return &tee.ErrEnclave{Op: "aaom.CompleteRecovery",
+			Reason: fmt.Sprintf("checkpoint %d below high-water mark %d", stableCheckpoint, m.hm)}
+	}
+	m.recovering = false
+	// Discard any stale bindings at or below the checkpoint: they belong to
+	// an execution prefix the committee has already moved past.
+	m.Truncate(stableCheckpoint)
+	return nil
+}

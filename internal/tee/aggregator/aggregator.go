@@ -1,0 +1,122 @@
+// Package aggregator implements the AHLR message-aggregation enclave
+// (§4.1, optimization 3, after ByzCoin): the leader collects f+1 signed
+// consensus votes for the same (request, phase, round) and the enclave —
+// after verifying each signature — issues a single quorum certificate.
+// Followers then verify one certificate instead of f+1 messages, cutting
+// normal-case communication from O(N²) to O(N).
+package aggregator
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/blockcrypto"
+	"repro/internal/tee"
+)
+
+// EnclaveName identifies the aggregation enclave binary.
+const EnclaveName = "ahlr-aggregator"
+
+// Measurement is the code measurement of the aggregation enclave.
+func Measurement() tee.Measurement { return tee.MeasurementOf(EnclaveName) }
+
+// Item identifies the consensus statement being voted on.
+type Item struct {
+	View   uint64
+	Seq    uint64
+	Phase  string
+	Digest blockcrypto.Digest
+}
+
+// VoteDigest is the digest a replica signs to vote for item.
+func VoteDigest(it Item) blockcrypto.Digest {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], it.View)
+	binary.BigEndian.PutUint64(buf[8:], it.Seq)
+	return blockcrypto.Hash([]byte("vote:"+it.Phase), buf[:], it.Digest[:])
+}
+
+// Vote is one replica's signed endorsement of an item.
+type Vote struct {
+	Voter blockcrypto.KeyID
+	Sig   blockcrypto.Signature
+}
+
+// Cert proves that a quorum of distinct replicas voted for the item.
+type Cert struct {
+	Item   Item
+	Voters []blockcrypto.KeyID
+	Report tee.Report
+}
+
+func certDigest(it Item, voters []blockcrypto.KeyID) blockcrypto.Digest {
+	buf := make([]byte, 8*len(voters))
+	for i, v := range voters {
+		binary.BigEndian.PutUint64(buf[i*8:], uint64(v))
+	}
+	vd := VoteDigest(it)
+	return blockcrypto.Hash([]byte("quorum-cert"), vd[:], buf)
+}
+
+// Verify checks the certificate and that it carries at least quorum voters.
+func (c Cert) Verify(scheme blockcrypto.Verifier, quorum int) bool {
+	if len(c.Voters) < quorum {
+		return false
+	}
+	seen := make(map[blockcrypto.KeyID]bool, len(c.Voters))
+	for _, v := range c.Voters {
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	if c.Report.ReportData != certDigest(c.Item, c.Voters) {
+		return false
+	}
+	return tee.VerifyReport(scheme, Measurement(), c.Report)
+}
+
+// Errors returned by Aggregate.
+var (
+	ErrShortQuorum = &tee.ErrEnclave{Op: "aggregator.Aggregate", Reason: "fewer than quorum valid votes"}
+)
+
+// Aggregator is the leader-side aggregation enclave.
+type Aggregator struct {
+	platform *tee.Platform
+	scheme   blockcrypto.Verifier
+}
+
+// New instantiates the aggregation enclave. The verifier is the
+// deployment-wide key registry baked into the enclave at provisioning.
+func New(platform *tee.Platform, scheme blockcrypto.Verifier) *Aggregator {
+	return &Aggregator{platform: platform, scheme: scheme}
+}
+
+// Aggregate verifies the votes and, given at least quorum valid votes from
+// distinct replicas, returns a signed quorum certificate. Invalid or
+// duplicate votes are skipped (their cost is still charged: the enclave
+// had to verify them to reject them).
+func (a *Aggregator) Aggregate(it Item, votes []Vote, quorum int) (Cert, error) {
+	costs := a.platform.Costs()
+	a.platform.Charge(costs.EnclaveSwitch + time.Duration(len(votes))*costs.Verify)
+	vd := VoteDigest(it)
+	seen := make(map[blockcrypto.KeyID]bool, len(votes))
+	var voters []blockcrypto.KeyID
+	for _, v := range votes {
+		if seen[v.Voter] || v.Sig.Signer != v.Voter {
+			continue
+		}
+		if !a.scheme.Verify(vd, v.Sig) {
+			continue
+		}
+		seen[v.Voter] = true
+		voters = append(voters, v.Voter)
+	}
+	if len(voters) < quorum {
+		return Cert{}, ErrShortQuorum
+	}
+	a.platform.Charge(costs.Sign)
+	report := a.platform.Quote(Measurement(), certDigest(it, voters))
+	return Cert{Item: it, Voters: voters, Report: report}, nil
+}

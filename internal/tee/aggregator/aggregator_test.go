@@ -1,0 +1,118 @@
+package aggregator
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blockcrypto"
+	"repro/internal/sim"
+	"repro/internal/tee"
+)
+
+func setup(t *testing.T, replicas int) (*Aggregator, blockcrypto.Scheme, []blockcrypto.Signer) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	scheme := blockcrypto.NewSimScheme()
+	rng := rand.New(rand.NewSource(1))
+	signers := make([]blockcrypto.Signer, replicas)
+	for i := range signers {
+		signers[i] = scheme.NewSigner(blockcrypto.KeyID(i+10), rng)
+	}
+	platformKey := scheme.NewSigner(1, rng)
+	p := tee.NewPlatform(e, nil, tee.FreeCosts(), platformKey, 1)
+	return New(p, scheme), scheme, signers
+}
+
+func votesFor(it Item, signers []blockcrypto.Signer) []Vote {
+	vd := VoteDigest(it)
+	votes := make([]Vote, len(signers))
+	for i, s := range signers {
+		votes[i] = Vote{Voter: s.ID(), Sig: s.Sign(vd)}
+	}
+	return votes
+}
+
+func TestAggregateQuorum(t *testing.T) {
+	agg, scheme, signers := setup(t, 5)
+	it := Item{View: 1, Seq: 42, Phase: "prepare", Digest: blockcrypto.Hash([]byte("blk"))}
+	cert, err := agg.Aggregate(it, votesFor(it, signers[:3]), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Verify(scheme, 3) {
+		t.Fatal("genuine cert rejected")
+	}
+	if cert.Verify(scheme, 4) {
+		t.Fatal("cert verified against larger quorum than it carries")
+	}
+	if len(cert.Voters) != 3 {
+		t.Fatalf("voters = %d, want 3", len(cert.Voters))
+	}
+}
+
+func TestAggregateRejectsShortQuorum(t *testing.T) {
+	agg, _, signers := setup(t, 5)
+	it := Item{View: 0, Seq: 1, Phase: "commit", Digest: blockcrypto.Hash([]byte("b"))}
+	if _, err := agg.Aggregate(it, votesFor(it, signers[:2]), 3); !errors.Is(err, ErrShortQuorum) {
+		t.Fatalf("got %v, want ErrShortQuorum", err)
+	}
+}
+
+func TestAggregateSkipsInvalidAndDuplicateVotes(t *testing.T) {
+	agg, _, signers := setup(t, 5)
+	it := Item{View: 0, Seq: 1, Phase: "prepare", Digest: blockcrypto.Hash([]byte("b"))}
+	votes := votesFor(it, signers[:2])
+	// Duplicate of voter 0.
+	votes = append(votes, votes[0])
+	// Vote with mismatched claimed voter.
+	votes = append(votes, Vote{Voter: signers[3].ID(), Sig: signers[2].Sign(VoteDigest(it))})
+	// Vote for a different item (wrong digest).
+	other := Item{View: 0, Seq: 2, Phase: "prepare", Digest: blockcrypto.Hash([]byte("x"))}
+	votes = append(votes, Vote{Voter: signers[4].ID(), Sig: signers[4].Sign(VoteDigest(other))})
+	if _, err := agg.Aggregate(it, votes, 3); !errors.Is(err, ErrShortQuorum) {
+		t.Fatalf("got %v, want ErrShortQuorum (only 2 valid votes)", err)
+	}
+}
+
+func TestCertTamperRejected(t *testing.T) {
+	agg, scheme, signers := setup(t, 4)
+	it := Item{View: 2, Seq: 7, Phase: "prepare", Digest: blockcrypto.Hash([]byte("b"))}
+	cert, err := agg.Aggregate(it, votesFor(it, signers), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := cert
+	bad.Item.Seq = 8
+	if bad.Verify(scheme, 3) {
+		t.Fatal("item-tampered cert accepted")
+	}
+	bad = cert
+	bad.Voters = append([]blockcrypto.KeyID(nil), cert.Voters...)
+	bad.Voters[0] = 99
+	if bad.Verify(scheme, 3) {
+		t.Fatal("voter-tampered cert accepted")
+	}
+	// Duplicate voters in a forged cert must not count toward quorum.
+	bad = cert
+	bad.Voters = []blockcrypto.KeyID{cert.Voters[0], cert.Voters[0], cert.Voters[1]}
+	if bad.Verify(scheme, 3) {
+		t.Fatal("duplicate-voter cert accepted")
+	}
+}
+
+func TestVoteDigestBindsAllFields(t *testing.T) {
+	base := Item{View: 1, Seq: 2, Phase: "prepare", Digest: blockcrypto.Hash([]byte("d"))}
+	variants := []Item{
+		{View: 2, Seq: 2, Phase: "prepare", Digest: base.Digest},
+		{View: 1, Seq: 3, Phase: "prepare", Digest: base.Digest},
+		{View: 1, Seq: 2, Phase: "commit", Digest: base.Digest},
+		{View: 1, Seq: 2, Phase: "prepare", Digest: blockcrypto.Hash([]byte("e"))},
+	}
+	bd := VoteDigest(base)
+	for i, v := range variants {
+		if VoteDigest(v) == bd {
+			t.Fatalf("variant %d has same vote digest as base", i)
+		}
+	}
+}

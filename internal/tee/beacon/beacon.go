@@ -1,0 +1,130 @@
+// Package beacon implements the RandomnessBeacon enclave of §5.1: the
+// trusted source of unbiased randomness that seeds shard formation.
+//
+// At each epoch e the enclave draws two independent random values q (l
+// bits) and rnd (64 bits) with sgx_read_rand and returns a signed
+// certificate <e, rnd> if and only if q == 0. The enclave answers at most
+// once per epoch, so a malicious host cannot grind: it gets one sample and
+// may only choose to publish or withhold it, and withholding is handled by
+// the lowest-rnd lock-in rule of the distributed protocol.
+//
+// Appendix A restart defense: q and rnd live in volatile enclave memory, so
+// a restart would let the host re-sample. The enclave therefore refuses to
+// serve any epoch for a duration Δ after (re)instantiation; the genesis
+// epoch is additionally guarded by a hardware monotonic counter so the
+// enclave cannot be restarted at all during bootstrap.
+package beacon
+
+import (
+	"time"
+
+	"repro/internal/blockcrypto"
+	"repro/internal/sim"
+	"repro/internal/tee"
+)
+
+// EnclaveName identifies the beacon enclave binary.
+const EnclaveName = "randomness-beacon"
+
+// Measurement is the code measurement of the beacon enclave.
+func Measurement() tee.Measurement { return tee.MeasurementOf(EnclaveName) }
+
+// Cert is a signed randomness certificate for an epoch.
+type Cert struct {
+	Epoch  uint64
+	Rnd    uint64
+	Report tee.Report
+}
+
+func certDigest(epoch, rnd uint64) blockcrypto.Digest {
+	return tee.Uint64Digest(0xbeac0, epoch, rnd)
+}
+
+// Verify checks the certificate under the deployment's key registry.
+func (c Cert) Verify(scheme blockcrypto.Verifier) bool {
+	if c.Report.ReportData != certDigest(c.Epoch, c.Rnd) {
+		return false
+	}
+	return tee.VerifyReport(scheme, Measurement(), c.Report)
+}
+
+// Errors returned by Generate.
+var (
+	ErrAlreadyInvoked = &tee.ErrEnclave{Op: "beacon.Generate", Reason: "already invoked for this epoch"}
+	ErrUnlucky        = &tee.ErrEnclave{Op: "beacon.Generate", Reason: "q != 0; no certificate this epoch"}
+	ErrCoolingDown    = &tee.ErrEnclave{Op: "beacon.Generate", Reason: "within Δ of instantiation; refusing (rollback defense)"}
+	ErrGenesisReplay  = &tee.ErrEnclave{Op: "beacon.Generate", Reason: "genesis already served by a previous instantiation"}
+)
+
+const genesisCounter = "beacon-genesis"
+
+// Beacon is one node's RandomnessBeacon enclave instance.
+type Beacon struct {
+	platform *tee.Platform
+	lBits    uint
+	delta    time.Duration
+	bornAt   sim.Time
+	served   map[uint64]bool
+	genesis  bool // this instantiation may serve epoch 0
+}
+
+// New instantiates the beacon enclave.
+//
+// lBits is the bit length l of q (the probability a single invocation
+// yields a certificate is 2^-l). delta is the synchrony bound Δ used by the
+// restart defense.
+func New(platform *tee.Platform, lBits uint, delta time.Duration) *Beacon {
+	first := platform.IncrementCounter(genesisCounter) == 1
+	return &Beacon{
+		platform: platform,
+		lBits:    lBits,
+		delta:    delta,
+		bornAt:   platform.Now(),
+		served:   make(map[uint64]bool),
+		genesis:  first,
+	}
+}
+
+// LBits returns the configured bit length of q.
+func (b *Beacon) LBits() uint { return b.lBits }
+
+// Generate invokes the enclave for the given epoch. On success it returns
+// a certificate; ErrUnlucky means the draw produced q != 0 (the normal,
+// overwhelmingly common case). Either way the epoch is consumed.
+func (b *Beacon) Generate(epoch uint64) (Cert, error) {
+	// Restart defense (Appendix A): a freshly (re)instantiated enclave
+	// refuses to serve non-genesis epochs for Δ, and refuses genesis
+	// entirely unless it is the first instantiation on this platform.
+	if epoch == 0 {
+		if !b.genesis {
+			return Cert{}, ErrGenesisReplay
+		}
+	} else if b.platform.Now().Sub(b.bornAt) < b.delta {
+		return Cert{}, ErrCoolingDown
+	}
+	if b.served[epoch] {
+		return Cert{}, ErrAlreadyInvoked
+	}
+	b.served[epoch] = true
+
+	b.platform.Charge(b.platform.Costs().Beacon)
+	q := b.platform.RandUint64()
+	if b.lBits < 64 {
+		q &= (1 << b.lBits) - 1
+	}
+	rnd := b.platform.RandUint64()
+	if q != 0 {
+		return Cert{}, ErrUnlucky
+	}
+	report := b.platform.Quote(Measurement(), certDigest(epoch, rnd))
+	return Cert{Epoch: epoch, Rnd: rnd, Report: report}, nil
+}
+
+// Restart simulates an enclave teardown + restart mounted by the host. The
+// volatile served-epochs table is lost; the cooldown clock and genesis
+// guard make this unprofitable for the attacker.
+func (b *Beacon) Restart() {
+	b.served = make(map[uint64]bool)
+	b.bornAt = b.platform.Now()
+	b.genesis = b.platform.IncrementCounter(genesisCounter) == 1 // never true again
+}

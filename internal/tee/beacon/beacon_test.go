@@ -1,0 +1,157 @@
+package beacon
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/blockcrypto"
+	"repro/internal/sim"
+	"repro/internal/tee"
+)
+
+const delta = 2 * time.Second
+
+func newBeacon(seed int64, lBits uint) (*Beacon, blockcrypto.Scheme, *sim.Engine, *tee.Platform) {
+	e := sim.NewEngine(seed)
+	scheme := blockcrypto.NewSimScheme()
+	signer := scheme.NewSigner(1, rand.New(rand.NewSource(seed)))
+	p := tee.NewPlatform(e, nil, tee.FreeCosts(), signer, seed)
+	return New(p, lBits, delta), scheme, e, p
+}
+
+func TestGenerateOncePerEpoch(t *testing.T) {
+	b, scheme, _, _ := newBeacon(1, 0) // l=0: q is always 0, cert always issued
+	cert, err := b.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Epoch != 0 {
+		t.Fatalf("epoch = %d, want 0", cert.Epoch)
+	}
+	if !cert.Verify(scheme) {
+		t.Fatal("genuine cert rejected")
+	}
+	if _, err := b.Generate(0); !errors.Is(err, ErrAlreadyInvoked) {
+		t.Fatalf("second invocation returned %v, want ErrAlreadyInvoked", err)
+	}
+}
+
+func TestUnluckyConsumesEpoch(t *testing.T) {
+	// With l=64 the chance of q==0 is ~2^-64; every draw is unlucky.
+	b, _, e, _ := newBeacon(2, 64)
+	e.Schedule(delta, func() {
+		if _, err := b.Generate(1); !errors.Is(err, ErrUnlucky) {
+			t.Errorf("got %v, want ErrUnlucky", err)
+		}
+		// Epoch is consumed even when unlucky: no regrinding.
+		if _, err := b.Generate(1); !errors.Is(err, ErrAlreadyInvoked) {
+			t.Errorf("regrind returned %v, want ErrAlreadyInvoked", err)
+		}
+	})
+	e.RunUntilIdle()
+}
+
+func TestCertTamperRejected(t *testing.T) {
+	b, scheme, _, _ := newBeacon(3, 0)
+	cert, err := b.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := cert
+	bad.Rnd++
+	if bad.Verify(scheme) {
+		t.Fatal("rnd-tampered cert accepted")
+	}
+	bad = cert
+	bad.Epoch++
+	if bad.Verify(scheme) {
+		t.Fatal("epoch-tampered cert accepted")
+	}
+}
+
+func TestCooldownBlocksEarlyEpochs(t *testing.T) {
+	b, _, e, _ := newBeacon(4, 0)
+	// Non-genesis epochs refused within Δ of instantiation.
+	if _, err := b.Generate(1); !errors.Is(err, ErrCoolingDown) {
+		t.Fatalf("got %v, want ErrCoolingDown", err)
+	}
+	e.Schedule(delta, func() {
+		if _, err := b.Generate(1); err != nil {
+			t.Errorf("after Δ: %v", err)
+		}
+	})
+	e.RunUntilIdle()
+}
+
+func TestRestartAttackDefeated(t *testing.T) {
+	b, _, e, _ := newBeacon(5, 0)
+	e.Schedule(delta, func() {
+		cert1, err := b.Generate(3)
+		if err != nil {
+			t.Errorf("first generate: %v", err)
+			return
+		}
+		// Host restarts the enclave to re-roll epoch 3.
+		b.Restart()
+		if _, err := b.Generate(3); !errors.Is(err, ErrCoolingDown) {
+			t.Errorf("post-restart generate returned %v, want ErrCoolingDown", err)
+		}
+		// Even after the cooldown the host only gets a fresh sample — but
+		// by then Δ has passed and honest nodes have locked epoch 3's
+		// value, so the re-roll is useless. We verify the mechanism: the
+		// second sample differs and is only available after Δ.
+		e.Schedule(delta, func() {
+			cert2, err := b.Generate(3)
+			if err != nil {
+				t.Errorf("post-cooldown generate: %v", err)
+				return
+			}
+			if cert2.Rnd == cert1.Rnd {
+				t.Error("restart returned identical randomness (suspicious)")
+			}
+		})
+	})
+	e.RunUntilIdle()
+}
+
+func TestGenesisGuard(t *testing.T) {
+	b, _, _, p := newBeacon(6, 0)
+	if _, err := b.Generate(0); err != nil {
+		t.Fatal(err)
+	}
+	// Restart during genesis: the monotonic counter shows a prior
+	// instantiation, so epoch 0 is refused forever after.
+	b.Restart()
+	if _, err := b.Generate(0); !errors.Is(err, ErrGenesisReplay) {
+		t.Fatalf("genesis replay returned %v, want ErrGenesisReplay", err)
+	}
+	// A brand-new enclave on the same platform is also refused: the
+	// counter is hardware-monotonic.
+	b2 := New(p, 0, delta)
+	if _, err := b2.Generate(0); !errors.Is(err, ErrGenesisReplay) {
+		t.Fatalf("new-enclave genesis replay returned %v, want ErrGenesisReplay", err)
+	}
+}
+
+func TestQFilterRate(t *testing.T) {
+	// With l bits, certificates appear with probability 2^-l. Check the
+	// empirical rate over many beacons at l=3 (expect ~12.5%).
+	const trials = 4000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		e := sim.NewEngine(int64(i))
+		scheme := blockcrypto.NewSimScheme()
+		signer := scheme.NewSigner(1, rand.New(rand.NewSource(int64(i))))
+		p := tee.NewPlatform(e, nil, tee.FreeCosts(), signer, int64(i))
+		b := New(p, 3, 0)
+		if _, err := b.Generate(1); err == nil {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.09 || rate > 0.16 {
+		t.Fatalf("q==0 rate = %.3f, want ~0.125", rate)
+	}
+}

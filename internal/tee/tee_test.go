@@ -1,0 +1,144 @@
+package tee
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/blockcrypto"
+	"repro/internal/sim"
+)
+
+func newPlatform(t *testing.T) (*Platform, blockcrypto.Scheme, *sim.Engine, *sim.CPU) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	cpu := sim.NewCPU(e)
+	scheme := blockcrypto.NewSimScheme()
+	signer := scheme.NewSigner(1, rand.New(rand.NewSource(1)))
+	p := NewPlatform(e, cpu, DefaultCosts(), signer, 42)
+	return p, scheme, e, cpu
+}
+
+func TestQuoteVerifies(t *testing.T) {
+	p, scheme, _, _ := newPlatform(t)
+	m := MeasurementOf("test-enclave")
+	data := blockcrypto.Hash([]byte("payload"))
+	r := p.Quote(m, data)
+	if !VerifyReport(scheme, m, r) {
+		t.Fatal("genuine report rejected")
+	}
+	if VerifyReport(scheme, MeasurementOf("other"), r) {
+		t.Fatal("report verified under wrong measurement")
+	}
+	bad := r
+	bad.ReportData = blockcrypto.Hash([]byte("forged"))
+	if VerifyReport(scheme, m, bad) {
+		t.Fatal("tampered report data accepted")
+	}
+}
+
+func TestCostsCharged(t *testing.T) {
+	p, _, _, cpu := newPlatform(t)
+	before := cpu.BusyTime
+	p.Quote(MeasurementOf("x"), blockcrypto.Digest{})
+	costs := DefaultCosts()
+	want := costs.EnclaveSwitch + costs.Sign
+	if cpu.BusyTime-before != want {
+		t.Fatalf("quote charged %v, want %v", cpu.BusyTime-before, want)
+	}
+}
+
+func TestAggregateCostMatchesTable2(t *testing.T) {
+	c := DefaultCosts()
+	got := c.Aggregate(8)
+	// Table 2 reports 8031.2 us for f=8; our decomposition should land
+	// within a few percent.
+	want := time.Duration(8031.2 * float64(time.Microsecond))
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff)/float64(want) > 0.03 {
+		t.Fatalf("aggregate(8) = %v, want ~%v", got, want)
+	}
+}
+
+func TestMonotonicCounter(t *testing.T) {
+	p, _, _, _ := newPlatform(t)
+	if v := p.IncrementCounter("c"); v != 1 {
+		t.Fatalf("first increment = %d, want 1", v)
+	}
+	if v := p.IncrementCounter("c"); v != 2 {
+		t.Fatalf("second increment = %d, want 2", v)
+	}
+	if v := p.CounterValue("c"); v != 2 {
+		t.Fatalf("value = %d, want 2", v)
+	}
+	if v := p.CounterValue("other"); v != 0 {
+		t.Fatalf("fresh counter = %d, want 0", v)
+	}
+}
+
+func TestSealUnsealRollback(t *testing.T) {
+	p, _, _, _ := newPlatform(t)
+	if p.Unseal("s") != nil {
+		t.Fatal("unseal of empty storage should be nil")
+	}
+	p.Seal("s", []byte("v1"))
+	p.Seal("s", []byte("v2"))
+	p.Seal("s", []byte("v3"))
+	if got := string(p.Unseal("s")); got != "v3" {
+		t.Fatalf("unseal = %q, want v3", got)
+	}
+	if !p.Rollback("s", 2) {
+		t.Fatal("rollback refused")
+	}
+	if got := string(p.Unseal("s")); got != "v1" {
+		t.Fatalf("after rollback unseal = %q, want v1", got)
+	}
+	if p.Rollback("s", 5) {
+		t.Fatal("rollback past history should fail")
+	}
+	if p.Rollback("s", 0) {
+		t.Fatal("zero rollback should fail")
+	}
+}
+
+func TestRandDeterministicPerSeed(t *testing.T) {
+	e := sim.NewEngine(1)
+	scheme := blockcrypto.NewSimScheme()
+	s1 := scheme.NewSigner(1, rand.New(rand.NewSource(1)))
+	s2 := scheme.NewSigner(2, rand.New(rand.NewSource(2)))
+	a := NewPlatform(e, nil, FreeCosts(), s1, 7)
+	b := NewPlatform(e, nil, FreeCosts(), s2, 7)
+	if a.RandUint64() != b.RandUint64() {
+		t.Fatal("same platform seed should give same stream")
+	}
+	c := NewPlatform(e, nil, FreeCosts(), s1, 8)
+	d := NewPlatform(e, nil, FreeCosts(), s1, 7)
+	_ = d.RandUint64()
+	if c.RandUint64() == d.RandUint64() {
+		// Not impossible but with the given seeds it must differ; keep the
+		// assertion deterministic by checking a long prefix.
+		same := true
+		for i := 0; i < 8; i++ {
+			if c.RandUint64() != d.RandUint64() {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical streams")
+		}
+	}
+}
+
+func TestTrustedTime(t *testing.T) {
+	p, _, e, _ := newPlatform(t)
+	e.Schedule(3*time.Second, func() {
+		if p.Now() != sim.Time(3*time.Second) {
+			t.Errorf("trusted time = %v, want 3s", p.Now())
+		}
+	})
+	e.RunUntilIdle()
+}

@@ -1,0 +1,115 @@
+package txn
+
+import (
+	"strconv"
+
+	"repro/internal/chain"
+	"repro/internal/consensus/pbft"
+	"repro/internal/simnet"
+)
+
+// This file implements the two prior coordination approaches the paper
+// analyzes in §6.1, so their failure modes can be demonstrated against
+// the same committees our protocol runs on.
+
+// SplitRapidChain splits a cross-shard transfer RapidChain-style: one
+// independent single-shard sub-transaction per operation, with no locks
+// and no atomic commit. Sub-transactions execute (or fail) independently,
+// which is exactly why the approach violates atomicity and isolation for
+// account-based transactions (§6.1, Figure 4): a debit can succeed while
+// the matching credit fails, and interleaved transactions observe
+// partially-applied state.
+//
+// The ops use the *non*-sharded chaincode directly (e.g. smallbank
+// writeCheck / depositChecking): effects apply immediately per shard.
+func SplitRapidChain(txid string, ops []Op, chaincodeName string) []chain.Tx {
+	txs := make([]chain.Tx, 0, len(ops))
+	for i, op := range ops {
+		txs = append(txs, chain.Tx{
+			ID:        DeriveTxID(txid, "rapidchain", strconv.Itoa(i)),
+			Chaincode: chaincodeName,
+			Fn:        op.Fn,
+			Args:      op.Args,
+		})
+	}
+	return txs
+}
+
+// OmniClient is an OmniLedger-style client-driven coordinator: the client
+// itself locks inputs on the involved shards (prepare), then — if it
+// remains live and honest — issues the commits or aborts. A malicious or
+// crashed client that stops after the prepare phase leaves the locks in
+// place forever, the indefinite-blocking problem of §6.1: there is no
+// BFT coordinator to time out and decide on its behalf.
+type OmniClient struct {
+	client *Client
+	topo   Topology
+
+	// MaliciousStopAfterPrepare makes the client vanish between phases.
+	MaliciousStopAfterPrepare bool
+}
+
+// NewOmniClient wraps an existing gateway client.
+func NewOmniClient(client *Client, topo Topology) *OmniClient {
+	return &OmniClient{client: client, topo: topo}
+}
+
+// Run drives the client-side lock/unlock protocol for d. done fires with
+// the outcome if the protocol completes; under a malicious client it never
+// does — and neither do the unlocks.
+func (o *OmniClient) Run(d DTx, done func(committed bool)) {
+	shardsLeft := len(d.Ops)
+	okAll := true
+	for _, op := range d.Ops {
+		op := op
+		tx := chain.Tx{
+			ID:        DeriveTxID(d.TxID, "omni-prepare", strconv.Itoa(op.Shard)),
+			Chaincode: d.Chaincode,
+			Fn:        op.Fn,
+			Args:      op.Args,
+		}
+		o.client.SubmitSingle(op.Shard, tx, func(res Result) {
+			if !res.Committed {
+				okAll = false
+			}
+			shardsLeft--
+			if shardsLeft == 0 {
+				o.finishPhase2(d, okAll, done)
+			}
+		})
+	}
+}
+
+func (o *OmniClient) finishPhase2(d DTx, commit bool, done func(bool)) {
+	if o.MaliciousStopAfterPrepare {
+		// The malicious client walks away. Locks written during the
+		// prepare phase are never released; honest users' funds are
+		// frozen indefinitely (§6.1's payment-channel example).
+		return
+	}
+	fn := d.CommitFn
+	if !commit {
+		fn = d.AbortFn
+	}
+	left := len(d.Ops)
+	for _, op := range d.Ops {
+		tx := chain.Tx{
+			ID:        DeriveTxID(d.TxID, "omni-"+fn, strconv.Itoa(op.Shard)),
+			Chaincode: d.Chaincode,
+			Fn:        fn,
+			Args:      []string{d.TxID},
+		}
+		o.client.SubmitSingle(op.Shard, tx, func(Result) {
+			left--
+			if left == 0 && done != nil {
+				done(commit)
+			}
+		})
+	}
+}
+
+// SubmitPlain submits an arbitrary single-shard transaction through a
+// bare network endpoint (no reply tracking); used by open-loop drivers.
+func SubmitPlain(ep *simnet.Endpoint, to simnet.NodeID, tx chain.Tx) {
+	ep.Send(pbft.ClientRequest(to, tx))
+}

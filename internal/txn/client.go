@@ -1,0 +1,187 @@
+package txn
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/consensus/pbft"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Client is a blockchain client gateway: it submits single-shard requests
+// and distributed transactions, and correlates the Byzantine-quorum
+// responses (f+1 matching replies or outcome notifications) back into
+// completion callbacks. Closed-loop benchmark drivers are built on it.
+type Client struct {
+	ep     *simnet.Endpoint
+	engine *sim.Engine
+	topo   Topology
+
+	// Per-transaction completion tracking.
+	waiting map[string]*pendingTx
+
+	// Outcome votes from reference nodes: txid -> committed? -> senders.
+	outcomeFrom map[string]map[bool]map[simnet.NodeID]bool
+	// Replies from shard replicas: chain tx id -> ok? -> repliers.
+	replyFrom map[uint64]map[bool]map[simnet.NodeID]bool
+	replyNeed map[uint64]*pendingTx
+}
+
+type pendingTx struct {
+	id        string
+	start     sim.Time
+	threshold int
+	done      func(Result)
+	fired     bool
+}
+
+// Result reports a completed transaction to the submitting client.
+type Result struct {
+	TxID      string
+	Committed bool
+	Latency   time.Duration
+}
+
+// NewClient attaches a client gateway at the given node id.
+func NewClient(net *simnet.Network, id simnet.NodeID, topo Topology) *Client {
+	c := &Client{
+		ep:          net.Attach(id, simnet.DefaultSplitQueue()),
+		engine:      net.Engine(),
+		topo:        topo,
+		waiting:     make(map[string]*pendingTx),
+		outcomeFrom: make(map[string]map[bool]map[simnet.NodeID]bool),
+		replyFrom:   make(map[uint64]map[bool]map[simnet.NodeID]bool),
+		replyNeed:   make(map[uint64]*pendingTx),
+	}
+	c.ep.SetHandler(c)
+	return c
+}
+
+// ID returns the client's network address.
+func (c *Client) ID() simnet.NodeID { return c.ep.ID() }
+
+// Cost implements simnet.Handler.
+func (c *Client) Cost(simnet.Message) time.Duration { return 10 * time.Microsecond }
+
+// Handle implements simnet.Handler.
+func (c *Client) Handle(m simnet.Message) {
+	switch m.Type {
+	case MsgOutcome:
+		c.handleOutcome(m)
+	case pbft.MsgReply:
+		c.handleReply(m)
+	}
+}
+
+// SubmitDistributed starts the Figure 5 protocol for d: a refcom begin
+// request to the transaction's coordinating reference group. done fires
+// once f_R+1 nodes of that group report the same terminal outcome.
+func (c *Client) SubmitDistributed(d DTx, done func(Result)) {
+	if len(d.Shards()) != len(d.Ops) {
+		panic(fmt.Sprintf("txn: dtx %s has multiple ops on one shard; merge them", d.TxID))
+	}
+	d.Client = c.ep.ID()
+	group, groupF := c.topo.RefGroup(c.topo.GroupForTx(d.TxID))
+	c.waiting[d.TxID] = &pendingTx{
+		id:        d.TxID,
+		start:     c.engine.Now(),
+		threshold: groupF + 1,
+		done:      done,
+	}
+	tx := chain.Tx{
+		ID:        DeriveTxID(d.TxID, "begin"),
+		Chaincode: "refcom",
+		Fn:        "begin",
+		Args:      []string{d.TxID, strconv.Itoa(len(d.Shards())), d.Encode()},
+		Client:    pbft.KeyOf(c.ep.ID()),
+	}
+	// Submit to a deterministic reference replica; under AHL+ it forwards
+	// to the leader.
+	target := group[tx.ID%uint64(len(group))]
+	c.ep.Send(pbft.ClientRequest(target, tx))
+}
+
+// SubmitSingle sends a single-shard transaction to the given shard and
+// fires done after f+1 matching replies (requires SendReplies on the
+// shard's replicas).
+func (c *Client) SubmitSingle(shard int, tx chain.Tx, done func(Result)) {
+	tx.Client = pbft.KeyOf(c.ep.ID())
+	p := &pendingTx{
+		id:        strconv.FormatUint(tx.ID, 10),
+		start:     c.engine.Now(),
+		threshold: c.topo.ShardF[shard] + 1,
+		done:      done,
+	}
+	c.replyNeed[tx.ID] = p
+	target := c.topo.ShardNodes[shard][tx.ID%uint64(len(c.topo.ShardNodes[shard]))]
+	c.ep.Send(pbft.ClientRequest(target, tx))
+}
+
+func (c *Client) handleOutcome(m simnet.Message) {
+	out := m.Payload.(OutcomeMsg)
+	// Only the coordinating group's members may report the outcome.
+	if !c.topo.isRefGroupNode(c.topo.GroupForTx(out.TxID), m.From) {
+		return
+	}
+	p := c.waiting[out.TxID]
+	if p == nil || p.fired {
+		return
+	}
+	byVal := c.outcomeFrom[out.TxID]
+	if byVal == nil {
+		byVal = make(map[bool]map[simnet.NodeID]bool)
+		c.outcomeFrom[out.TxID] = byVal
+	}
+	senders := byVal[out.Committed]
+	if senders == nil {
+		senders = make(map[simnet.NodeID]bool)
+		byVal[out.Committed] = senders
+	}
+	if senders[m.From] {
+		return
+	}
+	senders[m.From] = true
+	if len(senders) >= p.threshold {
+		p.fired = true
+		delete(c.waiting, out.TxID)
+		delete(c.outcomeFrom, out.TxID)
+		if p.done != nil {
+			p.done(Result{TxID: out.TxID, Committed: out.Committed,
+				Latency: c.engine.Now().Sub(p.start)})
+		}
+	}
+}
+
+func (c *Client) handleReply(m simnet.Message) {
+	rep := m.Payload.(pbft.Reply)
+	p := c.replyNeed[rep.TxID]
+	if p == nil || p.fired {
+		return
+	}
+	byVal := c.replyFrom[rep.TxID]
+	if byVal == nil {
+		byVal = make(map[bool]map[simnet.NodeID]bool)
+		c.replyFrom[rep.TxID] = byVal
+	}
+	senders := byVal[rep.OK]
+	if senders == nil {
+		senders = make(map[simnet.NodeID]bool)
+		byVal[rep.OK] = senders
+	}
+	if senders[m.From] {
+		return
+	}
+	senders[m.From] = true
+	if len(senders) >= p.threshold {
+		p.fired = true
+		delete(c.replyNeed, rep.TxID)
+		delete(c.replyFrom, rep.TxID)
+		if p.done != nil {
+			p.done(Result{TxID: p.id, Committed: rep.OK,
+				Latency: c.engine.Now().Sub(p.start)})
+		}
+	}
+}

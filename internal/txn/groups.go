@@ -1,0 +1,65 @@
+package txn
+
+import (
+	"repro/internal/simnet"
+)
+
+// Reference-committee scale-out (§6.2): "the reference committee is not a
+// bottleneck in cross-shard transaction processing, for we can scale it
+// out by running multiple instances of R in parallel."
+//
+// A Topology may therefore carry several reference groups, each an
+// independent BFT committee running its own replicated 2PC state machine.
+// Every distributed transaction is coordinated by exactly one group,
+// chosen by hashing its transaction id, so two groups can never reach
+// conflicting decisions for the same transaction. Shard-side managers
+// only accept PrepareTx/CommitTx/AbortTx for a transaction from members
+// of its coordinating group, which also stops a Byzantine client from
+// enlisting a second group as a conflicting coordinator.
+
+// NumRefGroups returns the number of parallel reference committee
+// instances (0 when cross-shard coordination is disabled).
+func (t Topology) NumRefGroups() int {
+	if len(t.RefGroups) > 0 {
+		return len(t.RefGroups)
+	}
+	if len(t.RefNodes) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// RefGroup returns the member nodes and fault tolerance of reference
+// group g.
+func (t Topology) RefGroup(g int) (nodes []simnet.NodeID, f int) {
+	if len(t.RefGroups) > 0 {
+		return t.RefGroups[g], t.RefGroupFs[g]
+	}
+	return t.RefNodes, t.RefF
+}
+
+// GroupForTx maps a distributed transaction id to its coordinating
+// reference group. The mapping is deterministic and uniform, so load
+// spreads across groups and every honest node derives the same
+// coordinator.
+func (t Topology) GroupForTx(txid string) int {
+	n := t.NumRefGroups()
+	if n <= 1 {
+		return 0
+	}
+	return int(DeriveTxID("refgroup", txid) % uint64(n))
+}
+
+// isRefGroupNode reports whether id is a member of reference group g.
+func (t Topology) isRefGroupNode(g int, id simnet.NodeID) bool {
+	if g < 0 || g >= t.NumRefGroups() {
+		return false
+	}
+	nodes, _ := t.RefGroup(g)
+	for _, n := range nodes {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,514 @@
+package txn
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/consensus"
+	"repro/internal/consensus/pbft"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// The transaction manager is the glue of Figure 5: it runs on every
+// replica (of the reference committee and of each tx-committee), watches
+// its replica's executed blocks, and drives the committee-to-committee
+// message flow. Because individual nodes can be Byzantine, a manager acts
+// on a cross-committee message only after receiving matching copies from
+// f+1 distinct members of the sending committee — at least one of which is
+// honest.
+//
+// Flow (paper §6.2):
+//
+//  1. Client sends a refcom `begin` request to R.
+//  2. When an R replica executes the begin, its manager sends PrepareTx to
+//     every node of every involved tx-committee (phase 1a).
+//  3. A tx-committee replica that has f_R+1 matching PrepareTx messages
+//     injects the prepare invocation into its shard's consensus; executing
+//     it acquires the 2PL locks. Its manager then reports PrepareOK or
+//     PrepareNotOK to every R node (phase 1b).
+//  4. An R replica with f_shard+1 matching votes injects a refcom `vote`;
+//     the replicated state machine decrements c / aborts (Figure 6).
+//  5. When the state machine reaches Committed or Aborted, R managers send
+//     CommitTx/AbortTx to the tx-committees (phase 2), which inject the
+//     commit/abort invocation, applying or discarding the staged writes
+//     and releasing locks. The client is notified of the outcome.
+
+// Message types.
+const (
+	MsgPrepare = "txn/prepare" // R -> shard: PrepareTx (carries the DTx)
+	MsgVote    = "txn/vote"    // shard -> R: PrepareOK / PrepareNotOK
+	MsgDecide  = "txn/decide"  // R -> shard: CommitTx / AbortTx
+	MsgOutcome = "txn/outcome" // R -> client
+)
+
+type prepareMsg struct {
+	TxID string
+	DTx  string // encoded DTx
+}
+
+type voteNetMsg struct {
+	TxID  string
+	Shard int
+	OK    bool
+}
+
+type decideMsg struct {
+	TxID   string
+	Commit bool
+}
+
+// OutcomeMsg notifies the client of a transaction's fate.
+type OutcomeMsg struct {
+	TxID      string
+	Committed bool
+}
+
+// Topology describes the deployment the managers operate in.
+type Topology struct {
+	// RefNodes are the reference committee members; RefF its tolerance.
+	// When RefGroups is set these describe group 0 and are kept for the
+	// common single-instance deployment.
+	RefNodes []simnet.NodeID
+	RefF     int
+	// RefGroups optionally runs multiple reference committee instances in
+	// parallel (§6.2 scale-out); RefGroupFs are the per-group tolerances.
+	// Each distributed transaction is coordinated by exactly one group
+	// (see GroupForTx).
+	RefGroups  [][]simnet.NodeID
+	RefGroupFs []int
+	// ShardNodes[i] are shard i's committee members; ShardF[i] its
+	// tolerance.
+	ShardNodes [][]simnet.NodeID
+	ShardF     []int
+}
+
+func (t Topology) isRefNode(id simnet.NodeID) bool {
+	for g := 0; g < t.NumRefGroups(); g++ {
+		if t.isRefGroupNode(g, id) {
+			return true
+		}
+	}
+	return false
+}
+
+func (t Topology) isShardNode(shard int, id simnet.NodeID) bool {
+	if shard < 0 || shard >= len(t.ShardNodes) {
+		return false
+	}
+	for _, n := range t.ShardNodes[shard] {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Role selects the manager's behavior.
+type Role int
+
+// Manager roles.
+const (
+	RoleReference Role = iota
+	RoleShard
+)
+
+// Manager wraps one replica's endpoint handler with the Figure 5 logic.
+// For RoleShard managers, shardID is the shard the replica serves; for
+// RoleReference managers it is the reference group index the replica
+// belongs to (0 in single-instance deployments).
+type Manager struct {
+	role    Role
+	shardID int
+	topo    Topology
+	replica *pbft.Replica
+	ep      *simnet.Endpoint
+	inner   simnet.Handler
+
+	// Shard-side quorum buffers.
+	prepareFrom map[string]map[simnet.NodeID]bool
+	prepareDTx  map[string]DTx
+	decideFrom  map[string]map[simnet.NodeID]bool // key txid+"/"+decision
+	injectedTx  map[uint64]kindRef                // chain tx id -> protocol step
+	voted       map[string]*voteNetMsg            // my vote, until the decide executes
+	votedAt     map[string]sim.Time               // when the vote was first sent
+	done        map[string]bool                   // phase 2 executed here
+
+	// Reference-side quorum buffers.
+	voteFrom  map[string]map[simnet.NodeID]bool // key txid/shard/ok
+	announced map[string]bool                   // decided txids already broadcast
+	// pending tracks the transactions this replica coordinates that are
+	// still undecided, with their begin time; the retry timer rebroadcasts
+	// PrepareTx for entries older than retryInterval.
+	pending map[string]sim.Time
+	retry   *sim.Timer
+}
+
+// retryInterval is the paper's partial-synchrony loop ("messages sent
+// repeatedly with a finite time-out will eventually be received", §3.3)
+// made concrete. Both sides retransmit only for transactions stuck longer
+// than this, so a healthy run pays nothing:
+//
+//   - reference replicas rebroadcast PrepareTx for undecided transactions
+//     (lost prepares; a shard that already voted answers a duplicate
+//     prepare by re-sending its vote);
+//   - shard replicas re-send their vote while phase 2 has not executed
+//     (lost votes — and lost decisions, because a reference replica
+//     answers a vote for a decided transaction by re-sending the
+//     decision).
+const retryInterval = 10 * time.Second
+
+type kindRef struct {
+	txid string
+	kind string // "prepare" | "commit" | "abort"
+}
+
+// NewManager wraps replica (which must already be attached as its
+// endpoint's handler). role/shardID identify the committee it serves.
+func NewManager(role Role, shardID int, topo Topology, replica *pbft.Replica) *Manager {
+	m := &Manager{
+		role:        role,
+		shardID:     shardID,
+		topo:        topo,
+		replica:     replica,
+		ep:          replica.Endpoint(),
+		inner:       replica,
+		prepareFrom: make(map[string]map[simnet.NodeID]bool),
+		prepareDTx:  make(map[string]DTx),
+		decideFrom:  make(map[string]map[simnet.NodeID]bool),
+		injectedTx:  make(map[uint64]kindRef),
+		voted:       make(map[string]*voteNetMsg),
+		votedAt:     make(map[string]sim.Time),
+		done:        make(map[string]bool),
+		voteFrom:    make(map[string]map[simnet.NodeID]bool),
+		announced:   make(map[string]bool),
+		pending:     make(map[string]sim.Time),
+	}
+	m.retry = replica.Engine().NewTimer()
+	m.ep.SetHandler(m)
+	replica.OnExecute(m.onExecute)
+	return m
+}
+
+// Cost implements simnet.Handler.
+func (m *Manager) Cost(msg simnet.Message) time.Duration {
+	switch msg.Type {
+	case MsgPrepare, MsgVote, MsgDecide:
+		return 100 * time.Microsecond
+	default:
+		return m.inner.Cost(msg)
+	}
+}
+
+// Handle implements simnet.Handler.
+func (m *Manager) Handle(msg simnet.Message) {
+	switch msg.Type {
+	case MsgPrepare:
+		m.handlePrepare(msg)
+	case MsgVote:
+		m.handleVote(msg)
+	case MsgDecide:
+		m.handleDecide(msg)
+	default:
+		m.inner.Handle(msg)
+	}
+}
+
+// --- shard side ---
+
+func (m *Manager) handlePrepare(msg simnet.Message) {
+	if m.role != RoleShard {
+		return
+	}
+	p := msg.Payload.(*prepareMsg)
+	// Only the transaction's coordinating group may drive it; prepares
+	// from any other reference node (or a Byzantine impostor) are ignored.
+	group := m.topo.GroupForTx(p.TxID)
+	if !m.topo.isRefGroupNode(group, msg.From) {
+		return
+	}
+	_, groupF := m.topo.RefGroup(group)
+	from := m.prepareFrom[p.TxID]
+	if from == nil {
+		from = make(map[simnet.NodeID]bool)
+		m.prepareFrom[p.TxID] = from
+	}
+	if from[msg.From] {
+		// A RETRANSMITTED PrepareTx (duplicate sender) for a transaction
+		// we already voted on means the coordinator may have missed our
+		// vote: resend it. First-time prepares from further senders are
+		// the healthy path and need no answer.
+		if v := m.voted[p.TxID]; v != nil {
+			m.sendVote(v)
+		}
+		return
+	}
+	from[msg.From] = true
+	if _, known := m.prepareDTx[p.TxID]; !known {
+		if d, err := DecodeDTx(p.DTx); err == nil {
+			m.prepareDTx[p.TxID] = d
+		}
+	}
+	// Fire at and beyond the quorum: consensus deduplicates the injected
+	// transaction by its derived id, so re-triggering on late senders is
+	// harmless and re-heals a lost injection.
+	if len(from) >= groupF+1 {
+		m.injectPrepare(p.TxID)
+	}
+}
+
+func (m *Manager) injectPrepare(txid string) {
+	d, ok := m.prepareDTx[txid]
+	if !ok {
+		return
+	}
+	for _, op := range d.Ops {
+		if op.Shard != m.shardID {
+			continue
+		}
+		id := DeriveTxID(txid, "prepare", strconv.Itoa(m.shardID), op.Fn)
+		m.injectedTx[id] = kindRef{txid: txid, kind: "prepare"}
+		m.replica.SubmitLocal(chain.Tx{
+			ID: id, Chaincode: d.Chaincode, Fn: op.Fn, Args: op.Args,
+		})
+	}
+}
+
+func (m *Manager) handleDecide(msg simnet.Message) {
+	if m.role != RoleShard {
+		return
+	}
+	dec := msg.Payload.(*decideMsg)
+	group := m.topo.GroupForTx(dec.TxID)
+	if !m.topo.isRefGroupNode(group, msg.From) {
+		return
+	}
+	// Phase 2 already executed here: nothing left to do.
+	if m.done[dec.TxID] {
+		return
+	}
+	_, groupF := m.topo.RefGroup(group)
+	key := dec.TxID + "/" + strconv.FormatBool(dec.Commit)
+	from := m.decideFrom[key]
+	if from == nil {
+		from = make(map[simnet.NodeID]bool)
+		m.decideFrom[key] = from
+	}
+	if from[msg.From] {
+		return
+	}
+	from[msg.From] = true
+	if len(from) < groupF+1 {
+		return
+	}
+	d, ok := m.prepareDTx[dec.TxID]
+	if !ok {
+		return
+	}
+	fn, kind := d.CommitFn, "commit"
+	if !dec.Commit {
+		fn, kind = d.AbortFn, "abort"
+	}
+	id := DeriveTxID(dec.TxID, kind, strconv.Itoa(m.shardID))
+	m.injectedTx[id] = kindRef{txid: dec.TxID, kind: kind}
+	m.replica.SubmitLocal(chain.Tx{
+		ID: id, Chaincode: d.Chaincode, Fn: fn, Args: []string{dec.TxID},
+	})
+}
+
+// --- reference side ---
+
+func (m *Manager) handleVote(msg simnet.Message) {
+	if m.role != RoleReference {
+		return
+	}
+	v := msg.Payload.(*voteNetMsg)
+	if !m.topo.isShardNode(v.Shard, msg.From) {
+		return
+	}
+	// Votes for transactions coordinated by another group are not ours to
+	// count.
+	if m.topo.GroupForTx(v.TxID) != m.shardID {
+		return
+	}
+	key := v.TxID + "/" + strconv.Itoa(v.Shard) + "/" + strconv.FormatBool(v.OK)
+	from := m.voteFrom[key]
+	if from == nil {
+		from = make(map[simnet.NodeID]bool)
+		m.voteFrom[key] = from
+	}
+	if from[msg.From] {
+		// A RETRANSMITTED vote (duplicate sender) for an already-decided
+		// transaction means that shard may have missed the decision:
+		// resend it. Late first-time votes are the healthy path.
+		if m.announced[v.TxID] {
+			if status := StatusOf(m.replica.Store(), v.TxID); status.Terminal() {
+				dec := &decideMsg{TxID: v.TxID, Commit: status == StatusCommitted}
+				for _, node := range m.topo.ShardNodes[v.Shard] {
+					m.ep.Send(simnet.Message{To: node, Class: simnet.ClassConsensus,
+						Type: MsgDecide, Payload: dec, Size: 256})
+				}
+			}
+		}
+		return
+	}
+	from[msg.From] = true
+	if len(from) < m.topo.ShardF[v.Shard]+1 {
+		return
+	}
+	okArg := "notok"
+	if v.OK {
+		okArg = "ok"
+	}
+	id := DeriveTxID(v.TxID, "vote", strconv.Itoa(v.Shard), okArg)
+	m.replica.SubmitLocal(chain.Tx{
+		ID: id, Chaincode: "refcom", Fn: "vote",
+		Args: []string{v.TxID, strconv.Itoa(v.Shard), okArg},
+	})
+}
+
+// --- execution watching ---
+
+func (m *Manager) onExecute(ev consensus.BlockEvent) {
+	for _, res := range ev.Results {
+		switch m.role {
+		case RoleReference:
+			m.onRefExecuted(res.Tx, res.OK())
+		case RoleShard:
+			m.onShardExecuted(res.Tx, res.OK())
+		}
+	}
+}
+
+func (m *Manager) onRefExecuted(tx chain.Tx, ok bool) {
+	if tx.Chaincode != "refcom" || !ok {
+		return
+	}
+	switch tx.Fn {
+	case "begin":
+		txid := tx.Args[0]
+		// A begin mis-routed to the wrong group (only a faulty client does
+		// this) is recorded in our ledger but never driven: the shards
+		// would discard our prepares anyway.
+		if m.topo.GroupForTx(txid) != m.shardID {
+			return
+		}
+		d, found := DTxOf(m.replica.Store(), txid)
+		if !found {
+			return
+		}
+		m.pending[txid] = m.replica.Engine().Now()
+		m.sendPrepares(txid, d)
+		m.armRetry()
+	case "vote":
+		txid := tx.Args[0]
+		if m.topo.GroupForTx(txid) != m.shardID {
+			return
+		}
+		status := StatusOf(m.replica.Store(), txid)
+		if !status.Terminal() || m.announced[txid] {
+			return
+		}
+		m.announced[txid] = true
+		delete(m.pending, txid)
+		d, found := DTxOf(m.replica.Store(), txid)
+		if !found {
+			return
+		}
+		dec := &decideMsg{TxID: txid, Commit: status == StatusCommitted}
+		for _, shard := range d.Shards() {
+			for _, node := range m.topo.ShardNodes[shard] {
+				m.ep.Send(simnet.Message{To: node, Class: simnet.ClassConsensus,
+					Type: MsgDecide, Payload: dec, Size: 256})
+			}
+		}
+		if d.Client != 0 {
+			m.ep.Send(simnet.Message{To: d.Client, Class: simnet.ClassConsensus,
+				Type: MsgOutcome, Payload: OutcomeMsg{TxID: txid, Committed: dec.Commit}, Size: 128})
+		}
+	}
+}
+
+func (m *Manager) onShardExecuted(tx chain.Tx, ok bool) {
+	ref, mine := m.injectedTx[tx.ID]
+	if !mine {
+		return
+	}
+	switch ref.kind {
+	case "prepare":
+		v := &voteNetMsg{TxID: ref.txid, Shard: m.shardID, OK: ok}
+		m.voted[ref.txid] = v
+		m.votedAt[ref.txid] = m.replica.Engine().Now()
+		m.sendVote(v)
+		m.armRetry()
+	case "commit", "abort":
+		// Phase 2 executed: the transaction is finished on this shard and
+		// the vote no longer needs retransmitting.
+		delete(m.voted, ref.txid)
+		delete(m.votedAt, ref.txid)
+		m.done[ref.txid] = true
+	}
+}
+
+// sendPrepares transmits PrepareTx for txid to every replica of every
+// involved tx-committee.
+func (m *Manager) sendPrepares(txid string, d DTx) {
+	p := &prepareMsg{TxID: txid, DTx: d.Encode()}
+	for _, shard := range d.Shards() {
+		for _, node := range m.topo.ShardNodes[shard] {
+			m.ep.Send(simnet.Message{To: node, Class: simnet.ClassConsensus,
+				Type: MsgPrepare, Payload: p, Size: 512 + len(p.DTx)})
+		}
+	}
+}
+
+// armRetry keeps the retransmission loop running while this replica has
+// unfinished business: undecided coordinated transactions (reference
+// side) or votes whose decision has not arrived (shard side).
+func (m *Manager) armRetry() {
+	if m.retry.Active() || (len(m.pending) == 0 && len(m.voted) == 0) {
+		return
+	}
+	m.retry.Reset(retryInterval, m.retryTick)
+}
+
+// retryTick retransmits only for transactions stuck for at least a full
+// retryInterval, so the healthy path never generates extra traffic.
+func (m *Manager) retryTick() {
+	now := m.replica.Engine().Now()
+	for txid, began := range m.pending {
+		if now.Sub(began) < retryInterval {
+			continue
+		}
+		if StatusOf(m.replica.Store(), txid).Terminal() {
+			delete(m.pending, txid)
+			continue
+		}
+		if d, ok := DTxOf(m.replica.Store(), txid); ok {
+			m.sendPrepares(txid, d)
+		}
+	}
+	for txid, at := range m.votedAt {
+		if now.Sub(at) < retryInterval {
+			continue
+		}
+		if v := m.voted[txid]; v != nil {
+			// Still no decision: the vote (or the decision) was lost. A
+			// reference replica that already decided answers this with a
+			// fresh CommitTx/AbortTx (see handleVote).
+			m.sendVote(v)
+		}
+	}
+	m.armRetry()
+}
+
+// sendVote transmits v to every member of the transaction's coordinating
+// reference group.
+func (m *Manager) sendVote(v *voteNetMsg) {
+	group, _ := m.topo.RefGroup(m.topo.GroupForTx(v.TxID))
+	for _, node := range group {
+		m.ep.Send(simnet.Message{To: node, Class: simnet.ClassConsensus,
+			Type: MsgVote, Payload: v, Size: 192})
+	}
+}

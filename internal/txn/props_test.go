@@ -1,0 +1,210 @@
+package txn
+
+import (
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chain"
+	"repro/internal/chaincode"
+	"repro/internal/simnet"
+)
+
+// Property tests on the coordination layer's pure pieces: transaction
+// encoding, group routing, and the replicated 2PC state machine.
+
+func TestDTxEncodeDecodeRoundtrip(t *testing.T) {
+	property := func(txid, cc string, shards []uint8, commitFn, abortFn string, client uint16) bool {
+		d := DTx{
+			TxID:      txid,
+			Chaincode: cc,
+			CommitFn:  commitFn,
+			AbortFn:   abortFn,
+			Client:    simnet.NodeID(client),
+		}
+		for i, s := range shards {
+			d.Ops = append(d.Ops, Op{
+				Shard: int(s),
+				Fn:    "fn" + strconv.Itoa(i),
+				Args:  []string{txid, strconv.Itoa(i)},
+			})
+		}
+		got, err := DecodeDTx(d.Encode())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, d)
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeDTxRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "{", "[]", "42", "\x00\x01"} {
+		if _, err := DecodeDTx(s); err == nil {
+			t.Fatalf("DecodeDTx(%q) accepted garbage", s)
+		}
+	}
+}
+
+func TestGroupForTxProperties(t *testing.T) {
+	mkTopo := func(groups int) Topology {
+		topo := Topology{}
+		id := simnet.NodeID(100)
+		for g := 0; g < groups; g++ {
+			var nodes []simnet.NodeID
+			for j := 0; j < 3; j++ {
+				nodes = append(nodes, id)
+				id++
+			}
+			topo.RefGroups = append(topo.RefGroups, nodes)
+			topo.RefGroupFs = append(topo.RefGroupFs, 1)
+		}
+		topo.RefNodes, topo.RefF = topo.RefGroups[0], topo.RefGroupFs[0]
+		return topo
+	}
+
+	property := func(seed int64, ng uint8) bool {
+		groups := int(ng%7) + 1
+		topo := mkTopo(groups)
+		rng := rand.New(rand.NewSource(seed))
+		counts := make([]int, groups)
+		for i := 0; i < 200; i++ {
+			txid := "tx" + strconv.FormatInt(rng.Int63(), 36)
+			g := topo.GroupForTx(txid)
+			if g != topo.GroupForTx(txid) {
+				return false // not deterministic
+			}
+			if g < 0 || g >= groups {
+				return false // out of range
+			}
+			counts[g]++
+		}
+		if groups > 1 {
+			// Uniform hashing: no group may take everything.
+			for _, c := range counts {
+				if c == 200 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopologySingleGroupFallback(t *testing.T) {
+	topo := Topology{
+		RefNodes: []simnet.NodeID{7, 8, 9},
+		RefF:     1,
+	}
+	if got := topo.NumRefGroups(); got != 1 {
+		t.Fatalf("NumRefGroups = %d, want 1", got)
+	}
+	nodes, f := topo.RefGroup(0)
+	if len(nodes) != 3 || f != 1 {
+		t.Fatalf("RefGroup(0) = %v,%d", nodes, f)
+	}
+	for i := 0; i < 20; i++ {
+		if g := topo.GroupForTx("t" + strconv.Itoa(i)); g != 0 {
+			t.Fatalf("GroupForTx = %d, want 0", g)
+		}
+	}
+	if !topo.isRefGroupNode(0, 8) || topo.isRefGroupNode(0, 10) {
+		t.Fatal("isRefGroupNode wrong on fallback group")
+	}
+	if topo.isRefGroupNode(1, 8) || topo.isRefGroupNode(-1, 8) {
+		t.Fatal("isRefGroupNode accepted out-of-range group")
+	}
+	empty := Topology{}
+	if empty.NumRefGroups() != 0 {
+		t.Fatal("empty topology has groups")
+	}
+}
+
+// TestRefComVotesDecideCorrectly drives the Figure 6 state machine with
+// one vote per shard in random arrival order: the transaction must reach
+// Committed iff every shard voted OK, Aborted otherwise, regardless of
+// order.
+func TestRefComVotesDecideCorrectly(t *testing.T) {
+	property := func(seed int64, nShards uint8, okMask uint16) bool {
+		n := int(nShards%5) + 1
+		reg := chaincode.NewRegistry(RefCom{})
+		store := chain.NewStore()
+		rng := rand.New(rand.NewSource(seed))
+
+		d := DTx{TxID: "p", Chaincode: "cc", CommitFn: "c", AbortFn: "a"}
+		for s := 0; s < n; s++ {
+			d.Ops = append(d.Ops, Op{Shard: s, Fn: "f"})
+		}
+		res := reg.Execute(store, chain.Tx{ID: 1, Chaincode: "refcom", Fn: "begin",
+			Args: []string{"p", strconv.Itoa(n), d.Encode()}})
+		if !res.OK() {
+			return false
+		}
+		if StatusOf(store, "p") != StatusStarted {
+			return false
+		}
+
+		allOK := true
+		order := rng.Perm(n)
+		for i, s := range order {
+			ok := okMask&(1<<uint(s)) != 0
+			if !ok {
+				allOK = false
+			}
+			vote := "notok"
+			if ok {
+				vote = "ok"
+			}
+			res := reg.Execute(store, chain.Tx{ID: uint64(i + 2), Chaincode: "refcom",
+				Fn: "vote", Args: []string{"p", strconv.Itoa(s), vote}})
+			if !res.OK() {
+				return false
+			}
+		}
+		status := StatusOf(store, "p")
+		if allOK {
+			return status == StatusCommitted
+		}
+		return status == StatusAborted
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRefComDuplicateVotesIgnored: a shard's vote counts once no matter
+// how many times consensus delivers it (retransmissions reach the ledger
+// at most once per derived tx id, but the chaincode must also be
+// idempotent on its own state).
+func TestRefComDuplicateVotesIgnored(t *testing.T) {
+	reg := chaincode.NewRegistry(RefCom{})
+	store := chain.NewStore()
+	d := DTx{TxID: "p", Chaincode: "cc"}
+	d.Ops = []Op{{Shard: 0, Fn: "f"}, {Shard: 1, Fn: "f"}}
+	reg.Execute(store, chain.Tx{ID: 1, Chaincode: "refcom", Fn: "begin",
+		Args: []string{"p", "2", d.Encode()}})
+
+	// Shard 0 votes OK three times: still Preparing (c=1), not Committed.
+	for i := 0; i < 3; i++ {
+		res := reg.Execute(store, chain.Tx{ID: uint64(2 + i), Chaincode: "refcom",
+			Fn: "vote", Args: []string{"p", "0", "ok"}})
+		if !res.OK() {
+			t.Fatal(res.Err)
+		}
+	}
+	if got := StatusOf(store, "p"); got != StatusPreparing {
+		t.Fatalf("status after duplicate votes = %v, want preparing", got)
+	}
+	reg.Execute(store, chain.Tx{ID: 9, Chaincode: "refcom",
+		Fn: "vote", Args: []string{"p", "1", "ok"}})
+	if got := StatusOf(store, "p"); got != StatusCommitted {
+		t.Fatalf("status = %v, want committed", got)
+	}
+}

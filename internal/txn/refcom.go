@@ -1,0 +1,248 @@
+// Package txn implements the paper's distributed transaction protocol
+// (§6): two-phase commit whose coordinator state machine (Figure 6) runs
+// as a chaincode replicated by a Byzantine fault-tolerant reference
+// committee R, with 2PL locks held in shard state. It also implements the
+// two baselines the paper argues against: RapidChain-style transaction
+// splitting (no atomicity/isolation for general transactions, §6.1) and
+// OmniLedger-style client-driven lock/unlock (indefinite blocking under a
+// malicious coordinator, §6.1).
+package txn
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/blockcrypto"
+	"repro/internal/chain"
+	"repro/internal/chaincode"
+	"repro/internal/simnet"
+)
+
+// Status is a distributed transaction's state in the reference committee's
+// state machine (Figure 6).
+type Status byte
+
+// The Figure 6 states.
+const (
+	StatusNone      Status = 0
+	StatusStarted   Status = 'S'
+	StatusPreparing Status = 'P'
+	StatusCommitted Status = 'C'
+	StatusAborted   Status = 'A'
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusStarted:
+		return "started"
+	case StatusPreparing:
+		return "preparing"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return "none"
+	}
+}
+
+// Terminal reports whether the state machine has decided.
+func (s Status) Terminal() bool { return s == StatusCommitted || s == StatusAborted }
+
+// Op is one shard's part of a distributed transaction: the chaincode
+// invocation that prepares (locks + stages) that shard's writes.
+type Op struct {
+	Shard int      `json:"shard"`
+	Fn    string   `json:"fn"`
+	Args  []string `json:"args"`
+}
+
+// DTx describes a distributed transaction.
+type DTx struct {
+	TxID      string `json:"txid"`
+	Chaincode string `json:"chaincode"`
+	Ops       []Op   `json:"ops"`
+	// CommitFn/AbortFn complete phase 2 on each involved shard; both take
+	// the transaction id as their single argument.
+	CommitFn string `json:"commit_fn"`
+	AbortFn  string `json:"abort_fn"`
+	// Client is the submitting client's network address, notified of the
+	// outcome.
+	Client simnet.NodeID `json:"client"`
+}
+
+// WithRetryID returns a copy of d carrying a fresh transaction id for
+// re-submission after an abort. The coordinator state machine's terminal
+// states are permanent, so a retried transaction must not reuse its id;
+// by the sharded-chaincode convention (§6.3) every prepare op's first
+// argument is the transaction id, so it is rewritten too.
+func (d DTx) WithRetryID(attempt int) DTx {
+	nd := d
+	nd.TxID = d.TxID + "~r" + strconv.Itoa(attempt)
+	nd.Ops = make([]Op, len(d.Ops))
+	for i, op := range d.Ops {
+		nd.Ops[i] = op
+		nd.Ops[i].Args = append([]string(nil), op.Args...)
+		if len(nd.Ops[i].Args) > 0 {
+			nd.Ops[i].Args[0] = nd.TxID
+		}
+	}
+	return nd
+}
+
+// Shards returns the distinct shards the transaction touches, in op order.
+func (d DTx) Shards() []int {
+	var out []int
+	seen := make(map[int]bool)
+	for _, op := range d.Ops {
+		if !seen[op.Shard] {
+			seen[op.Shard] = true
+			out = append(out, op.Shard)
+		}
+	}
+	return out
+}
+
+// Encode serializes the transaction for embedding in a begin request.
+func (d DTx) Encode() string {
+	b, err := json.Marshal(d)
+	if err != nil {
+		panic("txn: encode: " + err.Error())
+	}
+	return string(b)
+}
+
+// DecodeDTx parses an encoded distributed transaction.
+func DecodeDTx(s string) (DTx, error) {
+	var d DTx
+	if err := json.Unmarshal([]byte(s), &d); err != nil {
+		return DTx{}, fmt.Errorf("txn: decode dtx: %w", err)
+	}
+	return d, nil
+}
+
+// State keys used by the reference-committee chaincode.
+func statusKey(txid string) string { return "T_" + txid }
+func dtxKey(txid string) string    { return "D_" + txid }
+func voteKey(txid string, shard int) string {
+	return "V_" + txid + "_" + strconv.Itoa(shard)
+}
+
+// RefCom is the reference committee's coordinator chaincode: a replicated,
+// deterministic implementation of the 2PC coordinator state machine of
+// Figure 6.
+//
+// Functions:
+//
+//	begin txid nShards dtxJSON  — BeginTx: enter Started with counter c
+//	vote  txid shard ok|notok   — a tx-committee's quorum-backed vote
+type RefCom struct{}
+
+// Name implements chaincode.Chaincode.
+func (RefCom) Name() string { return "refcom" }
+
+// Invoke implements chaincode.Chaincode.
+func (RefCom) Invoke(ctx *chaincode.Ctx, fn string, args []string) error {
+	switch fn {
+	case "begin":
+		if len(args) != 3 {
+			return chaincode.ErrBadArgs
+		}
+		txid := args[0]
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n < 1 {
+			return chaincode.ErrBadArgs
+		}
+		if _, exists := ctx.Get(statusKey(txid)); exists {
+			return nil // idempotent re-begin
+		}
+		ctx.Put(statusKey(txid), encodeState(StatusStarted, n))
+		ctx.Put(dtxKey(txid), []byte(args[2]))
+		return nil
+
+	case "vote":
+		if len(args) != 3 {
+			return chaincode.ErrBadArgs
+		}
+		txid := args[0]
+		shard, err := strconv.Atoi(args[1])
+		if err != nil {
+			return chaincode.ErrBadArgs
+		}
+		ok := args[2] == "ok"
+		raw, exists := ctx.Get(statusKey(txid))
+		if !exists {
+			return fmt.Errorf("txn: vote for unknown tx %s", txid)
+		}
+		if _, dup := ctx.Get(voteKey(txid, shard)); dup {
+			return nil // one vote per tx-committee
+		}
+		ctx.Put(voteKey(txid, shard), []byte(args[2]))
+		status, c := decodeState(raw)
+		if status.Terminal() {
+			return nil
+		}
+		if !ok {
+			ctx.Put(statusKey(txid), encodeState(StatusAborted, c))
+			return nil
+		}
+		c--
+		if c <= 0 {
+			ctx.Put(statusKey(txid), encodeState(StatusCommitted, 0))
+		} else {
+			ctx.Put(statusKey(txid), encodeState(StatusPreparing, c))
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("%w: refcom.%s", chaincode.ErrUnknownFn, fn)
+	}
+}
+
+func encodeState(s Status, c int) []byte {
+	return []byte(string(rune(s)) + ":" + strconv.Itoa(c))
+}
+
+func decodeState(raw []byte) (Status, int) {
+	parts := strings.SplitN(string(raw), ":", 2)
+	if len(parts) != 2 || len(parts[0]) != 1 {
+		return StatusNone, 0
+	}
+	c, _ := strconv.Atoi(parts[1])
+	return Status(parts[0][0]), c
+}
+
+// StatusOf reads a transaction's coordinator state from a reference
+// committee replica's store.
+func StatusOf(store *chain.Store, txid string) Status {
+	raw, ok := store.Get(statusKey(txid))
+	if !ok {
+		return StatusNone
+	}
+	s, _ := decodeState(raw)
+	return s
+}
+
+// DTxOf reads back the stored transaction description.
+func DTxOf(store *chain.Store, txid string) (DTx, bool) {
+	raw, ok := store.Get(dtxKey(txid))
+	if !ok {
+		return DTx{}, false
+	}
+	d, err := DecodeDTx(string(raw))
+	if err != nil {
+		return DTx{}, false
+	}
+	return d, true
+}
+
+// DeriveTxID derives a deterministic numeric transaction id for a protocol
+// step so that every honest node injects an identical chain.Tx (consensus
+// deduplicates on the id).
+func DeriveTxID(parts ...string) uint64 {
+	d := blockcrypto.Hash([]byte(strings.Join(parts, "\x00")))
+	return binary.BigEndian.Uint64(d[:8])
+}

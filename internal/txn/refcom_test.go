@@ -1,0 +1,222 @@
+package txn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chain"
+	"repro/internal/chaincode"
+)
+
+func run(t *testing.T, r *chaincode.Registry, s *chain.Store, fn string, args ...string) chaincode.Result {
+	if t != nil {
+		t.Helper()
+	}
+	return r.Execute(s, chain.Tx{ID: rand.Uint64(), Chaincode: "refcom", Fn: fn, Args: args})
+}
+
+func TestRefComHappyPath(t *testing.T) {
+	r := chaincode.NewRegistry(RefCom{})
+	s := chain.NewStore()
+	d := DTx{TxID: "t1", Chaincode: "smallbank-sharded",
+		Ops:      []Op{{Shard: 0, Fn: "preparePayment"}, {Shard: 2, Fn: "preparePayment"}},
+		CommitFn: "commitPayment", AbortFn: "abortPayment"}
+	if res := run(t, r, s, "begin", "t1", "2", d.Encode()); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if got := StatusOf(s, "t1"); got != StatusStarted {
+		t.Fatalf("status = %v, want started", got)
+	}
+	back, ok := DTxOf(s, "t1")
+	if !ok || back.TxID != "t1" || len(back.Ops) != 2 {
+		t.Fatalf("stored dtx corrupt: %+v", back)
+	}
+	if res := run(t, r, s, "vote", "t1", "0", "ok"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if got := StatusOf(s, "t1"); got != StatusPreparing {
+		t.Fatalf("status = %v, want preparing (c=1)", got)
+	}
+	if res := run(t, r, s, "vote", "t1", "2", "ok"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if got := StatusOf(s, "t1"); got != StatusCommitted {
+		t.Fatalf("status = %v, want committed", got)
+	}
+}
+
+func TestRefComAbortPath(t *testing.T) {
+	r := chaincode.NewRegistry(RefCom{})
+	s := chain.NewStore()
+	run(t, r, s, "begin", "t2", "3", DTx{TxID: "t2"}.Encode())
+	run(t, r, s, "vote", "t2", "0", "ok")
+	if res := run(t, r, s, "vote", "t2", "1", "notok"); !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if got := StatusOf(s, "t2"); got != StatusAborted {
+		t.Fatalf("status = %v, want aborted", got)
+	}
+	// A late ok vote from the third shard cannot resurrect it.
+	run(t, r, s, "vote", "t2", "2", "ok")
+	if got := StatusOf(s, "t2"); got != StatusAborted {
+		t.Fatal("aborted tx changed state after late vote")
+	}
+}
+
+func TestRefComVoteDedupPerShard(t *testing.T) {
+	r := chaincode.NewRegistry(RefCom{})
+	s := chain.NewStore()
+	run(t, r, s, "begin", "t3", "2", DTx{TxID: "t3"}.Encode())
+	// The same shard voting twice must count once (Byzantine replay).
+	run(t, r, s, "vote", "t3", "0", "ok")
+	run(t, r, s, "vote", "t3", "0", "ok")
+	if got := StatusOf(s, "t3"); got != StatusPreparing {
+		t.Fatalf("status = %v after duplicate votes, want preparing", got)
+	}
+	run(t, r, s, "vote", "t3", "1", "ok")
+	if got := StatusOf(s, "t3"); got != StatusCommitted {
+		t.Fatalf("status = %v, want committed", got)
+	}
+}
+
+func TestRefComIdempotentBegin(t *testing.T) {
+	r := chaincode.NewRegistry(RefCom{})
+	s := chain.NewStore()
+	run(t, r, s, "begin", "t4", "2", DTx{TxID: "t4"}.Encode())
+	run(t, r, s, "vote", "t4", "0", "ok")
+	// Re-begin (duplicate client submission) must not reset the counter.
+	run(t, r, s, "begin", "t4", "2", DTx{TxID: "t4"}.Encode())
+	run(t, r, s, "vote", "t4", "1", "ok")
+	if got := StatusOf(s, "t4"); got != StatusCommitted {
+		t.Fatalf("status = %v, want committed", got)
+	}
+}
+
+func TestRefComRejectsBadInput(t *testing.T) {
+	r := chaincode.NewRegistry(RefCom{})
+	s := chain.NewStore()
+	if res := run(t, r, s, "vote", "ghost", "0", "ok"); res.OK() {
+		t.Fatal("vote for unknown tx succeeded")
+	}
+	if res := run(t, r, s, "begin", "x", "zero", "{}"); res.OK() {
+		t.Fatal("begin with bad counter succeeded")
+	}
+	if res := run(t, r, s, "begin", "x"); res.OK() {
+		t.Fatal("begin with missing args succeeded")
+	}
+	if res := run(t, r, s, "nonsense"); res.OK() {
+		t.Fatal("unknown fn succeeded")
+	}
+	if got := StatusOf(s, "never"); got != StatusNone {
+		t.Fatalf("status of unknown tx = %v", got)
+	}
+}
+
+func TestDTxRoundTripAndShards(t *testing.T) {
+	d := DTx{
+		TxID: "abc", Chaincode: "kvstore-sharded",
+		Ops: []Op{
+			{Shard: 3, Fn: "prepare", Args: []string{"abc", "k", "v"}},
+			{Shard: 1, Fn: "prepare", Args: []string{"abc", "q", "w"}},
+			{Shard: 3, Fn: "prepare", Args: []string{"abc", "z", "y"}},
+		},
+		CommitFn: "commit", AbortFn: "abort", Client: 42,
+	}
+	back, err := DecodeDTx(d.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TxID != d.TxID || len(back.Ops) != 3 || back.Client != 42 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	shards := d.Shards()
+	if len(shards) != 2 || shards[0] != 3 || shards[1] != 1 {
+		t.Fatalf("shards = %v, want [3 1]", shards)
+	}
+	if _, err := DecodeDTx("{not json"); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	cases := map[Status]string{
+		StatusNone: "none", StatusStarted: "started", StatusPreparing: "preparing",
+		StatusCommitted: "committed", StatusAborted: "aborted",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Fatalf("%v.String() = %q", want, s.String())
+		}
+	}
+	if StatusStarted.Terminal() || !StatusCommitted.Terminal() || !StatusAborted.Terminal() {
+		t.Fatal("Terminal wrong")
+	}
+}
+
+// Property: the coordinator state machine commits iff every shard voted ok
+// before any notok arrived, regardless of vote interleaving (with dedup).
+func TestRefComDecisionProperty(t *testing.T) {
+	type vote struct {
+		Shard uint8
+		OK    bool
+	}
+	f := func(votes []vote, nShardsRaw uint8) bool {
+		n := int(nShardsRaw%4) + 2
+		r := chaincode.NewRegistry(RefCom{})
+		s := chain.NewStore()
+		run(nil, r, s, "begin", "p", itoa(n), DTx{TxID: "p"}.Encode())
+		// Model: first effective vote per shard decides that shard.
+		firstVote := make(map[int]bool)
+		for _, v := range votes {
+			shard := int(v.Shard) % n
+			arg := "notok"
+			if v.OK {
+				arg = "ok"
+			}
+			if _, seen := firstVote[shard]; !seen {
+				firstVote[shard] = v.OK
+			}
+			run(nil, r, s, "vote", "p", itoa(shard), arg)
+		}
+		status := StatusOf(s, "p")
+		allOK := len(firstVote) == n
+		anyBad := false
+		for _, ok := range firstVote {
+			if !ok {
+				anyBad = true
+				allOK = false
+			}
+		}
+		switch {
+		case anyBad:
+			return status == StatusAborted
+		case allOK:
+			return status == StatusCommitted
+		default:
+			return status == StatusStarted || status == StatusPreparing
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	if neg {
+		b = append([]byte{'-'}, b...)
+	}
+	return string(b)
+}

@@ -1,0 +1,156 @@
+package txn
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/chain"
+)
+
+// Router is the §6.4 client library: "a client library that hides the
+// details of the coordination protocols, so that the users only see
+// single-shard transactions." An application calls Submit with the
+// logical chaincode function it would have invoked on an unsharded
+// blockchain; the router splits it into shard-local sub-invocations,
+// chooses between the direct single-shard path and the Figure 5
+// distributed protocol, and reports one outcome either way.
+//
+// Routing targets chaincodes produced by shardlib.AutoShard: multi-shard
+// transactions become one prepare (or prepareBatch) op per shard, closed
+// by the generic commit/abort functions; a transaction whose
+// sub-invocations all land on one shard bypasses the reference committee
+// entirely and executes the original function directly on that shard.
+type Router struct {
+	client  *Client
+	shardOf func(key string) int
+	routes  map[string]map[string]SplitFunc
+	nextID  int
+}
+
+// SubCall is one shard-local piece of a logical invocation: Fn(Args)
+// executed on the shard owning PlacementKey.
+type SubCall struct {
+	PlacementKey string
+	Fn           string
+	Args         []string
+}
+
+// SplitFunc decomposes the arguments of a logical function into
+// shard-local sub-invocations. Correctness requirement: executing every
+// sub-invocation must be equivalent to executing the original function,
+// so that the router may run the original directly when all pieces land
+// on one shard.
+type SplitFunc func(args []string) ([]SubCall, error)
+
+// NewRouter returns a router submitting through client, with shardOf
+// giving the placement of application keys.
+func NewRouter(client *Client, shardOf func(key string) int) *Router {
+	return &Router{
+		client:  client,
+		shardOf: shardOf,
+		routes:  make(map[string]map[string]SplitFunc),
+	}
+}
+
+// Register installs the decomposition rule for chaincode's logical
+// function fn. Functions without a rule are treated as single-shard and
+// must carry their placement key as their first argument.
+func (r *Router) Register(chaincodeName, fn string, split SplitFunc) {
+	byFn := r.routes[chaincodeName]
+	if byFn == nil {
+		byFn = make(map[string]SplitFunc)
+		r.routes[chaincodeName] = byFn
+	}
+	byFn[fn] = split
+}
+
+// Submit routes the logical invocation fn(args) on chaincodeName and
+// fires done with the outcome. It returns the transaction id assigned to
+// the invocation, and an error only for malformed invocations (unknown
+// decomposition results, zero sub-calls); protocol-level aborts are
+// reported through done instead.
+func (r *Router) Submit(chaincodeName, fn string, args []string, done func(Result)) (string, error) {
+	r.nextID++
+	txid := fmt.Sprintf("r%d-%d", r.client.ID(), r.nextID)
+
+	subs, err := r.split(chaincodeName, fn, args)
+	if err != nil {
+		return "", err
+	}
+
+	perShard := make(map[int][]SubCall)
+	var order []int
+	for _, sub := range subs {
+		shard := r.shardOf(sub.PlacementKey)
+		if _, seen := perShard[shard]; !seen {
+			order = append(order, shard)
+		}
+		perShard[shard] = append(perShard[shard], sub)
+	}
+
+	if len(order) == 1 {
+		// Single-shard fast path: no coordination, execute the original
+		// function directly (§6.4: the user sees a single-shard tx).
+		r.client.SubmitSingle(order[0], chain.Tx{
+			ID:        DeriveTxID(txid, "direct"),
+			Chaincode: chaincodeName,
+			Fn:        fn,
+			Args:      args,
+		}, func(res Result) {
+			res.TxID = txid
+			done(res)
+		})
+		return txid, nil
+	}
+
+	sortInts(order)
+	d := DTx{
+		TxID:      txid,
+		Chaincode: chaincodeName,
+		CommitFn:  "commit",
+		AbortFn:   "abort",
+	}
+	for _, shard := range order {
+		calls := perShard[shard]
+		if len(calls) == 1 {
+			d.Ops = append(d.Ops, Op{Shard: shard, Fn: "prepare",
+				Args: append([]string{txid, calls[0].Fn}, calls[0].Args...)})
+			continue
+		}
+		batch := []string{txid}
+		for _, c := range calls {
+			batch = append(batch, c.Fn, strconv.Itoa(len(c.Args)))
+			batch = append(batch, c.Args...)
+		}
+		d.Ops = append(d.Ops, Op{Shard: shard, Fn: "prepareBatch", Args: batch})
+	}
+	r.client.SubmitDistributed(d, done)
+	return txid, nil
+}
+
+func (r *Router) split(chaincodeName, fn string, args []string) ([]SubCall, error) {
+	if split, ok := r.routes[chaincodeName][fn]; ok {
+		subs, err := split(args)
+		if err != nil {
+			return nil, fmt.Errorf("txn: split %s.%s: %w", chaincodeName, fn, err)
+		}
+		if len(subs) == 0 {
+			return nil, fmt.Errorf("txn: split %s.%s produced no sub-calls", chaincodeName, fn)
+		}
+		return subs, nil
+	}
+	// Unregistered functions are single-shard by convention, placed by
+	// their first argument.
+	if len(args) == 0 {
+		return nil, fmt.Errorf("txn: %s.%s has no decomposition rule and no placement argument", chaincodeName, fn)
+	}
+	return []SubCall{{PlacementKey: args[0], Fn: fn, Args: args}}, nil
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

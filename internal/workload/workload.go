@@ -1,0 +1,377 @@
+// Package workload implements the BLOCKBENCH-style benchmark drivers the
+// paper evaluates with (§7): the KVStore and SmallBank transaction
+// generators, uniform and Zipf-skewed key choosers, and open-loop /
+// closed-loop client drivers.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/txn"
+)
+
+// Chooser picks keys/accounts, optionally with Zipf skew. A skew of 0 is
+// uniform; larger values concentrate the mass on low ranks (the paper
+// sweeps the Zipf coefficient from 0 to 1.99 in Figure 13).
+type Chooser struct {
+	n   int
+	rng *rand.Rand
+	cdf []float64 // nil for uniform
+}
+
+// NewChooser builds a chooser over n items with the given Zipf skew.
+func NewChooser(rng *rand.Rand, n int, skew float64) *Chooser {
+	c := &Chooser{n: n, rng: rng}
+	if skew > 0 {
+		weights := make([]float64, n)
+		total := 0.0
+		for i := 0; i < n; i++ {
+			weights[i] = 1 / math.Pow(float64(i+1), skew)
+			total += weights[i]
+		}
+		c.cdf = make([]float64, n)
+		acc := 0.0
+		for i, w := range weights {
+			acc += w / total
+			c.cdf[i] = acc
+		}
+	}
+	return c
+}
+
+// Pick returns an item index in [0, n).
+func (c *Chooser) Pick() int {
+	if c.cdf == nil {
+		return c.rng.Intn(c.n)
+	}
+	u := c.rng.Float64()
+	lo, hi := 0, c.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// PickTwo returns two distinct indices.
+func (c *Chooser) PickTwo() (int, int) {
+	a := c.Pick()
+	b := c.Pick()
+	for b == a {
+		b = c.Pick()
+	}
+	return a, b
+}
+
+// Gen produces transactions for a benchmark.
+type Gen interface {
+	// NextSingle returns the next single-shard transaction (for raw
+	// consensus benchmarks and the no-reference-committee runs).
+	NextSingle() chain.Tx
+	// NextDistributed returns the next distributed transaction against
+	// sys, or (tx, false) when the generated transaction happens to be
+	// single-shard (submit it with SubmitSingle to the returned shard).
+	NextDistributed(sys *core.System) (txn.DTx, chain.Tx, int, bool)
+}
+
+// KVStoreGen issues put/update transactions; the paper's modified driver
+// issues 3 updates per transaction for the multi-shard runs.
+type KVStoreGen struct {
+	rng     *rand.Rand
+	chooser *Chooser
+	nextID  uint64
+	// KeysPerTx is the number of updates per transaction (default 3).
+	KeysPerTx int
+}
+
+// NewKVStoreGen builds a KVStore generator over `keys` keys.
+func NewKVStoreGen(rng *rand.Rand, keys int, skew float64) *KVStoreGen {
+	return &KVStoreGen{rng: rng, chooser: NewChooser(rng, keys, skew), KeysPerTx: 3, nextID: uint64(rng.Int63n(1 << 40))}
+}
+
+func (g *KVStoreGen) id() uint64 { g.nextID++; return g.nextID }
+
+func kvKey(i int) string { return "key" + strconv.Itoa(i) }
+
+// NextSingle implements Gen.
+func (g *KVStoreGen) NextSingle() chain.Tx {
+	id := g.id()
+	return chain.Tx{
+		ID: id, Chaincode: "kvstore", Fn: "put",
+		Args: []string{kvKey(g.chooser.Pick()), "v" + strconv.FormatUint(id, 10)},
+	}
+}
+
+// NextDistributed implements Gen.
+func (g *KVStoreGen) NextDistributed(sys *core.System) (txn.DTx, chain.Tx, int, bool) {
+	id := g.id()
+	kv := make(map[string]string, g.KeysPerTx)
+	for len(kv) < g.KeysPerTx {
+		kv[kvKey(g.chooser.Pick())] = "v" + strconv.FormatUint(id, 10)
+	}
+	d := sys.KVUpdateDTx(fmt.Sprintf("kv%d", id), kv)
+	if len(d.Ops) > 1 {
+		return d, chain.Tx{}, 0, true
+	}
+	// All keys landed on one shard: a plain single-shard update.
+	args := d.Ops[0].Args[1:]
+	tx := chain.Tx{ID: id, Chaincode: "kvstore", Fn: "update", Args: args}
+	return txn.DTx{}, tx, d.Ops[0].Shard, false
+}
+
+// SmallBankGen issues sendPayment transactions between accounts.
+type SmallBankGen struct {
+	rng      *rand.Rand
+	chooser  *Chooser
+	accounts int
+	nextID   uint64
+	// Amount per payment.
+	Amount int64
+}
+
+// NewSmallBankGen builds a SmallBank generator over `accounts` accounts
+// (named core.Account(i)).
+func NewSmallBankGen(rng *rand.Rand, accounts int, skew float64) *SmallBankGen {
+	return &SmallBankGen{rng: rng, chooser: NewChooser(rng, accounts, skew),
+		accounts: accounts, Amount: 1, nextID: uint64(rng.Int63n(1<<40)) + (1 << 41)}
+}
+
+func (g *SmallBankGen) id() uint64 { g.nextID++; return g.nextID }
+
+// NextSingle implements Gen.
+func (g *SmallBankGen) NextSingle() chain.Tx {
+	a, b := g.chooser.PickTwo()
+	return chain.Tx{
+		ID: g.id(), Chaincode: "smallbank", Fn: "sendPayment",
+		Args: []string{core.Account(a), core.Account(b), strconv.FormatInt(g.Amount, 10)},
+	}
+}
+
+// NextDistributed implements Gen.
+func (g *SmallBankGen) NextDistributed(sys *core.System) (txn.DTx, chain.Tx, int, bool) {
+	a, b := g.chooser.PickTwo()
+	from, to := core.Account(a), core.Account(b)
+	id := g.id()
+	if sys.ShardOfKey(from) == sys.ShardOfKey(to) {
+		tx := chain.Tx{
+			ID: id, Chaincode: "smallbank", Fn: "sendPayment",
+			Args: []string{from, to, strconv.FormatInt(g.Amount, 10)},
+		}
+		return txn.DTx{}, tx, sys.ShardOfKey(from), false
+	}
+	return sys.PaymentDTx(fmt.Sprintf("sb%d", id), from, to, g.Amount), chain.Tx{}, 0, true
+}
+
+// Stats aggregates driver-side results.
+type Stats struct {
+	Submitted int
+	Committed int
+	Aborted   int
+	// Retried counts re-submissions of aborted transactions (see
+	// ClosedLoopShardedDriver.MaxRetries); Submitted does not include
+	// them, so goodput comparisons stay per logical transaction.
+	Retried  int
+	TotalLat time.Duration
+	// lats records every completion latency for percentile reporting.
+	lats []time.Duration
+}
+
+// record accounts one completion latency.
+func (s *Stats) record(lat time.Duration) {
+	s.TotalLat += lat
+	s.lats = append(s.lats, lat)
+}
+
+// PercentileLatency returns the p-th percentile completion latency
+// (p in [0,100]); 0 if nothing completed.
+func (s *Stats) PercentileLatency(p float64) time.Duration {
+	if len(s.lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p / 100 * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// AbortRate returns aborted/(committed+aborted).
+func (s *Stats) AbortRate() float64 {
+	done := s.Committed + s.Aborted
+	if done == 0 {
+		return 0
+	}
+	return float64(s.Aborted) / float64(done)
+}
+
+// AvgLatency returns the mean completion latency.
+func (s *Stats) AvgLatency() time.Duration {
+	done := s.Committed + s.Aborted
+	if done == 0 {
+		return 0
+	}
+	return s.TotalLat / time.Duration(done)
+}
+
+// ClosedLoopShardedDriver drives a core.System with the paper's modified
+// closed-loop driver (§7): each client keeps Outstanding transactions in
+// flight and issues a new one as each completes.
+type ClosedLoopShardedDriver struct {
+	Sys         *core.System
+	Gen         Gen
+	Outstanding int
+	// MaxRetries re-submits an aborted distributed transaction (under a
+	// fresh id, after RetryBackoff) up to this many times before counting
+	// it as aborted. 0 keeps the paper's fire-once behaviour used for the
+	// Figure 13 abort-rate panel.
+	MaxRetries   int
+	RetryBackoff time.Duration
+	Stats        Stats
+	stopAt       sim.Time
+}
+
+// Start launches the driver across all of the system's clients for the
+// given duration (measured from the current virtual time).
+func (d *ClosedLoopShardedDriver) Start(dur time.Duration) {
+	d.stopAt = d.Sys.Engine.Now().Add(dur)
+	for c := 0; c < d.Sys.Clients(); c++ {
+		for k := 0; k < d.Outstanding; k++ {
+			d.issue(c)
+		}
+	}
+}
+
+func (d *ClosedLoopShardedDriver) issue(client int) {
+	if d.Sys.Engine.Now() >= d.stopAt {
+		return
+	}
+	d.Stats.Submitted++
+	dtx, tx, shard, isDist := d.Gen.NextDistributed(d.Sys)
+	if isDist {
+		d.submitDist(client, dtx, 0)
+	} else {
+		d.Sys.Client(client).SubmitSingle(shard, tx, func(res txn.Result) {
+			d.account(res)
+			d.issue(client)
+		})
+	}
+}
+
+func (d *ClosedLoopShardedDriver) submitDist(client int, dtx txn.DTx, attempt int) {
+	d.Sys.Client(client).SubmitDistributed(dtx, func(res txn.Result) {
+		if !res.Committed && attempt < d.MaxRetries && d.Sys.Engine.Now() < d.stopAt {
+			// 2PL conflicts abort rather than wait (§6.2); the client-side
+			// answer is a retry under a fresh transaction id.
+			d.Stats.Retried++
+			d.Stats.record(res.Latency)
+			retry := dtx.WithRetryID(attempt + 1)
+			d.Sys.Engine.Schedule(d.RetryBackoff, func() {
+				d.submitDist(client, retry, attempt+1)
+			})
+			return
+		}
+		d.account(res)
+		d.issue(client)
+	})
+}
+
+func (d *ClosedLoopShardedDriver) account(res txn.Result) {
+	if res.Committed {
+		d.Stats.Committed++
+	} else {
+		d.Stats.Aborted++
+	}
+	d.Stats.record(res.Latency)
+}
+
+// OpenLoopShardedDriver injects single-shard transactions into a
+// core.System at a fixed aggregate rate — the Figure 14 configuration,
+// which runs SmallBank without the reference committee and measures raw
+// sharded throughput. Payments are generated within one shard at a time so
+// every transaction is single-shard by construction.
+type OpenLoopShardedDriver struct {
+	Sys *core.System
+	// Benchmark is "smallbank" or "kvstore".
+	Benchmark string
+	// Accounts is the seeded SmallBank account count.
+	Accounts int
+	// Rate is the aggregate injection rate, transactions per second.
+	Rate float64
+	Rng  *rand.Rand
+
+	perShard [][]string
+	nextID   uint64
+	rr       int
+}
+
+// Start schedules injections for the given duration (measured from the
+// current virtual time).
+func (d *OpenLoopShardedDriver) Start(dur time.Duration) {
+	until := time.Duration(d.Sys.Engine.Now()) + dur
+	if d.Benchmark == "smallbank" {
+		d.perShard = make([][]string, d.Sys.Config.Shards)
+		for i := 0; i < d.Accounts; i++ {
+			acc := core.Account(i)
+			sh := d.Sys.ShardOfKey(acc)
+			d.perShard[sh] = append(d.perShard[sh], acc)
+		}
+	}
+	d.nextID = uint64(d.Rng.Int63n(1<<40)) + (1 << 42)
+	interval := time.Duration(float64(time.Second) / d.Rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	var tick func()
+	tick = func() {
+		d.issueOne()
+		if d.Sys.Engine.Now().Add(interval) < sim.Time(until) {
+			d.Sys.Engine.Schedule(interval, tick)
+		}
+	}
+	d.Sys.Engine.Schedule(0, tick)
+}
+
+func (d *OpenLoopShardedDriver) issueOne() {
+	d.nextID++
+	d.rr++
+	shard := d.rr % d.Sys.Config.Shards
+	var tx chain.Tx
+	switch d.Benchmark {
+	case "smallbank":
+		accs := d.perShard[shard]
+		if len(accs) < 2 {
+			return
+		}
+		a := d.Rng.Intn(len(accs))
+		b := d.Rng.Intn(len(accs))
+		for b == a {
+			b = d.Rng.Intn(len(accs))
+		}
+		tx = chain.Tx{ID: d.nextID, Chaincode: "smallbank", Fn: "sendPayment",
+			Args: []string{accs[a], accs[b], "1"}}
+	default: // kvstore
+		key := fmt.Sprintf("ol%d", d.nextID)
+		shard = core.ShardOfKey(key, d.Sys.Config.Shards)
+		tx = chain.Tx{ID: d.nextID, Chaincode: "kvstore", Fn: "put", Args: []string{key, "v"}}
+	}
+	nodes := d.Sys.Topology.ShardNodes[shard]
+	target := nodes[tx.ID%uint64(len(nodes))]
+	txn.SubmitPlain(d.Sys.Net.Endpoint(d.Sys.Client(0).ID()), target, tx)
+}

@@ -1,0 +1,271 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/consensus/pbft"
+	"repro/internal/core"
+	"repro/internal/tee"
+)
+
+func TestChooserUniform(t *testing.T) {
+	c := NewChooser(rand.New(rand.NewSource(1)), 10, 0)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[c.Pick()]++
+	}
+	for i, n := range counts {
+		if n < 700 || n > 1300 {
+			t.Fatalf("uniform chooser skewed: item %d picked %d/10000", i, n)
+		}
+	}
+}
+
+func TestChooserZipfSkew(t *testing.T) {
+	c := NewChooser(rand.New(rand.NewSource(2)), 100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[c.Pick()]++
+	}
+	if counts[0] <= counts[50]*3 {
+		t.Fatalf("zipf head not dominant: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	// Higher skew concentrates more.
+	c2 := NewChooser(rand.New(rand.NewSource(2)), 100, 1.99)
+	head2 := 0
+	for i := 0; i < 20000; i++ {
+		if c2.Pick() == 0 {
+			head2++
+		}
+	}
+	if head2 <= counts[0] {
+		t.Fatalf("skew 1.99 head (%d) not above skew 1.2 head (%d)", head2, counts[0])
+	}
+}
+
+func TestPickTwoDistinct(t *testing.T) {
+	c := NewChooser(rand.New(rand.NewSource(3)), 2, 1.99)
+	for i := 0; i < 200; i++ {
+		a, b := c.PickTwo()
+		if a == b {
+			t.Fatal("PickTwo returned equal indices")
+		}
+	}
+}
+
+func TestKVStoreGen(t *testing.T) {
+	g := NewKVStoreGen(rand.New(rand.NewSource(4)), 100, 0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 50; i++ {
+		tx := g.NextSingle()
+		if tx.Chaincode != "kvstore" || tx.Fn != "put" || len(tx.Args) != 2 {
+			t.Fatalf("bad tx: %+v", tx)
+		}
+		if seen[tx.ID] {
+			t.Fatal("duplicate tx id")
+		}
+		seen[tx.ID] = true
+	}
+}
+
+func TestSmallBankGenDistributed(t *testing.T) {
+	sys := core.NewSystem(core.Config{
+		Seed: 5, Shards: 4, ShardSize: 3, RefSize: 3,
+		Variant: pbft.VariantAHLPlus, Clients: 1, Costs: tee.FreeCosts(),
+	})
+	g := NewSmallBankGen(rand.New(rand.NewSource(5)), 50, 0)
+	dist, single := 0, 0
+	for i := 0; i < 100; i++ {
+		d, tx, shard, isDist := g.NextDistributed(sys)
+		if isDist {
+			dist++
+			if len(d.Ops) != 2 || d.CommitFn != "commitPayment" {
+				t.Fatalf("bad dtx: %+v", d)
+			}
+			if d.Ops[0].Shard == d.Ops[1].Shard {
+				t.Fatal("distributed payment with both ops on one shard")
+			}
+		} else {
+			single++
+			if tx.Fn != "sendPayment" {
+				t.Fatalf("bad single tx: %+v", tx)
+			}
+			if shard < 0 || shard >= 4 {
+				t.Fatalf("bad shard %d", shard)
+			}
+		}
+	}
+	// With 4 shards, ~3/4 of random pairs are cross-shard.
+	if dist < 50 {
+		t.Fatalf("only %d/100 distributed; expected majority", dist)
+	}
+	if single == 0 {
+		t.Fatal("no single-shard payments at all; suspicious")
+	}
+}
+
+func TestClosedLoopDriverCompletesWork(t *testing.T) {
+	sys := core.NewSystem(core.Config{
+		Seed: 6, Shards: 2, ShardSize: 3, RefSize: 3,
+		Variant: pbft.VariantAHLPlus, Clients: 2, SendReplies: true,
+		Costs: tee.FreeCosts(),
+	})
+	sys.Seed(30, 1_000_000)
+	g := NewSmallBankGen(rand.New(rand.NewSource(6)), 30, 0)
+	drv := &ClosedLoopShardedDriver{Sys: sys, Gen: g, Outstanding: 4}
+	drv.Start(20 * time.Second)
+	sys.Run(25 * time.Second)
+	done := drv.Stats.Committed + drv.Stats.Aborted
+	if done < 20 {
+		t.Fatalf("closed loop completed only %d txs", done)
+	}
+	if drv.Stats.AvgLatency() <= 0 {
+		t.Fatal("no latency recorded")
+	}
+	if drv.Stats.Submitted < done {
+		t.Fatal("completed more than submitted")
+	}
+}
+
+func TestClosedLoopDriverRetriesAborts(t *testing.T) {
+	run := func(retries int) Stats {
+		sys := core.NewSystem(core.Config{
+			Seed: 6, Shards: 2, ShardSize: 3, RefSize: 3,
+			Variant: pbft.VariantAHLPlus, Clients: 2, SendReplies: true,
+			Costs: tee.FreeCosts(),
+		})
+		// Few accounts + heavy skew: 2PL conflicts abound.
+		sys.Seed(8, 1_000_000)
+		g := NewSmallBankGen(rand.New(rand.NewSource(7)), 8, 1.5)
+		drv := &ClosedLoopShardedDriver{Sys: sys, Gen: g, Outstanding: 8,
+			MaxRetries: retries, RetryBackoff: 50 * time.Millisecond}
+		drv.Start(20 * time.Second)
+		sys.Run(30 * time.Second)
+		return drv.Stats
+	}
+
+	base := run(0)
+	if base.Retried != 0 {
+		t.Fatalf("retries disabled but Retried = %d", base.Retried)
+	}
+	if base.Aborted == 0 {
+		t.Fatal("contention workload produced no aborts; retry test is vacuous")
+	}
+
+	withRetry := run(4)
+	if withRetry.Retried == 0 {
+		t.Fatal("no retries happened despite aborts")
+	}
+	if withRetry.AbortRate() >= base.AbortRate() {
+		t.Fatalf("retries did not reduce the logical abort rate: %.3f -> %.3f",
+			base.AbortRate(), withRetry.AbortRate())
+	}
+}
+
+func TestWithRetryIDRewritesOps(t *testing.T) {
+	sys := core.NewSystem(core.Config{
+		Seed: 6, Shards: 2, ShardSize: 3, RefSize: 3,
+		Variant: pbft.VariantAHLPlus, Clients: 1, SendReplies: true,
+		Costs: tee.FreeCosts(),
+	})
+	d := sys.PaymentDTx("orig", "acc1", "acc2", 5)
+	r := d.WithRetryID(2)
+	if r.TxID == d.TxID {
+		t.Fatal("retry reused the transaction id")
+	}
+	for i, op := range r.Ops {
+		if op.Args[0] != r.TxID {
+			t.Fatalf("op %d still carries old txid %q", i, op.Args[0])
+		}
+		if d.Ops[i].Args[0] != "orig" {
+			t.Fatal("WithRetryID mutated the original")
+		}
+	}
+}
+
+func TestOpenLoopDriverInjects(t *testing.T) {
+	sys := core.NewSystem(core.Config{
+		Seed: 7, Shards: 2, ShardSize: 3, RefSize: 0,
+		Variant: pbft.VariantAHLPlus, Clients: 1, Costs: tee.FreeCosts(),
+	})
+	sys.Seed(30, 1_000_000)
+	drv := &OpenLoopShardedDriver{Sys: sys, Benchmark: "smallbank", Accounts: 30,
+		Rate: 100, Rng: rand.New(rand.NewSource(7))}
+	drv.Start(10 * time.Second)
+	sys.Run(15 * time.Second)
+	if got := sys.TotalExecuted(); got < 500 {
+		t.Fatalf("open loop executed %d, want ~1000", got)
+	}
+}
+
+func TestPercentileLatency(t *testing.T) {
+	var s Stats
+	if got := s.PercentileLatency(99); got != 0 {
+		t.Fatalf("empty stats percentile = %v, want 0", got)
+	}
+	for i := 1; i <= 100; i++ {
+		s.record(time.Duration(i) * time.Millisecond)
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, 1 * time.Millisecond},
+		{50, 50 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		got := s.PercentileLatency(c.p)
+		// Exact index math: p/100*(n-1), allow one-step rounding.
+		if got < c.want-time.Millisecond || got > c.want+time.Millisecond {
+			t.Fatalf("p%.0f = %v, want ~%v", c.p, got, c.want)
+		}
+	}
+	// Order independence: reversed insertion gives the same percentiles.
+	var r Stats
+	for i := 100; i >= 1; i-- {
+		r.record(time.Duration(i) * time.Millisecond)
+	}
+	if r.PercentileLatency(50) != s.PercentileLatency(50) {
+		t.Fatal("percentile depends on insertion order")
+	}
+}
+
+func TestDriverRecordsPercentiles(t *testing.T) {
+	sys := core.NewSystem(core.Config{
+		Seed: 6, Shards: 2, ShardSize: 3, RefSize: 3,
+		Variant: pbft.VariantAHLPlus, Clients: 2, SendReplies: true,
+		Costs: tee.FreeCosts(),
+	})
+	sys.Seed(30, 1_000_000)
+	g := NewSmallBankGen(rand.New(rand.NewSource(6)), 30, 0)
+	drv := &ClosedLoopShardedDriver{Sys: sys, Gen: g, Outstanding: 4}
+	drv.Start(15 * time.Second)
+	sys.Run(20 * time.Second)
+
+	p50 := drv.Stats.PercentileLatency(50)
+	p99 := drv.Stats.PercentileLatency(99)
+	if p50 <= 0 || p99 < p50 {
+		t.Fatalf("percentiles not monotone: p50=%v p99=%v", p50, p99)
+	}
+	if avg := drv.Stats.AvgLatency(); avg <= 0 {
+		t.Fatalf("avg latency %v", avg)
+	}
+}
+
+func TestAbortRateMath(t *testing.T) {
+	s := Stats{Committed: 8, Aborted: 2, TotalLat: 10 * time.Second}
+	if s.AbortRate() != 0.2 {
+		t.Fatalf("abort rate = %v", s.AbortRate())
+	}
+	if s.AvgLatency() != time.Second {
+		t.Fatalf("avg latency = %v", s.AvgLatency())
+	}
+	empty := Stats{}
+	if empty.AbortRate() != 0 || empty.AvgLatency() != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+}

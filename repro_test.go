@@ -1,0 +1,161 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	sys := NewSystem(SystemConfig{
+		Seed: 1, Shards: 2, ShardSize: 3, RefSize: 3,
+		Variant: VariantAHLPlus, Clients: 1, SendReplies: true,
+	})
+	sys.Seed(10, 1000)
+	from, to := "", ""
+	for i := 0; i < 10 && to == ""; i++ {
+		for j := 0; j < 10; j++ {
+			a, b := "acc"+string(rune('0'+i)), "acc"+string(rune('0'+j))
+			if i != j && sys.ShardOfKey(a) != sys.ShardOfKey(b) {
+				from, to = a, b
+			}
+		}
+	}
+	var got *TxResult
+	d := sys.PaymentDTx("t", from, to, 100)
+	sys.Engine.Schedule(0, func() {
+		sys.Client(0).SubmitDistributed(d, func(r TxResult) { got = &r })
+	})
+	sys.Run(60 * time.Second)
+	if got == nil || !got.Committed {
+		t.Fatalf("facade payment failed: %+v", got)
+	}
+	fb, _ := sys.BalanceOnShard(from)
+	if fb != 900 {
+		t.Fatalf("balance = %d, want 900", fb)
+	}
+}
+
+// TestFacadeAutoShardAndRouter exercises the §6.4 extension surface
+// exactly as a library user would: a custom contract written against the
+// KV interface, transformed with AutoShard, installed through the system
+// config, and driven through the transparent router.
+func TestFacadeAutoShardAndRouter(t *testing.T) {
+	counter := func(kv KV, fn string, args []string) error {
+		switch fn {
+		case "bump": // bump name — increment a per-name counter
+			if len(args) != 1 {
+				return errBadCall
+			}
+			n := int64(0)
+			if v, ok := kv.Get("n_" + args[0]); ok {
+				n = int64(v[0])
+			}
+			kv.Put("n_"+args[0], []byte{byte(n + 1)})
+			return nil
+		case "bumpAll": // bumpAll a b — increment two counters atomically
+			if len(args) != 2 {
+				return errBadCall
+			}
+			if err := counterLogic(kv, "bump", args[:1]); err != nil {
+				return err
+			}
+			return counterLogic(kv, "bump", args[1:])
+		default:
+			return errBadCall
+		}
+	}
+	counterLogic = counter
+
+	sys := NewSystem(SystemConfig{
+		Seed: 2, Shards: 2, ShardSize: 3, RefSize: 3,
+		Variant: VariantAHLPlus, Clients: 1, SendReplies: true,
+		ExtraShardCodes: func() []Chaincode {
+			return []Chaincode{AutoShard("counter", counter)}
+		},
+	})
+	router := sys.NewRouter(0)
+	router.Register("counter", "bumpAll", func(args []string) ([]SubCall, error) {
+		if len(args) != 2 {
+			return nil, errBadCall
+		}
+		return []SubCall{
+			{PlacementKey: args[0], Fn: "bump", Args: args[:1]},
+			{PlacementKey: args[1], Fn: "bump", Args: args[1:]},
+		}, nil
+	})
+
+	// Find a cross-shard name pair.
+	a, b := "x0", ""
+	for i := 1; b == ""; i++ {
+		c := "x" + string(rune('0'+i%10)) + string(rune('a'+i/10))
+		if sys.ShardOfKey(c) != sys.ShardOfKey(a) {
+			b = c
+		}
+	}
+
+	var res *TxResult
+	sys.Engine.Schedule(0, func() {
+		if _, err := router.Submit("counter", "bumpAll", []string{a, b},
+			func(r TxResult) { res = &r }); err != nil {
+			t.Errorf("submit: %v", err)
+		}
+	})
+	sys.Run(60 * time.Second)
+
+	if res == nil || !res.Committed {
+		t.Fatalf("bumpAll failed: %+v", res)
+	}
+	for _, name := range []string{a, b} {
+		store := sys.ShardCommittees[sys.ShardOfKey(name)].Replicas[0].Store()
+		v, ok := store.Get("n_" + name)
+		if !ok || v[0] != 1 {
+			t.Fatalf("counter %s = %v,%v; want 1", name, v, ok)
+		}
+	}
+}
+
+var (
+	counterLogic Logic
+	errBadCall   = errorString("counter: bad call")
+)
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func TestFacadeAccountName(t *testing.T) {
+	if AccountName(7) != "acc7" {
+		t.Fatalf("AccountName(7) = %q", AccountName(7))
+	}
+}
+
+func TestFacadeRefGroups(t *testing.T) {
+	sys := NewSystem(SystemConfig{
+		Seed: 3, Shards: 2, ShardSize: 3, RefSize: 3, RefGroups: 2,
+		Variant: VariantAHLPlus, Clients: 1, SendReplies: true,
+	})
+	if len(sys.RefCommittees) != 2 {
+		t.Fatalf("RefCommittees = %d, want 2", len(sys.RefCommittees))
+	}
+	if sys.Topology.NumRefGroups() != 2 {
+		t.Fatalf("NumRefGroups = %d, want 2", sys.Topology.NumRefGroups())
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 25 {
+		t.Fatalf("only %d experiments exposed", len(exps))
+	}
+	var sb strings.Builder
+	if !RunExperiment("table2", ScaleQuick(), &sb) {
+		t.Fatal("table2 not found")
+	}
+	if !strings.Contains(sb.String(), "ECDSA") {
+		t.Fatal("table2 output wrong")
+	}
+	if RunExperiment("bogus", ScaleQuick(), &sb) {
+		t.Fatal("unknown experiment ran")
+	}
+}
