@@ -4,8 +4,13 @@
 // Usage:
 //
 //	shardsim -list
-//	shardsim -exp fig8 [-scale quick|standard|full]
+//	shardsim -exp fig8 [-scale quick|standard|full] [-workers N] [-json out.json]
 //	shardsim -exp all  [-scale ...]
+//
+// Independent sweep points of an experiment run concurrently on a bounded
+// worker pool (default GOMAXPROCS; see -workers); results are bit-identical
+// at any width. -json writes a machine-readable BENCH_*.json report of the
+// session for performance tracking.
 package main
 
 import (
@@ -19,11 +24,14 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("exp", "", "experiment id (e.g. fig8, table2, eq1) or 'all'")
-		scale = flag.String("scale", "standard", "quick | standard | full")
-		list  = flag.Bool("list", false, "list experiments")
+		expID    = flag.String("exp", "", "experiment id (e.g. fig8, table2, eq1) or 'all'")
+		scale    = flag.String("scale", "standard", "quick | standard | full")
+		list     = flag.Bool("list", false, "list experiments")
+		workers  = flag.Int("workers", 0, "experiment worker pool width (0 = GOMAXPROCS)")
+		jsonPath = flag.String("json", "", "write a machine-readable benchmark report to this path")
 	)
 	flag.Parse()
+	bench.SetWorkers(*workers)
 
 	if *list || *expID == "" {
 		fmt.Println("experiments:")
@@ -49,23 +57,34 @@ func main() {
 		os.Exit(2)
 	}
 
+	report := bench.NewReport("shardsim -exp " + *expID)
+	report.Scale = *scale
+
 	run := func(e bench.Experiment) {
 		start := time.Now()
 		t := e.Run(s)
+		elapsed := time.Since(start)
 		t.Fprint(os.Stdout)
-		fmt.Printf("  (%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  (%s regenerated in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+		report.AddExperiment(e.ID, e.Title, elapsed, len(t.Rows))
 	}
 
 	if *expID == "all" {
 		for _, e := range bench.All() {
 			run(e)
 		}
-		return
+	} else {
+		e, ok := bench.Get(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expID)
+			os.Exit(2)
+		}
+		run(e)
 	}
-	e, ok := bench.Get(*expID)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expID)
-		os.Exit(2)
+	if *jsonPath != "" {
+		if err := report.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "writing report: %v\n", err)
+			os.Exit(1)
+		}
 	}
-	run(e)
 }

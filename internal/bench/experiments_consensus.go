@@ -1,8 +1,6 @@
 package bench
 
 import (
-	"fmt"
-
 	"repro/internal/consensus/pbft"
 )
 
@@ -20,6 +18,11 @@ func sweepN(paper []int, s Scale) []int {
 	return out
 }
 
+// The single-committee experiments below enumerate their configurations
+// through runSweep's eval callback, so every sweep point runs on the
+// parallel worker pool while the assembled tables stay bit-identical to
+// serial execution (see parallel.go).
+
 func init() {
 	register(Experiment{
 		ID:    "fig2",
@@ -28,30 +31,28 @@ func init() {
 			t := &Table{ID: "fig2", Title: "BFT protocols, KVStore, cluster",
 				Cols: []string{"sweep", "x", "HL", "Tendermint", "Raft(Quorum)", "IBFT"}}
 			protos := []string{"hl", "tendermint", "raft", "ibft"}
-			for _, n := range sweepN([]int{1, 7, 19, 31, 43, 55, 67}, s) {
-				row := []any{"N", n}
-				for _, p := range protos {
-					if n == 1 && p != "hl" && p != "tendermint" {
-						// Single-node Raft/IBFT degenerate to the same
-						// lockstep; still measured.
+			runSweep(t, func(t *Table, eval func(ConsensusCfg) ConsensusResult) {
+				for _, n := range sweepN([]int{1, 7, 19, 31, 43, 55, 67}, s) {
+					row := []any{"N", n}
+					for _, p := range protos {
+						r := eval(ConsensusCfg{Protocol: p, N: n, Clients: 10,
+							Duration: s.Duration, Seed: 2})
+						row = append(row, r.Tps)
 					}
-					r := RunConsensus(ConsensusCfg{Protocol: p, N: n, Clients: 10,
-						Duration: s.Duration, Seed: 2})
-					row = append(row, r.Tps)
+					t.Add(row...)
 				}
-				t.Add(row...)
-			}
-			for _, c := range []int{1, 4, 16, 64} {
-				row := []any{"clients", c}
-				for _, p := range protos {
-					r := RunConsensus(ConsensusCfg{Protocol: p, N: 4, Clients: c,
-						Duration: s.Duration, Seed: 2})
-					row = append(row, r.Tps)
+				for _, c := range []int{1, 4, 16, 64} {
+					row := []any{"clients", c}
+					for _, p := range protos {
+						r := eval(ConsensusCfg{Protocol: p, N: 4, Clients: c,
+							Duration: s.Duration, Seed: 2})
+						row = append(row, r.Tps)
+					}
+					t.Add(row...)
 				}
-				t.Add(row...)
-			}
-			t.Notes = append(t.Notes,
-				"paper: PBFT (HL) outperforms the lockstep protocols at scale; Tendermint wins only at N=1 (HL REST cap)")
+				t.Notes = append(t.Notes,
+					"paper: PBFT (HL) outperforms the lockstep protocols at scale; Tendermint wins only at N=1 (HL REST cap)")
+			})
 			return t
 		},
 	})
@@ -63,37 +64,39 @@ func init() {
 			t := &Table{ID: "fig8", Title: "consensus variants, KVStore, cluster",
 				Cols: []string{"mode", "x", "HL", "AHL", "AHL+", "AHLR"}}
 			protos := []string{"hl", "ahl", "ahl+", "ahlr"}
-			for _, n := range sweepN([]int{7, 19, 31, 43, 55, 67, 79}, s) {
-				row := []any{"N", n}
-				for _, p := range protos {
-					r := RunConsensus(ConsensusCfg{Protocol: p, N: n, Clients: 10,
-						Duration: s.Duration, Seed: 3})
-					row = append(row, r.Tps)
-				}
-				t.Add(row...)
-			}
-			// With failures: for a given f, HL runs N=3f+1 while the
-			// attested variants run N=2f+1 (the paper's Figure 8 right).
-			for _, f := range sweepN([]int{1, 5, 10}, s) {
-				row := []any{"f", f}
-				for _, p := range protos {
-					n := 2*f + 1
-					if p == "hl" {
-						n = 3*f + 1
+			runSweep(t, func(t *Table, eval func(ConsensusCfg) ConsensusResult) {
+				for _, n := range sweepN([]int{7, 19, 31, 43, 55, 67, 79}, s) {
+					row := []any{"N", n}
+					for _, p := range protos {
+						r := eval(ConsensusCfg{Protocol: p, N: n, Clients: 10,
+							Duration: s.Duration, Seed: 3})
+						row = append(row, r.Tps)
 					}
-					if n > s.MaxN+12 {
-						row = append(row, "-")
-						continue
-					}
-					r := RunConsensus(ConsensusCfg{Protocol: p, N: n, Clients: 10,
-						Failures: f, FailureMode: pbft.BehaviorEquivocate,
-						Duration: s.Duration, Seed: 3})
-					row = append(row, r.Tps)
+					t.Add(row...)
 				}
-				t.Add(row...)
-			}
-			t.Notes = append(t.Notes,
-				"paper: HL/AHL livelock beyond N=67; AHL+ and AHLR sustain throughput, AHL+ > AHLR")
+				// With failures: for a given f, HL runs N=3f+1 while the
+				// attested variants run N=2f+1 (the paper's Figure 8 right).
+				for _, f := range sweepN([]int{1, 5, 10}, s) {
+					row := []any{"f", f}
+					for _, p := range protos {
+						n := 2*f + 1
+						if p == "hl" {
+							n = 3*f + 1
+						}
+						if n > s.MaxN+12 {
+							row = append(row, "-")
+							continue
+						}
+						r := eval(ConsensusCfg{Protocol: p, N: n, Clients: 10,
+							Failures: f, FailureMode: pbft.BehaviorEquivocate,
+							Duration: s.Duration, Seed: 3})
+						row = append(row, r.Tps)
+					}
+					t.Add(row...)
+				}
+				t.Notes = append(t.Notes,
+					"paper: HL/AHL livelock beyond N=67; AHL+ and AHLR sustain throughput, AHL+ > AHLR")
+			})
 			return t
 		},
 	})
@@ -104,18 +107,20 @@ func init() {
 		Run: func(s Scale) *Table {
 			t := &Table{ID: "fig9", Title: "consensus variants, KVStore, GCP",
 				Cols: []string{"regions", "N", "HL", "AHL", "AHL+", "AHLR"}}
-			for _, regions := range []int{4, 8} {
-				for _, n := range sweepN([]int{7, 19, 31, 43}, s) {
-					row := []any{regions, n}
-					for _, p := range []string{"hl", "ahl", "ahl+", "ahlr"} {
-						r := RunConsensus(ConsensusCfg{Protocol: p, N: n, Clients: 10,
-							Env: Env{GCPRegions: regions}, Duration: s.Duration, Seed: 4})
-						row = append(row, r.Tps)
+			runSweep(t, func(t *Table, eval func(ConsensusCfg) ConsensusResult) {
+				for _, regions := range []int{4, 8} {
+					for _, n := range sweepN([]int{7, 19, 31, 43}, s) {
+						row := []any{regions, n}
+						for _, p := range []string{"hl", "ahl", "ahl+", "ahlr"} {
+							r := eval(ConsensusCfg{Protocol: p, N: n, Clients: 10,
+								Env: Env{GCPRegions: regions}, Duration: s.Duration, Seed: 4})
+							row = append(row, r.Tps)
+						}
+						t.Add(row...)
 					}
-					t.Add(row...)
 				}
-			}
-			t.Notes = append(t.Notes, "paper: HL and AHL show no throughput on GCP; AHL+/AHLR stay above 200 tps")
+				t.Notes = append(t.Notes, "paper: HL and AHL show no throughput on GCP; AHL+/AHLR stay above 200 tps")
+			})
 			return t
 		},
 	})
@@ -141,22 +146,24 @@ func init() {
 				n = s.MaxN
 			}
 			f := 5
-			for _, c := range configs {
-				nf := n
-				if c.proto == "hl" {
-					nf = 3*f + 1
-				} else {
-					nf = 2*f + 1
+			runSweep(t, func(t *Table, eval func(ConsensusCfg) ConsensusResult) {
+				for _, c := range configs {
+					nf := n
+					if c.proto == "hl" {
+						nf = 3*f + 1
+					} else {
+						nf = 2*f + 1
+					}
+					ok := eval(ConsensusCfg{Protocol: c.proto, N: n, Clients: 10,
+						Duration: s.Duration, Seed: 5})
+					bad := eval(ConsensusCfg{Protocol: c.proto, N: nf, Clients: 10,
+						Failures: f, FailureMode: pbft.BehaviorEquivocate,
+						Duration: s.Duration, Seed: 5})
+					t.Add(c.label, ok.Tps, bad.Tps)
 				}
-				ok := RunConsensus(ConsensusCfg{Protocol: c.proto, N: n, Clients: 10,
-					Duration: s.Duration, Seed: 5})
-				bad := RunConsensus(ConsensusCfg{Protocol: c.proto, N: nf, Clients: 10,
-					Failures: f, FailureMode: pbft.BehaviorEquivocate,
-					Duration: s.Duration, Seed: 5})
-				t.Add(c.label, ok.Tps, bad.Tps)
-			}
-			t.Notes = append(t.Notes,
-				"paper: op2 helps most without failures; op1 helps most under failures; AHL+ (op1+op2) is best overall")
+				t.Notes = append(t.Notes,
+					"paper: op2 helps most without failures; op1 helps most under failures; AHL+ (op1+op2) is best overall")
+			})
 			return t
 		},
 	})
@@ -167,21 +174,23 @@ func init() {
 		Run: func(s Scale) *Table {
 			t := &Table{ID: "fig15", Title: "average commit latency",
 				Cols: []string{"env", "N", "HL", "AHL", "AHL+", "AHLR"}}
-			for _, env := range []Env{{}, {GCPRegions: 8}} {
-				for _, n := range sweepN([]int{7, 19, 31, 43}, s) {
-					row := []any{env.String(), n}
-					for _, p := range []string{"hl", "ahl", "ahl+", "ahlr"} {
-						r := RunConsensus(ConsensusCfg{Protocol: p, N: n, Clients: 10,
-							Env: env, Duration: s.Duration, Seed: 6})
-						if r.AvgLatency == 0 {
-							row = append(row, "stalled")
-						} else {
-							row = append(row, r.AvgLatency)
+			runSweep(t, func(t *Table, eval func(ConsensusCfg) ConsensusResult) {
+				for _, env := range []Env{{}, {GCPRegions: 8}} {
+					for _, n := range sweepN([]int{7, 19, 31, 43}, s) {
+						row := []any{env.String(), n}
+						for _, p := range []string{"hl", "ahl", "ahl+", "ahlr"} {
+							r := eval(ConsensusCfg{Protocol: p, N: n, Clients: 10,
+								Env: env, Duration: s.Duration, Seed: 6})
+							if r.AvgLatency == 0 {
+								row = append(row, "stalled")
+							} else {
+								row = append(row, r.AvgLatency)
+							}
 						}
+						t.Add(row...)
 					}
-					t.Add(row...)
 				}
-			}
+			})
 			return t
 		},
 	})
@@ -192,29 +201,31 @@ func init() {
 		Run: func(s Scale) *Table {
 			t := &Table{ID: "fig16", Title: "view changes per run",
 				Cols: []string{"mode", "x", "HL", "AHL", "AHL+", "AHLR"}}
-			for _, n := range sweepN([]int{7, 19, 31, 43}, s) {
-				row := []any{"normal N", n}
-				for _, p := range []string{"hl", "ahl", "ahl+", "ahlr"} {
-					r := RunConsensus(ConsensusCfg{Protocol: p, N: n, Clients: 10,
-						Duration: s.Duration, Seed: 7})
-					row = append(row, r.ViewChanges)
-				}
-				t.Add(row...)
-			}
-			for _, f := range sweepN([]int{1, 5, 10}, s) {
-				row := []any{"worst f", f}
-				for _, p := range []string{"hl", "ahl", "ahl+", "ahlr"} {
-					n := 2*f + 1
-					if p == "hl" {
-						n = 3*f + 1
+			runSweep(t, func(t *Table, eval func(ConsensusCfg) ConsensusResult) {
+				for _, n := range sweepN([]int{7, 19, 31, 43}, s) {
+					row := []any{"normal N", n}
+					for _, p := range []string{"hl", "ahl", "ahl+", "ahlr"} {
+						r := eval(ConsensusCfg{Protocol: p, N: n, Clients: 10,
+							Duration: s.Duration, Seed: 7})
+						row = append(row, r.ViewChanges)
 					}
-					r := RunConsensus(ConsensusCfg{Protocol: p, N: n, Clients: 10,
-						Failures: f, FailureMode: pbft.BehaviorEquivocate,
-						Duration: s.Duration, Seed: 7})
-					row = append(row, r.ViewChanges)
+					t.Add(row...)
 				}
-				t.Add(row...)
-			}
+				for _, f := range sweepN([]int{1, 5, 10}, s) {
+					row := []any{"worst f", f}
+					for _, p := range []string{"hl", "ahl", "ahl+", "ahlr"} {
+						n := 2*f + 1
+						if p == "hl" {
+							n = 3*f + 1
+						}
+						r := eval(ConsensusCfg{Protocol: p, N: n, Clients: 10,
+							Failures: f, FailureMode: pbft.BehaviorEquivocate,
+							Duration: s.Duration, Seed: 7})
+						row = append(row, r.ViewChanges)
+					}
+					t.Add(row...)
+				}
+			})
 			return t
 		},
 	})
@@ -225,18 +236,20 @@ func init() {
 		Run: func(s Scale) *Table {
 			t := &Table{ID: "fig17", Title: "per-replica CPU time split (AHL+ et al., cluster)",
 				Cols: []string{"N", "protocol", "consensus busy", "execution busy", "ratio"}}
-			for _, n := range sweepN([]int{7, 19, 31, 43}, s) {
-				for _, p := range []string{"hl", "ahl+", "ahlr"} {
-					r := RunConsensus(ConsensusCfg{Protocol: p, N: n, Clients: 10,
-						Duration: s.Duration, Seed: 8})
-					ratio := 0.0
-					if r.ExecBusy > 0 {
-						ratio = float64(r.ConsensusBusy) / float64(r.ExecBusy)
+			runSweep(t, func(t *Table, eval func(ConsensusCfg) ConsensusResult) {
+				for _, n := range sweepN([]int{7, 19, 31, 43}, s) {
+					for _, p := range []string{"hl", "ahl+", "ahlr"} {
+						r := eval(ConsensusCfg{Protocol: p, N: n, Clients: 10,
+							Duration: s.Duration, Seed: 8})
+						ratio := 0.0
+						if r.ExecBusy > 0 {
+							ratio = float64(r.ConsensusBusy) / float64(r.ExecBusy)
+						}
+						t.Add(n, p, r.ConsensusBusy, r.ExecBusy, ratio)
 					}
-					t.Add(n, p, r.ConsensusBusy, r.ExecBusy, ratio)
 				}
-			}
-			t.Notes = append(t.Notes, "paper: execution cost is an order of magnitude below consensus cost")
+				t.Notes = append(t.Notes, "paper: execution cost is an order of magnitude below consensus cost")
+			})
 			return t
 		},
 	})
@@ -247,18 +260,20 @@ func init() {
 		Run: func(s Scale) *Table {
 			t := &Table{ID: "fig19", Title: "client sweep, GCP 4 regions, N=7",
 				Cols: []string{"aggregate req/s", "clients", "HL", "AHL+", "AHLR"}}
-			for _, rate := range []float64{256, 1024} {
-				for _, c := range []int{1, 4, 16, 64} {
-					row := []any{rate, c}
-					for _, p := range []string{"hl", "ahl+", "ahlr"} {
-						r := RunConsensus(ConsensusCfg{Protocol: p, N: 7, Clients: c,
-							RatePerClient: rate / float64(c),
-							Env:           Env{GCPRegions: 4}, Duration: s.Duration, Seed: 9})
-						row = append(row, r.Tps)
+			runSweep(t, func(t *Table, eval func(ConsensusCfg) ConsensusResult) {
+				for _, rate := range []float64{256, 1024} {
+					for _, c := range []int{1, 4, 16, 64} {
+						row := []any{rate, c}
+						for _, p := range []string{"hl", "ahl+", "ahlr"} {
+							r := eval(ConsensusCfg{Protocol: p, N: 7, Clients: c,
+								RatePerClient: rate / float64(c),
+								Env:           Env{GCPRegions: 4}, Duration: s.Duration, Seed: 9})
+							row = append(row, r.Tps)
+						}
+						t.Add(row...)
 					}
-					t.Add(row...)
 				}
-			}
+			})
 			return t
 		},
 	})
@@ -269,20 +284,20 @@ func init() {
 		Run: func(s Scale) *Table {
 			t := &Table{ID: "fig20", Title: "client sweep, cluster, N=7",
 				Cols: []string{"benchmark", "clients", "HL", "AHL", "AHL+", "AHLR"}}
-			for _, bm := range []string{"smallbank", "kvstore"} {
-				for _, c := range []int{1, 4, 16, 64} {
-					row := []any{bm, c}
-					for _, p := range []string{"hl", "ahl", "ahl+", "ahlr"} {
-						r := RunConsensus(ConsensusCfg{Protocol: p, N: 7, Clients: c,
-							Benchmark: bm, Duration: s.Duration, Seed: 10})
-						row = append(row, r.Tps)
+			runSweep(t, func(t *Table, eval func(ConsensusCfg) ConsensusResult) {
+				for _, bm := range []string{"smallbank", "kvstore"} {
+					for _, c := range []int{1, 4, 16, 64} {
+						row := []any{bm, c}
+						for _, p := range []string{"hl", "ahl", "ahl+", "ahlr"} {
+							r := eval(ConsensusCfg{Protocol: p, N: 7, Clients: c,
+								Benchmark: bm, Duration: s.Duration, Seed: 10})
+							row = append(row, r.Tps)
+						}
+						t.Add(row...)
 					}
-					t.Add(row...)
 				}
-			}
+			})
 			return t
 		},
 	})
-
-	_ = fmt.Sprint // keep fmt for formatting helpers used above
 }

@@ -30,6 +30,10 @@ func buildShardedSystem(seed int64, shards, shardSize, refSize, clients int,
 	})
 }
 
+// The whole-system experiments below package each independent simulation
+// as a parRows job, so rows compute on the worker pool in any order while
+// the table keeps its serial row order (see parallel.go).
+
 func init() {
 	register(Experiment{
 		ID:    "fig11",
@@ -47,32 +51,32 @@ func init() {
 				}
 				t.Add("committee size @%byz", pct*100, ours, omniStr)
 			}
+			var jobs []func() []any
 			for _, n := range []int{32, 64, 128, 256, 512} {
 				if n > s.Nodes*4 {
 					break
 				}
-				beacon := sharding.RunBeaconProtocol(11, n, sharding.DefaultLBits(n),
-					sharding.DeltaFor(simnet.LAN()), simnet.LAN())
-				rh := sharding.RunRandHound(11, n, 16, simnet.LAN())
-				t.Add("formation time (cluster)", n, beacon.Elapsed, rh)
+				jobs = append(jobs, func() []any {
+					beacon := sharding.RunBeaconProtocol(11, n, sharding.DefaultLBits(n),
+						sharding.DeltaFor(simnet.LAN()), simnet.LAN())
+					rh := sharding.RunRandHound(11, n, 16, simnet.LAN())
+					return []any{"formation time (cluster)", n, beacon.Elapsed, rh}
+				})
 			}
-			nodesGCP := make([]simnet.NodeID, 64)
-			for i := range nodesGCP {
-				nodesGCP[i] = simnet.NodeID(i)
-			}
-			gcp := simnet.GCP(8, nodesGCP)
 			for _, n := range []int{32, 64} {
-				ids := make([]simnet.NodeID, n)
-				for i := range ids {
-					ids[i] = simnet.NodeID(i)
-				}
-				lat := simnet.GCP(8, ids)
-				beacon := sharding.RunBeaconProtocol(12, n, sharding.DefaultLBits(n),
-					sharding.DeltaFor(lat), lat)
-				rh := sharding.RunRandHound(12, n, 16, lat)
-				t.Add("formation time (gcp)", n, beacon.Elapsed, rh)
+				jobs = append(jobs, func() []any {
+					ids := make([]simnet.NodeID, n)
+					for i := range ids {
+						ids[i] = simnet.NodeID(i)
+					}
+					lat := simnet.GCP(8, ids)
+					beacon := sharding.RunBeaconProtocol(12, n, sharding.DefaultLBits(n),
+						sharding.DeltaFor(lat), lat)
+					rh := sharding.RunRandHound(12, n, 16, lat)
+					return []any{"formation time (gcp)", n, beacon.Elapsed, rh}
+				})
 			}
-			_ = gcp
+			parRows(t, jobs)
 			t.Notes = append(t.Notes,
 				"paper: ours needs ~80-node committees at 25% adversary vs 600+ for PBFT-based; beacon is up to 32x faster than RandHound")
 			return t
@@ -92,17 +96,21 @@ func init() {
 			lat := simnet.LAN()
 			delta := sharding.DeltaFor(lat)
 			seen := make(map[uint]bool)
+			var jobs []func() []any
 			for _, l := range []uint{0, 2, sharding.DefaultLBits(n), uint(math.Log2(float64(n)))} {
 				if seen[l] {
 					continue
 				}
 				seen[l] = true
-				res := sharding.RunBeaconProtocol(15, n, l, delta, lat)
-				t.Add(l,
-					sharding.RepeatProb(n, l),
-					sharding.ExpectedBroadcasters(n, l),
-					res.Rounds, res.Messages, res.Elapsed)
+				jobs = append(jobs, func() []any {
+					res := sharding.RunBeaconProtocol(15, n, l, delta, lat)
+					return []any{l,
+						sharding.RepeatProb(n, l),
+						sharding.ExpectedBroadcasters(n, l),
+						res.Rounds, res.Messages, res.Elapsed}
+				})
 			}
+			parRows(t, jobs)
 			t.Notes = append(t.Notes,
 				"§5.1: l trades repeat probability (1-2^-l)^N against O(2^-l N²) communication; l=log N gives O(N) messages with Prepeat ≈ 1/e, the paper's l=log N - log log N gives O(N log N) with Prepeat < 2^-11")
 			return t
@@ -131,13 +139,16 @@ func init() {
 				sys.Run(160 * time.Second)
 				return sampler.Samples
 			}
+			var jobs []func() []any
 			for _, c := range []struct {
 				label string
 				mode  int
 			}{{"no reshard", -1}, {"swap all", int(core.ReshardSwapAll)}, {"swap log(n)", int(core.ReshardSwapBatch)}} {
-				samples := run(c.mode)
-				t.Add(c.label, joinFloats(samples))
+				jobs = append(jobs, func() []any {
+					return []any{c.label, joinFloats(run(c.mode))}
+				})
 			}
+			parRows(t, jobs)
 			t.Notes = append(t.Notes,
 				"paper: swap-all drops to zero for ~80s then spikes on backlog; swap-log(n) tracks the baseline")
 			return t
@@ -150,6 +161,7 @@ func init() {
 		Run: func(s Scale) *Table {
 			t := &Table{ID: "fig13", Title: "coordination overhead and contention",
 				Cols: []string{"metric", "x", "value"}}
+			var jobs []func() []any
 			// Left: SmallBank throughput vs total network size with f=1
 			// shards: AHL+ shards have 3 nodes, HL shards 4 nodes.
 			for _, cfg := range []struct {
@@ -171,41 +183,47 @@ func init() {
 					if shards < 1 {
 						continue
 					}
-					ref := 0
-					if cfg.withRef {
-						ref = cfg.per
-					}
-					sys := buildShardedSystem(31, shards, cfg.per, ref, 4*shards, cfg.variant, 0)
-					sys.Seed(40*shards, 1_000_000)
-					var tps float64
-					if cfg.withRef {
-						gen := workload.NewSmallBankGen(rand.New(rand.NewSource(9)), 40*shards, 0)
-						drv := &workload.ClosedLoopShardedDriver{Sys: sys, Gen: gen, Outstanding: 16}
-						before := drv.Stats.Committed + drv.Stats.Aborted
-						drv.Start(s.Duration + 2*time.Second)
-						sys.Run(s.Duration + 2*time.Second)
-						tps = float64(drv.Stats.Committed+drv.Stats.Aborted-before) / (s.Duration + 2*time.Second).Seconds()
-					} else {
-						drv := &workload.OpenLoopShardedDriver{Sys: sys, Benchmark: "smallbank",
-							Accounts: 40 * shards, Rate: 1200 * float64(shards), Rng: rand.New(rand.NewSource(9))}
-						before := sys.TotalExecuted()
-						drv.Start(s.Duration + 2*time.Second)
-						sys.Run(s.Duration + 2*time.Second)
-						tps = float64(sys.TotalExecuted()-before) / (s.Duration + 2*time.Second).Seconds()
-					}
-					t.Add(cfg.label+" tps", nTotal, tps)
+					jobs = append(jobs, func() []any {
+						shards := nTotal / cfg.per
+						ref := 0
+						if cfg.withRef {
+							ref = cfg.per
+						}
+						sys := buildShardedSystem(31, shards, cfg.per, ref, 4*shards, cfg.variant, 0)
+						sys.Seed(40*shards, 1_000_000)
+						var tps float64
+						if cfg.withRef {
+							gen := workload.NewSmallBankGen(rand.New(rand.NewSource(9)), 40*shards, 0)
+							drv := &workload.ClosedLoopShardedDriver{Sys: sys, Gen: gen, Outstanding: 16}
+							before := drv.Stats.Committed + drv.Stats.Aborted
+							drv.Start(s.Duration + 2*time.Second)
+							sys.Run(s.Duration + 2*time.Second)
+							tps = float64(drv.Stats.Committed+drv.Stats.Aborted-before) / (s.Duration + 2*time.Second).Seconds()
+						} else {
+							drv := &workload.OpenLoopShardedDriver{Sys: sys, Benchmark: "smallbank",
+								Accounts: 40 * shards, Rate: 1200 * float64(shards), Rng: rand.New(rand.NewSource(9))}
+							before := sys.TotalExecuted()
+							drv.Start(s.Duration + 2*time.Second)
+							sys.Run(s.Duration + 2*time.Second)
+							tps = float64(sys.TotalExecuted()-before) / (s.Duration + 2*time.Second).Seconds()
+						}
+						return []any{cfg.label + " tps", nTotal, tps}
+					})
 				}
 			}
 			// Right: abort rate vs Zipf coefficient.
 			for _, zipf := range []float64{0, 0.49, 0.99, 1.49, 1.99} {
-				sys := buildShardedSystem(32, 4, 3, 3, 8, pbft.VariantAHLPlus, 0)
-				sys.Seed(120, 1_000_000)
-				gen := workload.NewSmallBankGen(rand.New(rand.NewSource(10)), 120, zipf)
-				drv := &workload.ClosedLoopShardedDriver{Sys: sys, Gen: gen, Outstanding: 16}
-				drv.Start(s.Duration + 2*time.Second)
-				sys.Run(s.Duration + 2*time.Second)
-				t.Add("abort rate @zipf", zipf, drv.Stats.AbortRate())
+				jobs = append(jobs, func() []any {
+					sys := buildShardedSystem(32, 4, 3, 3, 8, pbft.VariantAHLPlus, 0)
+					sys.Seed(120, 1_000_000)
+					gen := workload.NewSmallBankGen(rand.New(rand.NewSource(10)), 120, zipf)
+					drv := &workload.ClosedLoopShardedDriver{Sys: sys, Gen: gen, Outstanding: 16}
+					drv.Start(s.Duration + 2*time.Second)
+					sys.Run(s.Duration + 2*time.Second)
+					return []any{"abort rate @zipf", zipf, drv.Stats.AbortRate()}
+				})
 			}
+			parRows(t, jobs)
 			t.Notes = append(t.Notes,
 				"paper: throughput scales linearly with shards; R becomes the bottleneck as shards grow; abort rate rises with skew")
 			return t
@@ -225,21 +243,25 @@ func init() {
 					shards = 2
 				}
 			}
+			var jobs []func() []any
 			for _, groups := range []int{1, 2, 4} {
-				sys := core.NewSystem(core.Config{
-					Seed: 33, Shards: shards, ShardSize: per,
-					RefSize: per, RefGroups: groups,
-					Variant: pbft.VariantAHLPlus, Clients: 4 * shards,
-					SendReplies: true, Costs: tee.DefaultCosts(),
+				jobs = append(jobs, func() []any {
+					sys := core.NewSystem(core.Config{
+						Seed: 33, Shards: shards, ShardSize: per,
+						RefSize: per, RefGroups: groups,
+						Variant: pbft.VariantAHLPlus, Clients: 4 * shards,
+						SendReplies: true, Costs: tee.DefaultCosts(),
+					})
+					sys.Seed(40*shards, 1_000_000)
+					gen := workload.NewSmallBankGen(rand.New(rand.NewSource(13)), 40*shards, 0)
+					drv := &workload.ClosedLoopShardedDriver{Sys: sys, Gen: gen, Outstanding: 16}
+					drv.Start(s.Duration + 2*time.Second)
+					sys.Run(s.Duration + 2*time.Second)
+					tps := float64(drv.Stats.Committed) / (s.Duration + 2*time.Second).Seconds()
+					return []any{groups, tps, drv.Stats.AbortRate()}
 				})
-				sys.Seed(40*shards, 1_000_000)
-				gen := workload.NewSmallBankGen(rand.New(rand.NewSource(13)), 40*shards, 0)
-				drv := &workload.ClosedLoopShardedDriver{Sys: sys, Gen: gen, Outstanding: 16}
-				drv.Start(s.Duration + 2*time.Second)
-				sys.Run(s.Duration + 2*time.Second)
-				tps := float64(drv.Stats.Committed) / (s.Duration + 2*time.Second).Seconds()
-				t.Add(groups, tps, drv.Stats.AbortRate())
 			}
+			parRows(t, jobs)
 			t.Notes = append(t.Notes,
 				"§6.2: \"the reference committee is not a bottleneck ... we can scale it out by running multiple instances of R in parallel\"; throughput should rise with instances until the shards saturate")
 			return t
@@ -252,20 +274,24 @@ func init() {
 		Run: func(s Scale) *Table {
 			t := &Table{ID: "fig13r", Title: "closed-loop SmallBank, 4 AHL+ shards, Zipf 1.2",
 				Cols: []string{"max retries", "goodput tps", "logical abort rate", "retries/s"}}
+			var jobs []func() []any
 			for _, retries := range []int{0, 1, 3, 5} {
-				sys := buildShardedSystem(34, 4, 3, 3, 8, pbft.VariantAHLPlus, 0)
-				sys.Seed(60, 1_000_000)
-				gen := workload.NewSmallBankGen(rand.New(rand.NewSource(14)), 60, 1.2)
-				drv := &workload.ClosedLoopShardedDriver{Sys: sys, Gen: gen, Outstanding: 16,
-					MaxRetries: retries, RetryBackoff: 50 * time.Millisecond}
-				dur := s.Duration + 2*time.Second
-				drv.Start(dur)
-				sys.Run(dur)
-				t.Add(retries,
-					float64(drv.Stats.Committed)/dur.Seconds(),
-					drv.Stats.AbortRate(),
-					float64(drv.Stats.Retried)/dur.Seconds())
+				jobs = append(jobs, func() []any {
+					sys := buildShardedSystem(34, 4, 3, 3, 8, pbft.VariantAHLPlus, 0)
+					sys.Seed(60, 1_000_000)
+					gen := workload.NewSmallBankGen(rand.New(rand.NewSource(14)), 60, 1.2)
+					drv := &workload.ClosedLoopShardedDriver{Sys: sys, Gen: gen, Outstanding: 16,
+						MaxRetries: retries, RetryBackoff: 50 * time.Millisecond}
+					dur := s.Duration + 2*time.Second
+					drv.Start(dur)
+					sys.Run(dur)
+					return []any{retries,
+						float64(drv.Stats.Committed) / dur.Seconds(),
+						drv.Stats.AbortRate(),
+						float64(drv.Stats.Retried) / dur.Seconds()}
+				})
 			}
+			parRows(t, jobs)
 			t.Notes = append(t.Notes,
 				"§6.2 aborts on lock conflict instead of waiting (deadlock-free); §6.4 notes 2PL \"may not extract sufficient concurrency\" — retries trade goodput for logical success rate: each retry re-attacks the same hot keys, so under heavy skew the abort rate falls while throughput drops, quantifying how much a smarter concurrency-control protocol could win")
 			return t
@@ -281,6 +307,7 @@ func init() {
 			// Paper-exact committee sizes: 27 for 12.5%, 79 for 25%. At
 			// quick scales we shrink the committees proportionally while
 			// keeping the 12.5%:25% size ratio.
+			var jobs []func() []any
 			for _, adv := range []struct {
 				label string
 				per   int
@@ -294,17 +321,20 @@ func init() {
 					if n > s.Nodes {
 						break
 					}
-					sys := buildShardedSystem(41, mult, per, 0, 1, pbft.VariantAHLPlus, 8)
-					sys.Seed(60*mult, 1_000_000)
-					drv := &workload.OpenLoopShardedDriver{Sys: sys, Benchmark: "smallbank",
-						Accounts: 60 * mult, Rate: 600 * float64(mult), Rng: rand.New(rand.NewSource(11))}
-					before := sys.TotalExecuted()
-					drv.Start(s.Duration + 2*time.Second)
-					sys.Run(s.Duration + 2*time.Second)
-					tps := float64(sys.TotalExecuted()-before) / (s.Duration + 2*time.Second).Seconds()
-					t.Add(adv.label, n, mult, per, tps)
+					jobs = append(jobs, func() []any {
+						sys := buildShardedSystem(41, mult, per, 0, 1, pbft.VariantAHLPlus, 8)
+						sys.Seed(60*mult, 1_000_000)
+						drv := &workload.OpenLoopShardedDriver{Sys: sys, Benchmark: "smallbank",
+							Accounts: 60 * mult, Rate: 600 * float64(mult), Rng: rand.New(rand.NewSource(11))}
+						before := sys.TotalExecuted()
+						drv.Start(s.Duration + 2*time.Second)
+						sys.Run(s.Duration + 2*time.Second)
+						tps := float64(sys.TotalExecuted()-before) / (s.Duration + 2*time.Second).Seconds()
+						return []any{adv.label, n, mult, per, tps}
+					})
 				}
 			}
+			parRows(t, jobs)
 			t.Notes = append(t.Notes,
 				"paper: throughput scales linearly with shards; >3000 tps at 36 shards (12.5%), 954 tps (25%)")
 			return t
@@ -317,34 +347,38 @@ func init() {
 		Run: func(s Scale) *Table {
 			t := &Table{ID: "fig18", Title: "cluster, f=1 shards, closed loop",
 				Cols: []string{"N", "SB-AHL+", "SB-HL", "KVS-AHL+", "KVS-HL"}}
+			var jobs []func() []any
 			for _, nTotal := range []int{12, 24, 36} {
 				if nTotal > s.Nodes {
 					break
 				}
-				row := []any{nTotal}
-				for _, bm := range []string{"smallbank", "kvstore"} {
-					for _, cfg := range []struct {
-						variant pbft.Variant
-						per     int
-					}{{pbft.VariantAHLPlus, 3}, {pbft.VariantHL, 4}} {
-						shards := nTotal / cfg.per
-						sys := buildShardedSystem(51, shards, cfg.per, cfg.per, 4*shards, cfg.variant, 0)
-						sys.Seed(40*shards, 1_000_000)
-						var gen workload.Gen
-						if bm == "smallbank" {
-							gen = workload.NewSmallBankGen(rand.New(rand.NewSource(12)), 40*shards, 0)
-						} else {
-							gen = workload.NewKVStoreGen(rand.New(rand.NewSource(12)), 400*shards, 0)
+				jobs = append(jobs, func() []any {
+					row := []any{nTotal}
+					for _, bm := range []string{"smallbank", "kvstore"} {
+						for _, cfg := range []struct {
+							variant pbft.Variant
+							per     int
+						}{{pbft.VariantAHLPlus, 3}, {pbft.VariantHL, 4}} {
+							shards := nTotal / cfg.per
+							sys := buildShardedSystem(51, shards, cfg.per, cfg.per, 4*shards, cfg.variant, 0)
+							sys.Seed(40*shards, 1_000_000)
+							var gen workload.Gen
+							if bm == "smallbank" {
+								gen = workload.NewSmallBankGen(rand.New(rand.NewSource(12)), 40*shards, 0)
+							} else {
+								gen = workload.NewKVStoreGen(rand.New(rand.NewSource(12)), 400*shards, 0)
+							}
+							drv := &workload.ClosedLoopShardedDriver{Sys: sys, Gen: gen, Outstanding: 16}
+							drv.Start(s.Duration + 2*time.Second)
+							sys.Run(s.Duration + 2*time.Second)
+							tps := float64(drv.Stats.Committed+drv.Stats.Aborted) / (s.Duration + 2*time.Second).Seconds()
+							row = append(row, tps)
 						}
-						drv := &workload.ClosedLoopShardedDriver{Sys: sys, Gen: gen, Outstanding: 16}
-						drv.Start(s.Duration + 2*time.Second)
-						sys.Run(s.Duration + 2*time.Second)
-						tps := float64(drv.Stats.Committed+drv.Stats.Aborted) / (s.Duration + 2*time.Second).Seconds()
-						row = append(row, tps)
 					}
-				}
-				t.Add(row...)
+					return row
+				})
 			}
+			parRows(t, jobs)
 			return t
 		},
 	})

@@ -1,0 +1,119 @@
+package bench
+
+// Parallel experiment execution.
+//
+// Every sim.Engine is single-threaded and deterministic, and a consensus
+// benchmark run shares no state with any other run, so the independent
+// points of an experiment sweep are embarrassingly parallel. The helpers
+// here run them on a bounded worker pool while preserving input order, so
+// a table assembled from parallel results is bit-identical to one produced
+// serially — determinism is a property of each run, order a property of
+// the assembly, and neither depends on scheduling.
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// workers is the configured pool width; 0 means "resolve to GOMAXPROCS".
+var workers atomic.Int64
+
+// Workers reports the worker-pool width used for experiment sweeps: the
+// value set by SetWorkers, else the REPRO_BENCH_WORKERS environment
+// variable, else GOMAXPROCS.
+func Workers() int {
+	if n := workers.Load(); n > 0 {
+		return int(n)
+	}
+	if s := os.Getenv("REPRO_BENCH_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers fixes the worker-pool width (n <= 0 restores the default).
+// Results are identical at any width; this only trades memory for speed.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workers.Store(int64(n))
+}
+
+// parMap applies fn to every item on the worker pool and returns results
+// in input order. Items are claimed through an atomic cursor, so long jobs
+// do not convoy short ones behind a fixed pre-partition.
+func parMap[T, R any](items []T, fn func(T) R) []R {
+	out := make([]R, len(items))
+	n := Workers()
+	if n > len(items) {
+		n = len(items)
+	}
+	if n <= 1 {
+		for i := range items {
+			out[i] = fn(items[i])
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				out[i] = fn(items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RunConsensusSweep runs each configuration on the worker pool and returns
+// results in input order. Each run is bit-identical to what RunConsensus
+// would produce serially.
+func RunConsensusSweep(cfgs []ConsensusCfg) []ConsensusResult {
+	return parMap(cfgs, RunConsensus)
+}
+
+// runSweep drives an experiment whose measurements are all RunConsensus
+// calls. It invokes build twice: a recording pass (against a scratch
+// table) that collects every configuration the experiment evaluates, and
+// — after running them all on the worker pool — a replay pass that
+// assembles the real table from the results in order. build must derive
+// its control flow only from its inputs, not from measured values.
+func runSweep(t *Table, build func(t *Table, eval func(ConsensusCfg) ConsensusResult)) {
+	var cfgs []ConsensusCfg
+	scratch := &Table{}
+	build(scratch, func(cfg ConsensusCfg) ConsensusResult {
+		cfgs = append(cfgs, cfg)
+		return ConsensusResult{}
+	})
+	res := RunConsensusSweep(cfgs)
+	k := 0
+	build(t, func(ConsensusCfg) ConsensusResult {
+		r := res[k]
+		k++
+		return r
+	})
+}
+
+// parRows runs independent row-producing jobs on the worker pool and adds
+// their rows to t in job order. A job returning nil adds no row.
+func parRows(t *Table, jobs []func() []any) {
+	for _, cells := range parMap(jobs, func(j func() []any) []any { return j() }) {
+		if cells != nil {
+			t.Add(cells...)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestParMapOrderAndCoverage(t *testing.T) {
+	defer SetWorkers(0)
+	in := make([]int, 100)
+	for i := range in {
+		in[i] = i
+	}
+	for _, w := range []int{1, 3, 16} {
+		SetWorkers(w)
+		out := parMap(in, func(v int) int { return v * v })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestParRowsKeepsOrder(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	tbl := &Table{Cols: []string{"a"}}
+	jobs := []func() []any{
+		func() []any { return []any{"one"} },
+		func() []any { return nil }, // contributes no row
+		func() []any { return []any{"two"} },
+		func() []any { return []any{"three"} },
+	}
+	parRows(tbl, jobs)
+	got := make([]string, len(tbl.Rows))
+	for i, r := range tbl.Rows {
+		got[i] = r[0]
+	}
+	want := []string{"one", "two", "three"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+}
+
+// The headline determinism guarantee: a sweep run on the parallel worker
+// pool produces results bit-identical to serial execution, point by point.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	cfgs := []ConsensusCfg{
+		{Protocol: "ahl+", N: 4, Duration: time.Second, Seed: 11},
+		{Protocol: "hl", N: 4, Duration: time.Second, Seed: 11},
+		{Protocol: "ahlr", N: 4, Duration: time.Second, Seed: 12},
+		{Protocol: "tendermint", N: 4, Duration: time.Second, Seed: 13},
+	}
+	serial := make([]ConsensusResult, len(cfgs))
+	for i, cfg := range cfgs {
+		serial[i] = RunConsensus(cfg)
+	}
+	defer SetWorkers(0)
+	SetWorkers(4)
+	parallel := RunConsensusSweep(cfgs)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel sweep diverged from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// A full experiment table must also be bit-identical between worker-pool
+// widths (rows, notes, everything the renderer sees).
+func TestExperimentTableParallelMatchesSerial(t *testing.T) {
+	e, ok := Get("fig17")
+	if !ok {
+		t.Fatal("fig17 not registered")
+	}
+	tiny := Scale{MaxN: 7, Duration: time.Second, Nodes: 24}
+	defer SetWorkers(0)
+	SetWorkers(1)
+	serial := e.Run(tiny)
+	SetWorkers(4)
+	parallel := e.Run(tiny)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("fig17 table differs between serial and parallel runs:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := NewReport("test")
+	r.AddExperiment("fig0", "demo", 1500*time.Millisecond, 3)
+	path := t.TempDir() + "/BENCH_test.json"
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalMS != 1500 {
+		t.Fatalf("TotalMS = %v, want 1500", r.TotalMS)
+	}
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Report is the machine-readable record of a benchmark session, written as
+// BENCH_*.json so the repository's performance trajectory can be tracked
+// across PRs and compared by tooling instead of by prose.
+type Report struct {
+	// Label identifies the session (e.g. "pr1", "shardsim -exp all").
+	Label     string `json:"label"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// Workers is the experiment worker-pool width used (see Workers).
+	Workers   int    `json:"workers"`
+	Scale     string `json:"scale,omitempty"`
+	CreatedAt string `json:"created_at,omitempty"`
+
+	// Experiments holds one entry per experiment run this session.
+	Experiments []ExperimentEntry `json:"experiments,omitempty"`
+	TotalMS     float64           `json:"total_ms,omitempty"`
+
+	// Micro holds microbenchmark results (ns/op, allocs/op) when the
+	// session records them, keyed by benchmark name. Before/After pairs
+	// track a change's effect within one PR.
+	Micro map[string]MicroEntry `json:"micro,omitempty"`
+}
+
+// ExperimentEntry records one experiment's regeneration cost and output
+// shape.
+type ExperimentEntry struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title,omitempty"`
+	WallMS float64 `json:"wall_ms"`
+	Rows   int     `json:"rows"`
+}
+
+// MicroEntry is one microbenchmark measurement, optionally with the
+// pre-change baseline alongside.
+type MicroEntry struct {
+	NsOp     float64     `json:"ns_op"`
+	AllocsOp int         `json:"allocs_op"`
+	BytesOp  int         `json:"bytes_op"`
+	Before   *MicroEntry `json:"before,omitempty"`
+}
+
+// NewReport returns a report stamped with the current toolchain and
+// machine shape.
+func NewReport(label string) *Report {
+	return &Report{
+		Label:     label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Workers:   Workers(),
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// AddExperiment records one experiment run.
+func (r *Report) AddExperiment(id, title string, wall time.Duration, rows int) {
+	r.Experiments = append(r.Experiments, ExperimentEntry{
+		ID: id, Title: title, WallMS: float64(wall) / float64(time.Millisecond), Rows: rows})
+	r.TotalMS += float64(wall) / float64(time.Millisecond)
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

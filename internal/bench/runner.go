@@ -113,7 +113,8 @@ func RunConsensus(cfg ConsensusCfg) ConsensusResult {
 		timing = consensus.WANTiming()
 	}
 
-	submitFns, measure := buildProtocol(cfg, engine, net, nodes, timing)
+	st := &runState{}
+	submitFns, measure := st.buildProtocol(cfg, engine, net, nodes, timing)
 
 	// Open-loop clients: each sends RatePerClient req/s to a replica
 	// (round-robin over replicas across clients).
@@ -147,39 +148,33 @@ func RunConsensus(cfg ConsensusCfg) ConsensusResult {
 	engine.Run(sim.Time(cfg.Warmup + cfg.Duration))
 	endExec := measure()
 
-	res := collectResult(cfg)
+	res := st.collectResult(cfg)
 	res.Executed = endExec - startExec
 	res.Tps = float64(res.Executed) / cfg.Duration.Seconds()
 	return res
 }
 
-// run state shared between buildProtocol and collectResult (single-threaded
-// benchmark; reset per call).
-var runState struct {
+// runState is the per-run bookkeeping shared between buildProtocol and
+// collectResult. It is local to one RunConsensus call, which keeps
+// concurrent runs on the parallel sweep runner fully independent.
+type runState struct {
 	pbftBC   *pbft.BuiltCommittee
 	tmReps   []*tendermint.Replica
 	raftReps []*raft.Replica
-	submits  []chain.Tx
 	latSum   time.Duration
 	latN     int
 }
 
-func buildProtocol(cfg ConsensusCfg, engine *sim.Engine, net *simnet.Network,
+func (st *runState) buildProtocol(cfg ConsensusCfg, engine *sim.Engine, net *simnet.Network,
 	nodes []simnet.NodeID, timing consensus.Timing) ([]func(chain.Tx), func() int) {
-
-	runState.pbftBC = nil
-	runState.tmReps = nil
-	runState.raftReps = nil
-	runState.latSum = 0
-	runState.latN = 0
 
 	submitAt := make(map[uint64]sim.Time)
 	trackSubmit := func(tx chain.Tx) { submitAt[tx.ID] = engine.Now() }
 	trackExec := func(ev consensus.BlockEvent) {
 		for _, res := range ev.Results {
 			if at, ok := submitAt[res.Tx.ID]; ok {
-				runState.latSum += ev.Time.Sub(at)
-				runState.latN++
+				st.latSum += ev.Time.Sub(at)
+				st.latN++
 				delete(submitAt, res.Tx.ID)
 			}
 		}
@@ -207,7 +202,7 @@ func buildProtocol(cfg ConsensusCfg, engine *sim.Engine, net *simnet.Network,
 				}
 			},
 		})
-		runState.pbftBC = bc
+		st.pbftBC = bc
 		bc.Replicas[0].OnExecute(trackExec)
 		fns := make([]func(chain.Tx), len(bc.Replicas))
 		for i, r := range bc.Replicas {
@@ -234,7 +229,7 @@ func buildProtocol(cfg ConsensusCfg, engine *sim.Engine, net *simnet.Network,
 		for _, r := range reps {
 			r.Start(engine)
 		}
-		runState.tmReps = reps
+		st.tmReps = reps
 		reps[0].OnExecute(trackExec)
 		fns := make([]func(chain.Tx), len(reps))
 		for i, r := range reps {
@@ -253,7 +248,7 @@ func buildProtocol(cfg ConsensusCfg, engine *sim.Engine, net *simnet.Network,
 		for _, r := range reps {
 			r.Start(engine)
 		}
-		runState.raftReps = reps
+		st.raftReps = reps
 		reps[0].OnExecute(trackExec)
 		fns := make([]func(chain.Tx), len(reps))
 		for i, r := range reps {
@@ -298,20 +293,20 @@ func kthLargest(counts []int, k int) int {
 	return counts[k-1]
 }
 
-func collectResult(cfg ConsensusCfg) ConsensusResult {
+func (st *runState) collectResult(cfg ConsensusCfg) ConsensusResult {
 	var res ConsensusResult
-	if runState.latN > 0 {
-		res.AvgLatency = runState.latSum / time.Duration(runState.latN)
+	if st.latN > 0 {
+		res.AvgLatency = st.latSum / time.Duration(st.latN)
 	}
 	switch {
-	case runState.pbftBC != nil:
-		res.ViewChanges = runState.pbftBC.MaxViewChanges()
-		r := runState.pbftBC.Replicas[0]
+	case st.pbftBC != nil:
+		res.ViewChanges = st.pbftBC.MaxViewChanges()
+		r := st.pbftBC.Replicas[0]
 		res.ExecBusy = r.ExecBusy
 		res.ConsensusBusy = r.Endpoint().CPU().BusyTime - r.ExecBusy
-	case runState.tmReps != nil:
+	case st.tmReps != nil:
 		res.ViewChanges = 0
-		for _, r := range runState.tmReps {
+		for _, r := range st.tmReps {
 			if v := r.ViewChanges(); v > res.ViewChanges {
 				res.ViewChanges = v
 			}

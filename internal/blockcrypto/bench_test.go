@@ -1,0 +1,58 @@
+package blockcrypto
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkHash measures the multi-chunk digest path used for every block,
+// tag, and trusted-log bind in the simulation.
+func BenchmarkHash(b *testing.B) {
+	chunk1 := make([]byte, 32)
+	chunk2 := make([]byte, 8)
+	chunk3 := make([]byte, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = Hash(chunk1, chunk2, chunk3)
+	}
+}
+
+// BenchmarkHashLarge exercises the streaming fallback for payloads beyond
+// the stack scratch buffer.
+func BenchmarkHashLarge(b *testing.B) {
+	chunk := make([]byte, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = Hash(chunk)
+	}
+}
+
+// BenchmarkHashOfDigests measures Merkle interior-node hashing.
+func BenchmarkHashOfDigests(b *testing.B) {
+	var d1, d2 Digest
+	d1[0], d2[0] = 1, 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = HashOfDigests(d1, d2)
+	}
+}
+
+// BenchmarkSimSignVerify measures the simulation scheme's tag round trip.
+func BenchmarkSimSignVerify(b *testing.B) {
+	s := NewSimScheme()
+	signer := s.NewSigner(1, rand.New(rand.NewSource(1)))
+	d := Hash([]byte("payload"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sig := signer.Sign(d)
+		if !s.Verify(d, sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+var sink Digest

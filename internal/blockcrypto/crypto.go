@@ -25,6 +25,7 @@ package blockcrypto
 import (
 	"crypto/ed25519"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
@@ -36,26 +37,55 @@ const DigestSize = sha256.Size
 // Digest is a SHA-256 hash value.
 type Digest [DigestSize]byte
 
+// hashScratch is the stack buffer used to single-shot short multi-chunk
+// hashes; inputs up to this many bytes are hashed without heap allocation.
+const hashScratch = 256
+
 // Hash returns the SHA-256 digest of the concatenation of the given chunks.
+//
+// Short inputs (tags, headers, trusted-log binds — the simulation's hot
+// path) are gathered into a stack buffer and hashed with the single-shot
+// sha256.Sum256; longer inputs stream through a hasher with the digest
+// written in place, so neither path allocates.
 func Hash(chunks ...[]byte) Digest {
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	if total <= hashScratch {
+		var buf [hashScratch]byte
+		b := buf[:0]
+		for _, c := range chunks {
+			b = append(b, c...)
+		}
+		return sha256.Sum256(b)
+	}
 	h := sha256.New()
 	for _, c := range chunks {
 		h.Write(c)
 	}
 	var d Digest
-	copy(d[:], h.Sum(nil))
+	h.Sum(d[:0])
 	return d
 }
 
 // HashOfDigests hashes a sequence of digests, used for chaining and Merkle
 // interior nodes.
 func HashOfDigests(ds ...Digest) Digest {
+	if len(ds)*DigestSize <= hashScratch {
+		var buf [hashScratch]byte
+		b := buf[:0]
+		for i := range ds {
+			b = append(b, ds[i][:]...)
+		}
+		return sha256.Sum256(b)
+	}
 	h := sha256.New()
-	for _, d := range ds {
-		h.Write(d[:])
+	for i := range ds {
+		h.Write(ds[i][:])
 	}
 	var out Digest
-	copy(out[:], h.Sum(nil))
+	h.Sum(out[:0])
 	return out
 }
 
@@ -163,14 +193,20 @@ type simSigner struct {
 func (s *simSigner) ID() KeyID { return s.id }
 
 func (s *simSigner) Sign(d Digest) Signature {
-	return Signature{Signer: s.id, Bytes: simTag(s.id, s.secret, d)}
+	t := simTag(s.id, s.secret, d)
+	return Signature{Signer: s.id, Bytes: append([]byte(nil), t[:simTagLen]...)}
 }
 
-func simTag(id KeyID, secret [32]byte, d Digest) []byte {
+// simTagLen is the length of a simulation tag in bytes (the first half of
+// the binding digest).
+const simTagLen = 16
+
+// simTag computes the full binding digest; callers use its first simTagLen
+// bytes. Returning the digest by value keeps verification allocation-free.
+func simTag(id KeyID, secret [32]byte, d Digest) Digest {
 	var idb [8]byte
 	binary.BigEndian.PutUint64(idb[:], uint64(id))
-	t := Hash(secret[:], idb[:], d[:])
-	return t[:16]
+	return Hash(secret[:], idb[:], d[:])
 }
 
 // NewSigner implements Scheme.
@@ -191,15 +227,7 @@ func (s *SimScheme) Verify(d Digest, sig Signature) bool {
 		return false
 	}
 	want := simTag(sig.Signer, secret, d)
-	if len(sig.Bytes) != len(want) {
-		return false
-	}
-	for i := range want {
-		if want[i] != sig.Bytes[i] {
-			return false
-		}
-	}
-	return true
+	return subtle.ConstantTimeCompare(want[:simTagLen], sig.Bytes) == 1
 }
 
 func fillRand(b []byte, rng *rand.Rand) {

@@ -12,6 +12,34 @@ import (
 	"repro/internal/tee/aggregator"
 )
 
+// maxCommittee bounds committee size; quorum tracking uses fixed-width
+// bitsets sized for it (paper committees top out at 79 replicas).
+const maxCommittee = 256
+
+// voteSet tracks which replica indices have voted for one (entry, phase).
+// A fixed-width bitset replaces the two map allocations per entry that the
+// quorum-tracking hot path used to pay, and membership/count checks become
+// branch-free word operations.
+type voteSet struct {
+	words [maxCommittee / 64]uint64
+	n     int
+}
+
+// add records a vote from replica i, reporting whether it was new.
+func (v *voteSet) add(i int) bool {
+	w, b := uint(i)>>6, uint64(1)<<(uint(i)&63)
+	if v.words[w]&b != 0 {
+		return false
+	}
+	v.words[w] |= b
+	v.n++
+	return true
+}
+
+func (v *voteSet) has(i int) bool { return v.words[uint(i)>>6]&(1<<(uint(i)&63)) != 0 }
+func (v *voteSet) count() int     { return v.n }
+func (v *voteSet) reset()         { *v = voteSet{} }
+
 // entry tracks one in-flight sequence number.
 type entry struct {
 	view           uint64
@@ -19,8 +47,8 @@ type entry struct {
 	digest         blockcrypto.Digest
 	block          *chain.Block
 	prePrepared    bool
-	prepares       map[int]bool
-	commits        map[int]bool
+	prepares       voteSet
+	commits        voteSet
 	prepared       bool
 	committed      bool
 	executed       bool
@@ -28,11 +56,24 @@ type entry struct {
 
 	// AHLR leader-side vote accumulation.
 	prepVotes    []aggregator.Vote
-	prepVoters   map[int]bool
+	prepVoters   voteSet
 	commitVotes  []aggregator.Vote
-	commitVoters map[int]bool
+	commitVoters voteSet
 	prepQCSent   bool
 	commitQCSent bool
+}
+
+// reset clears e for reuse from the entry pool, keeping the vote slices'
+// backing arrays (their elements are zeroed to release signature bytes).
+func (e *entry) reset() {
+	for i := range e.prepVotes {
+		e.prepVotes[i] = aggregator.Vote{}
+	}
+	for i := range e.commitVotes {
+		e.commitVotes[i] = aggregator.Vote{}
+	}
+	pv, cv := e.prepVotes[:0], e.commitVotes[:0]
+	*e = entry{prepVotes: pv, commitVotes: cv}
 }
 
 // Replica is one PBFT/AHL-family replica.
@@ -52,13 +93,20 @@ type Replica struct {
 	seqAssign    uint64 // leader: last assigned sequence
 	h            uint64 // low watermark (last stable checkpoint)
 	entries      map[uint64]*entry
+	entryPool    []*entry // recycled entries (see getEntry/recycleEntry)
 
 	executedThrough uint64
 	executing       bool
+	execEntry       *entry // entry occupying the CPU while executing
 	executedTxIDs   map[uint64]bool
 	pending         map[uint64]chain.Tx
 	pendingOrder    []uint64
 	batchedIn       map[uint64]uint64 // txID -> seq
+	// unbatched counts pending txs with no batchedIn assignment. It is
+	// maintained incrementally (see markBatched/unmarkBatched): the naive
+	// O(len(pending)) scan was ~90% of benchmark CPU time at high request
+	// rates, because batching is re-evaluated on every request arrival.
+	unbatched int
 
 	ledger *chain.Ledger
 	store  *chain.Store
@@ -104,6 +152,9 @@ func New(opts Options, deps Deps) *Replica {
 		// The leader can only assign sequences within (h, h+Window], so a
 		// checkpoint must occur within every window or h never advances.
 		panic("pbft: CheckpointEvery must be <= Window")
+	}
+	if opts.Committee.N() > maxCommittee {
+		panic("pbft: committee larger than maxCommittee; widen voteSet")
 	}
 	r := &Replica{
 		opts:          opts,
@@ -323,6 +374,9 @@ func (r *Replica) handleRequest(tx chain.Tx, external bool) {
 	}
 	r.pending[tx.ID] = tx
 	r.pendingOrder = append(r.pendingOrder, tx.ID)
+	if _, in := r.batchedIn[tx.ID]; !in {
+		r.unbatched++
+	}
 	if external {
 		// Dissemination policy: stock PBFT/Hyperledger broadcasts the
 		// request to every replica; optimization 2 forwards it to the
@@ -365,14 +419,38 @@ func (r *Replica) scheduleBatch() {
 	}
 }
 
-func (r *Replica) unbatchedCount() int {
-	n := 0
-	for id := range r.pending {
-		if _, in := r.batchedIn[id]; !in {
-			n++
+func (r *Replica) unbatchedCount() int { return r.unbatched }
+
+// markBatched assigns pending tx id to a sequence, maintaining unbatched.
+func (r *Replica) markBatched(id uint64, seq uint64) {
+	if _, in := r.batchedIn[id]; !in {
+		if _, p := r.pending[id]; p {
+			r.unbatched--
 		}
 	}
-	return n
+	r.batchedIn[id] = seq
+}
+
+// unmarkBatched removes tx id's batch assignment, maintaining unbatched.
+func (r *Replica) unmarkBatched(id uint64) {
+	if _, in := r.batchedIn[id]; in {
+		delete(r.batchedIn, id)
+		if _, p := r.pending[id]; p {
+			r.unbatched++
+		}
+	}
+}
+
+// dropRequest removes tx id from the request pool entirely (executed or
+// superseded), maintaining unbatched.
+func (r *Replica) dropRequest(id uint64) {
+	if _, p := r.pending[id]; p {
+		if _, in := r.batchedIn[id]; !in {
+			r.unbatched--
+		}
+		delete(r.pending, id)
+	}
+	delete(r.batchedIn, id)
 }
 
 func (r *Replica) tryBatch() {
@@ -423,8 +501,9 @@ func (r *Replica) retransmitVotes() {
 				// accept it (and conflicting digests are refused).
 				if att, err := r.att.attest(logName(phasePrePrepare, r.view), e.seq, e.digest); err == nil {
 					e.view = r.view
-					e.prepares = map[int]bool{r.self(): true}
-					e.commits = make(map[int]bool)
+					e.prepares.reset()
+					e.prepares.add(r.self())
+					e.commits.reset()
 					e.sentCommitVote = false
 					r.broadcast(msgPrePrepare, &prePrepareMsg{View: r.view, Seq: e.seq, Block: e.block, Att: att}, e.block.SizeBytes()+96)
 				}
@@ -446,7 +525,7 @@ func (r *Replica) retransmitVotes() {
 			}
 			continue
 		}
-		if e.prepares[r.self()] {
+		if e.prepares.has(r.self()) {
 			r.castVote(e, phasePrepare)
 		}
 		if e.sentCommitVote || e.executed || e.committed {
@@ -489,7 +568,7 @@ func (r *Replica) takeBatch() []chain.Tx {
 		}
 		if len(batch) < r.opts.BatchSize {
 			batch = append(batch, tx)
-			r.batchedIn[id] = r.seqAssign + 1
+			r.markBatched(id, r.seqAssign+1)
 		}
 	}
 	r.pendingOrder = kept
@@ -524,7 +603,7 @@ func (r *Replica) propose(seq uint64, txs []chain.Tx) {
 	}
 	e := r.getEntry(seq)
 	e.view, e.digest, e.block, e.prePrepared = r.view, digest, block, true
-	e.prepares[r.self()] = true
+	e.prepares.add(r.self())
 	msg := &prePrepareMsg{View: r.view, Seq: seq, Block: block, Att: att}
 	r.broadcast(msgPrePrepare, msg, block.SizeBytes()+96)
 	r.maybePrepared(e)
@@ -578,17 +657,27 @@ func uitoa(v uint64) string {
 func (r *Replica) getEntry(seq uint64) *entry {
 	e := r.entries[seq]
 	if e == nil {
-		e = &entry{
-			seq:          seq,
-			view:         r.view,
-			prepares:     make(map[int]bool),
-			commits:      make(map[int]bool),
-			prepVoters:   make(map[int]bool),
-			commitVoters: make(map[int]bool),
+		if n := len(r.entryPool); n > 0 {
+			e = r.entryPool[n-1]
+			r.entryPool = r.entryPool[:n-1]
+			e.reset()
+		} else {
+			e = &entry{}
 		}
+		e.seq, e.view = seq, r.view
 		r.entries[seq] = e
 	}
 	return e
+}
+
+// recycleEntry returns an entry removed from r.entries to the pool. Only
+// call for entries that cannot be referenced by in-flight work (the one
+// entry executing on the CPU is reachable through r.execEntry).
+func (r *Replica) recycleEntry(e *entry) {
+	if e == r.execEntry {
+		return
+	}
+	r.entryPool = append(r.entryPool, e)
 }
 
 func (r *Replica) inWindow(seq uint64) bool {
@@ -633,15 +722,15 @@ func (r *Replica) handlePrePrepare(m *prePrepareMsg) {
 	}
 	if e.prePrepared && e.view != m.View {
 		// Re-proposal under a newer view: reset per-view vote state.
-		e.prepares = make(map[int]bool)
-		e.commits = make(map[int]bool)
+		e.prepares.reset()
+		e.commits.reset()
 		e.sentCommitVote = false
 		if !e.committed && !e.executed {
 			e.prepared = false
 		}
 	}
 	e.view, e.digest, e.block, e.prePrepared = m.View, digest, m.Block, true
-	e.prepares[leaderIdx] = true
+	e.prepares.add(leaderIdx)
 
 	if r.opts.Variant.Aggregated() {
 		r.sendAggVote(e, phasePrepare)
@@ -692,9 +781,9 @@ func (r *Replica) castVote(e *entry, phase string) {
 	}
 	r.broadcast(typ, m, 160)
 	if phase == phasePrepare {
-		e.prepares[r.self()] = true
+		e.prepares.add(r.self())
 	} else {
-		e.commits[r.self()] = true
+		e.commits.add(r.self())
 	}
 }
 
@@ -712,16 +801,16 @@ func (r *Replica) handleVote(m *voteMsg) {
 	}
 	switch m.Phase {
 	case phasePrepare:
-		e.prepares[m.Replica] = true
+		e.prepares.add(m.Replica)
 		r.maybePrepared(e)
 	case phaseCommit:
-		e.commits[m.Replica] = true
+		e.commits.add(m.Replica)
 		r.maybeCommitted(e)
 	}
 }
 
 func (r *Replica) maybePrepared(e *entry) {
-	if e.prepared || !e.prePrepared || len(e.prepares) < r.quorum() {
+	if e.prepared || !e.prePrepared || e.prepares.count() < r.quorum() {
 		return
 	}
 	e.prepared = true
@@ -736,7 +825,7 @@ func (r *Replica) maybePrepared(e *entry) {
 }
 
 func (r *Replica) maybeCommitted(e *entry) {
-	if e.committed || !e.prepared || len(e.commits) < r.quorum() {
+	if e.committed || !e.prepared || e.commits.count() < r.quorum() {
 		return
 	}
 	e.committed = true
@@ -775,10 +864,9 @@ func (r *Replica) handleAggVote(m *voteMsg) {
 	}
 	switch m.Phase {
 	case phasePrepare:
-		if e.prepVoters[m.Replica] {
+		if !e.prepVoters.add(m.Replica) {
 			return
 		}
-		e.prepVoters[m.Replica] = true
 		e.prepVotes = append(e.prepVotes, m.AggVote)
 		if !e.prepQCSent && e.prePrepared && len(e.prepVotes) >= r.quorum() {
 			cert, err := r.agg.Aggregate(r.aggItem(e, phasePrepare), e.prepVotes, r.quorum())
@@ -792,10 +880,9 @@ func (r *Replica) handleAggVote(m *voteMsg) {
 			r.sendAggVote(e, phaseCommit)
 		}
 	case phaseCommit:
-		if e.commitVoters[m.Replica] {
+		if !e.commitVoters.add(m.Replica) {
 			return
 		}
-		e.commitVoters[m.Replica] = true
 		e.commitVotes = append(e.commitVotes, m.AggVote)
 		if !e.commitQCSent && e.prepared && len(e.commitVotes) >= r.quorum() {
 			cert, err := r.agg.Aggregate(r.aggItem(e, phaseCommit), e.commitVotes, r.quorum())
@@ -852,13 +939,22 @@ func (r *Replica) tryExecute() {
 		return
 	}
 	r.executing = true
+	r.execEntry = e
 	cost := time.Duration(len(e.block.Txs)) * r.opts.ExecPerTx
 	r.ExecBusy += cost
-	r.ep.CPU().Exec(cost, func() {
-		r.executing = false
-		r.finishExecute(e)
-		r.tryExecute()
-	})
+	r.ep.CPU().ExecArg(cost, replicaFinishExec, r)
+}
+
+// replicaFinishExec completes block execution on the CPU. Static callback:
+// the executing entry rides on the replica, so ordering a block allocates
+// no per-block closure.
+func replicaFinishExec(x any) {
+	r := x.(*Replica)
+	e := r.execEntry
+	r.execEntry = nil
+	r.executing = false
+	r.finishExecute(e)
+	r.tryExecute()
 }
 
 func (r *Replica) finishExecute(e *entry) {
@@ -884,8 +980,7 @@ func (r *Replica) finishExecute(e *entry) {
 		r.executedTxIDs[tx.ID] = true
 		res := r.deps.Registry.Execute(r.store, tx)
 		results = append(results, res)
-		delete(r.pending, tx.ID)
-		delete(r.batchedIn, tx.ID)
+		r.dropRequest(tx.ID)
 		r.executedCount++
 		if r.opts.SendReplies && tx.Client != 0 {
 			r.ep.Send(simnet.Message{To: simnet.NodeID(tx.Client), Class: simnet.ClassConsensus,
@@ -942,16 +1037,16 @@ func (r *Replica) recordCheckpoint(m *checkpointMsg) {
 		r.checkpoints[m.Seq] = ck
 	}
 	ck[m.Replica] = m
-	// Count matching digests; a quorum makes the checkpoint stable.
-	counts := make(map[blockcrypto.Digest]int)
+	// A quorum can only newly form on the digest this vote carries, so it
+	// suffices to count matches for m.State (no per-call counting map).
+	matches := 0
 	for _, msg := range ck {
-		counts[msg.State]++
-	}
-	for digest, c := range counts {
-		if c >= r.quorum() && m.Seq > r.h {
-			r.advanceStable(m.Seq, digest, ck)
-			return
+		if msg.State == m.State {
+			matches++
 		}
+	}
+	if matches >= r.quorum() && m.Seq > r.h {
+		r.advanceStable(m.Seq, m.State, ck)
 	}
 }
 
@@ -980,6 +1075,7 @@ func (r *Replica) advanceStable(seq uint64, digest blockcrypto.Digest, ck map[in
 	for s, e := range r.entries {
 		if s <= seq && (e.executed || !e.committed) {
 			delete(r.entries, s)
+			r.recycleEntry(e)
 		}
 	}
 	for s := range r.checkpoints {

@@ -139,8 +139,7 @@ func (r *Replica) installSnapshot(seq uint64, snap chain.Snapshot, cert []*check
 	r.executedTxIDs = make(map[uint64]bool, len(execIDs))
 	for _, id := range execIDs {
 		r.executedTxIDs[id] = true
-		delete(r.pending, id)
-		delete(r.batchedIn, id)
+		r.dropRequest(id)
 	}
 	r.executedThrough = seq
 	if seq > r.h {

@@ -281,7 +281,7 @@ func (r *Replica) adoptNewView(m *newViewMsg) {
 		// Make the dropped entry's transactions eligible for re-batching.
 		if e.block != nil && !reissued[s] {
 			for _, tx := range e.block.Txs {
-				delete(r.batchedIn, tx.ID)
+				r.unmarkBatched(tx.ID)
 			}
 		}
 	}
@@ -305,9 +305,9 @@ func (r *Replica) adoptNewView(m *newViewMsg) {
 		}
 		e := r.getEntry(p.Seq)
 		e.view, e.digest, e.block, e.prePrepared = m.View, p.Digest, p.Block, true
-		e.prepares[leaderIdx] = true
+		e.prepares.add(leaderIdx)
 		for _, tx := range p.Block.Txs {
-			r.batchedIn[tx.ID] = p.Seq
+			r.markBatched(tx.ID, p.Seq)
 		}
 		if r.ep.ID() != r.opts.Committee.Leader(m.View) {
 			if r.opts.Variant.Aggregated() {

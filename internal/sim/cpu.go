@@ -20,9 +20,8 @@ type CPU struct {
 // NewCPU returns an idle CPU on engine e.
 func NewCPU(e *Engine) *CPU { return &CPU{engine: e} }
 
-// Exec enqueues work with the given service cost and runs fn when the work
-// completes. A zero cost still preserves FIFO ordering with queued work.
-func (c *CPU) Exec(cost Duration, fn func()) {
+// occupy reserves the processor for cost and returns the completion time.
+func (c *CPU) occupy(cost Duration) Time {
 	start := c.engine.Now()
 	if c.busyUntil > start {
 		start = c.busyUntil
@@ -30,7 +29,19 @@ func (c *CPU) Exec(cost Duration, fn func()) {
 	done := start.Add(cost)
 	c.busyUntil = done
 	c.BusyTime += cost
-	c.engine.At(done, fn)
+	return done
+}
+
+// Exec enqueues work with the given service cost and runs fn when the work
+// completes. A zero cost still preserves FIFO ordering with queued work.
+func (c *CPU) Exec(cost Duration, fn func()) {
+	c.engine.At(c.occupy(cost), fn)
+}
+
+// ExecArg is Exec with an argument-passing callback: hot paths use it with
+// a static fn to avoid allocating a capturing closure per work item.
+func (c *CPU) ExecArg(cost Duration, fn func(any), arg any) {
+	c.engine.AtArg(c.occupy(cost), fn, arg)
 }
 
 // Charge accounts for cost without a completion callback. It is used for

@@ -9,11 +9,17 @@
 //
 // The engine is intentionally single-threaded. Protocol code runs inside
 // event callbacks and must not block; anything that takes (virtual) time is
-// expressed by scheduling a follow-up event.
+// expressed by scheduling a follow-up event. Distinct Engine instances
+// share no state, so independent simulations may run on separate goroutines
+// concurrently (the parallel experiment runner in internal/bench does).
+//
+// The event queue is an inlined index-based 4-ary min-heap storing events
+// by value: scheduling performs no per-event allocation (the backing array
+// grows amortized), and the comparison is specialized to the (at, seq) key
+// instead of going through container/heap's interface dispatch.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -38,31 +44,34 @@ func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
+// event is an event's callback payload, stored once in the engine's slab.
+// Exactly one of the three callback forms is set: fn (plain), afn+arg
+// (argument-passing, avoids a closure allocation at the call site), or
+// tm+gen (timer firing, cancelled by generation mismatch without
+// dequeueing).
 type event struct {
+	gen uint64 // timer generation; meaningful only when tm != nil
+	fn  func()
+	afn func(any)
+	arg any
+	tm  *Timer
+}
+
+// heapEntry is one slot of the priority queue: the full ordering key held
+// inline (no pointer chasing to compare) plus the index of the payload in
+// the slab. Sift operations move these 24-byte entries, never the payloads.
+type heapEntry struct {
 	at  Time
 	seq uint64 // tie-breaker: FIFO among events scheduled for the same time
-	fn  func()
+	idx int32
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports heap order on the (at, seq) key.
+func (h heapEntry) before(other heapEntry) bool {
+	if h.at != other.at {
+		return h.at < other.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return h.seq < other.seq
 }
 
 // Engine is a deterministic discrete-event scheduler.
@@ -72,7 +81,9 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	heap    []heapEntry // 4-ary min-heap on (at, seq)
+	slab    []event     // payloads addressed by heapEntry.idx
+	free    []int32     // recycled slab slots
 	rng     *rand.Rand
 	stopped bool
 
@@ -104,11 +115,30 @@ func (e *Engine) Schedule(d Duration, fn func()) {
 
 // At runs fn at virtual time t, which must not be in the past.
 func (e *Engine) At(t Time, fn func()) {
+	e.push(e.checkTime(t), event{fn: fn})
+}
+
+// ScheduleArg runs fn(arg) after virtual duration d (>= 0) from now. It is
+// the allocation-free alternative to Schedule for hot paths: a call site
+// that would otherwise capture arg in a closure passes a static fn and the
+// argument separately (pointer-shaped args do not allocate when boxed).
+func (e *Engine) ScheduleArg(d Duration, fn func(any), arg any) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.AtArg(e.now.Add(d), fn, arg)
+}
+
+// AtArg runs fn(arg) at virtual time t, which must not be in the past.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) {
+	e.push(e.checkTime(t), event{afn: fn, arg: arg})
+}
+
+func (e *Engine) checkTime(t Time) Time {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling in the past: %v < %v", t, e.now))
 	}
-	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	return t
 }
 
 // Stop makes the current Run invocation return after the in-flight event
@@ -120,16 +150,12 @@ func (e *Engine) Stop() { e.stopped = true }
 // An until of zero means "run until idle".
 func (e *Engine) Run(until Time) Time {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		next := e.events[0]
-		if until > 0 && next.at > until {
+	for len(e.heap) > 0 && !e.stopped {
+		if until > 0 && e.heap[0].at > until {
 			e.now = until
 			return e.now
 		}
-		heap.Pop(&e.events)
-		e.now = next.at
-		e.Executed++
-		next.fn()
+		e.runOne()
 	}
 	if until > 0 && e.now < until {
 		e.now = until
@@ -141,15 +167,112 @@ func (e *Engine) Run(until Time) Time {
 // running) and returns the final virtual time.
 func (e *Engine) RunUntilIdle() Time { return e.Run(0) }
 
-// Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+// runOne pops and executes the single next event if any.
+func (e *Engine) runOne() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	at, ev := e.pop()
+	e.now = at
+	e.Executed++
+	switch {
+	case ev.tm != nil:
+		ev.tm.fire(ev.gen)
+	case ev.afn != nil:
+		ev.afn(ev.arg)
+	default:
+		ev.fn()
+	}
+	return true
+}
+
+// Pending reports the number of queued events (including events from
+// cancelled timer arms that have not reached their firing time yet).
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// --- inlined 4-ary min-heap over slab-allocated payloads ---
+//
+// A 4-ary layout halves the tree depth of a binary heap, trading slightly
+// more comparisons per level for far fewer cache-missing levels. The heap
+// holds compact key+index entries; payloads are written once into the slab
+// and read once at pop, so sift operations never copy callbacks. Slab slots
+// are recycled through a free list, making the steady state allocation-free
+// (the backing arrays grow amortized to peak queue depth and stay there).
+
+func (e *Engine) push(at Time, ev event) {
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+		e.slab[idx] = ev
+	} else {
+		idx = int32(len(e.slab))
+		e.slab = append(e.slab, ev)
+	}
+	e.seq++
+	e.heap = append(e.heap, heapEntry{at: at, seq: e.seq, idx: idx})
+	// Sift up.
+	h := e.heap
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h[i].before(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() (Time, event) {
+	h := e.heap
+	root := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.heap = h[:n]
+	// Sift down.
+	h = e.heap
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h[c].before(h[min]) {
+				min = c
+			}
+		}
+		if !h[min].before(h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	ev := e.slab[root.idx]
+	e.slab[root.idx] = event{} // release callback/arg references
+	e.free = append(e.free, root.idx)
+	return root.at, ev
+}
 
 // Timer is a cancellable one-shot timer on the virtual clock. PBFT view
 // change timers, beacon timeouts and client retries are built from it.
+//
+// Cancellation is by generation counter: Reset and Stop bump the timer's
+// generation, so an already-queued firing event (which carries the
+// generation it was armed under) becomes a no-op when popped. No wrapper
+// closure is allocated per arm, and a superseded arm no longer pins its
+// callback — the timer holds only the most recent fn.
 type Timer struct {
-	engine  *Engine
-	version uint64
-	active  bool
+	engine *Engine
+	gen    uint64
+	fn     func()
+	active bool
 }
 
 // NewTimer returns an inactive timer bound to e.
@@ -158,22 +281,34 @@ func (e *Engine) NewTimer() *Timer { return &Timer{engine: e} }
 // Reset (re)arms the timer to fire fn after d. Any previously armed firing
 // is cancelled.
 func (t *Timer) Reset(d Duration, fn func()) {
-	t.version++
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	t.gen++
 	t.active = true
-	v := t.version
-	t.engine.Schedule(d, func() {
-		if t.active && t.version == v {
-			t.active = false
-			fn()
-		}
-	})
+	t.fn = fn
+	e := t.engine
+	e.push(e.now.Add(d), event{gen: t.gen, tm: t})
 }
 
-// Stop cancels the timer if armed.
+// Stop cancels the timer if armed. The queued firing event (if any) becomes
+// inert immediately; it is discarded when its time arrives.
 func (t *Timer) Stop() {
-	t.version++
+	t.gen++
 	t.active = false
+	t.fn = nil
 }
 
 // Active reports whether the timer is armed.
 func (t *Timer) Active() bool { return t.active }
+
+// fire runs at the firing event's scheduled time.
+func (t *Timer) fire(gen uint64) {
+	if !t.active || t.gen != gen {
+		return // cancelled or superseded by a later Reset
+	}
+	t.active = false
+	fn := t.fn
+	t.fn = nil
+	fn()
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -99,7 +100,7 @@ func TestSchedulePastPanics(t *testing.T) {
 }
 
 func TestEngineDeterminism(t *testing.T) {
-	run := func(seed int64) []int64 {
+	run := func(seed int64) ([]int64, uint64) {
 		e := NewEngine(seed)
 		var trace []int64
 		var step func()
@@ -111,9 +112,13 @@ func TestEngineDeterminism(t *testing.T) {
 		}
 		e.Schedule(0, step)
 		e.RunUntilIdle()
-		return trace
+		return trace, e.Executed
 	}
-	a, b := run(42), run(42)
+	a, execA := run(42)
+	b, execB := run(42)
+	if execA != execB {
+		t.Fatalf("Executed counts differ: %d vs %d", execA, execB)
+	}
 	if len(a) != len(b) {
 		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
 	}
@@ -121,6 +126,90 @@ func TestEngineDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
 		}
+	}
+}
+
+// The reference trace pins the engine's event ordering semantics: it was
+// recorded on the container/heap implementation and must be reproduced
+// exactly by any rewrite of the queue (same (time, FIFO) order, same
+// Executed count, same interleaving of timers with plain events).
+func TestEngineTraceStableAcrossRewrites(t *testing.T) {
+	e := NewEngine(9)
+	var trace []string
+	log := func(tag string) func() {
+		return func() { trace = append(trace, tag+"@"+e.Now().String()) }
+	}
+	tm := e.NewTimer()
+	e.Schedule(2*time.Millisecond, log("b"))
+	e.Schedule(time.Millisecond, log("a"))
+	tm.Reset(time.Millisecond, log("t1")) // superseded below
+	e.Schedule(time.Millisecond, log("a2"))
+	tm.Reset(3*time.Millisecond, log("t2"))
+	e.ScheduleArg(2*time.Millisecond, func(x any) { trace = append(trace, x.(string)+"@"+e.Now().String()) }, "arg")
+	e.RunUntilIdle()
+	got := strings.Join(trace, " ")
+	want := "a@1ms a2@1ms b@2ms arg@2ms t2@3ms"
+	if got != want {
+		t.Fatalf("trace = %q, want %q", got, want)
+	}
+	if e.Executed != 6 { // 5 fired + 1 cancelled timer arm popped inert
+		t.Fatalf("Executed = %d, want 6", e.Executed)
+	}
+}
+
+// A stopped timer must never fire, and its queued arm must not keep the
+// engine "live": draining the queue discards the inert event and releases
+// the callback (the timer no longer pins fn after Stop).
+func TestTimerStopNeverFiresNoLiveEvent(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.NewTimer()
+	fired := false
+	tm.Reset(time.Millisecond, func() { fired = true })
+	tm.Stop()
+	if tm.Active() {
+		t.Fatal("timer active after stop")
+	}
+	e.RunUntilIdle()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after drain, want 0", e.Pending())
+	}
+	// Stop, then re-arm: only the new arm may fire.
+	hits := 0
+	tm.Reset(time.Millisecond, func() { hits += 1 })
+	tm.Stop()
+	tm.Reset(time.Millisecond, func() { hits += 10 })
+	e.RunUntilIdle()
+	if hits != 10 {
+		t.Fatalf("hits = %d, want 10 (only the latest arm fires)", hits)
+	}
+}
+
+// The schedule→run cycle and the timer arm/cancel cycle must not allocate:
+// these are the simulation's innermost loops, and the zero-allocation
+// property is load-bearing for large-scale sweeps.
+func TestEngineHotPathsDoNotAllocate(t *testing.T) {
+	e := NewEngine(1)
+	nop := func() {}
+	for i := 0; i < 256; i++ { // pre-grow heap, slab and free list
+		e.Schedule(Duration(i)*time.Microsecond, nop)
+	}
+	e.RunUntilIdle()
+	if a := testing.AllocsPerRun(1000, func() {
+		e.Schedule(time.Microsecond, nop)
+		e.runOne()
+	}); a != 0 {
+		t.Fatalf("schedule+run allocates %.1f/op, want 0", a)
+	}
+	tm := e.NewTimer()
+	if a := testing.AllocsPerRun(1000, func() {
+		tm.Reset(time.Microsecond, nop)
+		tm.Stop()
+		e.RunUntilIdle()
+	}); a != 0 {
+		t.Fatalf("timer reset/stop allocates %.1f/op, want 0", a)
 	}
 }
 

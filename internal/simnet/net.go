@@ -115,6 +115,55 @@ func DefaultSplitQueue() QueueConfig {
 	return QueueConfig{Split: true, RequestCap: 4096, ConsensusCap: 16384}
 }
 
+// msgRing is a FIFO ring buffer of messages. Endpoints queue through rings
+// rather than slices so steady-state delivery performs no per-message
+// allocation or slice-shift copying; the buffer grows to peak depth once.
+type msgRing struct {
+	buf  []Message
+	head int
+	size int
+}
+
+func (r *msgRing) len() int { return r.size }
+
+func (r *msgRing) push(m Message) {
+	if r.size == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.size)&(len(r.buf)-1)] = m
+	r.size++
+}
+
+func (r *msgRing) pop() Message {
+	m := r.buf[r.head]
+	r.buf[r.head] = Message{} // release payload reference
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.size--
+	return m
+}
+
+// grow doubles the (power-of-two) capacity, re-linearizing the contents.
+func (r *msgRing) grow() {
+	cap2 := len(r.buf) * 2
+	if cap2 == 0 {
+		cap2 = 16
+	}
+	buf := make([]Message, cap2)
+	for i := 0; i < r.size; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+// clear drops all queued messages, releasing payload references.
+func (r *msgRing) clear() {
+	for i := 0; i < r.size; i++ {
+		r.buf[(r.head+i)&(len(r.buf)-1)] = Message{}
+	}
+	r.head, r.size = 0, 0
+}
+
 // EndpointStats counts an endpoint's traffic.
 type EndpointStats struct {
 	Sent      int
@@ -141,10 +190,14 @@ type Endpoint struct {
 	cpu     *sim.CPU
 	handler Handler
 	cfg     QueueConfig
-	queues  [numClasses][]Message
-	busy    bool
-	down    bool
-	stats   EndpointStats
+	queues  [numClasses]msgRing
+	// inflight is the message currently occupying the CPU (valid while
+	// busy); holding it here instead of in a closure keeps the dispatch
+	// path allocation-free.
+	inflight Message
+	busy     bool
+	down     bool
+	stats    EndpointStats
 }
 
 // ID returns the endpoint's node ID.
@@ -171,7 +224,7 @@ func (ep *Endpoint) SetDown(down bool) {
 	ep.down = down
 	if down {
 		for c := range ep.queues {
-			ep.queues[c] = nil
+			ep.queues[c].clear()
 		}
 	}
 }
@@ -216,7 +269,7 @@ func (ep *Endpoint) queuedTotal() int {
 	}
 	t := 0
 	for c := range ep.queues {
-		t += len(ep.queues[c])
+		t += ep.queues[c].len()
 	}
 	return t
 }
@@ -228,7 +281,7 @@ func (ep *Endpoint) arrive(m Message) {
 	}
 	full := false
 	if ep.cfg.Split {
-		full = len(ep.queues[m.Class]) >= ep.capOf(m.Class)
+		full = ep.queues[m.Class].len() >= ep.capOf(m.Class)
 	} else {
 		full = ep.queuedTotal() >= ep.cfg.SharedCap
 	}
@@ -236,7 +289,7 @@ func (ep *Endpoint) arrive(m Message) {
 		ep.stats.Dropped[m.Class]++
 		return
 	}
-	ep.queues[m.Class] = append(ep.queues[m.Class], m)
+	ep.queues[m.Class].push(m)
 	ep.dispatch()
 }
 
@@ -252,23 +305,33 @@ func (ep *Endpoint) dispatch() {
 	}
 	var m Message
 	switch {
-	case len(ep.queues[ClassConsensus]) > 0 && (len(ep.queues[ClassRequest]) == 0 || ep.stats.Delivered%2 == 0):
-		m, ep.queues[ClassConsensus] = ep.queues[ClassConsensus][0], ep.queues[ClassConsensus][1:]
-	case len(ep.queues[ClassRequest]) > 0:
-		m, ep.queues[ClassRequest] = ep.queues[ClassRequest][0], ep.queues[ClassRequest][1:]
+	case ep.queues[ClassConsensus].len() > 0 && (ep.queues[ClassRequest].len() == 0 || ep.stats.Delivered%2 == 0):
+		m = ep.queues[ClassConsensus].pop()
+	case ep.queues[ClassRequest].len() > 0:
+		m = ep.queues[ClassRequest].pop()
 	default:
 		return
 	}
 	ep.busy = true
+	ep.inflight = m
 	cost := ep.handler.Cost(m)
-	ep.cpu.Exec(cost, func() {
-		ep.busy = false
-		if !ep.down {
-			ep.stats.Delivered++
-			ep.handler.Handle(m)
-		}
-		ep.dispatch()
-	})
+	ep.cpu.ExecArg(cost, endpointServe, ep)
+}
+
+// endpointServe completes CPU service of the endpoint's in-flight message.
+// It is a static callback (see sim.Engine.ScheduleArg): the in-flight
+// message rides on the endpoint itself, so no closure is allocated per
+// delivered message.
+func endpointServe(x any) {
+	ep := x.(*Endpoint)
+	m := ep.inflight
+	ep.inflight = Message{}
+	ep.busy = false
+	if !ep.down {
+		ep.stats.Delivered++
+		ep.handler.Handle(m)
+	}
+	ep.dispatch()
 }
 
 // Network connects endpoints through a latency model.
@@ -279,10 +342,30 @@ type Network struct {
 	order   []NodeID
 	filter  Filter
 	rng     *rand.Rand
+	dpool   []*delivery // recycled in-flight delivery records
 
 	// Messages and Bytes count all routed traffic.
 	Messages int
 	Bytes    int
+}
+
+// delivery is a message in flight between route and arrival. Records are
+// pooled on the Network so routing performs no per-message allocation.
+type delivery struct {
+	net *Network
+	dst *Endpoint
+	m   Message
+}
+
+// deliverPooled is the static arrival callback: it returns the record to
+// the pool before invoking arrive, so synchronous re-sends triggered by the
+// handler can reuse it.
+func deliverPooled(x any) {
+	d := x.(*delivery)
+	n, dst, m := d.net, d.dst, d.m
+	d.dst, d.m = nil, Message{}
+	n.dpool = append(n.dpool, d)
+	dst.arrive(m)
 }
 
 // New creates a network on engine with the given latency model.
@@ -336,6 +419,14 @@ func (n *Network) route(m Message) {
 	}
 	n.Messages++
 	n.Bytes += m.Size
-	d := n.latency.Delay(m.From, m.To, m.Size, n.rng) + extra
-	n.engine.Schedule(d, func() { dst.arrive(m) })
+	delay := n.latency.Delay(m.From, m.To, m.Size, n.rng) + extra
+	var d *delivery
+	if k := len(n.dpool); k > 0 {
+		d = n.dpool[k-1]
+		n.dpool = n.dpool[:k-1]
+	} else {
+		d = &delivery{net: n}
+	}
+	d.dst, d.m = dst, m
+	n.engine.ScheduleArg(delay, deliverPooled, d)
 }
