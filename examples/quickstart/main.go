@@ -1,5 +1,8 @@
 // Quickstart: build a 3-shard deployment with a reference committee, seed
-// SmallBank accounts, and run one cross-shard payment end to end.
+// SmallBank accounts, and run one cross-shard payment end to end — the
+// paper's core scenario in miniature: AHL+ committees (§4) under the
+// BFT-replicated 2PC/2PL coordinator (§6, Figure 6), on the simulated
+// cluster environment of §7.
 package main
 
 import (

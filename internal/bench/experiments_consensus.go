@@ -18,6 +18,23 @@ func sweepN(paper []int, s Scale) []int {
 	return out
 }
 
+// sweepNodes returns a whole-system node-count sweep capped by the
+// scale's Nodes budget. The base lists end at 972 = 36 shards of 27 (the
+// paper's largest deployment), so -scale full reaches paper scale while
+// smaller tiers keep the same shape.
+func sweepNodes(base []int, s Scale) []int {
+	var out []int
+	for _, n := range base {
+		if n <= s.Nodes {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{base[0]}
+	}
+	return out
+}
+
 // The single-committee experiments below enumerate their configurations
 // through runSweep's eval callback, so every sweep point runs on the
 // parallel worker pool while the assembled tables stay bit-identical to
@@ -32,7 +49,7 @@ func init() {
 				Cols: []string{"sweep", "x", "HL", "Tendermint", "Raft(Quorum)", "IBFT"}}
 			protos := []string{"hl", "tendermint", "raft", "ibft"}
 			runSweep(t, func(t *Table, eval func(ConsensusCfg) ConsensusResult) {
-				for _, n := range sweepN([]int{1, 7, 19, 31, 43, 55, 67}, s) {
+				for _, n := range sweepN([]int{1, 7, 19, 31, 43, 55, 67, 79}, s) {
 					row := []any{"N", n}
 					for _, p := range protos {
 						r := eval(ConsensusCfg{Protocol: p, N: n, Clients: 10,
@@ -76,7 +93,8 @@ func init() {
 				}
 				// With failures: for a given f, HL runs N=3f+1 while the
 				// attested variants run N=2f+1 (the paper's Figure 8 right).
-				for _, f := range sweepN([]int{1, 5, 10}, s) {
+				// f=39 is the attested variants' paper maximum (N=79).
+				for _, f := range sweepN([]int{1, 5, 10, 26, 39}, s) {
 					row := []any{"f", f}
 					for _, p := range protos {
 						n := 2*f + 1
@@ -109,7 +127,7 @@ func init() {
 				Cols: []string{"regions", "N", "HL", "AHL", "AHL+", "AHLR"}}
 			runSweep(t, func(t *Table, eval func(ConsensusCfg) ConsensusResult) {
 				for _, regions := range []int{4, 8} {
-					for _, n := range sweepN([]int{7, 19, 31, 43}, s) {
+					for _, n := range sweepN([]int{7, 19, 31, 43, 55, 67, 79}, s) {
 						row := []any{regions, n}
 						for _, p := range []string{"hl", "ahl", "ahl+", "ahlr"} {
 							r := eval(ConsensusCfg{Protocol: p, N: n, Clients: 10,
@@ -176,7 +194,7 @@ func init() {
 				Cols: []string{"env", "N", "HL", "AHL", "AHL+", "AHLR"}}
 			runSweep(t, func(t *Table, eval func(ConsensusCfg) ConsensusResult) {
 				for _, env := range []Env{{}, {GCPRegions: 8}} {
-					for _, n := range sweepN([]int{7, 19, 31, 43}, s) {
+					for _, n := range sweepN([]int{7, 19, 31, 43, 55, 67, 79}, s) {
 						row := []any{env.String(), n}
 						for _, p := range []string{"hl", "ahl", "ahl+", "ahlr"} {
 							r := eval(ConsensusCfg{Protocol: p, N: n, Clients: 10,
@@ -202,7 +220,7 @@ func init() {
 			t := &Table{ID: "fig16", Title: "view changes per run",
 				Cols: []string{"mode", "x", "HL", "AHL", "AHL+", "AHLR"}}
 			runSweep(t, func(t *Table, eval func(ConsensusCfg) ConsensusResult) {
-				for _, n := range sweepN([]int{7, 19, 31, 43}, s) {
+				for _, n := range sweepN([]int{7, 19, 31, 43, 55, 67, 79}, s) {
 					row := []any{"normal N", n}
 					for _, p := range []string{"hl", "ahl", "ahl+", "ahlr"} {
 						r := eval(ConsensusCfg{Protocol: p, N: n, Clients: 10,
@@ -211,12 +229,16 @@ func init() {
 					}
 					t.Add(row...)
 				}
-				for _, f := range sweepN([]int{1, 5, 10}, s) {
+				for _, f := range sweepN([]int{1, 5, 10, 26, 39}, s) {
 					row := []any{"worst f", f}
 					for _, p := range []string{"hl", "ahl", "ahl+", "ahlr"} {
 						n := 2*f + 1
 						if p == "hl" {
 							n = 3*f + 1
+						}
+						if n > s.MaxN+12 {
+							row = append(row, "-")
+							continue
 						}
 						r := eval(ConsensusCfg{Protocol: p, N: n, Clients: 10,
 							Failures: f, FailureMode: pbft.BehaviorEquivocate,
@@ -237,7 +259,7 @@ func init() {
 			t := &Table{ID: "fig17", Title: "per-replica CPU time split (AHL+ et al., cluster)",
 				Cols: []string{"N", "protocol", "consensus busy", "execution busy", "ratio"}}
 			runSweep(t, func(t *Table, eval func(ConsensusCfg) ConsensusResult) {
-				for _, n := range sweepN([]int{7, 19, 31, 43}, s) {
+				for _, n := range sweepN([]int{7, 19, 31, 43, 55, 67, 79}, s) {
 					for _, p := range []string{"hl", "ahl+", "ahlr"} {
 						r := eval(ConsensusCfg{Protocol: p, N: n, Clients: 10,
 							Duration: s.Duration, Seed: 8})

@@ -74,8 +74,11 @@ func init() {
 			if s.MaxN <= 19 {
 				dur = 10 * time.Minute
 			}
+			if s.Tier == "smoke" {
+				dur = 4 * time.Minute
+			}
 			var jobs []func() []any
-			for _, n := range []int{2, 8, 32, 128} {
+			for _, n := range []int{2, 8, 32, 128, 512} {
 				if n > s.Nodes {
 					break
 				}
@@ -107,8 +110,11 @@ func init() {
 			if s.MaxN <= 19 {
 				dur = 10 * time.Minute
 			}
+			if s.Tier == "smoke" {
+				dur = 4 * time.Minute
+			}
 			var jobs []func() []any
-			for _, n := range []int{2, 8, 32, 128} {
+			for _, n := range []int{2, 8, 32, 128, 512} {
 				if n > s.Nodes {
 					break
 				}

@@ -52,7 +52,7 @@ func init() {
 				t.Add("committee size @%byz", pct*100, ours, omniStr)
 			}
 			var jobs []func() []any
-			for _, n := range []int{32, 64, 128, 256, 512} {
+			for _, n := range []int{32, 64, 128, 256, 512, 972} {
 				if n > s.Nodes*4 {
 					break
 				}
@@ -124,8 +124,12 @@ func init() {
 			t := &Table{ID: "fig12", Title: "resharding time series (tps per 10s window)",
 				Cols: []string{"strategy", "windows (tps)"}}
 			run := func(mode int) []float64 {
+				per := 11
+				if s.MaxN < per {
+					per = 7 // smoke tier: smaller committees, same timeline
+				}
 				sys := core.NewSystem(core.Config{
-					Seed: 21, Shards: 2, ShardSize: 11, RefSize: 0,
+					Seed: 21, Shards: 2, ShardSize: per, RefSize: 0,
 					Variant: pbft.VariantAHLPlus, Clients: 1,
 					Costs: tee.DefaultCosts(),
 				})
@@ -175,10 +179,7 @@ func init() {
 				{"AHL+ w/o R", pbft.VariantAHLPlus, 3, false},
 				{"HL w/o R", pbft.VariantHL, 4, false},
 			} {
-				for _, nTotal := range []int{12, 24, 36} {
-					if nTotal > s.Nodes {
-						break
-					}
+				for _, nTotal := range sweepNodes([]int{12, 24, 36, 72, 144, 288, 576, 972}, s) {
 					shards := nTotal / cfg.per
 					if shards < 1 {
 						continue
@@ -316,7 +317,7 @@ func init() {
 				for per > s.MaxN {
 					per = (per + 1) / 2
 				}
-				for _, mult := range []int{1, 2, 3, 6} {
+				for _, mult := range []int{1, 2, 3, 6, 12, 36} {
 					n := per * mult
 					if n > s.Nodes {
 						break
@@ -348,10 +349,7 @@ func init() {
 			t := &Table{ID: "fig18", Title: "cluster, f=1 shards, closed loop",
 				Cols: []string{"N", "SB-AHL+", "SB-HL", "KVS-AHL+", "KVS-HL"}}
 			var jobs []func() []any
-			for _, nTotal := range []int{12, 24, 36} {
-				if nTotal > s.Nodes {
-					break
-				}
+			for _, nTotal := range sweepNodes([]int{12, 24, 36, 72, 144, 288, 576, 972}, s) {
 				jobs = append(jobs, func() []any {
 					row := []any{nTotal}
 					for _, bm := range []string{"smallbank", "kvstore"} {

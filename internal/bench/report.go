@@ -3,13 +3,23 @@ package bench
 import (
 	"encoding/json"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"time"
 )
 
 // Report is the machine-readable record of a benchmark session, written as
 // BENCH_*.json so the repository's performance trajectory can be tracked
 // across PRs and compared by tooling instead of by prose.
+//
+// Everything under Experiments[].Table is deterministic for a given
+// (tier, experiment set): the simulator is a pure function of its seeds,
+// so two runs of the same revision produce identical tables on any
+// machine and at any worker-pool width. Wall-clock fields (WallMS,
+// TotalMS, CreatedAt) and machine stamps are the only volatile parts;
+// comparison tooling (internal/report) gates on the deterministic table
+// content, never on wall time.
 type Report struct {
 	// Label identifies the session (e.g. "pr1", "shardsim -exp all").
 	Label     string `json:"label"`
@@ -18,9 +28,17 @@ type Report struct {
 	GOARCH    string `json:"goarch"`
 	CPUs      int    `json:"cpus"`
 	// Workers is the experiment worker-pool width used (see Workers).
-	Workers   int    `json:"workers"`
-	Scale     string `json:"scale,omitempty"`
-	CreatedAt string `json:"created_at,omitempty"`
+	Workers int `json:"workers"`
+	// Scale is the tier name the session ran at (smoke/quick/standard/full).
+	Scale string `json:"scale,omitempty"`
+	// ScaleParams records the tier's actual caps, so a report is
+	// interpretable even if the named tiers are retuned later.
+	ScaleParams *ScaleParams `json:"scale_params,omitempty"`
+	// GitRevision is the repository revision (short hash, "-dirty"
+	// suffixed when the tree had uncommitted changes) the session ran
+	// at, when discoverable.
+	GitRevision string `json:"git_revision,omitempty"`
+	CreatedAt   string `json:"created_at,omitempty"`
 
 	// Experiments holds one entry per experiment run this session.
 	Experiments []ExperimentEntry `json:"experiments,omitempty"`
@@ -32,13 +50,35 @@ type Report struct {
 	Micro map[string]MicroEntry `json:"micro,omitempty"`
 }
 
-// ExperimentEntry records one experiment's regeneration cost and output
-// shape.
+// ScaleParams is the Scale a session ran at, in JSON form.
+type ScaleParams struct {
+	MaxN       int     `json:"max_n"`
+	DurationMS float64 `json:"duration_ms"`
+	Nodes      int     `json:"nodes"`
+}
+
+// ExperimentEntry records one experiment's regeneration cost and output.
 type ExperimentEntry struct {
 	ID     string  `json:"id"`
 	Title  string  `json:"title,omitempty"`
 	WallMS float64 `json:"wall_ms"`
 	Rows   int     `json:"rows"`
+	// Table is the experiment's full deterministic output, so reports
+	// can be rendered into figure-keyed markdown and diffed across PRs
+	// without re-running anything.
+	Table *TableData `json:"table,omitempty"`
+}
+
+// TableData is a Table's content in JSON form.
+type TableData struct {
+	Cols  []string   `json:"cols,omitempty"`
+	Rows  [][]string `json:"rows,omitempty"`
+	Notes []string   `json:"notes,omitempty"`
+}
+
+// Data converts a rendered Table to its JSON payload.
+func (t *Table) Data() *TableData {
+	return &TableData{Cols: t.Cols, Rows: t.Rows, Notes: t.Notes}
 }
 
 // MicroEntry is one microbenchmark measurement, optionally with the
@@ -50,24 +90,60 @@ type MicroEntry struct {
 	Before   *MicroEntry `json:"before,omitempty"`
 }
 
-// NewReport returns a report stamped with the current toolchain and
-// machine shape.
+// NewReport returns a report stamped with the current toolchain, machine
+// shape, and (when the repository is available) git revision.
 func NewReport(label string) *Report {
 	return &Report{
-		Label:     label,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		Workers:   Workers(),
-		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Label:       label,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		Workers:     Workers(),
+		GitRevision: gitRevision(),
+		CreatedAt:   time.Now().UTC().Format(time.RFC3339),
 	}
 }
 
-// AddExperiment records one experiment run.
+// SetScale records the tier the session runs at.
+func (r *Report) SetScale(s Scale) {
+	r.Scale = s.Tier
+	r.ScaleParams = &ScaleParams{
+		MaxN:       s.MaxN,
+		DurationMS: float64(s.Duration) / float64(time.Millisecond),
+		Nodes:      s.Nodes,
+	}
+}
+
+// gitRevision best-effort resolves the working tree's revision; "" when
+// git or the repository is unavailable (e.g. release tarballs).
+func gitRevision() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	rev := strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil &&
+		len(strings.TrimSpace(string(st))) > 0 {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// AddExperiment records one experiment run without table content (used
+// for aggregate entries such as whole-suite timings).
 func (r *Report) AddExperiment(id, title string, wall time.Duration, rows int) {
 	r.Experiments = append(r.Experiments, ExperimentEntry{
 		ID: id, Title: title, WallMS: float64(wall) / float64(time.Millisecond), Rows: rows})
+	r.TotalMS += float64(wall) / float64(time.Millisecond)
+}
+
+// AddTable records one experiment run together with its rendered table,
+// which is what makes the report renderable and comparable offline.
+func (r *Report) AddTable(id, title string, wall time.Duration, t *Table) {
+	r.Experiments = append(r.Experiments, ExperimentEntry{
+		ID: id, Title: title, WallMS: float64(wall) / float64(time.Millisecond),
+		Rows: len(t.Rows), Table: t.Data()})
 	r.TotalMS += float64(wall) / float64(time.Millisecond)
 }
 
@@ -78,4 +154,17 @@ func (r *Report) WriteFile(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadReportFile parses a BENCH_*.json report.
+func ReadReportFile(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
 }

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"os"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The report schema's contract is that a written BENCH_*.json reads back
+// exactly: the renderer and comparator (internal/report) operate on
+// historical files, so any lossy field silently corrupts the trajectory.
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := NewReport("roundtrip")
+	r.SetScale(Smoke())
+	tbl := &Table{
+		ID:    "figX",
+		Title: "demo table",
+		Cols:  []string{"N", "tps"},
+		Rows:  [][]string{{"7", "123.4"}, {"19", "98.7"}},
+		Notes: []string{"a note"},
+	}
+	r.AddTable("figX", "demo table", 250*time.Millisecond, tbl)
+	r.AddExperiment("aggregate", "whole suite", 2*time.Second, 25)
+	r.Micro = map[string]MicroEntry{
+		"BenchmarkX": {NsOp: 12.5, AllocsOp: 1, BytesOp: 24,
+			Before: &MicroEntry{NsOp: 20, AllocsOp: 3, BytesOp: 48}},
+	}
+
+	path := t.TempDir() + "/BENCH_roundtrip.json"
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip diverged:\nwrote: %+v\nread:  %+v", r, got)
+	}
+
+	if got.Scale != "smoke" || got.ScaleParams == nil || got.ScaleParams.MaxN != Smoke().MaxN {
+		t.Fatalf("scale tier metadata lost: %+v", got.ScaleParams)
+	}
+	e := got.Experiments[0]
+	if e.Table == nil || !reflect.DeepEqual(e.Table.Rows, tbl.Rows) ||
+		!reflect.DeepEqual(e.Table.Cols, tbl.Cols) || !reflect.DeepEqual(e.Table.Notes, tbl.Notes) {
+		t.Fatalf("table payload lost: %+v", e.Table)
+	}
+	if e.Rows != 2 || e.WallMS != 250 {
+		t.Fatalf("entry metadata wrong: %+v", e)
+	}
+	if got.TotalMS != 2250 {
+		t.Fatalf("TotalMS = %v, want 2250", got.TotalMS)
+	}
+}
+
+func TestReportReadRejectsGarbage(t *testing.T) {
+	path := t.TempDir() + "/garbage.json"
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReportFile(path); err == nil {
+		t.Fatal("parsed garbage")
+	}
+	if _, err := ReadReportFile(path + ".missing"); err == nil {
+		t.Fatal("read a missing file")
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range ScaleNames() {
+		s, ok := ScaleByName(name)
+		if !ok || s.Tier != name {
+			t.Fatalf("ScaleByName(%q) = %+v, %v", name, s, ok)
+		}
+	}
+	if _, ok := ScaleByName("paper"); ok {
+		t.Fatal("bogus scale resolved")
+	}
+	// The full tier must reach the paper's parameters: committees of 79
+	// and 972-node systems (36 shards of 27).
+	full := Full()
+	if full.MaxN < 79 || full.Nodes < 972 {
+		t.Fatalf("full tier below paper scale: %+v", full)
+	}
+	smoke := Smoke()
+	if smoke.MaxN >= Quick().MaxN || smoke.Duration >= Quick().Duration {
+		t.Fatalf("smoke tier not smaller than quick: %+v", smoke)
+	}
+}
+
+// The full tier's sweeps must actually enumerate the paper's largest
+// points — this is what guards against the pre-PR gap where Full()
+// declared 972 nodes but no experiment ever generated such a system.
+func TestFullTierReachesPaperScale(t *testing.T) {
+	full := Full()
+	if ns := sweepN([]int{7, 19, 31, 43, 55, 67, 79}, full); ns[len(ns)-1] != 79 {
+		t.Fatalf("committee sweep tops out at %d, want 79", ns[len(ns)-1])
+	}
+	nodes := sweepNodes([]int{12, 24, 36, 72, 144, 288, 576, 972}, full)
+	if nodes[len(nodes)-1] != 972 {
+		t.Fatalf("node sweep tops out at %d, want 972", nodes[len(nodes)-1])
+	}
+	// Quick stays capped: no new large points leak into test-tier runs.
+	q := Quick()
+	nodes = sweepNodes([]int{12, 24, 36, 72, 144, 288, 576, 972}, q)
+	if nodes[len(nodes)-1] > q.Nodes {
+		t.Fatalf("quick node sweep %v exceeds cap %d", nodes, q.Nodes)
+	}
+}

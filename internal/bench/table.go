@@ -97,10 +97,15 @@ func pad(s string, w int) string {
 	return s
 }
 
-// Scale shrinks experiments for quick runs. Quick keeps every sweep's
+// Scale shrinks experiments for quick runs. Each tier keeps every sweep's
 // shape but caps committee sizes and shortens measurement windows; Full
-// approaches the paper's parameters (minutes of wall-clock time).
+// runs the paper's parameters (minutes of wall-clock time).
 type Scale struct {
+	// Tier names the scale ("smoke", "quick", "standard", "full") so
+	// experiments can special-case fixed-size simulations (e.g. the
+	// Figure 12 resharding time series) and reports can record which
+	// tier produced a result.
+	Tier string
 	// MaxN caps single-committee sizes.
 	MaxN int
 	// Duration is the per-configuration measurement window (virtual).
@@ -109,14 +114,41 @@ type Scale struct {
 	Nodes int
 }
 
+// Smoke is the CI tier: small enough to regenerate every experiment in
+// minutes on one core, while still exercising every code path. Its output
+// is deterministic, so CI diffs it against a checked-in baseline.
+func Smoke() Scale { return Scale{Tier: "smoke", MaxN: 7, Duration: time.Second, Nodes: 24} }
+
 // Quick is the default scale used by `go test -bench`.
-func Quick() Scale { return Scale{MaxN: 19, Duration: 3 * time.Second, Nodes: 72} }
+func Quick() Scale { return Scale{Tier: "quick", MaxN: 19, Duration: 3 * time.Second, Nodes: 64} }
 
 // Standard is the default CLI scale.
-func Standard() Scale { return Scale{MaxN: 43, Duration: 8 * time.Second, Nodes: 160} }
+func Standard() Scale {
+	return Scale{Tier: "standard", MaxN: 43, Duration: 8 * time.Second, Nodes: 160}
+}
 
-// Full approaches paper scale; expect minutes per experiment.
-func Full() Scale { return Scale{MaxN: 79, Duration: 20 * time.Second, Nodes: 972} }
+// Full is paper scale: committee sweeps reach N=79 and whole-system
+// sweeps reach 972 nodes (the paper's 36 shards of 27 at a 12.5%
+// adversary). Expect minutes to hours per experiment.
+func Full() Scale { return Scale{Tier: "full", MaxN: 79, Duration: 20 * time.Second, Nodes: 972} }
+
+// ScaleByName resolves a tier name to its Scale.
+func ScaleByName(name string) (Scale, bool) {
+	switch name {
+	case "smoke":
+		return Smoke(), true
+	case "quick":
+		return Quick(), true
+	case "standard":
+		return Standard(), true
+	case "full":
+		return Full(), true
+	}
+	return Scale{}, false
+}
+
+// ScaleNames lists the valid tier names in increasing size order.
+func ScaleNames() []string { return []string{"smoke", "quick", "standard", "full"} }
 
 // Experiment regenerates one table/figure.
 type Experiment struct {

@@ -1,23 +1,3 @@
-// Package pbft implements the paper's PBFT family on the simulated
-// network:
-//
-//   - HL: stock PBFT as in Hyperledger Fabric v0.6 — N = 3f+1, quorum
-//     2f+1, client requests broadcast by the receiving replica, one shared
-//     inbound queue for request and consensus traffic.
-//   - AHL (Attested HyperLedger, §4.1): PBFT hardened with the attested
-//     append-only memory. Equivocation is impossible, so N = 2f+1 with
-//     quorum f+1.
-//   - AHL+opt1: AHL with the inbound queue split per message class.
-//   - AHL+ (opt1+opt2): additionally, client requests are forwarded to the
-//     leader instead of broadcast.
-//   - AHLR (opt3): AHL+ where followers vote to the leader, whose
-//     aggregation enclave emits one quorum certificate per phase —
-//     O(N) normal-case communication, at the price of making the leader a
-//     single point of failure for progress.
-//
-// All variants share one replica engine parameterized by Options; the
-// differences above are data, not forks of the protocol code, which is
-// what makes the Figure 10 ablation meaningful.
 package pbft
 
 import (

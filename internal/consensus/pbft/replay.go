@@ -1,6 +1,9 @@
 package pbft
 
 import (
+	"bytes"
+	"sort"
+
 	"repro/internal/blockcrypto"
 	"repro/internal/chain"
 )
@@ -109,7 +112,16 @@ func (r *Replica) handleReplayResp(m *replayRespMsg) {
 // tryReplayExecute marks every replay-certified sequence committed so the
 // normal in-order execution path picks them up.
 func (r *Replica) tryReplayExecute() {
-	for seq, votes := range r.replayVotes {
+	// Sequence order, and digest order within a sequence: with Byzantine
+	// double-votes two digests can reach f+1 simultaneously, and the
+	// choice must not depend on map iteration.
+	seqs := make([]uint64, 0, len(r.replayVotes))
+	for seq := range r.replayVotes {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		votes := r.replayVotes[seq]
 		if seq <= r.executedThrough {
 			delete(r.replayVotes, seq)
 			continue
@@ -117,7 +129,15 @@ func (r *Replica) tryReplayExecute() {
 		if e := r.entries[seq]; e != nil && (e.committed || e.executed) {
 			continue
 		}
-		for d, voters := range votes {
+		digests := make([]blockcrypto.Digest, 0, len(votes))
+		for d := range votes {
+			digests = append(digests, d)
+		}
+		sort.Slice(digests, func(i, j int) bool {
+			return bytes.Compare(digests[i][:], digests[j][:]) < 0
+		})
+		for _, d := range digests {
+			voters := votes[d]
 			if len(voters) < r.opts.Committee.F+1 {
 				continue
 			}

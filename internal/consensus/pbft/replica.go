@@ -1,6 +1,7 @@
 package pbft
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/blockcrypto"
@@ -1064,14 +1065,21 @@ func (r *Replica) advanceStable(seq uint64, digest blockcrypto.Digest, ck map[in
 		for id := range r.executedTxIDs {
 			ids = append(ids, id)
 		}
+		// Sorted: this list travels in state-transfer snapshots, so its
+		// order must not depend on map iteration.
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		r.stableExecIDs = ids
 	}
+	// Sorted holders: maybeRequestSync asks the first two, so map-order
+	// iteration here would pick run-dependent donors and break the
+	// simulator's determinism.
 	var holders []int
 	for idx, msg := range ck {
 		if msg.State == digest {
 			holders = append(holders, idx)
 		}
 	}
+	sort.Ints(holders)
 	for s, e := range r.entries {
 		if s <= seq && (e.executed || !e.committed) {
 			delete(r.entries, s)

@@ -1,6 +1,7 @@
 package pbft
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/blockcrypto"
@@ -172,9 +173,16 @@ func (r *Replica) installSnapshot(seq uint64, snap chain.Snapshot, cert []*check
 // certFor extracts the quorum certificate for (seq, digest) from the
 // collected checkpoint messages.
 func certFor(ck map[int]*checkpointMsg, digest blockcrypto.Digest) []*checkpointMsg {
+	// Replica order: the certificate is forwarded in state responses, so
+	// its order must be run-independent.
 	var cert []*checkpointMsg
-	for _, m := range ck {
-		if m.State == digest {
+	idxs := make([]int, 0, len(ck))
+	for idx := range ck {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		if m := ck[idx]; m.State == digest {
 			cert = append(cert, m)
 		}
 	}

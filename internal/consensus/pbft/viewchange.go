@@ -93,7 +93,13 @@ func (r *Replica) onProgressTimeout() {
 	r.retransmitVotes()
 	if r.opts.Variant.ForwardToLeader() && !r.suspected {
 		r.suspected = true
-		for _, tx := range r.pending {
+		// Arrival order, not map order: these sends schedule engine
+		// events, and determinism requires a run-independent sequence.
+		for _, txid := range r.pendingOrder {
+			tx, ok := r.pending[txid]
+			if !ok {
+				continue
+			}
 			for _, id := range r.opts.Committee.Nodes {
 				if id != r.ep.ID() {
 					r.ep.Send(simnet.Message{To: id, Class: simnet.ClassRequest,
@@ -204,7 +210,15 @@ func (r *Replica) installNewView(view uint64, votes map[int]*viewChangeMsg) {
 	}
 	var stable uint64
 	reissue := make(map[uint64]preparedProof)
-	for _, vc := range votes {
+	// Replica-index order: under HL the first proof seen for a sequence
+	// wins, so the iteration order must be run-independent.
+	voters := make([]int, 0, len(votes))
+	for idx := range votes {
+		voters = append(voters, idx)
+	}
+	sort.Ints(voters)
+	for _, idx := range voters {
+		vc := votes[idx]
 		if vc.StableSeq > stable {
 			stable = vc.StableSeq
 		}

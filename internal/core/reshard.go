@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/sharding"
@@ -123,7 +124,14 @@ func (s *System) gracefulHandoff(step sharding.TransitionStep) {
 		leaving[mv.Node] = true
 		shards[mv.From] = true
 	}
+	// Sorted shard order: view-change requests schedule engine events, so
+	// map-order iteration here would make runs diverge.
+	sorted := make([]int, 0, len(shards))
 	for shard := range shards {
+		sorted = append(sorted, shard)
+	}
+	sort.Ints(sorted)
+	for _, shard := range sorted {
 		bc := s.ShardCommittees[shard]
 		var maxView uint64
 		for _, r := range bc.Replicas {

@@ -1,0 +1,190 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+)
+
+// MetricDelta is one key metric's movement between two reports.
+type MetricDelta struct {
+	ID     string
+	Metric string
+	Unit   string
+	Old    float64
+	New    float64
+	// DeltaPct is the relative change in the improvement direction:
+	// positive is better, negative is worse, regardless of whether the
+	// metric is higher- or lower-better.
+	DeltaPct float64
+	// Gated marks metrics the regression gate applies to (simulated
+	// throughput); see Metric.Gated.
+	Gated bool
+	// LostInNew marks a metric that extracted from the old report but
+	// not the new one (e.g. every sweep point livelocked and rendered
+	// "-"): a total collapse, reported as -100% so gated metrics fail
+	// the gate instead of silently vanishing from the diff.
+	LostInNew bool
+}
+
+// Diff is the comparison of two benchmark reports.
+type Diff struct {
+	Old, New *bench.Report
+	// Deltas holds one entry per key metric present in both reports, in
+	// display order.
+	Deltas []MetricDelta
+	// OnlyOld / OnlyNew list experiment ids present in one report only
+	// (coverage changes surface in review instead of vanishing).
+	OnlyOld, OnlyNew []string
+	// ScaleMismatch is set when the reports ran at different tiers, in
+	// which case metric deltas measure the tier change, not a code
+	// change, and the gate refuses to fail the build on them.
+	ScaleMismatch bool
+}
+
+// Compare diffs two reports metric by metric using the paper-target
+// registry's key metrics.
+func Compare(oldR, newR *bench.Report) *Diff {
+	d := &Diff{Old: oldR, New: newR,
+		ScaleMismatch: oldR.Scale != newR.Scale && oldR.Scale != "" && newR.Scale != ""}
+	for _, id := range metricIDs([]*bench.Report{oldR, newR}) {
+		// An entry without table content (legacy pre-schema reports,
+		// aggregate-only entries) carries no comparable metric; treat it
+		// as absent so the diff degrades to a coverage note instead of
+		// failing on old BENCH_*.json files.
+		oe, okO := findEntry(oldR, id)
+		ne, okN := findEntry(newR, id)
+		okO = okO && oe.Table != nil
+		okN = okN && ne.Table != nil
+		if !okO && !okN {
+			continue
+		}
+		if !okO {
+			d.OnlyNew = append(d.OnlyNew, id)
+			continue
+		}
+		if !okN {
+			d.OnlyOld = append(d.OnlyOld, id)
+			continue
+		}
+		m := TargetFor(id).Metric
+		ov, okO := m.Extract(oe.Table)
+		nv, okN := m.Extract(ne.Table)
+		if !okO && !okN {
+			continue
+		}
+		if !okO {
+			// Newly extractable (e.g. a column gained parsable values):
+			// new coverage, nothing to diff against.
+			d.OnlyNew = append(d.OnlyNew, id+" (metric newly extractable)")
+			continue
+		}
+		if !okN {
+			d.Deltas = append(d.Deltas, MetricDelta{
+				ID: id, Metric: m.Name, Unit: m.Unit,
+				Old: ov, DeltaPct: -100, Gated: m.Gated(), LostInNew: true,
+			})
+			continue
+		}
+		delta := 0.0
+		if ov != 0 {
+			delta = 100 * (nv - ov) / ov
+			if m.LowerBetter {
+				delta = -delta
+			}
+			if delta == 0 {
+				delta = 0 // normalize -0.0 so unchanged metrics print +0.0%
+			}
+		}
+		d.Deltas = append(d.Deltas, MetricDelta{
+			ID: id, Metric: m.Name, Unit: m.Unit,
+			Old: ov, New: nv, DeltaPct: delta, Gated: m.Gated(),
+		})
+	}
+	// Coverage changes among non-metric experiments too.
+	for _, e := range oldR.Experiments {
+		if _, ok := findEntry(newR, e.ID); !ok && TargetFor(e.ID).Metric == nil {
+			d.OnlyOld = append(d.OnlyOld, e.ID)
+		}
+	}
+	for _, e := range newR.Experiments {
+		if _, ok := findEntry(oldR, e.ID); !ok && TargetFor(e.ID).Metric == nil {
+			d.OnlyNew = append(d.OnlyNew, e.ID)
+		}
+	}
+	return d
+}
+
+// Regressions returns the gated metrics that worsened by more than
+// thresholdPct. Comparisons across different scale tiers never gate.
+func (d *Diff) Regressions(thresholdPct float64) []MetricDelta {
+	if d.ScaleMismatch {
+		return nil
+	}
+	var out []MetricDelta
+	for _, m := range d.Deltas {
+		if m.Gated && m.DeltaPct < -thresholdPct {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// WriteMarkdown renders the diff, flagging regressions beyond
+// thresholdPct (<= 0 disables flagging).
+func (d *Diff) WriteMarkdown(w io.Writer, thresholdPct float64) {
+	fmt.Fprintf(w, "# Benchmark comparison: %s → %s\n\n",
+		labelOf(d.Old), labelOf(d.New))
+	if d.Old.GitRevision != "" || d.New.GitRevision != "" {
+		fmt.Fprintf(w, "Revisions: `%s` → `%s`.\n",
+			firstNonEmpty(d.Old.GitRevision, "?"), firstNonEmpty(d.New.GitRevision, "?"))
+	}
+	fmt.Fprintf(w, "Scale: %s → %s.",
+		firstNonEmpty(d.Old.Scale, "?"), firstNonEmpty(d.New.Scale, "?"))
+	if d.ScaleMismatch {
+		fmt.Fprintf(w, " **Tiers differ — deltas reflect the scale change and are not gated.**")
+	}
+	fmt.Fprintf(w, "\n\n")
+	if d.Old.TotalMS > 0 && d.New.TotalMS > 0 {
+		fmt.Fprintf(w, "Total wall clock (informational, machine-dependent): %.1fs → %.1fs.\n\n",
+			d.Old.TotalMS/1000, d.New.TotalMS/1000)
+	}
+
+	fmt.Fprintf(w, "| experiment | metric | old | new | Δ (better↑) | gate |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|---|\n")
+	for _, m := range d.Deltas {
+		status := ""
+		switch {
+		case m.Gated && thresholdPct > 0 && m.DeltaPct < -thresholdPct && !d.ScaleMismatch:
+			status = fmt.Sprintf("**REGRESSION** (>%.0f%%)", thresholdPct)
+		case m.Gated:
+			status = "ok"
+		}
+		newCell := formatValue(m.New, m.Unit)
+		if m.LostInNew {
+			newCell = "not extractable"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %+.1f%% | %s |\n",
+			m.ID, m.Metric, formatValue(m.Old, m.Unit), newCell,
+			m.DeltaPct, status)
+	}
+	fmt.Fprintf(w, "\n")
+	if len(d.OnlyOld) > 0 {
+		fmt.Fprintf(w, "Only in %s: %v.\n", labelOf(d.Old), d.OnlyOld)
+	}
+	if len(d.OnlyNew) > 0 {
+		fmt.Fprintf(w, "Only in %s: %v.\n", labelOf(d.New), d.OnlyNew)
+	}
+	if reg := d.Regressions(thresholdPct); thresholdPct > 0 {
+		if len(reg) > 0 {
+			fmt.Fprintf(w, "\n%d gated metric(s) regressed more than %.0f%%.\n", len(reg), thresholdPct)
+		} else {
+			fmt.Fprintf(w, "\nNo gated metric regressed more than %.0f%%.\n", thresholdPct)
+		}
+	}
+}
+
+func labelOf(r *bench.Report) string {
+	return firstNonEmpty(r.Label, "(unlabeled)")
+}

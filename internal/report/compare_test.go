@@ -1,0 +1,273 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// The CI gate's contract (acceptance criterion): a >15% simulated
+// throughput regression must be flagged; smaller movements and
+// lower-better/analytic metrics must not trip it.
+func TestCompareFlagsThroughputRegression(t *testing.T) {
+	base := fixtureReport("baseline", 1)
+	bad := fixtureReport("candidate", 0.8) // 20% tps drop on fig8's AHL+ column
+
+	d := Compare(base, bad)
+	reg := d.Regressions(15)
+	if len(reg) != 1 || reg[0].ID != "fig8" {
+		t.Fatalf("want exactly fig8 flagged at 15%%, got %+v", reg)
+	}
+	if reg[0].DeltaPct > -15 {
+		t.Fatalf("delta should be below -15%%: %+v", reg[0])
+	}
+	// At a 25% threshold the same 20% drop passes.
+	if reg := d.Regressions(25); len(reg) != 0 {
+		t.Fatalf("20%% drop should pass a 25%% gate, got %+v", reg)
+	}
+
+	var sb strings.Builder
+	d.WriteMarkdown(&sb, 15)
+	out := sb.String()
+	for _, want := range []string{"REGRESSION", "fig8", "1 gated metric(s) regressed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("comparison markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareNoFalsePositives(t *testing.T) {
+	base := fixtureReport("baseline", 1)
+	same := fixtureReport("candidate", 1)
+	d := Compare(base, same)
+	if reg := d.Regressions(15); len(reg) != 0 {
+		t.Fatalf("identical reports flagged: %+v", reg)
+	}
+	better := fixtureReport("candidate", 1.5)
+	if reg := Compare(base, better).Regressions(15); len(reg) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", reg)
+	}
+}
+
+// Latency (lower-better) metrics are tracked with the right sign but
+// never gate the build.
+func TestCompareLatencyDirectionAndGating(t *testing.T) {
+	base := fixtureReport("baseline", 1)
+	worse := fixtureReport("candidate", 1)
+	// Double fig15's cluster latencies: strictly worse, but ungated.
+	for i := range worse.Experiments {
+		if worse.Experiments[i].ID != "fig15" {
+			continue
+		}
+		worse.Experiments[i].Table.Rows[0][4] = "190ms" // was 95ms
+	}
+	d := Compare(base, worse)
+	var lat *MetricDelta
+	for i := range d.Deltas {
+		if d.Deltas[i].ID == "fig15" {
+			lat = &d.Deltas[i]
+		}
+	}
+	if lat == nil {
+		t.Fatal("fig15 metric missing from diff")
+	}
+	if lat.DeltaPct >= 0 {
+		t.Fatalf("doubled latency should be a negative (worse) delta: %+v", lat)
+	}
+	if lat.Gated {
+		t.Fatalf("latency metric must not gate: %+v", lat)
+	}
+	if reg := d.Regressions(15); len(reg) != 0 {
+		t.Fatalf("ungated latency regression tripped the gate: %+v", reg)
+	}
+}
+
+// Comparing across scale tiers must never gate — the deltas measure the
+// tier change, not a code change.
+func TestCompareScaleMismatchDisarmsGate(t *testing.T) {
+	base := fixtureReport("baseline", 1)
+	bad := fixtureReport("candidate", 0.5)
+	bad.Scale = "full"
+	d := Compare(base, bad)
+	if !d.ScaleMismatch {
+		t.Fatal("scale mismatch not detected")
+	}
+	if reg := d.Regressions(15); len(reg) != 0 {
+		t.Fatalf("cross-tier comparison tripped the gate: %+v", reg)
+	}
+}
+
+// A metric that extracted from the baseline but not from the candidate
+// (every sweep cell livelocked to "-") is a total collapse and must trip
+// the gate as -100%, not vanish from the diff.
+func TestCompareFlagsLostMetricAsRegression(t *testing.T) {
+	base := fixtureReport("baseline", 1)
+	dead := fixtureReport("candidate", 1)
+	for i := range dead.Experiments {
+		if dead.Experiments[i].ID != "fig8" {
+			continue
+		}
+		for _, row := range dead.Experiments[i].Table.Rows {
+			row[4] = "-" // AHL+ column unparsable everywhere
+		}
+	}
+	d := Compare(base, dead)
+	reg := d.Regressions(15)
+	if len(reg) != 1 || reg[0].ID != "fig8" || !reg[0].LostInNew || reg[0].DeltaPct != -100 {
+		t.Fatalf("lost metric not gated: %+v", reg)
+	}
+	var sb strings.Builder
+	d.WriteMarkdown(&sb, 15)
+	if !strings.Contains(sb.String(), "not extractable") {
+		t.Fatalf("markdown missing lost-metric cell:\n%s", sb.String())
+	}
+}
+
+// Legacy reports (pre-table-payload schema) and aggregate-only entries
+// have nil Tables; Compare must degrade to a coverage note, not panic.
+func TestCompareHandlesEntriesWithoutTables(t *testing.T) {
+	legacy := fixtureReport("legacy", 1)
+	for i := range legacy.Experiments {
+		legacy.Experiments[i].Table = nil
+	}
+	modern := fixtureReport("modern", 1)
+	d := Compare(legacy, modern)
+	if len(d.Deltas) != 0 {
+		t.Fatalf("metrics extracted from nil tables: %+v", d.Deltas)
+	}
+	found := false
+	for _, id := range d.OnlyNew {
+		if id == "fig8" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("table-less fig8 not surfaced as coverage gap: OnlyNew=%v", d.OnlyNew)
+	}
+	var sb strings.Builder
+	d.WriteMarkdown(&sb, 15) // must not panic
+}
+
+func TestCompareCoverageChanges(t *testing.T) {
+	base := fixtureReport("baseline", 1)
+	trimmed := fixtureReport("candidate", 1)
+	trimmed.Experiments = trimmed.Experiments[:1] // drop fig15/table2/eq2
+	d := Compare(base, trimmed)
+	found := false
+	for _, id := range d.OnlyOld {
+		if id == "fig15" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dropped experiment not surfaced: OnlyOld=%v", d.OnlyOld)
+	}
+}
+
+func TestMetricExtraction(t *testing.T) {
+	tbl := &bench.TableData{
+		Cols: []string{"mode", "x", "AHL+"},
+		Rows: [][]string{
+			{"N", "7", "100"},
+			{"N", "19", "250"},
+			{"N", "31", "-"}, // livelocked: must be skipped, not zero
+			{"f", "1", "9999"},
+		},
+	}
+	m := &Metric{Name: "t", Col: "AHL+", Where: []Cond{{Col: "mode", Equals: "N"}}, Agg: "max", Unit: "tps"}
+	v, ok := m.Extract(tbl)
+	if !ok || v != 250 {
+		t.Fatalf("Extract = %v, %v; want 250", v, ok)
+	}
+	if !m.Gated() {
+		t.Fatal("tps metric should gate")
+	}
+	spark, label, ok := m.Sparkline(tbl)
+	if !ok || len([]rune(spark)) != 2 || !strings.Contains(label, "2 points") {
+		t.Fatalf("sparkline = %q (%q), %v", spark, label, ok)
+	}
+
+	if _, ok := (&Metric{Name: "t", Col: "missing"}).Extract(tbl); ok {
+		t.Fatal("extracted from a missing column")
+	}
+	ratio := &Metric{Name: "r", Col: "AHL+", DivBy: "x", Where: []Cond{{Col: "mode", Equals: "N"}}, Agg: "min"}
+	if v, ok := ratio.Extract(tbl); !ok || v < 13.15 || v > 13.17 {
+		t.Fatalf("ratio extract = %v, %v; want ~13.16 (250/19)", v, ok)
+	}
+}
+
+func TestParseCell(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"123", 123, true},
+		{"1.5", 1.5, true},
+		{"1.05e-05", 1.05e-05, true},
+		{"483ms", 483, true},
+		{"1.2s", 1200, true},
+		{"55.3µs", 0.0553, true},
+		{"stalled", 0, false},
+		{"-", 0, false},
+		{">N", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseCell(c.in)
+		if ok != c.ok || (ok && !approx(got, c.want)) {
+			t.Fatalf("parseCell(%q) = %v, %v; want %v, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+b)
+}
+
+// Every registered experiment must be keyed to a paper artifact, and
+// every declared key metric must actually extract from the checked-in
+// smoke baseline — this pins the targets registry, the experiment
+// registry, and BENCH_smoke.json together so none can drift silently.
+// (Adding an experiment therefore requires regenerating the baseline,
+// which is exactly the workflow the CI gate depends on.)
+func TestTargetsCoverRegistryAndBaseline(t *testing.T) {
+	for _, e := range bench.All() {
+		tgt, ok := targets[e.ID]
+		if !ok {
+			t.Errorf("experiment %s has no paper target entry", e.ID)
+			continue
+		}
+		if tgt.Artifact == "" || tgt.Artifact == "—" {
+			t.Errorf("experiment %s has no paper artifact key", e.ID)
+		}
+	}
+
+	base, err := Load("../../BENCH_smoke.json")
+	if err != nil {
+		t.Fatalf("checked-in smoke baseline unreadable: %v", err)
+	}
+	if base.Scale != "smoke" {
+		t.Fatalf("baseline is %q tier, want smoke", base.Scale)
+	}
+	for _, e := range bench.All() {
+		entry, ok := findEntry(base, e.ID)
+		if !ok || entry.Table == nil {
+			t.Errorf("baseline missing experiment %s (regenerate BENCH_smoke.json)", e.ID)
+			continue
+		}
+		m := TargetFor(e.ID).Metric
+		if m == nil {
+			continue
+		}
+		if _, ok := m.Extract(entry.Table); !ok {
+			t.Errorf("%s: key metric %q does not extract from the baseline table (cols %v)",
+				e.ID, m.Name, entry.Table.Cols)
+		}
+	}
+}

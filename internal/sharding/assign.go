@@ -86,8 +86,11 @@ func PlanTransition(old, next Assignment, b int) []TransitionStep {
 			}
 		}
 	}
+	// Shuffle in committee-index order: the rng is shared, so iterating
+	// the map here would consume its stream in a run-dependent order and
+	// break the simulator's determinism guarantee.
 	rng := rand.New(rand.NewSource(int64(next.Rnd) ^ 0x5eed))
-	for c := range perSource {
+	for c := 0; c < len(old.Committees); c++ {
 		ms := perSource[c]
 		rng.Shuffle(len(ms), func(i, j int) { ms[i], ms[j] = ms[j], ms[i] })
 	}

@@ -1,8 +1,3 @@
-// Package sharding implements the shard formation machinery of §5: the
-// committee-size mathematics (Equation 1), the epoch-transition safety
-// bound (Equation 2), the cross-shard transaction probability (Appendix B,
-// Equation 3), the distributed randomness-beacon protocol, node-to-
-// committee assignment, and the RandHound baseline used in Figure 11.
 package sharding
 
 import (

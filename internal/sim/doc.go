@@ -1,0 +1,30 @@
+// Package sim provides a deterministic discrete-event simulation engine —
+// the foundation layer of the AHL reproduction stack.
+//
+// Role in the AHL design: the paper evaluates a TEE-assisted sharded
+// blockchain on a 100-server cluster and a 1,400-node GCP testbed. This
+// repository replaces that hardware with a simulated clock so the same
+// protocols, at the same scales, run reproducibly on one machine. Every
+// layer above — the simulated network (internal/simnet), the enclave cost
+// model (internal/tee), the consensus protocols (internal/consensus/...),
+// the sharded system (internal/core) and the experiment harness
+// (internal/bench) — advances time exclusively through an Engine.
+//
+// Everything in this repository — network delivery, node CPUs, enclave
+// operation costs, protocol timers — runs on a single virtual clock owned
+// by an Engine. Events are executed in (time, insertion-sequence) order, so
+// a run is a pure function of its seed and inputs: two runs with the same
+// seed produce identical traces, which makes the large-scale experiments in
+// internal/bench reproducible bit for bit.
+//
+// The engine is intentionally single-threaded. Protocol code runs inside
+// event callbacks and must not block; anything that takes (virtual) time is
+// expressed by scheduling a follow-up event. Distinct Engine instances
+// share no state, so independent simulations may run on separate goroutines
+// concurrently (the parallel experiment runner in internal/bench does).
+//
+// The event queue is an inlined index-based 4-ary min-heap storing events
+// by value: scheduling performs no per-event allocation (the backing array
+// grows amortized), and the comparison is specialized to the (at, seq) key
+// instead of going through container/heap's interface dispatch.
+package sim

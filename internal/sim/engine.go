@@ -1,22 +1,3 @@
-// Package sim provides a deterministic discrete-event simulation engine.
-//
-// Everything in this repository — network delivery, node CPUs, enclave
-// operation costs, protocol timers — runs on a single virtual clock owned
-// by an Engine. Events are executed in (time, insertion-sequence) order, so
-// a run is a pure function of its seed and inputs: two runs with the same
-// seed produce identical traces, which makes the large-scale experiments in
-// internal/bench reproducible bit for bit.
-//
-// The engine is intentionally single-threaded. Protocol code runs inside
-// event callbacks and must not block; anything that takes (virtual) time is
-// expressed by scheduling a follow-up event. Distinct Engine instances
-// share no state, so independent simulations may run on separate goroutines
-// concurrently (the parallel experiment runner in internal/bench does).
-//
-// The event queue is an inlined index-based 4-ary min-heap storing events
-// by value: scheduling performs no per-event allocation (the backing array
-// grows amortized), and the comparison is specialized to the (at, seq) key
-// instead of going through container/heap's interface dispatch.
 package sim
 
 import (

@@ -1,0 +1,24 @@
+// Package simnet provides the simulated message-passing network that every
+// protocol in this repository runs on.
+//
+// Role in the AHL design: the paper's throughput story is largely a
+// networking story — stock PBFT livelocks at scale because request floods
+// crowd out consensus traffic, and the AHL+ optimizations (§4.1) attack
+// exactly that. This layer therefore models the two resource constraints
+// that drive those results, on top of raw delivery:
+//
+//   - a per-node serial CPU (sim.CPU) through which every received message
+//     must pass, charging verification/execution costs; and
+//   - bounded inbound queues. Hyperledger v0.6 used one shared queue for
+//     request and consensus traffic, so request floods dropped consensus
+//     messages and livelocked PBFT at scale; optimization 1 of AHL+ splits
+//     the queue in two (§4.1). Both configurations are available here.
+//
+// The network reproduces the two environments of the paper's evaluation
+// (§7): an in-house LAN cluster with sub-millisecond latency, and a Google
+// Cloud Platform deployment spanning up to 8 regions whose inter-region
+// latencies are the paper's Table 3 (see GCPMatrix). Endpoints attach to a
+// Network with a queue discipline and exchange messages whose delivery
+// events run on the owning sim.Engine, keeping whole-system runs
+// deterministic.
+package simnet

@@ -1,18 +1,3 @@
-// Package simnet provides the simulated message-passing network that every
-// protocol in this repository runs on.
-//
-// The network reproduces the two environments of the paper's evaluation
-// (§7): an in-house LAN cluster with sub-millisecond latency, and a Google
-// Cloud Platform deployment spanning up to 8 regions whose inter-region
-// latencies are the paper's Table 3. On top of raw delivery it models the
-// two resource constraints that drive the paper's results:
-//
-//   - a per-node serial CPU (sim.CPU) through which every received message
-//     must pass, charging verification/execution costs; and
-//   - bounded inbound queues. Hyperledger v0.6 used one shared queue for
-//     request and consensus traffic, so request floods dropped consensus
-//     messages and livelocked PBFT at scale; optimization 1 of AHL+ splits
-//     the queue in two (§4.1). Both configurations are available here.
 package simnet
 
 import (

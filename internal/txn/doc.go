@@ -1,0 +1,22 @@
+// Package txn implements the paper's distributed transaction protocol
+// (§6): two-phase commit whose coordinator state machine (Figure 6) runs
+// as a chaincode replicated by a Byzantine fault-tolerant reference
+// committee R, with 2PL locks held in shard state.
+//
+// Role in the AHL design: sharding only pays off if cross-shard
+// transactions keep atomicity and isolation without trusting any single
+// party. The paper's answer is to make the 2PC coordinator itself a
+// replicated state machine: clients merely initiate transactions, shards
+// hold no-wait 2PL locks (deadlock-free by construction, §6.2), and R
+// drives prepare/commit/abort to completion even when the initiating
+// client is malicious. This layer sits between the per-shard consensus
+// committees (internal/consensus/pbft) and the whole-system assembly
+// (internal/core); the §6.4 Router adds the client-side fast path that
+// sends single-shard transactions straight to their shard.
+//
+// It also implements the two baselines the paper argues against:
+// RapidChain-style transaction splitting (no atomicity/isolation for
+// general transactions, §6.1) and OmniLedger-style client-driven
+// lock/unlock (indefinite blocking under a malicious coordinator, §6.1) —
+// see internal/bench and examples/malicious for the comparisons.
+package txn

@@ -1,6 +1,7 @@
 package txn
 
 import (
+	"sort"
 	"strconv"
 	"time"
 
@@ -476,9 +477,12 @@ func (m *Manager) armRetry() {
 // retryTick retransmits only for transactions stuck for at least a full
 // retryInterval, so the healthy path never generates extra traffic.
 func (m *Manager) retryTick() {
+	// Retransmissions schedule network events, so both maps are walked in
+	// sorted txid order — map-order iteration here would break the
+	// simulator's run-to-run determinism.
 	now := m.replica.Engine().Now()
-	for txid, began := range m.pending {
-		if now.Sub(began) < retryInterval {
+	for _, txid := range sortedKeys(m.pending) {
+		if now.Sub(m.pending[txid]) < retryInterval {
 			continue
 		}
 		if StatusOf(m.replica.Store(), txid).Terminal() {
@@ -489,8 +493,8 @@ func (m *Manager) retryTick() {
 			m.sendPrepares(txid, d)
 		}
 	}
-	for txid, at := range m.votedAt {
-		if now.Sub(at) < retryInterval {
+	for _, txid := range sortedKeys(m.votedAt) {
+		if now.Sub(m.votedAt[txid]) < retryInterval {
 			continue
 		}
 		if v := m.voted[txid]; v != nil {
@@ -501,6 +505,16 @@ func (m *Manager) retryTick() {
 		}
 	}
 	m.armRetry()
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // sendVote transmits v to every member of the transaction's coordinating

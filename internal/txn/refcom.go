@@ -1,11 +1,3 @@
-// Package txn implements the paper's distributed transaction protocol
-// (§6): two-phase commit whose coordinator state machine (Figure 6) runs
-// as a chaincode replicated by a Byzantine fault-tolerant reference
-// committee R, with 2PL locks held in shard state. It also implements the
-// two baselines the paper argues against: RapidChain-style transaction
-// splitting (no atomicity/isolation for general transactions, §6.1) and
-// OmniLedger-style client-driven lock/unlock (indefinite blocking under a
-// malicious coordinator, §6.1).
 package txn
 
 import (

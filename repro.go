@@ -138,8 +138,10 @@ func AccountName(i int) string { return core.Account(i) }
 // BenchScale controls experiment sizes.
 type BenchScale = bench.Scale
 
-// Experiment scales.
+// Experiment scales, smallest to largest. ScaleSmoke is the CI tier;
+// ScaleFull reaches the paper's N=79 committees and 972-node systems.
 var (
+	ScaleSmoke    = bench.Smoke
 	ScaleQuick    = bench.Quick
 	ScaleStandard = bench.Standard
 	ScaleFull     = bench.Full
