@@ -28,6 +28,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig2", "fig8", "fig9", "fig10", "fig11", "fig11x", "fig12", "fig13", "fig13x", "fig13r", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
 		"eq1", "eq2", "eq3",
+		"faults-loss", "faults-crash", "faults-partition", "faults-byz", "faults-2pc",
 	}
 	for _, id := range wanted {
 		if _, ok := Get(id); !ok {

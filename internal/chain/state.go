@@ -43,6 +43,20 @@ func (s *Store) Get(key string) ([]byte, bool) {
 // Len returns the number of live keys.
 func (s *Store) Len() int { return len(s.kv) }
 
+// KeysWithPrefix returns every live key starting with prefix, sorted.
+// Invariant checks (e.g. "no 2PL lock keys survive a terminal
+// transaction") are built on it.
+func (s *Store) KeysWithPrefix(prefix string) []string {
+	var out []string
+	for k := range s.kv {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Version returns the number of write-sets applied.
 func (s *Store) Version() uint64 { return s.version }
 

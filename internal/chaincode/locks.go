@@ -3,6 +3,8 @@ package chaincode
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/chain"
 )
 
 // Lock and staging keys live in the same blockchain state as application
@@ -134,6 +136,18 @@ func AbortStaged(ctx *Ctx, txid string) error {
 func IsLocked(ctx *Ctx, key string) bool {
 	_, held := ctx.Get(LockKey(key))
 	return held
+}
+
+// ResidueKeys returns every 2PL lock, staged value, and staging-index
+// key present in store, sorted within each class. A store with no
+// in-flight cross-shard transaction must have none — the invariant the
+// fault-injection experiments and the atomicity tests assert. Defined
+// here, next to the key constructors, so the prefixes cannot drift out
+// of sync with the checks built on them.
+func ResidueKeys(st *chain.Store) []string {
+	out := st.KeysWithPrefix("L_")
+	out = append(out, st.KeysWithPrefix("S_")...)
+	return append(out, st.KeysWithPrefix("SIDX_")...)
 }
 
 func encodeIndex(keys []string) []byte { return []byte(strings.Join(keys, "\x00")) }

@@ -108,6 +108,20 @@ func (bc *BuiltCommittee) ExecutedOnQuorum() int {
 	return counts[q-1]
 }
 
+// MostExecuted returns the committee replica that executed the most
+// transactions — the most up-to-date honest state to assert invariants
+// against (a recently crashed-and-recovered replica may still be
+// catching up).
+func (bc *BuiltCommittee) MostExecuted() *Replica {
+	best := bc.Replicas[0]
+	for _, r := range bc.Replicas[1:] {
+		if r.Executed() > best.Executed() {
+			best = r
+		}
+	}
+	return best
+}
+
 // MaxViewChanges returns the largest per-replica view-change count, the
 // Figure 16 metric.
 func (bc *BuiltCommittee) MaxViewChanges() int {

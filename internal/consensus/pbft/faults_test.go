@@ -1,0 +1,98 @@
+package pbft
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Fault-schedule tests for the view-change and timer lifecycle: a leader
+// crash at f=1 must be survived deterministically, and no timer may stay
+// armed (or keep re-arming) forever once the committee's work drains.
+
+// crashFingerprint captures everything a deterministic faulty run should
+// reproduce byte-for-byte.
+type crashFingerprint struct {
+	Executed  [4]int
+	Views     [4]uint64
+	VCs       [4]int
+	EngineEvs uint64
+	EngineAt  sim.Time
+}
+
+func runLeaderCrashScenario(t *testing.T, recoverAt time.Duration) (*testCluster, crashFingerprint) {
+	t.Helper()
+	tc := newTestCluster(t, 4, VariantAHLPlus, nil, nil)
+	leader := tc.bc.Committee.Leader(0)
+	tc.engine.Schedule(0, func() { tc.submit(1, 60) })
+	tc.engine.Schedule(200*time.Millisecond, func() { tc.net.Endpoint(leader).SetDown(true) })
+	if recoverAt > 0 {
+		tc.engine.Schedule(recoverAt, func() { tc.net.Endpoint(leader).SetDown(false) })
+	}
+	tc.engine.Schedule(5*time.Second, func() { tc.submit(2, 60) })
+	tc.run(120 * time.Second)
+	var fp crashFingerprint
+	for i, r := range tc.bc.Replicas {
+		fp.Executed[i] = r.Executed()
+		fp.Views[i] = r.View()
+		fp.VCs[i] = r.ViewChanges()
+	}
+	fp.EngineEvs = tc.engine.Executed
+	fp.EngineAt = tc.engine.Now()
+	return tc, fp
+}
+
+func TestLeaderCrashViewChangeAtF1(t *testing.T) {
+	tc, fp := runLeaderCrashScenario(t, 0)
+	// The three survivors (quorum at f=1) must order and execute all 120
+	// transactions in a new view.
+	for i := 1; i < 4; i++ {
+		if fp.Executed[i] != 120 {
+			t.Fatalf("replica %d executed %d of 120 after leader crash", i, fp.Executed[i])
+		}
+		if fp.Views[i] == 0 {
+			t.Fatalf("replica %d still in view 0 after leader crash", i)
+		}
+	}
+	tc.requireAgreement(t, 120)
+}
+
+func TestLeaderCrashDeterminismAtF1(t *testing.T) {
+	_, fp1 := runLeaderCrashScenario(t, 0)
+	_, fp2 := runLeaderCrashScenario(t, 0)
+	if fp1 != fp2 {
+		t.Fatalf("leader-crash run not replayable:\n  %+v\nvs\n  %+v", fp1, fp2)
+	}
+}
+
+func TestLeaderCrashTimersDrain(t *testing.T) {
+	// Regression for the view-change timer lifecycle: after the survivors
+	// finish every transaction, no timer may keep re-arming — neither on
+	// the crashed leader (its timers are quiesced by onDownChange) nor on
+	// a survivor whose escalation fires after the work drained. The
+	// engine must therefore reach a truly idle state.
+	tc, fp := runLeaderCrashScenario(t, 0)
+	if fp.Executed[1] != 120 {
+		t.Fatalf("precondition: survivors executed %d of 120", fp.Executed[1])
+	}
+	deadline := tc.engine.Now().Add(30 * time.Minute)
+	for tc.engine.Pending() > 0 {
+		if tc.engine.Now() >= deadline {
+			t.Fatalf("%d events still pending long after the work drained: a timer is armed forever",
+				tc.engine.Pending())
+		}
+		tc.engine.Run(tc.engine.Now().Add(time.Minute))
+	}
+}
+
+func TestLeaderCrashRecoveryCatchesUp(t *testing.T) {
+	// Crash-recovery: the former leader comes back mid-run, probes its
+	// peers (state sync / block replay) and must converge on the decided
+	// history instead of rejoining in a stale or runaway view.
+	tc, fp := runLeaderCrashScenario(t, 30*time.Second)
+	if fp.Executed[0] != 120 {
+		t.Fatalf("recovered leader executed %d of 120", fp.Executed[0])
+	}
+	tc.requireAgreement(t, 120)
+}

@@ -1,6 +1,7 @@
 package pbft
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -100,9 +101,15 @@ type Replica struct {
 	executing       bool
 	execEntry       *entry // entry occupying the CPU while executing
 	executedTxIDs   map[uint64]bool
-	pending         map[uint64]chain.Tx
-	pendingOrder    []uint64
-	batchedIn       map[uint64]uint64 // txID -> seq
+	// executedOK records the execution result of locally-executed
+	// transactions (absent for ids learned via snapshot install, whose
+	// results this replica never saw), so a duplicate request for an
+	// executed transaction can be answered with a fresh Reply instead of
+	// silence — the re-reply path client retransmission relies on.
+	executedOK   map[uint64]bool
+	pending      map[uint64]chain.Tx
+	pendingOrder []uint64
+	batchedIn    map[uint64]uint64 // txID -> seq
 	// unbatched counts pending txs with no batchedIn assignment. It is
 	// maintained incrementally (see markBatched/unmarkBatched): the naive
 	// O(len(pending)) scan was ~90% of benchmark CPU time at high request
@@ -163,6 +170,7 @@ func New(opts Options, deps Deps) *Replica {
 		ep:            deps.Endpoint,
 		entries:       make(map[uint64]*entry),
 		executedTxIDs: make(map[uint64]bool),
+		executedOK:    make(map[uint64]bool),
 		pending:       make(map[uint64]chain.Tx),
 		batchedIn:     make(map[uint64]uint64),
 		ledger:        chain.NewLedger(),
@@ -190,7 +198,41 @@ func New(opts Options, deps Deps) *Replica {
 	r.batchTimer = r.engine.NewTimer()
 	r.vcTimer = r.engine.NewTimer()
 	deps.Endpoint.SetHandler(r)
+	deps.Endpoint.OnDownChange(r.onDownChange)
 	return r
+}
+
+// onDownChange quiesces the replica while its node is crashed and resumes
+// protocol activity on recovery. Without the quiesce, a crashed node's
+// timers keep cycling forever — the progress timer escalates it through
+// view after view, broadcasting into the void — and on recovery it
+// rejoins in a nonsense view.
+func (r *Replica) onDownChange(down bool) {
+	if down {
+		r.batchTimer.Stop()
+		r.vcTimer.Stop()
+		r.suspected = false
+		return
+	}
+	// Recovery: probe peers for anything missed during the outage (state
+	// snapshots, replay of decided blocks, a newer view) and pick the
+	// replica's duties back up.
+	r.lastSyncReq = 0
+	r.noteAhead()
+	if len(r.pending) > 0 {
+		if r.inViewChange {
+			// Crashed mid-view-change: resume the escalation loop, not the
+			// progress timer — onProgressTimeout cannot escalate past a
+			// view this replica already voted for, so arming it here would
+			// dead-end after one firing with the vote possibly lost.
+			r.vcTimer.Reset(2*r.opts.Timing.ViewChangeTimeout, r.onViewChangeTimeout)
+		} else {
+			r.armProgressTimer()
+		}
+	}
+	if r.isLeader() && !r.inViewChange {
+		r.scheduleBatch()
+	}
 }
 
 // --- accessors ---
@@ -215,6 +257,20 @@ func (r *Replica) Store() *chain.Store { return r.store }
 
 // StableCheckpoint returns the low watermark.
 func (r *Replica) StableCheckpoint() uint64 { return r.h }
+
+// ExecutedOK reports whether transaction id has already been executed on
+// this replica and, if so, whether it succeeded. ok is false for ids
+// learned only through a snapshot install (the result was never observed
+// locally) — callers treating unknown as failure stay safe. Layered
+// protocols use this to close the execution-before-registration race: a
+// transaction injected by a faster peer can execute through consensus
+// before this node's manager registers its own interest in it.
+func (r *Replica) ExecutedOK(id uint64) (ok, executed bool) {
+	if !r.executedTxIDs[id] {
+		return false, false
+	}
+	return r.executedOK[id], true
+}
 
 // Endpoint returns the replica's network attachment, letting composing
 // layers (the transaction manager) wrap its handler.
@@ -365,6 +421,15 @@ const maxPending = 20000
 
 func (r *Replica) handleRequest(tx chain.Tx, external bool) {
 	if r.executedTxIDs[tx.ID] {
+		// A retransmitted request for an executed transaction means the
+		// client may have missed our reply: answer it again (only when we
+		// executed it ourselves and therefore know the result).
+		if external && r.opts.SendReplies && tx.Client != 0 {
+			if ok, known := r.executedOK[tx.ID]; known {
+				r.ep.Send(simnet.Message{To: simnet.NodeID(tx.Client), Class: simnet.ClassConsensus,
+					Type: MsgReply, Payload: Reply{TxID: tx.ID, OK: ok, Replica: r.self()}, Size: 128})
+			}
+		}
 		return
 	}
 	if _, known := r.pending[tx.ID]; known {
@@ -396,8 +461,15 @@ func (r *Replica) handleRequest(tx chain.Tx, external bool) {
 			}
 		}
 	}
-	if !r.vcTimer.Active() && !r.inViewChange {
-		r.armProgressTimer()
+	if !r.vcTimer.Active() {
+		if r.inViewChange {
+			// Parked view change (see onViewChangeTimeout): new work means
+			// the stall matters again — resume the escalation loop so this
+			// replica votes for the next view instead of sitting mute.
+			r.vcTimer.Reset(2*r.opts.Timing.ViewChangeTimeout, r.onViewChangeTimeout)
+		} else {
+			r.armProgressTimer()
+		}
 	}
 	if r.isLeader() && !r.inViewChange {
 		r.scheduleBatch()
@@ -489,6 +561,22 @@ func (r *Replica) tryBatch() {
 func (r *Replica) retransmitVotes() {
 	if r.inViewChange || r.byz(BehaviorSilent) {
 		return
+	}
+	// Re-broadcast our own checkpoint attestations that have not become
+	// stable: checkpoints are emitted exactly once at execution, so under
+	// message loss the quorum may never form — h stops advancing, the
+	// leader's window fills, and the committee wedges with no view change
+	// able to rescue it (new-view messages carry h but cannot mint the
+	// missing checkpoint attestations).
+	ckSeqs := make([]uint64, 0, len(r.checkpoints))
+	for seq := range r.checkpoints {
+		if seq > r.h && r.checkpoints[seq][r.self()] != nil {
+			ckSeqs = append(ckSeqs, seq)
+		}
+	}
+	sort.Slice(ckSeqs, func(i, j int) bool { return ckSeqs[i] < ckSeqs[j] })
+	for _, seq := range ckSeqs {
+		r.broadcast(msgCheckpoint, r.checkpoints[seq][r.self()], 128)
 	}
 	for seq := r.h + 1; seq <= r.h+r.opts.Window; seq++ {
 		e := r.entries[seq]
@@ -980,6 +1068,7 @@ func (r *Replica) finishExecute(e *entry) {
 		}
 		r.executedTxIDs[tx.ID] = true
 		res := r.deps.Registry.Execute(r.store, tx)
+		r.executedOK[tx.ID] = res.OK()
 		results = append(results, res)
 		r.dropRequest(tx.ID)
 		r.executedCount++
@@ -1119,4 +1208,20 @@ func (r *Replica) advanceStable(seq uint64, digest blockcrypto.Digest, ck map[in
 // tests; not part of the stable API.
 func (r *Replica) DebugSyncState() (h, executedThrough, stableSnapSeq uint64, certLen, pendingLen int) {
 	return r.h, r.executedThrough, r.stableSnapSeq, len(r.stableCert), len(r.pending)
+}
+
+// DebugEntry renders the consensus entry at seq for fault diagnosis in
+// tests; not part of the stable API.
+func (r *Replica) DebugEntry(seq uint64) string {
+	e := r.entries[seq]
+	if e == nil {
+		return "<none>"
+	}
+	blk := 0
+	if e.block != nil {
+		blk = len(e.block.Txs)
+	}
+	return fmt.Sprintf("view=%d pp=%v prep=%v(%d) comm=%v(%d) exec=%v txs=%d",
+		e.view, e.prePrepared, e.prepared, e.prepares.count(),
+		e.committed, e.commits.count(), e.executed, blk)
 }

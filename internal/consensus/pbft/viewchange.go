@@ -82,7 +82,7 @@ func (r *Replica) handleNVReq(m *nvReqMsg) {
 // the pending requests so every replica arms its own progress timer. Only
 // a second timeout escalates to a view change.
 func (r *Replica) onProgressTimeout() {
-	if len(r.pending) == 0 {
+	if len(r.pending) == 0 || r.ep.Down() {
 		return
 	}
 	// We may be stalled simply because we fell behind; probe for a
@@ -143,7 +143,14 @@ func (r *Replica) startViewChange(newView uint64) {
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	for _, s := range seqs {
 		e := r.entries[s]
-		if e.prepared && !e.executed && e.block != nil && s > r.h {
+		// Executed entries above the stable checkpoint are included too,
+		// exactly as PBFT keeps prepared certificates until a checkpoint
+		// stabilizes: a sequence decided on some replicas but reported by
+		// no view-change voter would otherwise vanish from the new view,
+		// leaving a permanent hole below which nothing executes — while a
+		// gap the whole quorum agrees is undecided is null-filled by the
+		// new leader (see installNewView).
+		if e.prepared && e.block != nil && s > r.h {
 			m.Prepared = append(m.Prepared, preparedProof{Seq: s, Digest: e.digest, Block: e.block})
 		}
 	}
@@ -160,11 +167,33 @@ func (r *Replica) startViewChange(newView uint64) {
 	r.broadcast(msgViewChange, m, size)
 
 	// Escalate if this view change does not complete in time.
-	r.vcTimer.Reset(2*r.opts.Timing.ViewChangeTimeout, func() {
-		if r.inViewChange {
-			r.startViewChange(r.vcView + 1)
-		}
-	})
+	r.vcTimer.Reset(2*r.opts.Timing.ViewChangeTimeout, r.onViewChangeTimeout)
+}
+
+// onViewChangeTimeout fires when a view change this replica voted for did
+// not complete within its escalation window.
+func (r *Replica) onViewChangeTimeout() {
+	if !r.inViewChange || r.ep.Down() {
+		return
+	}
+	if len(r.pending) == 0 {
+		// The work that motivated the view change drained while the vote
+		// was in flight (committed entries executed, or a checkpoint
+		// pruned them). Park the view change instead of escalating
+		// forever: the timer stays unarmed, so a lone suspecting replica
+		// cannot broadcast view-change votes endlessly with nothing left
+		// to order. inViewChange deliberately stays set — a replica that
+		// voted for view v+1 must not resume voting in view v (its
+		// view-change vote froze a prepared-set snapshot that peers may
+		// later build a new-view certificate from; rejoining the old view
+		// would let it commit entries that snapshot cannot report,
+		// breaking the quorum-intersection argument behind the new
+		// leader's null-fill). Wake-ups: a checkpoint quorum
+		// (advanceStable), a new-view install, f+1 votes for a higher
+		// view, or new pending work re-arming this timer (handleRequest).
+		return
+	}
+	r.startViewChange(r.vcView + 1)
 }
 
 func (r *Replica) handleViewChange(m *viewChangeMsg) {
@@ -229,6 +258,27 @@ func (r *Replica) installNewView(view uint64, votes map[int]*viewChangeMsg) {
 			if _, ok := reissue[p.Seq]; !ok {
 				reissue[p.Seq] = p
 			}
+		}
+	}
+	// Fill sequence holes with null requests (PBFT's null-request rule):
+	// a sequence assigned in a dead view that no view-change voter
+	// prepared can never be re-proposed — assignment resumes past the
+	// highest reissue — yet execution is strictly sequential, so an
+	// unfilled hole would wedge execution below it forever. Because the
+	// votes carry every prepared entry above the stable checkpoint
+	// (executed included) and any commit quorum intersects the
+	// view-change quorum, a hole here is provably undecided everywhere;
+	// the null block is safe to order.
+	maxSeq := stable
+	for s := range reissue {
+		if s > maxSeq {
+			maxSeq = s
+		}
+	}
+	for s := stable + 1; s < maxSeq; s++ {
+		if _, ok := reissue[s]; !ok {
+			blk := r.buildBlock(s, nil)
+			reissue[s] = preparedProof{Seq: s, Digest: blk.Digest(), Block: blk}
 		}
 	}
 	nv := &newViewMsg{View: view, StableSeq: stable, Replica: r.self()}
@@ -304,7 +354,16 @@ func (r *Replica) adoptNewView(m *newViewMsg) {
 			delete(r.vcVotes, v)
 		}
 	}
+	// Resume sequence assignment past everything already decided locally.
+	// The stable checkpoint alone is not enough: h only advances every
+	// CheckpointEvery sequences, so a new leader that reset to h could
+	// re-propose an already-executed sequence — refused by every replica
+	// (decided seq, conflicting digest), wedging the committee in an
+	// endless view-change loop.
 	r.seqAssign = r.h
+	if r.executedThrough > r.seqAssign {
+		r.seqAssign = r.executedThrough
+	}
 	for _, p := range m.Reissue {
 		if p.Seq > r.seqAssign {
 			r.seqAssign = p.Seq
@@ -313,17 +372,39 @@ func (r *Replica) adoptNewView(m *newViewMsg) {
 
 	// Process re-issued proposals as fresh pre-prepares in the new view.
 	leaderIdx := r.opts.Committee.Index(r.opts.Committee.Leader(m.View))
+	follower := r.ep.ID() != r.opts.Committee.Leader(m.View)
 	for _, p := range m.Reissue {
 		if p.Seq <= r.h {
 			continue
 		}
 		e := r.getEntry(p.Seq)
+		if e.executed {
+			// Already decided and applied here (executed entries survive
+			// the reset above). Re-vote under the new view so peers that
+			// have not yet committed this sequence can form a quorum; the
+			// local decision itself is untouchable.
+			if e.digest != p.Digest {
+				continue // conflicting reissue for a decided seq: keep ours
+			}
+			e.view = m.View
+			if follower {
+				if r.opts.Variant.Aggregated() {
+					r.sendAggVote(e, phasePrepare)
+					r.sendAggVote(e, phaseCommit)
+				} else {
+					r.castVote(e, phasePrepare)
+					e.sentCommitVote = true
+					r.castVote(e, phaseCommit)
+				}
+			}
+			continue
+		}
 		e.view, e.digest, e.block, e.prePrepared = m.View, p.Digest, p.Block, true
 		e.prepares.add(leaderIdx)
 		for _, tx := range p.Block.Txs {
 			r.markBatched(tx.ID, p.Seq)
 		}
-		if r.ep.ID() != r.opts.Committee.Leader(m.View) {
+		if follower {
 			if r.opts.Variant.Aggregated() {
 				r.sendAggVote(e, phasePrepare)
 			} else {

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/chaincode"
+	"repro/internal/consensus/pbft"
+	"repro/internal/faults"
+	"repro/internal/simnet"
+	"repro/internal/tee"
+	"repro/internal/txn"
+)
+
+// End-to-end 2PC atomicity under injected fault schedules: whatever the
+// injector does — crash-recovery of leaders and followers, partitions,
+// probabilistic loss/duplication/delay — no committed transaction may be
+// half-applied, no aborted transaction may leave any effect, and no
+// terminal transaction may leave a 2PL lock or staged write behind.
+
+// bestReplica and residueKeys alias the shared invariant helpers
+// (pbft.BuiltCommittee.MostExecuted, chaincode.ResidueKeys) the fault
+// experiments use too.
+func bestReplica(bc *pbft.BuiltCommittee) *pbft.Replica { return bc.MostExecuted() }
+
+func residueKeys(st *chain.Store) []string { return chaincode.ResidueKeys(st) }
+
+func balanceOn(r *pbft.Replica, acc string) int64 {
+	v, ok := r.Store().Get("c_" + acc)
+	if !ok {
+		return 0
+	}
+	var n int64
+	fmt.Sscanf(string(v), "%d", &n)
+	return n
+}
+
+func TestCrossShardAtomicityUnderFaultSchedules(t *testing.T) {
+	const accounts, initial = 24, 1000
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			s := NewSystem(Config{
+				Seed: seed, Shards: 3, ShardSize: 4, RefSize: 4,
+				Variant: pbft.VariantAHLPlus, Clients: 2, SendReplies: true,
+				Costs: tee.FreeCosts(),
+			})
+			s.Seed(accounts, initial)
+
+			inj := s.InjectFaults(faults.Config{
+				Seed: seed * 101, DropRate: 0.02, DelayRate: 0.05,
+				Delay: 200 * time.Millisecond, DupRate: 0.02,
+			})
+			// Schedule: one crash-recovery per committee (within f=1, any
+			// position including the leader) and one shard partitioned away
+			// for 15s, all drawn from a seed-deterministic source.
+			sched := rand.New(rand.NewSource(seed * 7))
+			crash := func(nodes []simnet.NodeID) {
+				n := nodes[sched.Intn(len(nodes))]
+				after := 5*time.Second + time.Duration(sched.Intn(10))*time.Second
+				outage := 10*time.Second + time.Duration(sched.Intn(20))*time.Second
+				inj.CrashFor(n, after, outage)
+			}
+			for _, nodes := range s.Topology.ShardNodes {
+				crash(nodes)
+			}
+			crash(s.Topology.RefNodes)
+			cut := sched.Intn(s.Config.Shards)
+			inj.PartitionFor(s.Topology.ShardNodes[cut], 12*time.Second, 15*time.Second)
+
+			// Submit cross-shard payments spread over the fault window,
+			// including same-payer pairs that force lock-conflict aborts.
+			type payment struct {
+				txid     string
+				from, to string
+				amount   int64
+				res      *txn.Result
+			}
+			var pays []*payment
+			k := 0
+			for i := 0; i < accounts && len(pays) < 16; i++ {
+				for j := 0; j < accounts && len(pays) < 16; j++ {
+					a, b := Account(i), Account(j)
+					if i == j || s.ShardOfKey(a) == s.ShardOfKey(b) {
+						continue
+					}
+					k++
+					pays = append(pays, &payment{
+						txid: fmt.Sprintf("atom%d", k), from: a, to: b,
+						amount: int64(1 + k),
+					})
+					break
+				}
+			}
+			if len(pays) < 8 {
+				t.Fatalf("only %d cross-shard pairs found", len(pays))
+			}
+			for i, p := range pays {
+				p := p
+				at := time.Duration(1+i) * time.Second
+				s.Engine.Schedule(at, func() {
+					d := s.PaymentDTx(p.txid, p.from, p.to, p.amount)
+					s.Client(i).SubmitDistributed(d, func(r txn.Result) { p.res = &r })
+				})
+			}
+
+			s.Run(700 * time.Second)
+			if inj.Stats.Crashes == 0 || inj.Stats.Dropped == 0 {
+				t.Fatalf("schedule injected nothing: %+v", inj.Stats)
+			}
+
+			// Liveness: every payment reached a terminal outcome.
+			expected := make(map[string]int64, accounts)
+			for i := 0; i < accounts; i++ {
+				expected[Account(i)] = initial
+			}
+			ref := bestReplica(s.RefCommittee)
+			for _, p := range pays {
+				if p.res == nil {
+					t.Fatalf("tx %s: no outcome after faults healed", p.txid)
+				}
+				st := txn.StatusOf(ref.Store(), p.txid)
+				if !st.Terminal() {
+					t.Fatalf("tx %s: coordinator state %v not terminal", p.txid, st)
+				}
+				if (st == txn.StatusCommitted) != p.res.Committed {
+					t.Fatalf("tx %s: client outcome %v disagrees with coordinator %v",
+						p.txid, p.res.Committed, st)
+				}
+				if p.res.Committed {
+					expected[p.from] -= p.amount
+					expected[p.to] += p.amount
+				}
+			}
+
+			// Atomicity: committed = fully applied on both shards, aborted =
+			// no effect. With the payments the only balance-touching
+			// transactions, every account's final balance is exactly
+			// determined; a half-applied commit or a leaky abort breaks it.
+			for i := 0; i < accounts; i++ {
+				acc := Account(i)
+				best := bestReplica(s.ShardCommittees[s.ShardOfKey(acc)])
+				if got := balanceOn(best, acc); got != expected[acc] {
+					t.Errorf("%s: balance %d, want %d", acc, got, expected[acc])
+				}
+			}
+
+			// No terminal transaction leaves locks or staged writes.
+			for sh, bc := range s.ShardCommittees {
+				if res := residueKeys(bestReplica(bc).Store()); len(res) != 0 {
+					t.Errorf("shard %d: lock/stage residue %q", sh, res)
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionedCoordinatorNoRetryStorm is the regression for unbounded
+// vote retransmission (txn.Manager.retryTick/armRetry): with the
+// reference committee partitioned away forever right as the first vote
+// leaves a shard, the shards keep retrying — but under bounded backoff
+// the traffic decays to one burst per maxRetryInterval instead of the
+// base cadence forever.
+func TestPartitionedCoordinatorNoRetryStorm(t *testing.T) {
+	s := testSystem(t, 2, 3, 3, 1)
+	s.Seed(12, 100)
+	from, to := findCrossShardPair(s, 12)
+
+	votes := 0
+	s.Net.SetFilter(func(m simnet.Message) (time.Duration, bool) {
+		if m.Type == txn.MsgVote {
+			votes++
+		}
+		return 0, true
+	})
+	inj := s.InjectFaults(faults.Config{Seed: 9})
+	refs := append([]simnet.NodeID(nil), s.Topology.RefNodes...)
+	inj.OnFirst(txn.MsgVote, func(simnet.Message) {
+		inj.PartitionFor(refs, 0, 0) // never heals
+	})
+
+	var res *txn.Result
+	submitPayment(t, s, "storm", from, to, 10, &res)
+	s.Run(2000 * time.Second)
+
+	if res != nil {
+		t.Fatalf("transaction decided despite the coordinator partition (outcome %+v)", *res)
+	}
+	// 6 shard replicas hold a vote each. Unbounded 10s retries would
+	// route ~200 bursts x 3 destinations x 6 replicas ≈ 3600 votes;
+	// capped backoff stays around ~15 bursts each (≈ 300 total).
+	if votes > 800 {
+		t.Fatalf("%d vote messages routed: retry storm (bounded backoff would send ~300)", votes)
+	}
+	if votes < 20 {
+		t.Fatalf("only %d vote messages routed; retransmission loop seems dead", votes)
+	}
+}
+
+// TestAbortedCrossShardTxnsReleaseAllLocks is the lock-release property
+// test: under forced lock-conflict and insufficient-funds aborts plus
+// probabilistic message loss, every terminal transaction — and in
+// particular every aborted one — must leave zero 2PL locks, staged
+// values, or staging indexes on every shard.
+func TestAbortedCrossShardTxnsReleaseAllLocks(t *testing.T) {
+	for _, seed := range []int64{4, 5} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			s := NewSystem(Config{
+				Seed: seed, Shards: 3, ShardSize: 4, RefSize: 4,
+				Variant: pbft.VariantAHLPlus, Clients: 2, SendReplies: true,
+				Costs: tee.FreeCosts(),
+			})
+			const accounts = 12
+			s.Seed(accounts, 50)
+			s.InjectFaults(faults.Config{Seed: seed, DropRate: 0.03})
+
+			// Pairs of payments sharing a payer, issued simultaneously with
+			// amounts that cannot both clear a 50 balance: each round ends
+			// in at least one abort (lock conflict or insufficient funds).
+			aborted, done := 0, 0
+			round := 0
+			for i := 0; i < accounts; i++ {
+				from := Account(i)
+				var tos []string
+				for j := 0; j < accounts && len(tos) < 2; j++ {
+					acc := Account(j)
+					if j != i && s.ShardOfKey(acc) != s.ShardOfKey(from) {
+						tos = append(tos, acc)
+					}
+				}
+				if len(tos) < 2 {
+					continue
+				}
+				round++
+				at := time.Duration(round) * 2 * time.Second
+				for c, to := range tos {
+					txid := fmt.Sprintf("lock%d-%d", round, c)
+					d := s.PaymentDTx(txid, from, to, 40)
+					c := c
+					s.Engine.Schedule(at, func() {
+						s.Client(c).SubmitDistributed(d, func(r txn.Result) {
+							done++
+							if !r.Committed {
+								aborted++
+							}
+						})
+					})
+				}
+			}
+			if round < 4 {
+				t.Fatalf("only %d contention rounds constructed", round)
+			}
+
+			s.Run(500 * time.Second)
+			if done != 2*round {
+				t.Fatalf("%d of %d payments reached an outcome", done, 2*round)
+			}
+			if aborted == 0 {
+				t.Fatal("no aborts despite forced conflicts; property test is vacuous")
+			}
+			for sh, bc := range s.ShardCommittees {
+				if res := residueKeys(bestReplica(bc).Store()); len(res) != 0 {
+					t.Errorf("shard %d: residue after %d aborts: %q", sh, aborted, res)
+				}
+			}
+		})
+	}
+}
+
+// TestLatePrepareAfterAbortReleasesLocks is the regression for the
+// decide-before-prepare race the fault injector surfaced: if a shard's
+// PrepareTx messages are delayed past the abort decision (decided by
+// another shard's NotOK), the prepare still enters consensus and
+// re-acquires locks *after* the abort invocation already ran — and the
+// coordinator, considering the transaction finished, never sends another
+// decide. The manager must detect the inversion and inject a cleanup.
+func TestLatePrepareAfterAbortReleasesLocks(t *testing.T) {
+	s := testSystem(t, 3, 4, 4, 1)
+	s.Seed(20, 100)
+	from, to := findCrossShardPair(s, 20)
+	payerShard := s.ShardOfKey(from)
+
+	// A blocker transaction holds the payee's lock so the payee shard
+	// votes NotOK and the payment aborts.
+	s.ShardCommittees[s.ShardOfKey(to)].Replicas[0].SubmitLocal(chain.Tx{
+		ID: 1 << 55, Chaincode: "smallbank-sharded", Fn: "preparePayment",
+		Args: []string{"blocker", to, "0"},
+	})
+	s.Run(10 * time.Second)
+
+	// Delay every PrepareTx to the payer shard far past the decision.
+	inPayerShard := make(map[simnet.NodeID]bool)
+	for _, n := range s.Topology.ShardNodes[payerShard] {
+		inPayerShard[n] = true
+	}
+	s.Net.SetFilter(func(m simnet.Message) (time.Duration, bool) {
+		if m.Type == txn.MsgPrepare && inPayerShard[m.To] {
+			return 30 * time.Second, true
+		}
+		return 0, true
+	})
+
+	var res *txn.Result
+	submitPayment(t, s, "late-prepare", from, to, 10, &res)
+	s.Run(300 * time.Second)
+
+	if res == nil {
+		t.Fatal("no outcome for the late-prepare payment")
+	}
+	if res.Committed {
+		t.Fatal("payment committed despite the blocked payee")
+	}
+	if bal, _ := s.BalanceOnShard(from); bal != 100 {
+		t.Fatalf("payer balance %d, want 100 (abort must leave no effect)", bal)
+	}
+	// The payer shard saw prepare-after-abort: nothing may dangle there.
+	best := bestReplica(s.ShardCommittees[payerShard])
+	if res := residueKeys(best.Store()); len(res) != 0 {
+		t.Fatalf("payer shard residue after late prepare: %q", res)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/chaincode/shardlib"
 	"repro/internal/consensus"
 	"repro/internal/consensus/pbft"
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/tee"
@@ -288,6 +289,15 @@ func ShardOfKey(key string, k int) int {
 
 // Run advances the simulation by d.
 func (s *System) Run(d time.Duration) { s.Engine.Run(s.Engine.Now().Add(d)) }
+
+// InjectFaults installs a deterministic fault injector over the system's
+// network and returns it for schedule declarations (crashes, partitions,
+// protocol-point triggers). Byzantine behaviors are not injected here —
+// configure them at build time through Config.Behaviors. Combining the
+// injector with ReshardAt exercises reconfiguration under faults.
+func (s *System) InjectFaults(cfg faults.Config) *faults.Injector {
+	return faults.New(s.Net, cfg)
+}
 
 // TotalExecuted sums, across shards, the transaction count executed by a
 // quorum of each committee.

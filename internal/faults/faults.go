@@ -1,0 +1,230 @@
+// Package faults is the deterministic, seed-driven fault-injection
+// subsystem for the discrete-event simulator. It plugs into simnet's
+// per-link fault hook (simnet.Network.SetFaults) and the engine's virtual
+// clock to inject the adversarial conditions the paper's resilience
+// claims are stated against (§3.3, §7):
+//
+//   - crash-stop and crash-recovery of individual nodes,
+//   - message drop, delay and duplication at configurable per-link rates,
+//   - network partitions that isolate a node group for a window,
+//   - 2PC coordinator failure at configurable protocol points, via
+//     message-observation triggers (e.g. "crash the sender of the first
+//     txn/decide message"),
+//   - Byzantine equivocation and silence, which are *behaviors* rather
+//     than link faults: configure them at system build time through
+//     core.Config.Behaviors / pbft.Options.Behavior; the injector's role
+//     there is only the schedule around them.
+//
+// Every decision the injector makes is a pure function of its Config
+// (seed included) and the deterministic message sequence the simulator
+// routes, so a faulty run replays byte-identically: same seed, same
+// faults, same outcome — the discipline the smoke-tier baselines rely
+// on. The injector consumes its own rand source, never the engine's, so
+// enabling it does not shift any protocol randomness.
+//
+// When no Injector is installed the only cost on the message path is one
+// nil check in simnet.Network.route.
+package faults
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Config sets the probabilistic per-message link faults. All rates are
+// probabilities in [0, 1]; a zero rate disables that fault class and its
+// random draws entirely.
+type Config struct {
+	// Seed drives every probabilistic decision the injector makes.
+	Seed int64
+	// DropRate is the probability a routed message is discarded.
+	DropRate float64
+	// DelayRate is the probability a message is delayed by Delay on top
+	// of the modelled link latency.
+	DelayRate float64
+	// Delay is the extra delay for delayed messages (default 50ms).
+	Delay time.Duration
+	// DupRate is the probability a message is delivered twice (the copy
+	// samples its own link latency).
+	DupRate float64
+}
+
+// Stats counts injected faults; all counters are deterministic for a
+// given (Config, simulation) pair.
+type Stats struct {
+	Dropped        int // messages discarded by DropRate
+	Delayed        int // messages delayed by DelayRate
+	Duplicated     int // messages duplicated by DupRate
+	PartitionDrops int // messages discarded crossing an active partition
+	Crashes        int // SetDown(true) transitions performed
+	Recoveries     int // SetDown(false) transitions performed
+	Triggers       int // message-observation triggers fired
+}
+
+type partition struct {
+	group  map[simnet.NodeID]bool
+	active bool
+}
+
+type trigger struct {
+	msgType string
+	fired   bool
+	fn      func(m simnet.Message)
+}
+
+// Injector injects faults into one simulated network. Construct it with
+// New, then declare the fault schedule (CrashFor, PartitionFor, OnFirst,
+// ...) before or while the simulation runs; probabilistic link faults run
+// for the injector's whole lifetime.
+//
+// Like everything on the simulator, an Injector is single-threaded: use
+// it only from the goroutine driving the engine.
+type Injector struct {
+	engine *sim.Engine
+	net    *simnet.Network
+	cfg    Config
+	rng    *rand.Rand
+
+	parts []*partition
+	trigs []*trigger
+
+	// Stats is the running fault count, exposed for experiment tables.
+	Stats Stats
+}
+
+// New builds an injector over net and installs it as the network's fault
+// hook.
+func New(net *simnet.Network, cfg Config) *Injector {
+	if cfg.Delay == 0 {
+		cfg.Delay = 50 * time.Millisecond
+	}
+	inj := &Injector{
+		engine: net.Engine(),
+		net:    net,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	net.SetFaults(inj)
+	return inj
+}
+
+// OnMessage implements simnet.FaultHook. Triggers observe the message
+// first (even one that is then dropped — the observation models a point
+// in protocol time, not a delivery), then partitions, then the
+// probabilistic link faults.
+func (inj *Injector) OnMessage(m simnet.Message) simnet.FaultAction {
+	for _, tg := range inj.trigs {
+		if !tg.fired && tg.msgType == m.Type {
+			tg.fired = true
+			inj.Stats.Triggers++
+			// Run as its own event so the fault lands between message
+			// routings, not in the middle of one.
+			mm := m
+			fn := tg.fn
+			inj.engine.Schedule(0, func() { fn(mm) })
+		}
+	}
+	for _, p := range inj.parts {
+		if p.active && p.group[m.From] != p.group[m.To] {
+			inj.Stats.PartitionDrops++
+			return simnet.FaultAction{Drop: true}
+		}
+	}
+	var act simnet.FaultAction
+	if inj.cfg.DropRate > 0 && inj.rng.Float64() < inj.cfg.DropRate {
+		inj.Stats.Dropped++
+		act.Drop = true
+		return act
+	}
+	if inj.cfg.DelayRate > 0 && inj.rng.Float64() < inj.cfg.DelayRate {
+		inj.Stats.Delayed++
+		act.Delay = inj.cfg.Delay
+	}
+	if inj.cfg.DupRate > 0 && inj.rng.Float64() < inj.cfg.DupRate {
+		inj.Stats.Duplicated++
+		act.Duplicates = 1
+	}
+	return act
+}
+
+// --- crash-stop / crash-recovery ---
+
+// Down crashes node now.
+func (inj *Injector) Down(node simnet.NodeID) {
+	ep := inj.net.Endpoint(node)
+	if ep != nil && !ep.Down() {
+		inj.Stats.Crashes++
+		ep.SetDown(true)
+	}
+}
+
+// Up recovers node now.
+func (inj *Injector) Up(node simnet.NodeID) {
+	ep := inj.net.Endpoint(node)
+	if ep != nil && ep.Down() {
+		inj.Stats.Recoveries++
+		ep.SetDown(false)
+	}
+}
+
+// CrashAfter crashes node after virtual duration d from now (crash-stop:
+// it never recovers unless RecoverAfter or Up is also scheduled).
+func (inj *Injector) CrashAfter(node simnet.NodeID, d time.Duration) {
+	inj.engine.Schedule(d, func() { inj.Down(node) })
+}
+
+// RecoverAfter brings node back after virtual duration d from now.
+func (inj *Injector) RecoverAfter(node simnet.NodeID, d time.Duration) {
+	inj.engine.Schedule(d, func() { inj.Up(node) })
+}
+
+// CrashFor crashes node after `after` for `outage` (crash-recovery).
+func (inj *Injector) CrashFor(node simnet.NodeID, after, outage time.Duration) {
+	inj.CrashAfter(node, after)
+	inj.RecoverAfter(node, after+outage)
+}
+
+// --- partitions ---
+
+// PartitionFor isolates group from the rest of the network between
+// virtual times now+after and now+after+dur: messages crossing the cut
+// (either direction) are dropped; traffic within the group and within
+// the remainder flows normally. A dur <= 0 partitions forever.
+func (inj *Injector) PartitionFor(group []simnet.NodeID, after, dur time.Duration) {
+	set := make(map[simnet.NodeID]bool, len(group))
+	for _, n := range group {
+		set[n] = true
+	}
+	p := &partition{group: set}
+	inj.parts = append(inj.parts, p)
+	inj.engine.Schedule(after, func() { p.active = true })
+	if dur > 0 {
+		inj.engine.Schedule(after+dur, func() { p.active = false })
+	}
+}
+
+// --- protocol-point triggers ---
+
+// OnFirst runs fn (as its own engine event) when the first message of the
+// given type is routed. This is how faults land at configurable protocol
+// points: e.g. OnFirst(txn.MsgDecide, ...) fires exactly when the 2PC
+// coordinator announces its first decision.
+func (inj *Injector) OnFirst(msgType string, fn func(m simnet.Message)) {
+	inj.trigs = append(inj.trigs, &trigger{msgType: msgType, fn: fn})
+}
+
+// CrashSenderOnFirst crashes the sender of the first message of the given
+// type, recovering it after `outage` (0 = crash-stop). The canonical use
+// is 2PC coordinator failure: the reference replica that first emits a
+// prepare (or decide) dies at that exact protocol point.
+func (inj *Injector) CrashSenderOnFirst(msgType string, outage time.Duration) {
+	inj.OnFirst(msgType, func(m simnet.Message) {
+		inj.Down(m.From)
+		if outage > 0 {
+			inj.engine.Schedule(outage, func() { inj.Up(m.From) })
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// harness is a two-node network with a counting receiver on node 1.
+type harness struct {
+	engine *sim.Engine
+	net    *simnet.Network
+	a, b   *simnet.Endpoint
+	got    int
+}
+
+func newHarness(seed int64) *harness {
+	h := &harness{engine: sim.NewEngine(seed)}
+	h.net = simnet.New(h.engine, simnet.LAN())
+	h.a = h.net.Attach(0, simnet.DefaultSplitQueue())
+	h.b = h.net.Attach(1, simnet.DefaultSplitQueue())
+	noop := simnet.HandlerFunc{HandleFn: func(simnet.Message) {}}
+	h.a.SetHandler(noop)
+	h.b.SetHandler(simnet.HandlerFunc{HandleFn: func(simnet.Message) { h.got++ }})
+	return h
+}
+
+func (h *harness) send(n int) {
+	for i := 0; i < n; i++ {
+		h.engine.Schedule(time.Duration(i)*time.Millisecond, func() {
+			h.a.Send(simnet.Message{To: 1, Class: simnet.ClassConsensus, Type: "t", Size: 100})
+		})
+	}
+	h.engine.RunUntilIdle()
+}
+
+func TestInjectorDeterministicReplay(t *testing.T) {
+	run := func() (Stats, int, uint64) {
+		h := newHarness(3)
+		inj := New(h.net, Config{Seed: 7, DropRate: 0.2, DelayRate: 0.1, DupRate: 0.1})
+		h.send(1000)
+		return inj.Stats, h.got, h.engine.Executed
+	}
+	s1, got1, ev1 := run()
+	s2, got2, ev2 := run()
+	if s1 != s2 || got1 != got2 || ev1 != ev2 {
+		t.Fatalf("replay diverged: %+v/%d/%d vs %+v/%d/%d", s1, got1, ev1, s2, got2, ev2)
+	}
+	if s1.Dropped == 0 || s1.Delayed == 0 || s1.Duplicated == 0 {
+		t.Fatalf("expected every fault class to fire at 1000 messages: %+v", s1)
+	}
+	if got1 != 1000-s1.Dropped+s1.Duplicated {
+		t.Fatalf("delivered %d, want %d sent - %d dropped + %d duplicated",
+			got1, 1000, s1.Dropped, s1.Duplicated)
+	}
+}
+
+func TestInjectorDisabledIsTransparent(t *testing.T) {
+	h := newHarness(3)
+	inj := New(h.net, Config{Seed: 7}) // all rates zero
+	h.send(200)
+	if h.got != 200 {
+		t.Fatalf("delivered %d of 200 with a disabled injector", h.got)
+	}
+	if inj.Stats != (Stats{}) {
+		t.Fatalf("disabled injector recorded faults: %+v", inj.Stats)
+	}
+}
+
+func TestPartitionWindowDropsCrossTraffic(t *testing.T) {
+	h := newHarness(3)
+	inj := New(h.net, Config{Seed: 1})
+	inj.PartitionFor([]simnet.NodeID{0}, 100*time.Millisecond, 400*time.Millisecond)
+	// 10 messages at 0..9ms (pre-partition), 10 at 200..209ms (inside),
+	// 10 at 600..609ms (healed).
+	for _, base := range []time.Duration{0, 200 * time.Millisecond, 600 * time.Millisecond} {
+		for i := 0; i < 10; i++ {
+			h.engine.Schedule(base+time.Duration(i)*time.Millisecond, func() {
+				h.a.Send(simnet.Message{To: 1, Class: simnet.ClassConsensus, Type: "t", Size: 10})
+			})
+		}
+	}
+	h.engine.RunUntilIdle()
+	if h.got != 20 {
+		t.Fatalf("delivered %d, want 20 (10 dropped inside the partition window)", h.got)
+	}
+	if inj.Stats.PartitionDrops != 10 {
+		t.Fatalf("PartitionDrops = %d, want 10", inj.Stats.PartitionDrops)
+	}
+}
+
+func TestCrashForRecoversNode(t *testing.T) {
+	h := newHarness(3)
+	inj := New(h.net, Config{Seed: 1})
+	inj.CrashFor(1, 50*time.Millisecond, 100*time.Millisecond)
+	transitions := []bool{}
+	h.b.OnDownChange(func(down bool) { transitions = append(transitions, down) })
+	for _, at := range []time.Duration{10 * time.Millisecond, 80 * time.Millisecond, 300 * time.Millisecond} {
+		h.engine.Schedule(at, func() {
+			h.a.Send(simnet.Message{To: 1, Class: simnet.ClassConsensus, Type: "t", Size: 10})
+		})
+	}
+	h.engine.RunUntilIdle()
+	if h.got != 2 {
+		t.Fatalf("delivered %d, want 2 (the 80ms message hits the outage)", h.got)
+	}
+	if len(transitions) != 2 || !transitions[0] || transitions[1] {
+		t.Fatalf("down transitions = %v, want [true false]", transitions)
+	}
+	if inj.Stats.Crashes != 1 || inj.Stats.Recoveries != 1 {
+		t.Fatalf("stats = %+v, want one crash and one recovery", inj.Stats)
+	}
+}
+
+func TestOnFirstFiresOncePerType(t *testing.T) {
+	h := newHarness(3)
+	inj := New(h.net, Config{Seed: 1})
+	fired := 0
+	var from simnet.NodeID = -1
+	inj.OnFirst("t", func(m simnet.Message) { fired++; from = m.From })
+	h.send(50)
+	if fired != 1 {
+		t.Fatalf("trigger fired %d times, want 1", fired)
+	}
+	if from != 0 {
+		t.Fatalf("trigger saw sender %d, want 0", from)
+	}
+	if inj.Stats.Triggers != 1 {
+		t.Fatalf("Stats.Triggers = %d, want 1", inj.Stats.Triggers)
+	}
+}
+
+func TestCrashSenderOnFirst(t *testing.T) {
+	h := newHarness(3)
+	inj := New(h.net, Config{Seed: 1})
+	inj.CrashSenderOnFirst("t", 30*time.Millisecond)
+	h.send(5)
+	// The first send fires the trigger; the crash lands as its own event,
+	// so the sender is down for subsequent sends until recovery. All five
+	// sends happen within 5ms < 30ms outage, so only the first leaves.
+	if h.got != 1 {
+		t.Fatalf("delivered %d, want 1 (sender crashed after its first message)", h.got)
+	}
+	if h.a.Down() {
+		t.Fatal("sender still down after outage elapsed")
+	}
+}

@@ -76,6 +76,26 @@ func (h HandlerFunc) Handle(m Message) { h.HandleFn(m) }
 // delay to impose and whether to deliver at all.
 type Filter func(m Message) (extra time.Duration, deliver bool)
 
+// FaultAction is a fault hook's verdict on one routed message.
+type FaultAction struct {
+	// Drop discards the message entirely.
+	Drop bool
+	// Delay is added on top of the modelled link latency.
+	Delay time.Duration
+	// Duplicates delivers that many extra copies of the message, each with
+	// its own independently sampled link latency (modelling retransmit
+	// duplication at the transport layer).
+	Duplicates int
+}
+
+// FaultHook observes every routed message and decides its fate. It is the
+// per-link injection point the internal/faults subsystem plugs into;
+// distinct from Filter so adversarial tests and fault injection compose.
+// A nil hook costs one predictable branch on the routing hot path.
+type FaultHook interface {
+	OnMessage(m Message) FaultAction
+}
+
 // QueueConfig configures an endpoint's inbound queues.
 type QueueConfig struct {
 	// Split selects the AHL+ optimization-1 layout: one queue per Class.
@@ -183,6 +203,9 @@ type Endpoint struct {
 	busy     bool
 	down     bool
 	stats    EndpointStats
+	// downFns are notified whenever the crashed state flips; protocol
+	// layers use them to quiesce timers on crash and resume on recovery.
+	downFns []func(down bool)
 }
 
 // ID returns the endpoint's node ID.
@@ -204,14 +227,31 @@ func (ep *Endpoint) SetHandler(h Handler) { ep.handler = h }
 func (ep *Endpoint) SetQueueConfig(cfg QueueConfig) { ep.cfg = cfg }
 
 // SetDown marks the node crashed (true) or alive (false). A crashed node
-// discards arrivals and sends nothing.
+// discards arrivals and sends nothing. State transitions notify the
+// callbacks registered with OnDownChange; setting the current state again
+// is a no-op.
 func (ep *Endpoint) SetDown(down bool) {
+	if ep.down == down {
+		return
+	}
 	ep.down = down
 	if down {
 		for c := range ep.queues {
 			ep.queues[c].clear()
 		}
 	}
+	for _, fn := range ep.downFns {
+		fn(down)
+	}
+}
+
+// OnDownChange registers fn to run whenever the endpoint's crashed state
+// flips (fn's argument is the new state). Callbacks run synchronously in
+// registration order inside SetDown, so layered protocols (replica, then
+// the transaction manager wrapping it) observe transitions in a
+// deterministic order.
+func (ep *Endpoint) OnDownChange(fn func(down bool)) {
+	ep.downFns = append(ep.downFns, fn)
 }
 
 // Down reports whether the node is crashed.
@@ -326,6 +366,7 @@ type Network struct {
 	eps     map[NodeID]*Endpoint
 	order   []NodeID
 	filter  Filter
+	faults  FaultHook
 	rng     *rand.Rand
 	dpool   []*delivery // recycled in-flight delivery records
 
@@ -372,6 +413,10 @@ func (n *Network) Latency() LatencyModel { return n.latency }
 // SetFilter installs an adversarial traffic filter (nil to clear).
 func (n *Network) SetFilter(f Filter) { n.filter = f }
 
+// SetFaults installs a fault-injection hook (nil to clear). The hook runs
+// after the filter, so a message must survive both to be delivered.
+func (n *Network) SetFaults(h FaultHook) { n.faults = h }
+
 // Attach creates an endpoint for id with the given queue layout.
 func (n *Network) Attach(id NodeID, cfg QueueConfig) *Endpoint {
 	if _, dup := n.eps[id]; dup {
@@ -402,16 +447,27 @@ func (n *Network) route(m Message) {
 			return
 		}
 	}
-	n.Messages++
-	n.Bytes += m.Size
-	delay := n.latency.Delay(m.From, m.To, m.Size, n.rng) + extra
-	var d *delivery
-	if k := len(n.dpool); k > 0 {
-		d = n.dpool[k-1]
-		n.dpool = n.dpool[:k-1]
-	} else {
-		d = &delivery{net: n}
+	copies := 1
+	if n.faults != nil {
+		act := n.faults.OnMessage(m)
+		if act.Drop {
+			return
+		}
+		extra += act.Delay
+		copies += act.Duplicates
 	}
-	d.dst, d.m = dst, m
-	n.engine.ScheduleArg(delay, deliverPooled, d)
+	for i := 0; i < copies; i++ {
+		n.Messages++
+		n.Bytes += m.Size
+		delay := n.latency.Delay(m.From, m.To, m.Size, n.rng) + extra
+		var d *delivery
+		if k := len(n.dpool); k > 0 {
+			d = n.dpool[k-1]
+			n.dpool = n.dpool[:k-1]
+		} else {
+			d = &delivery{net: n}
+		}
+		d.dst, d.m = dst, m
+		n.engine.ScheduleArg(delay, deliverPooled, d)
+	}
 }

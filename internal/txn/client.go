@@ -28,6 +28,8 @@ type Client struct {
 	// Replies from shard replicas: chain tx id -> ok? -> repliers.
 	replyFrom map[uint64]map[bool]map[simnet.NodeID]bool
 	replyNeed map[uint64]*pendingTx
+
+	retry *retryTimer
 }
 
 type pendingTx struct {
@@ -36,6 +38,28 @@ type pendingTx struct {
 	threshold int
 	done      func(Result)
 	fired     bool
+
+	// Begin retransmission state (distributed transactions only): the
+	// original begin request is resent under bounded backoff, rotating
+	// through the coordinating group so a crashed first target cannot
+	// strand the transaction, alongside a status query that re-learns an
+	// outcome whose notifications were lost.
+	begin    chain.Tx
+	group    []simnet.NodeID
+	next     sim.Time
+	attempts int
+}
+
+// Client-side begin retransmission: base interval, doubled per attempt up
+// to the cap. Chosen above the manager-level retryInterval so the normal
+// fault-free path (and most recoverable faults) never trigger it.
+const (
+	clientRetryInterval    = 15 * time.Second
+	clientMaxRetryInterval = 120 * time.Second
+)
+
+func clientBackoff(attempts int) time.Duration {
+	return boundedBackoff(clientRetryInterval, clientMaxRetryInterval, attempts)
 }
 
 // Result reports a completed transaction to the submitting client.
@@ -56,6 +80,7 @@ func NewClient(net *simnet.Network, id simnet.NodeID, topo Topology) *Client {
 		replyFrom:   make(map[uint64]map[bool]map[simnet.NodeID]bool),
 		replyNeed:   make(map[uint64]*pendingTx),
 	}
+	c.retry = newRetryTimer(c.engine, c.retryTick)
 	c.ep.SetHandler(c)
 	return c
 }
@@ -85,12 +110,6 @@ func (c *Client) SubmitDistributed(d DTx, done func(Result)) {
 	}
 	d.Client = c.ep.ID()
 	group, groupF := c.topo.RefGroup(c.topo.GroupForTx(d.TxID))
-	c.waiting[d.TxID] = &pendingTx{
-		id:        d.TxID,
-		start:     c.engine.Now(),
-		threshold: groupF + 1,
-		done:      done,
-	}
 	tx := chain.Tx{
 		ID:        DeriveTxID(d.TxID, "begin"),
 		Chaincode: "refcom",
@@ -98,15 +117,87 @@ func (c *Client) SubmitDistributed(d DTx, done func(Result)) {
 		Args:      []string{d.TxID, strconv.Itoa(len(d.Shards())), d.Encode()},
 		Client:    pbft.KeyOf(c.ep.ID()),
 	}
+	c.waiting[d.TxID] = &pendingTx{
+		id:        d.TxID,
+		start:     c.engine.Now(),
+		threshold: groupF + 1,
+		done:      done,
+		begin:     tx,
+		group:     group,
+		next:      c.engine.Now().Add(clientRetryInterval),
+	}
 	// Submit to a deterministic reference replica; under AHL+ it forwards
 	// to the leader.
 	target := group[tx.ID%uint64(len(group))]
 	c.ep.Send(pbft.ClientRequest(target, tx))
+	c.scheduleRetry(c.waiting[d.TxID].next)
+}
+
+// scheduleRetry makes the retransmission timer fire no later than `at` —
+// the O(1) per-submission path. A completed transaction does not retract
+// the deadline; the next firing rescans and quiesces.
+func (c *Client) scheduleRetry(at sim.Time) { c.retry.ensure(at) }
+
+// armRetry rescans all pending retransmissions and arms the timer for
+// the earliest (min over map values: order-independent, deterministic),
+// stopping it when nothing is pending. Called once per firing.
+func (c *Client) armRetry() {
+	var earliest sim.Time
+	found := false
+	for _, p := range c.waiting {
+		if !found || p.next < earliest {
+			earliest, found = p.next, true
+		}
+	}
+	for _, p := range c.replyNeed {
+		if !found || p.next < earliest {
+			earliest, found = p.next, true
+		}
+	}
+	c.retry.rearm(earliest, found)
+}
+
+// retryTick resends the begin request for every overdue transaction to
+// the next replica of its coordinating group (round-robin past the
+// original target) and queries the whole group for an already-decided
+// outcome. Sorted txid order: sends schedule engine events, so map-order
+// iteration would break run-to-run determinism.
+func (c *Client) retryTick() {
+	now := c.engine.Now()
+	for _, txid := range sortedKeys(c.waiting) {
+		p := c.waiting[txid]
+		if now < p.next {
+			continue
+		}
+		p.attempts++
+		p.next = now.Add(clientBackoff(p.attempts))
+		target := p.group[(p.begin.ID+uint64(p.attempts))%uint64(len(p.group))]
+		c.ep.Send(pbft.ClientRequest(target, p.begin))
+		q := &statusQueryMsg{TxID: txid}
+		for _, node := range p.group {
+			c.ep.Send(simnet.Message{To: node, Class: simnet.ClassConsensus,
+				Type: MsgStatus, Payload: q, Size: 96})
+		}
+	}
+	for _, id := range sortedKeys(c.replyNeed) {
+		p := c.replyNeed[id]
+		if now < p.next {
+			continue
+		}
+		p.attempts++
+		p.next = now.Add(clientBackoff(p.attempts))
+		target := p.group[(p.begin.ID+uint64(p.attempts))%uint64(len(p.group))]
+		c.ep.Send(pbft.ClientRequest(target, p.begin))
+	}
+	c.armRetry()
 }
 
 // SubmitSingle sends a single-shard transaction to the given shard and
 // fires done after f+1 matching replies (requires SendReplies on the
-// shard's replicas).
+// shard's replicas). Like begins, the request is retransmitted under
+// bounded backoff to rotating targets: replicas deduplicate by tx id and
+// re-reply for already-executed transactions, so a lost request or lost
+// replies cannot strand the caller.
 func (c *Client) SubmitSingle(shard int, tx chain.Tx, done func(Result)) {
 	tx.Client = pbft.KeyOf(c.ep.ID())
 	p := &pendingTx{
@@ -114,10 +205,14 @@ func (c *Client) SubmitSingle(shard int, tx chain.Tx, done func(Result)) {
 		start:     c.engine.Now(),
 		threshold: c.topo.ShardF[shard] + 1,
 		done:      done,
+		begin:     tx,
+		group:     c.topo.ShardNodes[shard],
+		next:      c.engine.Now().Add(clientRetryInterval),
 	}
 	c.replyNeed[tx.ID] = p
-	target := c.topo.ShardNodes[shard][tx.ID%uint64(len(c.topo.ShardNodes[shard]))]
+	target := p.group[tx.ID%uint64(len(p.group))]
 	c.ep.Send(pbft.ClientRequest(target, tx))
+	c.scheduleRetry(p.next)
 }
 
 func (c *Client) handleOutcome(m simnet.Message) {

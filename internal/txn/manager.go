@@ -1,7 +1,6 @@
 package txn
 
 import (
-	"sort"
 	"strconv"
 	"time"
 
@@ -42,6 +41,7 @@ const (
 	MsgVote    = "txn/vote"    // shard -> R: PrepareOK / PrepareNotOK
 	MsgDecide  = "txn/decide"  // R -> shard: CommitTx / AbortTx
 	MsgOutcome = "txn/outcome" // R -> client
+	MsgStatus  = "txn/status"  // client -> R: outcome query (crash recovery)
 )
 
 type prepareMsg struct {
@@ -58,6 +58,14 @@ type voteNetMsg struct {
 type decideMsg struct {
 	TxID   string
 	Commit bool
+}
+
+// statusQueryMsg asks a reference replica for a transaction's outcome.
+// Clients send it while retrying a begin: outcome notifications are sent
+// once per replica, so a client that missed them (crashed coordinator
+// target, dropped outcome messages) needs a way to re-learn the decision.
+type statusQueryMsg struct {
+	TxID string
 }
 
 // OutcomeMsg notifies the client of a transaction's fate.
@@ -131,19 +139,41 @@ type Manager struct {
 	prepareFrom map[string]map[simnet.NodeID]bool
 	prepareDTx  map[string]DTx
 	decideFrom  map[string]map[simnet.NodeID]bool // key txid+"/"+decision
+	decided     map[string]bool                   // quorum-backed decision (txid -> commit)
+	decideInj   map[string]bool                   // decide invocation injected into consensus
 	injectedTx  map[uint64]kindRef                // chain tx id -> protocol step
 	voted       map[string]*voteNetMsg            // my vote, until the decide executes
-	votedAt     map[string]sim.Time               // when the vote was first sent
+	voteRetry   map[string]*retrySched            // vote retransmission schedule
 	done        map[string]bool                   // phase 2 executed here
 
 	// Reference-side quorum buffers.
 	voteFrom  map[string]map[simnet.NodeID]bool // key txid/shard/ok
 	announced map[string]bool                   // decided txids already broadcast
 	// pending tracks the transactions this replica coordinates that are
-	// still undecided, with their begin time; the retry timer rebroadcasts
-	// PrepareTx for entries older than retryInterval.
-	pending map[string]sim.Time
-	retry   *sim.Timer
+	// still undecided, with their retransmission schedule; the retry timer
+	// rebroadcasts PrepareTx for entries whose next retry time has come.
+	pending map[string]*retrySched
+	retry   *retryTimer
+}
+
+// retrySched is one transaction's retransmission state under bounded
+// exponential backoff.
+type retrySched struct {
+	next     sim.Time // earliest time the next retransmission may go out
+	attempts int      // retransmissions performed so far
+}
+
+// boundedBackoff returns base doubled per attempt, capped at max — the
+// shared retransmission backoff for managers and client gateways.
+func boundedBackoff(base, max time.Duration, attempts int) time.Duration {
+	d := base
+	for i := 0; i < attempts && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
 }
 
 // retryInterval is the paper's partial-synchrony loop ("messages sent
@@ -158,7 +188,24 @@ type Manager struct {
 //     (lost votes — and lost decisions, because a reference replica
 //     answers a vote for a decided transaction by re-sending the
 //     decision).
+//
+// Each retransmission doubles a transaction's next interval up to
+// maxRetryInterval. Without the cap-bounded backoff, a transaction whose
+// counterparty is dead or partitioned away would be retransmitted at the
+// full 1/retryInterval rate forever — a retry storm growing linearly with
+// stuck transactions; with it, a stuck transaction costs O(log) messages
+// to reach the cap and one message per maxRetryInterval thereafter, while
+// liveness under partial synchrony is preserved (retries never stop).
 const retryInterval = 10 * time.Second
+
+// maxRetryInterval caps the exponential retransmission backoff.
+const maxRetryInterval = 160 * time.Second
+
+// retryBackoff returns the interval to wait after the given number of
+// retransmissions: retryInterval doubled per attempt, capped.
+func retryBackoff(attempts int) time.Duration {
+	return boundedBackoff(retryInterval, maxRetryInterval, attempts)
+}
 
 type kindRef struct {
 	txid string
@@ -178,18 +225,32 @@ func NewManager(role Role, shardID int, topo Topology, replica *pbft.Replica) *M
 		prepareFrom: make(map[string]map[simnet.NodeID]bool),
 		prepareDTx:  make(map[string]DTx),
 		decideFrom:  make(map[string]map[simnet.NodeID]bool),
+		decided:     make(map[string]bool),
+		decideInj:   make(map[string]bool),
 		injectedTx:  make(map[uint64]kindRef),
 		voted:       make(map[string]*voteNetMsg),
-		votedAt:     make(map[string]sim.Time),
+		voteRetry:   make(map[string]*retrySched),
 		done:        make(map[string]bool),
 		voteFrom:    make(map[string]map[simnet.NodeID]bool),
 		announced:   make(map[string]bool),
-		pending:     make(map[string]sim.Time),
+		pending:     make(map[string]*retrySched),
 	}
-	m.retry = replica.Engine().NewTimer()
+	m.retry = newRetryTimer(replica.Engine(), m.retryTick)
 	m.ep.SetHandler(m)
+	m.ep.OnDownChange(m.onDownChange)
 	replica.OnExecute(m.onExecute)
 	return m
+}
+
+// onDownChange quiesces the retransmission loop while the replica is
+// crashed (its sends would be discarded anyway) and resumes it on
+// recovery.
+func (m *Manager) onDownChange(down bool) {
+	if down {
+		m.retry.stop()
+		return
+	}
+	m.armRetry()
 }
 
 // Cost implements simnet.Handler.
@@ -197,6 +258,8 @@ func (m *Manager) Cost(msg simnet.Message) time.Duration {
 	switch msg.Type {
 	case MsgPrepare, MsgVote, MsgDecide:
 		return 100 * time.Microsecond
+	case MsgStatus:
+		return 10 * time.Microsecond
 	default:
 		return m.inner.Cost(msg)
 	}
@@ -211,9 +274,30 @@ func (m *Manager) Handle(msg simnet.Message) {
 		m.handleVote(msg)
 	case MsgDecide:
 		m.handleDecide(msg)
+	case MsgStatus:
+		m.handleStatus(msg)
 	default:
 		m.inner.Handle(msg)
 	}
+}
+
+// handleStatus answers a client's outcome query for a decided
+// transaction; undecided queries are silently ignored (the client keeps
+// retrying under backoff).
+func (m *Manager) handleStatus(msg simnet.Message) {
+	if m.role != RoleReference {
+		return
+	}
+	q := msg.Payload.(*statusQueryMsg)
+	if m.topo.GroupForTx(q.TxID) != m.shardID {
+		return
+	}
+	status := StatusOf(m.replica.Store(), q.TxID)
+	if !status.Terminal() {
+		return
+	}
+	m.ep.Send(simnet.Message{To: msg.From, Class: simnet.ClassConsensus,
+		Type: MsgOutcome, Payload: OutcomeMsg{TxID: q.TxID, Committed: status == StatusCommitted}, Size: 128})
 }
 
 // --- shard side ---
@@ -249,6 +333,10 @@ func (m *Manager) handlePrepare(msg simnet.Message) {
 	if _, known := m.prepareDTx[p.TxID]; !known {
 		if d, err := DecodeDTx(p.DTx); err == nil {
 			m.prepareDTx[p.TxID] = d
+			// A decide quorum may have formed before we learned the DTx
+			// (possible when this replica missed the original prepares):
+			// the phase-2 injection was deferred until now.
+			m.maybeInjectDecide(p.TxID)
 		}
 	}
 	// Fire at and beyond the quorum: consensus deduplicates the injected
@@ -269,11 +357,30 @@ func (m *Manager) injectPrepare(txid string) {
 			continue
 		}
 		id := DeriveTxID(txid, "prepare", strconv.Itoa(m.shardID), op.Fn)
-		m.injectedTx[id] = kindRef{txid: txid, kind: "prepare"}
-		m.replica.SubmitLocal(chain.Tx{
+		m.inject(id, kindRef{txid: txid, kind: "prepare"}, chain.Tx{
 			ID: id, Chaincode: d.Chaincode, Fn: op.Fn, Args: op.Args,
 		})
 	}
+}
+
+// inject registers the manager's interest in a protocol step and submits
+// it to the shard's consensus. If consensus already executed an identical
+// injection from a faster peer — possible when this replica's own copies
+// of the triggering messages were delayed past the commit — the missed
+// execution callback is replayed instead, so the replica still votes /
+// marks phase 2 done. Without this, a replica that executes a step it
+// has not yet registered stays silent on it forever (the shard can then
+// fall short of its vote quorum and wedge the transaction).
+func (m *Manager) inject(id uint64, ref kindRef, tx chain.Tx) {
+	if _, dup := m.injectedTx[id]; dup {
+		return
+	}
+	m.injectedTx[id] = ref
+	if ok, executed := m.replica.ExecutedOK(id); executed {
+		m.onShardExecuted(tx, ok)
+		return
+	}
+	m.replica.SubmitLocal(tx)
 }
 
 func (m *Manager) handleDecide(msg simnet.Message) {
@@ -297,24 +404,45 @@ func (m *Manager) handleDecide(msg simnet.Message) {
 		m.decideFrom[key] = from
 	}
 	if from[msg.From] {
+		// Retransmitted decide: the injection may have been deferred for a
+		// missing DTx that has arrived since — re-attempt it.
+		m.maybeInjectDecide(dec.TxID)
 		return
 	}
 	from[msg.From] = true
 	if len(from) < groupF+1 {
 		return
 	}
-	d, ok := m.prepareDTx[dec.TxID]
+	if _, known := m.decided[dec.TxID]; !known {
+		m.decided[dec.TxID] = dec.Commit
+	}
+	m.maybeInjectDecide(dec.TxID)
+}
+
+// maybeInjectDecide injects the phase-2 commit/abort invocation once (a)
+// a quorum-backed decision is known and (b) the transaction description
+// is known. Decoupling the two closes a dangling-lock window the fault
+// injector surfaced: if every decide arrives before the DTx (all its
+// senders then being duplicate-filtered), a manager that gated injection
+// on the DTx being present at quorum time would drop phase 2 on the
+// floor, leaving the shard's 2PL locks held forever.
+func (m *Manager) maybeInjectDecide(txid string) {
+	commit, ok := m.decided[txid]
+	if !ok || m.done[txid] || m.decideInj[txid] {
+		return
+	}
+	d, ok := m.prepareDTx[txid]
 	if !ok {
 		return
 	}
+	m.decideInj[txid] = true
 	fn, kind := d.CommitFn, "commit"
-	if !dec.Commit {
+	if !commit {
 		fn, kind = d.AbortFn, "abort"
 	}
-	id := DeriveTxID(dec.TxID, kind, strconv.Itoa(m.shardID))
-	m.injectedTx[id] = kindRef{txid: dec.TxID, kind: kind}
-	m.replica.SubmitLocal(chain.Tx{
-		ID: id, Chaincode: d.Chaincode, Fn: fn, Args: []string{dec.TxID},
+	id := DeriveTxID(txid, kind, strconv.Itoa(m.shardID))
+	m.inject(id, kindRef{txid: txid, kind: kind}, chain.Tx{
+		ID: id, Chaincode: d.Chaincode, Fn: fn, Args: []string{txid},
 	})
 }
 
@@ -399,9 +527,10 @@ func (m *Manager) onRefExecuted(tx chain.Tx, ok bool) {
 		if !found {
 			return
 		}
-		m.pending[txid] = m.replica.Engine().Now()
+		next := m.replica.Engine().Now().Add(retryInterval)
+		m.pending[txid] = &retrySched{next: next}
 		m.sendPrepares(txid, d)
-		m.armRetry()
+		m.scheduleRetry(next)
 	case "vote":
 		txid := tx.Args[0]
 		if m.topo.GroupForTx(txid) != m.shardID {
@@ -438,18 +567,62 @@ func (m *Manager) onShardExecuted(tx chain.Tx, ok bool) {
 	}
 	switch ref.kind {
 	case "prepare":
+		if m.done[ref.txid] {
+			// The prepare was ordered behind the decision it belongs to
+			// (phase 2 already executed here — only possible for aborts,
+			// decided by another shard's NotOK before our prepare ran).
+			// Its effects — 2PL locks and staged writes — landed *after*
+			// the abort released them, so without a cleanup they dangle
+			// forever: the coordinator considers the transaction finished
+			// and will never send another decide. Re-inject the abort
+			// under a distinct derived id; every honest replica of this
+			// shard observes the same execution order and injects the
+			// identical transaction, so consensus orders exactly one
+			// cleanup.
+			m.injectLateCleanup(ref.txid)
+			return
+		}
+		if _, dec := m.decided[ref.txid]; dec {
+			// Decision already known (phase 2 injected, not yet executed):
+			// the vote is moot and phase 2 will release what this prepare
+			// just acquired.
+			return
+		}
 		v := &voteNetMsg{TxID: ref.txid, Shard: m.shardID, OK: ok}
 		m.voted[ref.txid] = v
-		m.votedAt[ref.txid] = m.replica.Engine().Now()
+		next := m.replica.Engine().Now().Add(retryInterval)
+		m.voteRetry[ref.txid] = &retrySched{next: next}
 		m.sendVote(v)
-		m.armRetry()
+		m.scheduleRetry(next)
 	case "commit", "abort":
 		// Phase 2 executed: the transaction is finished on this shard and
 		// the vote no longer needs retransmitting.
 		delete(m.voted, ref.txid)
-		delete(m.votedAt, ref.txid)
+		delete(m.voteRetry, ref.txid)
 		m.done[ref.txid] = true
+		if _, known := m.decided[ref.txid]; !known {
+			m.decided[ref.txid] = ref.kind == "commit"
+		}
 	}
+}
+
+// injectLateCleanup re-injects phase 2 for a transaction whose prepare
+// executed after its decision (see onShardExecuted). The derived id is
+// distinct from the original decide injection, which consensus already
+// executed.
+func (m *Manager) injectLateCleanup(txid string) {
+	d, ok := m.prepareDTx[txid]
+	if !ok {
+		return
+	}
+	fn, kind := d.AbortFn, "abort"
+	if m.decided[txid] {
+		fn, kind = d.CommitFn, "commit"
+	}
+	id := DeriveTxID(txid, kind, strconv.Itoa(m.shardID), "late")
+	m.inject(id, kindRef{txid: txid, kind: kind}, chain.Tx{
+		ID: id, Chaincode: d.Chaincode, Fn: fn, Args: []string{txid},
+	})
 }
 
 // sendPrepares transmits PrepareTx for txid to every replica of every
@@ -464,25 +637,51 @@ func (m *Manager) sendPrepares(txid string, d DTx) {
 	}
 }
 
-// armRetry keeps the retransmission loop running while this replica has
-// unfinished business: undecided coordinated transactions (reference
-// side) or votes whose decision has not arrived (shard side).
-func (m *Manager) armRetry() {
-	if m.retry.Active() || (len(m.pending) == 0 && len(m.voted) == 0) {
+// scheduleRetry makes the retry timer fire no later than `at` — the O(1)
+// per-transaction registration path.
+func (m *Manager) scheduleRetry(at sim.Time) {
+	if m.ep.Down() {
 		return
 	}
-	m.retry.Reset(retryInterval, m.retryTick)
+	m.retry.ensure(at)
 }
 
-// retryTick retransmits only for transactions stuck for at least a full
-// retryInterval, so the healthy path never generates extra traffic.
+// armRetry rescans the retransmission schedules and arms the timer for
+// the earliest one (or stops it when nothing is pending). Called once
+// per timer firing and on crash recovery — the per-transaction hot path
+// uses scheduleRetry instead.
+func (m *Manager) armRetry() {
+	if m.ep.Down() {
+		return
+	}
+	var earliest sim.Time
+	found := false
+	// Min over map values is order-independent, so plain iteration here
+	// cannot break determinism.
+	for _, st := range m.pending {
+		if !found || st.next < earliest {
+			earliest, found = st.next, true
+		}
+	}
+	for _, st := range m.voteRetry {
+		if !found || st.next < earliest {
+			earliest, found = st.next, true
+		}
+	}
+	m.retry.rearm(earliest, found)
+}
+
+// retryTick retransmits only for transactions whose backoff interval has
+// fully elapsed, so the healthy path never generates extra traffic and a
+// stuck transaction's traffic decays to one send per maxRetryInterval.
 func (m *Manager) retryTick() {
 	// Retransmissions schedule network events, so both maps are walked in
 	// sorted txid order — map-order iteration here would break the
 	// simulator's run-to-run determinism.
 	now := m.replica.Engine().Now()
 	for _, txid := range sortedKeys(m.pending) {
-		if now.Sub(m.pending[txid]) < retryInterval {
+		st := m.pending[txid]
+		if now < st.next {
 			continue
 		}
 		if StatusOf(m.replica.Store(), txid).Terminal() {
@@ -492,9 +691,12 @@ func (m *Manager) retryTick() {
 		if d, ok := DTxOf(m.replica.Store(), txid); ok {
 			m.sendPrepares(txid, d)
 		}
+		st.attempts++
+		st.next = now.Add(retryBackoff(st.attempts))
 	}
-	for _, txid := range sortedKeys(m.votedAt) {
-		if now.Sub(m.votedAt[txid]) < retryInterval {
+	for _, txid := range sortedKeys(m.voteRetry) {
+		st := m.voteRetry[txid]
+		if now < st.next {
 			continue
 		}
 		if v := m.voted[txid]; v != nil {
@@ -503,18 +705,10 @@ func (m *Manager) retryTick() {
 			// fresh CommitTx/AbortTx (see handleVote).
 			m.sendVote(v)
 		}
+		st.attempts++
+		st.next = now.Add(retryBackoff(st.attempts))
 	}
 	m.armRetry()
-}
-
-// sortedKeys returns the map's keys in ascending order.
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }
 
 // sendVote transmits v to every member of the transaction's coordinating

@@ -208,3 +208,28 @@ func TestRefComDuplicateVotesIgnored(t *testing.T) {
 		t.Fatalf("status = %v, want committed", got)
 	}
 }
+
+// TestRetryBackoffBounded: the retransmission backoff starts at the base
+// interval, doubles per attempt, and is capped — the property that makes
+// a dead-coordinator retry storm impossible (satellite regression for
+// Manager.retryTick/armRetry; the end-to-end message-count bound lives in
+// internal/core).
+func TestRetryBackoffBounded(t *testing.T) {
+	if got := retryBackoff(0); got != retryInterval {
+		t.Fatalf("backoff(0) = %v, want %v", got, retryInterval)
+	}
+	prev := retryBackoff(0)
+	for a := 1; a < 64; a++ {
+		d := retryBackoff(a)
+		if d < prev {
+			t.Fatalf("backoff not monotonic: backoff(%d)=%v < backoff(%d)=%v", a, d, a-1, prev)
+		}
+		if d > maxRetryInterval {
+			t.Fatalf("backoff(%d) = %v exceeds cap %v", a, d, maxRetryInterval)
+		}
+		prev = d
+	}
+	if retryBackoff(63) != maxRetryInterval {
+		t.Fatalf("backoff never reaches the cap: %v", retryBackoff(63))
+	}
+}

@@ -1,0 +1,66 @@
+package txn
+
+import (
+	"cmp"
+	"slices"
+
+	"repro/internal/sim"
+)
+
+// retryTimer is the earliest-deadline retransmission timer shared by the
+// transaction managers and the client gateways. Registration of a new
+// per-transaction deadline is O(1) (ensure compares against the armed
+// deadline instead of rescanning every schedule); the full rescan runs
+// once per firing, when the owner recomputes its earliest deadline and
+// calls rearm.
+type retryTimer struct {
+	engine *sim.Engine
+	timer  *sim.Timer
+	fire   func()
+	at     sim.Time // deadline the timer is armed for (valid while active)
+}
+
+func newRetryTimer(engine *sim.Engine, fire func()) *retryTimer {
+	return &retryTimer{engine: engine, timer: engine.NewTimer(), fire: fire}
+}
+
+// ensure makes the timer fire no later than at.
+func (t *retryTimer) ensure(at sim.Time) {
+	if t.timer.Active() && t.at <= at {
+		return
+	}
+	t.reset(at)
+}
+
+// rearm arms the timer for the earliest pending deadline found by a full
+// rescan, or stops it when found is false.
+func (t *retryTimer) rearm(earliest sim.Time, found bool) {
+	if !found {
+		t.timer.Stop()
+		return
+	}
+	t.reset(earliest)
+}
+
+func (t *retryTimer) reset(at sim.Time) {
+	d := at.Sub(t.engine.Now())
+	if d < 0 {
+		d = 0
+	}
+	t.at = at
+	t.timer.Reset(d, t.fire)
+}
+
+func (t *retryTimer) stop() { t.timer.Stop() }
+
+// sortedKeys returns the map's keys in ascending order. Retransmission
+// loops iterate maps in this order because their sends schedule engine
+// events — map-order iteration would break run-to-run determinism.
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
