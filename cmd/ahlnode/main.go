@@ -1,0 +1,100 @@
+// Command ahlnode runs one committee replica of a live AHL deployment: a
+// shard-committee or reference-committee member as a standalone process,
+// speaking the internal/wire protocol over TCP.
+//
+// Every process of a deployment loads the same JSON topology file (see
+// core.ClusterConfig and examples/livecluster/), which fixes committee
+// membership, listen addresses and protocol parameters:
+//
+//	ahlnode -topo topology.json -id 3
+//
+// The process serves until SIGINT/SIGTERM, then shuts down gracefully
+// (event loop stopped, outbound queues flushed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		topoPath = flag.String("topo", "", "cluster topology JSON (required)")
+		id       = flag.Int("id", -1, "this node's id in the topology (required)")
+		listen   = flag.String("listen", "", "listen address override (default: this node's topology address)")
+		statusIv = flag.Duration("status", 10*time.Second, "status log interval (0 disables)")
+		verbose  = flag.Bool("v", false, "log transport diagnostics")
+	)
+	flag.Parse()
+	if *topoPath == "" || *id < 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg, err := core.LoadClusterConfig(*topoPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodeID := simnet.NodeID(*id)
+	place, ok := cfg.Place(nodeID)
+	if !ok {
+		log.Fatalf("ahlnode: node %d not in %s", *id, *topoPath)
+	}
+	addr := *listen
+	if addr == "" {
+		addr = cfg.PeerAddrs()[nodeID]
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	tr, err := transport.NewTCP(transport.TCPConfig{
+		Listen: addr,
+		Peers:  cfg.PeerAddrs(),
+		Logf:   logf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	node, err := core.StartLiveNode(cfg, nodeID, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var desc string
+	if place.Role == core.RoleShardReplica {
+		desc = fmt.Sprintf("shard %d replica %d", place.Shard, place.Index)
+	} else {
+		desc = fmt.Sprintf("reference replica %d", place.Index)
+	}
+	log.Printf("ahlnode %d: %s, listening on %s", *id, desc, tr.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	var status <-chan time.Time
+	if *statusIv > 0 {
+		tk := time.NewTicker(*statusIv)
+		defer tk.Stop()
+		status = tk.C
+	}
+	for {
+		select {
+		case <-status:
+			st := tr.Stats()
+			log.Printf("ahlnode %d: executed=%d sent=%d recv=%d dropped=%d redials=%d",
+				*id, node.Executed(), st.SentFrames, st.RecvFrames, st.Dropped, st.Redials)
+		case s := <-sig:
+			log.Printf("ahlnode %d: %v, shutting down", *id, s)
+			node.Stop()
+			tr.Close()
+			return
+		}
+	}
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# One-command local cluster: builds ahlnode/ahlctl, starts the
+# 2-shard (4 replicas each) + reference-committee topology from
+# topology.json as 12 real processes on loopback, drives a SmallBank
+# workload through ahlctl, and tears everything down.
+#
+#   ./examples/livecluster/run.sh [extra ahlctl flags]
+#
+# Run from the repository root.
+set -e
+
+TOPO="examples/livecluster/topology.json"
+BIN="$(mktemp -d)"
+PIDS=""
+# POSIX sh: $(jobs -p) is empty inside a command substitution, so track
+# the replica PIDs explicitly for the cleanup trap.
+trap 'kill $PIDS 2>/dev/null; rm -rf "$BIN"' EXIT INT TERM
+
+echo "== building ahlnode + ahlctl"
+go build -o "$BIN/ahlnode" ./cmd/ahlnode
+go build -o "$BIN/ahlctl" ./cmd/ahlctl
+
+echo "== starting 12 replicas (2 shards x 4 + reference committee of 4)"
+for id in 0 1 2 3 4 5 6 7 8 9 10 11; do
+  "$BIN/ahlnode" -topo "$TOPO" -id "$id" -status 0 2>"$BIN/node$id.log" &
+  PIDS="$PIDS $!"
+done
+sleep 1
+
+echo "== driving workload"
+"$BIN/ahlctl" -topo "$TOPO" -accounts 32 -txs 200 -cross 0.3 "$@"
+
+echo "== done; stopping cluster"

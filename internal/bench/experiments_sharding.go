@@ -236,7 +236,7 @@ func init() {
 		Title: "Extension (§6.2): scaling out the reference committee with parallel instances",
 		Run: func(s Scale) *Table {
 			t := &Table{ID: "fig13x", Title: "closed-loop SmallBank, 6 AHL+ shards, varying parallel R instances",
-				Cols: []string{"R instances", "committed tps", "abort rate"}}
+				Cols: []string{"R instances", "committed tps", "abort rate", "bytes/ctx"}}
 			shards, per := 6, 3
 			if shards*per > s.Nodes {
 				shards = s.Nodes / per
@@ -256,10 +256,17 @@ func init() {
 					sys.Seed(40*shards, 1_000_000)
 					gen := workload.NewSmallBankGen(rand.New(rand.NewSource(13)), 40*shards, 0)
 					drv := &workload.ClosedLoopShardedDriver{Sys: sys, Gen: gen, Outstanding: 16}
+					bytesBefore := sys.Net.Bytes
 					drv.Start(s.Duration + 2*time.Second)
 					sys.Run(s.Duration + 2*time.Second)
 					tps := float64(drv.Stats.Committed) / (s.Duration + 2*time.Second).Seconds()
-					return []any{groups, tps, drv.Stats.AbortRate()}
+					// Network cost per committed transaction, now grounded
+					// in actual wire-encoded message sizes (internal/wire).
+					bytesPerCTx := 0.0
+					if drv.Stats.Committed > 0 {
+						bytesPerCTx = float64(sys.Net.Bytes-bytesBefore) / float64(drv.Stats.Committed)
+					}
+					return []any{groups, tps, drv.Stats.AbortRate(), bytesPerCTx}
 				})
 			}
 			parRows(t, jobs)

@@ -42,7 +42,26 @@ func KeyOf(id simnet.NodeID) blockcrypto.KeyID { return blockcrypto.KeyID(id) }
 // scheme as the deployment-wide key registry and rng for deterministic key
 // generation. It returns the built committee.
 func Build(net *simnet.Network, scheme blockcrypto.Scheme, rng *rand.Rand, spec CommitteeSpec) *BuiltCommittee {
-	committee := spec.Variant.Committee(spec.Nodes)
+	pre := precompute(spec)
+	bc := &BuiltCommittee{Committee: pre.committee}
+	for i, id := range spec.Nodes {
+		signer := scheme.NewSigner(KeyOf(id), rng)
+		r, platform := buildReplica(net, scheme, spec, pre, i, signer, rng.Int63())
+		bc.Replicas = append(bc.Replicas, r)
+		bc.Platforms = append(bc.Platforms, platform)
+	}
+	return bc
+}
+
+// committeePre is the committee-wide state shared by every replica of one
+// committee, computed once per Build instead of once per replica.
+type committeePre struct {
+	committee consensus.Committee
+	costs     tee.CostModel
+	peerKeys  []blockcrypto.KeyID
+}
+
+func precompute(spec CommitteeSpec) committeePre {
 	costs := spec.Costs
 	if costs == (tee.CostModel{}) {
 		costs = tee.DefaultCosts()
@@ -51,38 +70,49 @@ func Build(net *simnet.Network, scheme blockcrypto.Scheme, rng *rand.Rand, spec 
 	for i, id := range spec.Nodes {
 		peerKeys[i] = KeyOf(id)
 	}
-	bc := &BuiltCommittee{Committee: committee}
-	for i, id := range spec.Nodes {
-		ep := net.Attach(id, spec.Variant.QueueConfig())
-		signer := scheme.NewSigner(KeyOf(id), rng)
-		platform := tee.NewPlatform(net.Engine(), ep.CPU(), costs, signer, rng.Int63())
-		mem := aaom.New(platform)
-		opts := DefaultOptions(spec.Variant, committee, i)
-		if b, ok := spec.Behaviors[i]; ok {
-			opts.Behavior = b
-		}
-		if spec.Tune != nil {
-			spec.Tune(&opts)
-		}
-		var registry *chaincode.Registry
-		if spec.Registry != nil {
-			registry = spec.Registry()
-		} else {
-			registry = chaincode.NewRegistry(chaincode.KVStore{}, chaincode.SmallBank{})
-		}
-		r := New(opts, Deps{
-			Endpoint: ep,
-			Scheme:   scheme,
-			Signer:   signer,
-			PeerKeys: peerKeys,
-			Platform: platform,
-			AAOM:     mem,
-			Registry: registry,
-		})
-		bc.Replicas = append(bc.Replicas, r)
-		bc.Platforms = append(bc.Platforms, platform)
+	return committeePre{committee: spec.Variant.Committee(spec.Nodes), costs: costs, peerKeys: peerKeys}
+}
+
+// BuildReplica attaches and wires replica index of the committee described
+// by spec — the single-node assembly path. Build loops it to raise a whole
+// committee inside one simulation; the live runtime (internal/core's
+// LiveNode) calls it once per process, with a signer and TEE seed derived
+// from the shared cluster topology so every process agrees on the key
+// material. The node id spec.Nodes[index] must not yet be attached to net.
+func BuildReplica(net *simnet.Network, scheme blockcrypto.Scheme, spec CommitteeSpec,
+	index int, signer blockcrypto.Signer, teeSeed int64) (*Replica, *tee.Platform) {
+	return buildReplica(net, scheme, spec, precompute(spec), index, signer, teeSeed)
+}
+
+func buildReplica(net *simnet.Network, scheme blockcrypto.Scheme, spec CommitteeSpec,
+	pre committeePre, index int, signer blockcrypto.Signer, teeSeed int64) (*Replica, *tee.Platform) {
+	committee, costs, peerKeys := pre.committee, pre.costs, pre.peerKeys
+	ep := net.Attach(spec.Nodes[index], spec.Variant.QueueConfig())
+	platform := tee.NewPlatform(net.Engine(), ep.CPU(), costs, signer, teeSeed)
+	mem := aaom.New(platform)
+	opts := DefaultOptions(spec.Variant, committee, index)
+	if b, ok := spec.Behaviors[index]; ok {
+		opts.Behavior = b
 	}
-	return bc
+	if spec.Tune != nil {
+		spec.Tune(&opts)
+	}
+	var registry *chaincode.Registry
+	if spec.Registry != nil {
+		registry = spec.Registry()
+	} else {
+		registry = chaincode.NewRegistry(chaincode.KVStore{}, chaincode.SmallBank{})
+	}
+	r := New(opts, Deps{
+		Endpoint: ep,
+		Scheme:   scheme,
+		Signer:   signer,
+		PeerKeys: peerKeys,
+		Platform: platform,
+		AAOM:     mem,
+		Registry: registry,
+	})
+	return r, platform
 }
 
 // ExecutedOnQuorum returns the highest transaction count that at least

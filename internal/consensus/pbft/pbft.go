@@ -11,6 +11,7 @@ import (
 	"repro/internal/tee"
 	"repro/internal/tee/aaom"
 	"repro/internal/tee/aggregator"
+	"repro/internal/wire"
 )
 
 // Variant selects the protocol configuration.
@@ -158,10 +159,11 @@ type Reply struct {
 }
 
 // ClientRequest builds the network message a client sends to submit tx to
-// a replica.
+// a replica; like every message, its simulated size is the actual wire
+// encoding.
 func ClientRequest(to simnet.NodeID, tx chain.Tx) simnet.Message {
 	return simnet.Message{To: to, Class: simnet.ClassRequest,
-		Type: MsgRequest, Payload: tx, Size: tx.SizeBytes()}
+		Type: MsgRequest, Payload: tx, Size: wire.PayloadSize(MsgRequest, tx)}
 }
 
 // phase names used for attestation log identities and AHLR items.

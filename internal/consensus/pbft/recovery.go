@@ -53,7 +53,7 @@ func (r *Replica) RestartEnclave() {
 	r.deps.AAOM.Restart(math.MaxUint64)
 	r.ckpReplies = make(map[int]uint64)
 	r.recoveryHM = 0
-	r.broadcast(msgCkpQuery, &ckpQueryMsg{Replica: r.self()}, 64)
+	r.broadcast(msgCkpQuery, &ckpQueryMsg{Replica: r.self()})
 }
 
 // EnclaveRecovering reports whether the trusted log is still locked.
@@ -66,7 +66,7 @@ func (r *Replica) handleCkpQuery(m *ckpQueryMsg) {
 		return
 	}
 	r.sendTo(r.opts.Committee.Nodes[m.Replica], msgCkpReply,
-		&ckpReplyMsg{Ckp: r.h, Replica: r.self()}, 64)
+		&ckpReplyMsg{Ckp: r.h, Replica: r.self()})
 }
 
 func (r *Replica) handleCkpReply(m *ckpReplyMsg) {

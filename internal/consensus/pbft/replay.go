@@ -49,7 +49,7 @@ const executedLog = "executed"
 // Called from noteAhead (already rate-limited by the caller).
 func (r *Replica) requestReplay() {
 	req := &replayReqMsg{FromSeq: r.executedThrough + 1, Replica: r.self()}
-	r.broadcast(msgReplayReq, req, 64)
+	r.broadcast(msgReplayReq, req)
 }
 
 func (r *Replica) handleReplayReq(m *replayReqMsg) {
@@ -57,7 +57,6 @@ func (r *Replica) handleReplayReq(m *replayReqMsg) {
 		return
 	}
 	resp := &replayRespMsg{Replica: r.self()}
-	size := 128
 	for seq := m.FromSeq; seq <= m.FromSeq+r.opts.Window; seq++ {
 		e := r.entries[seq]
 		if e == nil || !e.executed || e.block == nil {
@@ -68,12 +67,11 @@ func (r *Replica) handleReplayReq(m *replayReqMsg) {
 			continue
 		}
 		resp.Items = append(resp.Items, replayItem{Seq: seq, Digest: e.digest, Block: e.block, Att: att})
-		size += e.block.SizeBytes() + 96
 	}
 	if len(resp.Items) == 0 {
 		return
 	}
-	r.sendTo(r.opts.Committee.Nodes[m.Replica], msgReplayResp, resp, size)
+	r.sendTo(r.opts.Committee.Nodes[m.Replica], msgReplayResp, resp)
 }
 
 func (r *Replica) handleReplayResp(m *replayRespMsg) {

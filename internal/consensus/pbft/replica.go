@@ -12,6 +12,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/tee/aggregator"
+	"repro/internal/wire"
 )
 
 // maxCommittee bounds committee size; quorum tracking uses fixed-width
@@ -290,14 +291,20 @@ func (r *Replica) isLeader() bool          { return r.opts.Committee.Leader(r.vi
 func (r *Replica) leaderID() simnet.NodeID { return r.opts.Committee.Leader(r.view) }
 func (r *Replica) byz(b Behavior) bool     { return r.opts.Behavior == b }
 
-func (r *Replica) sendTo(id simnet.NodeID, typ string, payload any, size int) {
-	r.ep.Send(simnet.Message{To: id, Class: simnet.ClassConsensus, Type: typ, Payload: payload, Size: size})
+// sendTo transmits one protocol message; its simulated transmission size
+// is the actual wire encoding (what the TCP transport would send).
+func (r *Replica) sendTo(id simnet.NodeID, typ string, payload any) {
+	r.ep.Send(simnet.Message{To: id, Class: simnet.ClassConsensus, Type: typ,
+		Payload: payload, Size: wire.PayloadSize(typ, payload)})
 }
 
-func (r *Replica) broadcast(typ string, payload any, size int) {
+// broadcast fans one message out to every peer, encoding its size once.
+func (r *Replica) broadcast(typ string, payload any) {
+	size := wire.PayloadSize(typ, payload)
 	for _, id := range r.opts.Committee.Nodes {
 		if id != r.ep.ID() {
-			r.sendTo(id, typ, payload, size)
+			r.ep.Send(simnet.Message{To: id, Class: simnet.ClassConsensus, Type: typ,
+				Payload: payload, Size: size})
 		}
 	}
 }
@@ -426,8 +433,9 @@ func (r *Replica) handleRequest(tx chain.Tx, external bool) {
 		// executed it ourselves and therefore know the result).
 		if external && r.opts.SendReplies && tx.Client != 0 {
 			if ok, known := r.executedOK[tx.ID]; known {
+				rep := Reply{TxID: tx.ID, OK: ok, Replica: r.self()}
 				r.ep.Send(simnet.Message{To: simnet.NodeID(tx.Client), Class: simnet.ClassConsensus,
-					Type: MsgReply, Payload: Reply{TxID: tx.ID, OK: ok, Replica: r.self()}, Size: 128})
+					Type: MsgReply, Payload: rep, Size: wire.PayloadSize(MsgReply, rep)})
 			}
 		}
 		return
@@ -447,16 +455,19 @@ func (r *Replica) handleRequest(tx chain.Tx, external bool) {
 		// Dissemination policy: stock PBFT/Hyperledger broadcasts the
 		// request to every replica; optimization 2 forwards it to the
 		// leader only (§4.1).
+		// Encode lazily: on the leader under forward-to-leader variants no
+		// forward goes out, and this is the request-admission hot path.
 		if r.opts.Variant.ForwardToLeader() {
 			if !r.isLeader() {
 				r.ep.Send(simnet.Message{To: r.leaderID(), Class: simnet.ClassRequest,
-					Type: msgRequestFwd, Payload: tx, Size: tx.SizeBytes()})
+					Type: msgRequestFwd, Payload: tx, Size: wire.PayloadSize(msgRequestFwd, tx)})
 			}
 		} else {
+			fwdSize := wire.PayloadSize(msgRequestFwd, tx)
 			for _, id := range r.opts.Committee.Nodes {
 				if id != r.ep.ID() {
 					r.ep.Send(simnet.Message{To: id, Class: simnet.ClassRequest,
-						Type: msgRequestFwd, Payload: tx, Size: tx.SizeBytes()})
+						Type: msgRequestFwd, Payload: tx, Size: fwdSize})
 				}
 			}
 		}
@@ -576,7 +587,7 @@ func (r *Replica) retransmitVotes() {
 	}
 	sort.Slice(ckSeqs, func(i, j int) bool { return ckSeqs[i] < ckSeqs[j] })
 	for _, seq := range ckSeqs {
-		r.broadcast(msgCheckpoint, r.checkpoints[seq][r.self()], 128)
+		r.broadcast(msgCheckpoint, r.checkpoints[seq][r.self()])
 	}
 	for seq := r.h + 1; seq <= r.h+r.opts.Window; seq++ {
 		e := r.entries[seq]
@@ -594,10 +605,10 @@ func (r *Replica) retransmitVotes() {
 					e.prepares.add(r.self())
 					e.commits.reset()
 					e.sentCommitVote = false
-					r.broadcast(msgPrePrepare, &prePrepareMsg{View: r.view, Seq: e.seq, Block: e.block, Att: att}, e.block.SizeBytes()+96)
+					r.broadcast(msgPrePrepare, &prePrepareMsg{View: r.view, Seq: e.seq, Block: e.block, Att: att})
 				}
 			} else if att, err := r.att.attest(logName(phasePrePrepare, e.view), e.seq, e.digest); err == nil {
-				r.broadcast(msgPrePrepare, &prePrepareMsg{View: e.view, Seq: e.seq, Block: e.block, Att: att}, e.block.SizeBytes()+96)
+				r.broadcast(msgPrePrepare, &prePrepareMsg{View: e.view, Seq: e.seq, Block: e.block, Att: att})
 			}
 		}
 		if e.view != r.view {
@@ -640,7 +651,7 @@ func (r *Replica) retransmitOldest() {
 		return
 	}
 	msg := &prePrepareMsg{View: e.view, Seq: e.seq, Block: e.block, Att: att}
-	r.broadcast(msgPrePrepare, msg, e.block.SizeBytes()+96)
+	r.broadcast(msgPrePrepare, msg)
 }
 
 func (r *Replica) takeBatch() []chain.Tx {
@@ -694,7 +705,7 @@ func (r *Replica) propose(seq uint64, txs []chain.Tx) {
 	e.view, e.digest, e.block, e.prePrepared = r.view, digest, block, true
 	e.prepares.add(r.self())
 	msg := &prePrepareMsg{View: r.view, Seq: seq, Block: block, Att: att}
-	r.broadcast(msgPrePrepare, msg, block.SizeBytes()+96)
+	r.broadcast(msgPrePrepare, msg)
 	r.maybePrepared(e)
 }
 
@@ -713,9 +724,9 @@ func (r *Replica) proposeEquivocating(seq uint64, block *chain.Block) {
 			continue
 		}
 		if i < half && errA == nil {
-			r.sendTo(id, msgPrePrepare, &prePrepareMsg{View: r.view, Seq: seq, Block: block, Att: attA}, block.SizeBytes()+96)
+			r.sendTo(id, msgPrePrepare, &prePrepareMsg{View: r.view, Seq: seq, Block: block, Att: attA})
 		} else if i >= half && errB == nil {
-			r.sendTo(id, msgPrePrepare, &prePrepareMsg{View: r.view, Seq: seq, Block: alt, Att: attB}, alt.SizeBytes()+96)
+			r.sendTo(id, msgPrePrepare, &prePrepareMsg{View: r.view, Seq: seq, Block: alt, Att: attB})
 		}
 	}
 }
@@ -858,17 +869,17 @@ func (r *Replica) castVote(e *entry, phase string) {
 				continue
 			}
 			if i < half {
-				r.sendTo(id, typ, m, 160)
+				r.sendTo(id, typ, m)
 			} else {
 				fm := *m
 				fm.Digest = fake
 				fm.Att = fatt
-				r.sendTo(id, typ, &fm, 160)
+				r.sendTo(id, typ, &fm)
 			}
 		}
 		return
 	}
-	r.broadcast(typ, m, 160)
+	r.broadcast(typ, m)
 	if phase == phasePrepare {
 		e.prepares.add(r.self())
 	} else {
@@ -938,13 +949,19 @@ func (r *Replica) sendAggVote(e *entry, phase string) {
 		r.handleAggVote(m)
 		return
 	}
-	r.sendTo(r.leaderID(), msgVote, m, 160)
+	r.sendTo(r.leaderID(), msgVote, m)
 }
 
 // handleAggVote runs at the AHLR leader: accumulate votes, and once a
 // quorum is present have the enclave mint the certificate.
 func (r *Replica) handleAggVote(m *voteMsg) {
 	if !r.opts.Variant.Aggregated() || m.View != r.view || r.inViewChange || !r.isLeader() || !r.inWindow(m.Seq) {
+		return
+	}
+	// Replica comes straight off the wire here (unlike handleVote, where
+	// att.verify bounds-checks it); an out-of-range index would overrun
+	// the fixed-width voteSet.
+	if m.Replica < 0 || m.Replica >= r.n() {
 		return
 	}
 	e := r.getEntry(m.Seq)
@@ -964,7 +981,7 @@ func (r *Replica) handleAggVote(m *voteMsg) {
 			}
 			e.prepQCSent = true
 			e.prepared = true
-			r.broadcast(msgQC, &qcMsg{View: e.view, Seq: e.seq, Phase: phasePrepare, Cert: cert, Block: e.block}, e.block.SizeBytes()+256)
+			r.broadcast(msgQC, &qcMsg{View: e.view, Seq: e.seq, Phase: phasePrepare, Cert: cert, Block: e.block})
 			// Leader votes commit immediately.
 			r.sendAggVote(e, phaseCommit)
 		}
@@ -980,7 +997,7 @@ func (r *Replica) handleAggVote(m *voteMsg) {
 			}
 			e.commitQCSent = true
 			e.committed = true
-			r.broadcast(msgQC, &qcMsg{View: e.view, Seq: e.seq, Phase: phaseCommit, Cert: cert}, 256)
+			r.broadcast(msgQC, &qcMsg{View: e.view, Seq: e.seq, Phase: phaseCommit, Cert: cert})
 			r.tryExecute()
 		}
 	}
@@ -1073,8 +1090,9 @@ func (r *Replica) finishExecute(e *entry) {
 		r.dropRequest(tx.ID)
 		r.executedCount++
 		if r.opts.SendReplies && tx.Client != 0 {
+			rep := Reply{TxID: tx.ID, OK: res.OK(), Replica: r.self()}
 			r.ep.Send(simnet.Message{To: simnet.NodeID(tx.Client), Class: simnet.ClassConsensus,
-				Type: MsgReply, Payload: Reply{TxID: tx.ID, OK: res.OK(), Replica: r.self()}, Size: 128})
+				Type: MsgReply, Payload: rep, Size: wire.PayloadSize(MsgReply, rep)})
 		}
 	}
 	if r.onExec != nil {
@@ -1107,7 +1125,7 @@ func (r *Replica) emitCheckpoint(seq uint64) {
 	}
 	m := &checkpointMsg{Seq: seq, State: d, Replica: r.self(), Att: att}
 	r.recordCheckpoint(m)
-	r.broadcast(msgCheckpoint, m, 128)
+	r.broadcast(msgCheckpoint, m)
 }
 
 func (r *Replica) handleCheckpoint(m *checkpointMsg) {

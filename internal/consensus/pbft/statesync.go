@@ -64,10 +64,10 @@ func (r *Replica) noteAhead() {
 	r.lastSyncReq = int64(now)
 	r.requestReplay()
 	req := &stateReqMsg{Seq: 0, Replica: r.self()}
-	r.sendTo(r.leaderID(), msgStateReq, req, 64)
+	r.sendTo(r.leaderID(), msgStateReq, req)
 	peer := r.opts.Committee.Nodes[(r.self()+1)%r.n()]
 	if peer != r.ep.ID() && peer != r.leaderID() {
-		r.sendTo(peer, msgStateReq, req, 64)
+		r.sendTo(peer, msgStateReq, req)
 	}
 }
 
@@ -83,7 +83,7 @@ func (r *Replica) maybeRequestSync(seq uint64, holders []int) {
 		if idx == r.self() {
 			continue
 		}
-		r.sendTo(r.opts.Committee.Nodes[idx], msgStateReq, req, 64)
+		r.sendTo(r.opts.Committee.Nodes[idx], msgStateReq, req)
 		asked++
 		if asked == 2 { // redundancy without a broadcast storm
 			return
@@ -105,8 +105,7 @@ func (r *Replica) handleStateReq(m *stateReqMsg) {
 		ExecIDs: r.stableExecIDs,
 		Replica: r.self(),
 	}
-	size := r.stableSnap.SizeBytes() + 8*len(resp.ExecIDs)
-	r.sendTo(r.opts.Committee.Nodes[m.Replica], msgStateResp, resp, size)
+	r.sendTo(r.opts.Committee.Nodes[m.Replica], msgStateResp, resp)
 }
 
 func (r *Replica) handleStateResp(m *stateRespMsg) {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/blockcrypto"
 	"repro/internal/simnet"
+	"repro/internal/wire"
 )
 
 // View changes follow PBFT's structure, simplified where the simulation
@@ -51,7 +52,7 @@ func (r *Replica) requestNewView(view uint64) {
 	if leader == r.ep.ID() {
 		return
 	}
-	r.sendTo(leader, msgNVReq, &nvReqMsg{View: view, Replica: r.self()}, 64)
+	r.sendTo(leader, msgNVReq, &nvReqMsg{View: view, Replica: r.self()})
 }
 
 type nvReqMsg struct {
@@ -66,11 +67,7 @@ func (r *Replica) handleNVReq(m *nvReqMsg) {
 	if m.Replica < 0 || m.Replica >= r.n() {
 		return
 	}
-	size := 256
-	for _, p := range r.lastNewView.Reissue {
-		size += p.Block.SizeBytes()
-	}
-	r.sendTo(r.opts.Committee.Nodes[m.Replica], msgNewView, r.lastNewView, size)
+	r.sendTo(r.opts.Committee.Nodes[m.Replica], msgNewView, r.lastNewView)
 }
 
 // onProgressTimeout fires when a replica with pending work has seen no
@@ -100,10 +97,11 @@ func (r *Replica) onProgressTimeout() {
 			if !ok {
 				continue
 			}
+			fwdSize := wire.PayloadSize(msgRequestFwd, tx)
 			for _, id := range r.opts.Committee.Nodes {
 				if id != r.ep.ID() {
 					r.ep.Send(simnet.Message{To: id, Class: simnet.ClassRequest,
-						Type: msgRequestFwd, Payload: tx, Size: tx.SizeBytes()})
+						Type: msgRequestFwd, Payload: tx, Size: fwdSize})
 				}
 			}
 		}
@@ -160,11 +158,7 @@ func (r *Replica) startViewChange(newView uint64) {
 	}
 	m.Att = att
 	r.recordViewChange(m)
-	size := 256
-	for _, p := range m.Prepared {
-		size += p.Block.SizeBytes()
-	}
-	r.broadcast(msgViewChange, m, size)
+	r.broadcast(msgViewChange, m)
 
 	// Escalate if this view change does not complete in time.
 	r.vcTimer.Reset(2*r.opts.Timing.ViewChangeTimeout, r.onViewChangeTimeout)
@@ -289,17 +283,15 @@ func (r *Replica) installNewView(view uint64, votes map[int]*viewChangeMsg) {
 		}
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	size := 256
 	for _, s := range seqs {
 		nv.Reissue = append(nv.Reissue, reissue[s])
-		size += reissue[s].Block.SizeBytes()
 	}
 	att, err := r.att.attest("new-view", view, nvDigest(nv))
 	if err != nil {
 		return
 	}
 	nv.Att = att
-	r.broadcast(msgNewView, nv, size)
+	r.broadcast(msgNewView, nv)
 	r.adoptNewView(nv)
 }
 

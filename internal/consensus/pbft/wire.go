@@ -1,0 +1,330 @@
+package pbft
+
+import (
+	"repro/internal/blockcrypto"
+	"repro/internal/chain"
+	"repro/internal/simnet"
+	"repro/internal/tee"
+	"repro/internal/tee/aaom"
+	"repro/internal/tee/aggregator"
+	"repro/internal/wire"
+)
+
+// Wire codecs for every PBFT/AHL message type, registered with the
+// internal/wire registry so the same replica code runs over the simulated
+// network and over the TCP transport. The encodings double as the
+// simulator's transmission-size model (see wire.PayloadSize).
+
+func putAtt(e *wire.Encoder, a attestation) {
+	wire.PutSignature(e, a.Sig)
+	wire.PutAAOM(e, a.Log)
+}
+
+func getAtt(d *wire.Decoder) attestation {
+	return attestation{Sig: wire.Signature(d), Log: wire.AAOM(d)}
+}
+
+func putProofs(e *wire.Encoder, ps []preparedProof) {
+	e.Uvarint(uint64(len(ps)))
+	for _, p := range ps {
+		e.Uvarint(p.Seq)
+		e.Digest(p.Digest)
+		wire.PutBlock(e, p.Block)
+	}
+}
+
+func getProofs(d *wire.Decoder) []preparedProof {
+	n := d.Count(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]preparedProof, 0, wire.CapHint(n))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		out = append(out, preparedProof{Seq: d.Uvarint(), Digest: d.Digest(), Block: wire.Block(d)})
+	}
+	return out
+}
+
+func putCheckpoint(e *wire.Encoder, m *checkpointMsg) {
+	e.Uvarint(m.Seq)
+	e.Digest(m.State)
+	e.Int(m.Replica)
+	putAtt(e, m.Att)
+}
+
+func getCheckpoint(d *wire.Decoder) *checkpointMsg {
+	return &checkpointMsg{Seq: d.Uvarint(), State: d.Digest(), Replica: d.Int(), Att: getAtt(d)}
+}
+
+func init() {
+	txCodec := wire.Codec{
+		Encode: func(e *wire.Encoder, p any) { wire.PutTx(e, p.(chain.Tx)) },
+		Decode: func(d *wire.Decoder) any { return wire.Tx(d) },
+	}
+	wire.Register(MsgRequest, txCodec)
+	wire.Register(msgRequestFwd, txCodec)
+
+	wire.Register(MsgReply, wire.Codec{
+		Encode: func(e *wire.Encoder, p any) {
+			r := p.(Reply)
+			e.Uvarint(r.TxID)
+			e.Bool(r.OK)
+			e.Int(r.Replica)
+		},
+		Decode: func(d *wire.Decoder) any {
+			return Reply{TxID: d.Uvarint(), OK: d.Bool(), Replica: d.Int()}
+		},
+	})
+
+	wire.Register(msgPrePrepare, wire.Codec{
+		Encode: func(e *wire.Encoder, p any) {
+			m := p.(*prePrepareMsg)
+			e.Uvarint(m.View)
+			e.Uvarint(m.Seq)
+			wire.PutBlock(e, m.Block)
+			putAtt(e, m.Att)
+		},
+		Decode: func(d *wire.Decoder) any {
+			return &prePrepareMsg{View: d.Uvarint(), Seq: d.Uvarint(), Block: wire.Block(d), Att: getAtt(d)}
+		},
+	})
+
+	voteCodec := wire.Codec{
+		Encode: func(e *wire.Encoder, p any) {
+			m := p.(*voteMsg)
+			e.Uvarint(m.View)
+			e.Uvarint(m.Seq)
+			e.String(m.Phase)
+			e.Digest(m.Digest)
+			e.Int(m.Replica)
+			putAtt(e, m.Att)
+			wire.PutAggVote(e, m.AggVote)
+		},
+		Decode: func(d *wire.Decoder) any {
+			return &voteMsg{
+				View: d.Uvarint(), Seq: d.Uvarint(), Phase: d.String(),
+				Digest: d.Digest(), Replica: d.Int(),
+				Att: getAtt(d), AggVote: wire.AggVote(d),
+			}
+		},
+	}
+	wire.Register(msgPrepare, voteCodec)
+	wire.Register(msgCommit, voteCodec)
+	wire.Register(msgVote, voteCodec)
+
+	wire.Register(msgQC, wire.Codec{
+		Encode: func(e *wire.Encoder, p any) {
+			m := p.(*qcMsg)
+			e.Uvarint(m.View)
+			e.Uvarint(m.Seq)
+			e.String(m.Phase)
+			wire.PutAggCert(e, m.Cert)
+			wire.PutBlock(e, m.Block)
+		},
+		Decode: func(d *wire.Decoder) any {
+			return &qcMsg{
+				View: d.Uvarint(), Seq: d.Uvarint(), Phase: d.String(),
+				Cert: wire.AggCert(d), Block: wire.Block(d),
+			}
+		},
+	})
+
+	wire.Register(msgCheckpoint, wire.Codec{
+		Encode: func(e *wire.Encoder, p any) { putCheckpoint(e, p.(*checkpointMsg)) },
+		Decode: func(d *wire.Decoder) any { return getCheckpoint(d) },
+	})
+
+	wire.Register(msgViewChange, wire.Codec{
+		Encode: func(e *wire.Encoder, p any) {
+			m := p.(*viewChangeMsg)
+			e.Uvarint(m.NewView)
+			e.Uvarint(m.StableSeq)
+			putProofs(e, m.Prepared)
+			e.Int(m.Replica)
+			putAtt(e, m.Att)
+		},
+		Decode: func(d *wire.Decoder) any {
+			return &viewChangeMsg{
+				NewView: d.Uvarint(), StableSeq: d.Uvarint(),
+				Prepared: getProofs(d), Replica: d.Int(), Att: getAtt(d),
+			}
+		},
+	})
+
+	wire.Register(msgNewView, wire.Codec{
+		Encode: func(e *wire.Encoder, p any) {
+			m := p.(*newViewMsg)
+			e.Uvarint(m.View)
+			e.Uvarint(m.StableSeq)
+			putProofs(e, m.Reissue)
+			e.Int(m.Replica)
+			putAtt(e, m.Att)
+		},
+		Decode: func(d *wire.Decoder) any {
+			return &newViewMsg{
+				View: d.Uvarint(), StableSeq: d.Uvarint(),
+				Reissue: getProofs(d), Replica: d.Int(), Att: getAtt(d),
+			}
+		},
+	})
+
+	wire.Register(msgNVReq, wire.Codec{
+		Encode: func(e *wire.Encoder, p any) {
+			m := p.(*nvReqMsg)
+			e.Uvarint(m.View)
+			e.Int(m.Replica)
+		},
+		Decode: func(d *wire.Decoder) any {
+			return &nvReqMsg{View: d.Uvarint(), Replica: d.Int()}
+		},
+	})
+
+	wire.Register(msgStateReq, wire.Codec{
+		Encode: func(e *wire.Encoder, p any) {
+			m := p.(*stateReqMsg)
+			e.Uvarint(m.Seq)
+			e.Int(m.Replica)
+		},
+		Decode: func(d *wire.Decoder) any {
+			return &stateReqMsg{Seq: d.Uvarint(), Replica: d.Int()}
+		},
+	})
+
+	wire.Register(msgStateResp, wire.Codec{
+		Encode: func(e *wire.Encoder, p any) {
+			m := p.(*stateRespMsg)
+			e.Uvarint(m.Seq)
+			wire.PutSnapshot(e, m.Snap)
+			e.Uvarint(uint64(len(m.Cert)))
+			for _, ck := range m.Cert {
+				putCheckpoint(e, ck)
+			}
+			wire.PutUint64s(e, m.ExecIDs)
+			e.Int(m.Replica)
+		},
+		Decode: func(d *wire.Decoder) any {
+			m := &stateRespMsg{Seq: d.Uvarint(), Snap: wire.Snapshot(d)}
+			n := d.Count(1)
+			for i := 0; i < n && d.Err() == nil; i++ {
+				m.Cert = append(m.Cert, getCheckpoint(d))
+			}
+			m.ExecIDs = wire.Uint64s(d)
+			m.Replica = d.Int()
+			return m
+		},
+	})
+
+	wire.Register(msgReplayReq, wire.Codec{
+		Encode: func(e *wire.Encoder, p any) {
+			m := p.(*replayReqMsg)
+			e.Uvarint(m.FromSeq)
+			e.Int(m.Replica)
+		},
+		Decode: func(d *wire.Decoder) any {
+			return &replayReqMsg{FromSeq: d.Uvarint(), Replica: d.Int()}
+		},
+	})
+
+	wire.Register(msgReplayResp, wire.Codec{
+		Encode: func(e *wire.Encoder, p any) {
+			m := p.(*replayRespMsg)
+			e.Uvarint(uint64(len(m.Items)))
+			for _, it := range m.Items {
+				e.Uvarint(it.Seq)
+				e.Digest(it.Digest)
+				wire.PutBlock(e, it.Block)
+				putAtt(e, it.Att)
+			}
+			e.Int(m.Replica)
+		},
+		Decode: func(d *wire.Decoder) any {
+			m := &replayRespMsg{}
+			n := d.Count(1)
+			for i := 0; i < n && d.Err() == nil; i++ {
+				m.Items = append(m.Items, replayItem{
+					Seq: d.Uvarint(), Digest: d.Digest(), Block: wire.Block(d), Att: getAtt(d),
+				})
+			}
+			m.Replica = d.Int()
+			return m
+		},
+	})
+
+	wire.Register(msgCkpQuery, wire.Codec{
+		Encode: func(e *wire.Encoder, p any) { e.Int(p.(*ckpQueryMsg).Replica) },
+		Decode: func(d *wire.Decoder) any { return &ckpQueryMsg{Replica: d.Int()} },
+	})
+
+	wire.Register(msgCkpReply, wire.Codec{
+		Encode: func(e *wire.Encoder, p any) {
+			m := p.(*ckpReplyMsg)
+			e.Uvarint(m.Ckp)
+			e.Int(m.Replica)
+		},
+		Decode: func(d *wire.Decoder) any {
+			return &ckpReplyMsg{Ckp: d.Uvarint(), Replica: d.Int()}
+		},
+	})
+}
+
+// WireSamples returns one representatively-populated message per pbft wire
+// type. The wire package's round-trip and fuzz tests build their seed
+// corpus from it; it is not part of the protocol API.
+func WireSamples() []simnet.Message {
+	att := attestation{
+		Sig: blockcrypto.Signature{Signer: 3, Bytes: []byte{1, 2, 3, 4}},
+		Log: aaom.Attestation{
+			Log: "prepare/2", Slot: 7, Digest: blockcrypto.Hash([]byte("d")),
+			Report: tee.Report{
+				Measurement: blockcrypto.Hash([]byte("m")),
+				ReportData:  blockcrypto.Hash([]byte("rd")),
+				Sig:         blockcrypto.Signature{Signer: 3, Bytes: []byte{9, 8}},
+			},
+		},
+	}
+	tx := chain.Tx{ID: 42, Chaincode: "smallbank", Fn: "send", Args: []string{"a", "b", "10"}, Client: 12}
+	blk := &chain.Block{
+		Header: chain.Header{Height: 5, PrevHash: blockcrypto.Hash([]byte("p")),
+			TxRoot: chain.TxRoot([]chain.Tx{tx}), Proposer: 1, View: 2},
+		Txs: []chain.Tx{tx},
+	}
+	ck := &checkpointMsg{Seq: 16, State: blockcrypto.Hash([]byte("s")), Replica: 1, Att: att}
+	msg := func(typ string, class simnet.Class, payload any) simnet.Message {
+		return simnet.Message{From: 1, To: 2, Class: class, Type: typ, Payload: payload}
+	}
+	return []simnet.Message{
+		msg(MsgRequest, simnet.ClassRequest, tx),
+		msg(msgRequestFwd, simnet.ClassRequest, tx),
+		msg(MsgReply, simnet.ClassConsensus, Reply{TxID: 42, OK: true, Replica: 2}),
+		msg(msgPrePrepare, simnet.ClassConsensus, &prePrepareMsg{View: 2, Seq: 6, Block: blk, Att: att}),
+		msg(msgPrepare, simnet.ClassConsensus, &voteMsg{View: 2, Seq: 6, Phase: phasePrepare,
+			Digest: blk.Digest(), Replica: 1, Att: att}),
+		msg(msgCommit, simnet.ClassConsensus, &voteMsg{View: 2, Seq: 6, Phase: phaseCommit,
+			Digest: blk.Digest(), Replica: 1, Att: att}),
+		msg(msgVote, simnet.ClassConsensus, &voteMsg{View: 2, Seq: 6, Phase: phasePrepare,
+			Digest: blk.Digest(), Replica: 1,
+			AggVote: aggregator.Vote{Voter: 1, Sig: blockcrypto.Signature{Signer: 1, Bytes: []byte{5}}}}),
+		msg(msgQC, simnet.ClassConsensus, &qcMsg{View: 2, Seq: 6, Phase: phasePrepare,
+			Cert: aggregator.Cert{
+				Item:   aggregator.Item{View: 2, Seq: 6, Phase: phasePrepare, Digest: blk.Digest()},
+				Voters: []blockcrypto.KeyID{0, 1, 2},
+				Report: att.Log.Report,
+			}, Block: blk}),
+		msg(msgCheckpoint, simnet.ClassConsensus, ck),
+		msg(msgViewChange, simnet.ClassConsensus, &viewChangeMsg{NewView: 3, StableSeq: 16,
+			Prepared: []preparedProof{{Seq: 17, Digest: blk.Digest(), Block: blk}}, Replica: 1, Att: att}),
+		msg(msgNewView, simnet.ClassConsensus, &newViewMsg{View: 3, StableSeq: 16,
+			Reissue: []preparedProof{{Seq: 17, Digest: blk.Digest(), Block: blk}}, Replica: 2, Att: att}),
+		msg(msgNVReq, simnet.ClassConsensus, &nvReqMsg{View: 3, Replica: 1}),
+		msg(msgStateReq, simnet.ClassConsensus, &stateReqMsg{Seq: 16, Replica: 1}),
+		msg(msgStateResp, simnet.ClassConsensus, &stateRespMsg{Seq: 16,
+			Snap: chain.Snapshot{KV: map[string][]byte{"c_acc1": []byte("100"), "c_acc2": []byte("50")},
+				Version: 9, Digest: blockcrypto.Hash([]byte("st"))},
+			Cert: []*checkpointMsg{ck}, ExecIDs: []uint64{41, 42}, Replica: 0}),
+		msg(msgReplayReq, simnet.ClassConsensus, &replayReqMsg{FromSeq: 17, Replica: 1}),
+		msg(msgReplayResp, simnet.ClassConsensus, &replayRespMsg{
+			Items: []replayItem{{Seq: 17, Digest: blk.Digest(), Block: blk, Att: att}}, Replica: 2}),
+		msg(msgCkpQuery, simnet.ClassConsensus, &ckpQueryMsg{Replica: 1}),
+		msg(msgCkpReply, simnet.ClassConsensus, &ckpReplyMsg{Ckp: 16, Replica: 2}),
+	}
+}

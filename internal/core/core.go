@@ -167,54 +167,16 @@ func NewSystem(cfg Config) *System {
 		rng:    rng,
 	}
 
-	timing := consensus.DefaultTiming()
-	if cfg.Env.GCPRegions > 1 {
-		timing = consensus.WANTiming()
-	}
-	tune := func(o *pbft.Options) {
-		o.Timing = timing
-		o.SendReplies = cfg.SendReplies
-		if cfg.Tune != nil {
-			cfg.Tune(o)
-		}
-	}
-
-	shardReg := ShardRegistry
-	if cfg.ExtraShardCodes != nil {
-		shardReg = func() *chaincode.Registry {
-			reg := ShardRegistry()
-			for _, cc := range cfg.ExtraShardCodes() {
-				reg.Register(cc)
-			}
-			return reg
-		}
-	}
-
 	shardF := make([]int, cfg.Shards)
 	for s := 0; s < cfg.Shards; s++ {
-		behaviors := behaviorsFor(cfg.Behaviors, shardIDs[s])
-		bc := pbft.Build(net, scheme, rng, pbft.CommitteeSpec{
-			Variant:   cfg.Variant,
-			Nodes:     shardIDs[s],
-			Behaviors: behaviors,
-			Registry:  shardReg,
-			Tune:      tune,
-			Costs:     cfg.Costs,
-		})
+		bc := pbft.Build(net, scheme, rng, ShardSpec(cfg, shardIDs[s], behaviorsFor(cfg.Behaviors, shardIDs[s])))
 		sys.ShardCommittees = append(sys.ShardCommittees, bc)
 		shardF[s] = bc.Committee.F
 	}
 
 	refGroupFs := make([]int, refGroups)
 	for g := 0; g < refGroups; g++ {
-		bc := pbft.Build(net, scheme, rng, pbft.CommitteeSpec{
-			Variant:   cfg.Variant,
-			Nodes:     refGroupIDs[g],
-			Behaviors: behaviorsFor(cfg.Behaviors, refGroupIDs[g]),
-			Registry:  RefRegistry,
-			Tune:      tune,
-			Costs:     cfg.Costs,
-		})
+		bc := pbft.Build(net, scheme, rng, RefSpec(cfg, refGroupIDs[g], behaviorsFor(cfg.Behaviors, refGroupIDs[g])))
 		sys.RefCommittees = append(sys.RefCommittees, bc)
 		refGroupFs[g] = bc.Committee.F
 	}
@@ -253,6 +215,62 @@ func NewSystem(cfg Config) *System {
 		sys.clients = append(sys.clients, txn.NewClient(net, id, sys.Topology))
 	}
 	return sys
+}
+
+// optionsTune returns the replica-options tuning closure a deployment
+// described by cfg applies to every committee: environment-appropriate
+// timeouts, reply policy, and the caller's own Tune on top.
+func optionsTune(cfg Config) func(*pbft.Options) {
+	timing := consensus.DefaultTiming()
+	if cfg.Env.GCPRegions > 1 {
+		timing = consensus.WANTiming()
+	}
+	return func(o *pbft.Options) {
+		o.Timing = timing
+		o.SendReplies = cfg.SendReplies
+		if cfg.Tune != nil {
+			cfg.Tune(o)
+		}
+	}
+}
+
+// ShardSpec describes one shard committee of the deployment cfg over the
+// given member nodes — the committee-assembly recipe shared by the
+// simulator (NewSystem → pbft.Build) and the live runtime (LiveNode →
+// pbft.BuildReplica), so a standalone process raises a replica wired
+// identically to its simulated twin.
+func ShardSpec(cfg Config, nodes []simnet.NodeID, behaviors map[int]pbft.Behavior) pbft.CommitteeSpec {
+	shardReg := ShardRegistry
+	if cfg.ExtraShardCodes != nil {
+		shardReg = func() *chaincode.Registry {
+			reg := ShardRegistry()
+			for _, cc := range cfg.ExtraShardCodes() {
+				reg.Register(cc)
+			}
+			return reg
+		}
+	}
+	return pbft.CommitteeSpec{
+		Variant:   cfg.Variant,
+		Nodes:     nodes,
+		Behaviors: behaviors,
+		Registry:  shardReg,
+		Tune:      optionsTune(cfg),
+		Costs:     cfg.Costs,
+	}
+}
+
+// RefSpec describes one reference-committee instance of the deployment
+// cfg; see ShardSpec for the sharing contract.
+func RefSpec(cfg Config, nodes []simnet.NodeID, behaviors map[int]pbft.Behavior) pbft.CommitteeSpec {
+	return pbft.CommitteeSpec{
+		Variant:   cfg.Variant,
+		Nodes:     nodes,
+		Behaviors: behaviors,
+		Registry:  RefRegistry,
+		Tune:      optionsTune(cfg),
+		Costs:     cfg.Costs,
+	}
 }
 
 func behaviorsFor(global map[simnet.NodeID]pbft.Behavior, nodes []simnet.NodeID) map[int]pbft.Behavior {
@@ -351,13 +369,20 @@ func (s *System) BalanceOnShard(acc string) (int64, bool) {
 // §6.3: a debit prepare on the payer's shard and a credit prepare on the
 // payee's shard, completed by commitPayment/abortPayment.
 func (s *System) PaymentDTx(txid, from, to string, amount int64) txn.DTx {
+	return PaymentDTx(s.Config.Shards, txid, from, to, amount)
+}
+
+// PaymentDTx is the free-standing form of System.PaymentDTx for callers
+// that only know the shard count — the live client drivers, which have a
+// topology but no System.
+func PaymentDTx(shards int, txid, from, to string, amount int64) txn.DTx {
 	return txn.DTx{
 		TxID:      txid,
 		Chaincode: "smallbank-sharded",
 		Ops: []txn.Op{
-			{Shard: s.ShardOfKey(from), Fn: "preparePayment",
+			{Shard: ShardOfKey(from, shards), Fn: "preparePayment",
 				Args: []string{txid, from, strconv.FormatInt(-amount, 10)}},
-			{Shard: s.ShardOfKey(to), Fn: "preparePayment",
+			{Shard: ShardOfKey(to, shards), Fn: "preparePayment",
 				Args: []string{txid, to, strconv.FormatInt(amount, 10)}},
 		},
 		CommitFn: "commitPayment",

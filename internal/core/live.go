@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/blockcrypto"
+	"repro/internal/chain"
+	"repro/internal/consensus/pbft"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/txn"
+)
+
+// The live runtime runs one topology node as a standalone process (or an
+// in-process goroutine cluster, as the loopback smoke test does): the same
+// replica/manager/client stack the simulator assembles, driven by a
+// real-time event loop instead of a virtual clock, with remote traffic
+// bridged onto a transport.Transport through the local network's gateway.
+//
+// The discrete-event engine stays the node's single-threaded scheduler —
+// protocol code keeps its no-locks, deterministic-callback model — but the
+// loop advances the virtual clock in lockstep with the wall clock: run
+// everything due, sleep until the next timer or inbound frame, repeat.
+// Virtual costs (CPU service time, enclave operations) default to ~zero in
+// live mode because the process pays real CPU for its real work; set
+// ClusterConfig.Table2Costs to re-inject the paper's measured SGX
+// latencies into a live cluster.
+
+// liveInboxLen bounds buffered inbound frames per node. A full inbox
+// drops (the protocols retransmit), mirroring the bounded queues real
+// nodes have.
+const liveInboxLen = 8192
+
+// liveLoop is the shared real-time driver under LiveNode and LiveClient.
+type liveLoop struct {
+	engine *sim.Engine
+	net    *simnet.Network
+
+	inbox chan simnet.Message
+	ops   chan func()
+	stop  chan struct{}
+	done  chan struct{}
+
+	stopOnce  sync.Once
+	droppedIn atomic.Uint64
+}
+
+func newLiveLoop(engine *sim.Engine, net *simnet.Network) *liveLoop {
+	return &liveLoop{
+		engine: engine,
+		net:    net,
+		inbox:  make(chan simnet.Message, liveInboxLen),
+		ops:    make(chan func(), 64),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// handler returns the transport.Handler feeding this loop's inbox. It is
+// called from transport goroutines; the message crosses into the engine
+// goroutine through the channel.
+func (l *liveLoop) handler() transport.Handler {
+	return func(m simnet.Message) {
+		select {
+		case l.inbox <- m:
+		default:
+			l.droppedIn.Add(1)
+		}
+	}
+}
+
+// Do runs fn on the engine goroutine and waits for it — the only safe way
+// to touch the node's protocol state (stores, counters, submissions) from
+// outside. It returns false if the loop has stopped.
+func (l *liveLoop) Do(fn func()) bool {
+	ran := make(chan struct{})
+	select {
+	case l.ops <- func() { fn(); close(ran) }:
+	case <-l.done:
+		return false
+	}
+	select {
+	case <-ran:
+		return true
+	case <-l.done:
+		return false
+	}
+}
+
+// Stop halts the loop and waits for it to exit. Idempotent.
+func (l *liveLoop) Stop() {
+	l.stopOnce.Do(func() { close(l.stop) })
+	<-l.done
+}
+
+func (l *liveLoop) start() { go l.run() }
+
+func (l *liveLoop) run() {
+	defer close(l.done)
+	wallStart := time.Now()
+	base := l.engine.Now()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		// Advance the virtual clock to "now" and run everything due.
+		target := base.Add(time.Since(wallStart))
+		if target <= base {
+			target = base + 1 // Run treats 0 as "until idle"
+		}
+		l.engine.Run(target)
+
+		// Sleep until the earliest queued event (timers, scheduled CPU
+		// completions), an inbound frame, or an external op.
+		wait := time.Hour
+		if next, ok := l.engine.PeekNext(); ok {
+			wait = next.Sub(l.engine.Now())
+			if wait < 0 {
+				wait = 0
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+
+		select {
+		case <-l.stop:
+			return
+		case m := <-l.inbox:
+			l.net.Inject(m)
+			l.drainInbox()
+		case fn := <-l.ops:
+			fn()
+		case <-timer.C:
+		}
+	}
+}
+
+func (l *liveLoop) drainInbox() {
+	for {
+		select {
+		case m := <-l.inbox:
+			l.net.Inject(m)
+		default:
+			return
+		}
+	}
+}
+
+// keySigner derives node id's deployment-wide key pair on scheme. Every
+// process calls this for every node it must verify, with the shared
+// topology seed, so all processes agree on all key material without any
+// distribution step. (SimScheme tags are MAC-like: knowing a peer's secret
+// is inherent to verifying it. A PKI-backed scheme would register public
+// keys here instead; the paper's threat model is exercised in the
+// simulator, not re-proved by the live transport.)
+func keySigner(scheme blockcrypto.Scheme, seed int64, id simnet.NodeID) blockcrypto.Signer {
+	src := rand.NewSource(seed*1_000_003 + int64(id)*7_919 + 17)
+	return scheme.NewSigner(pbft.KeyOf(id), rand.New(src))
+}
+
+// teeSeedFor derives a node's enclave-platform randomness seed.
+func teeSeedFor(seed int64, id simnet.NodeID) int64 {
+	return seed*6_700_417 + int64(id)*104_729 + 29
+}
+
+// buildLiveStack creates the engine/network pair every live node runs on
+// and bridges its outbound traffic to tr.
+func buildLiveStack(c *ClusterConfig, id simnet.NodeID, tr transport.Transport) (*sim.Engine, *simnet.Network, *liveLoop) {
+	engine := sim.NewEngine(teeSeedFor(c.Seed, id) + 1)
+	net := simnet.New(engine, simnet.LAN())
+	loop := newLiveLoop(engine, net)
+	net.SetGateway(func(m simnet.Message) { tr.Send(m) })
+	tr.RegisterHandler(id, loop.handler())
+	return engine, net, loop
+}
+
+// LiveNode is one committee replica running standalone: the ahlnode
+// process body, also raised in-process by the loopback smoke test.
+type LiveNode struct {
+	ID      simnet.NodeID
+	Place   Place
+	Replica *pbft.Replica
+	// Manager is non-nil when the topology has a reference committee.
+	Manager *txn.Manager
+
+	loop *liveLoop
+}
+
+// StartLiveNode assembles and starts the replica for node id of the
+// cluster topology. The caller owns tr and closes it after Stop.
+func StartLiveNode(c *ClusterConfig, id simnet.NodeID, tr transport.Transport) (*LiveNode, error) {
+	place, ok := c.Place(id)
+	if !ok {
+		return nil, fmt.Errorf("live: node %d not in topology", id)
+	}
+	if place.Role == RoleClient {
+		return nil, fmt.Errorf("live: node %d is a client; use StartLiveClient", id)
+	}
+	cfg := c.liveConfig()
+	topo := c.Topology()
+	_, net, loop := buildLiveStack(c, id, tr)
+
+	// Deployment-wide key material: the committee this replica verifies
+	// is its own, so derive every committee member's keys (and our own
+	// signer among them).
+	scheme := blockcrypto.NewSimScheme()
+	var committee []simnet.NodeID
+	var spec pbft.CommitteeSpec
+	switch place.Role {
+	case RoleShardReplica:
+		committee = topo.ShardNodes[place.Shard]
+		spec = ShardSpec(cfg, committee, nil)
+	case RoleRefReplica:
+		committee = topo.RefNodes
+		spec = RefSpec(cfg, topo.RefNodes, nil)
+	}
+	var signer blockcrypto.Signer
+	for _, member := range committee {
+		s := keySigner(scheme, c.Seed, member)
+		if member == id {
+			signer = s
+		}
+	}
+
+	replica, _ := pbft.BuildReplica(net, scheme, spec, place.Index, signer, teeSeedFor(c.Seed, id))
+	n := &LiveNode{ID: id, Place: place, Replica: replica, loop: loop}
+	if len(c.Reference) > 0 {
+		if place.Role == RoleShardReplica {
+			n.Manager = txn.NewManager(txn.RoleShard, place.Shard, topo, replica)
+		} else {
+			n.Manager = txn.NewManager(txn.RoleReference, 0, topo, replica)
+		}
+	}
+	loop.start()
+	return n, nil
+}
+
+// Do runs fn on the node's engine goroutine (see liveLoop.Do).
+func (n *LiveNode) Do(fn func()) bool { return n.loop.Do(fn) }
+
+// Executed returns the replica's executed-transaction count.
+func (n *LiveNode) Executed() int {
+	var v int
+	n.Do(func() { v = n.Replica.Executed() })
+	return v
+}
+
+// DroppedInbound reports frames shed by a full inbox.
+func (n *LiveNode) DroppedInbound() uint64 { return n.loop.droppedIn.Load() }
+
+// Stop halts the node's event loop. The transport is the caller's to
+// close (several in-process nodes may share one).
+func (n *LiveNode) Stop() { n.loop.Stop() }
+
+// LiveClient is a client gateway running against a live cluster: the
+// ahlctl process body. Completion callbacks run on the client's engine
+// goroutine and must return quickly (typically a channel send).
+type LiveClient struct {
+	ID     simnet.NodeID
+	Shards int
+
+	client *txn.Client
+	loop   *liveLoop
+	nextID atomic.Uint64
+}
+
+// StartLiveClient assembles and starts the client gateway for node id.
+func StartLiveClient(c *ClusterConfig, id simnet.NodeID, tr transport.Transport) (*LiveClient, error) {
+	place, ok := c.Place(id)
+	if !ok {
+		return nil, fmt.Errorf("live: node %d not in topology", id)
+	}
+	if place.Role != RoleClient {
+		return nil, fmt.Errorf("live: node %d is a %s, not a client", id, place.Role)
+	}
+	topo := c.Topology()
+	_, net, loop := buildLiveStack(c, id, tr)
+	lc := &LiveClient{
+		ID:     id,
+		Shards: len(c.Shards),
+		client: txn.NewClient(net, id, topo),
+		loop:   loop,
+	}
+	// Client-unique id space, salted per process start: committees
+	// deduplicate on tx id forever, so a restarted client that reused its
+	// previous run's ids would see stale replies instead of fresh
+	// executions. Layout: id(16b) | start salt(24b) | counter(24b) —
+	// 16M transactions per run before the counter could carry into the
+	// salt field (topology ids are capped at 16 bits by Validate).
+	lc.nextID.Store(uint64(id)<<48 | (uint64(time.Now().UnixNano())&0xFFFFFF)<<24)
+	loop.start()
+	return lc, nil
+}
+
+// NextTxID returns a process-unique transaction id in this client's
+// id space.
+func (c *LiveClient) NextTxID() uint64 { return c.nextID.Add(1) }
+
+// RunTag returns a short per-process tag clients weave into distributed
+// transaction ids: the coordinator's terminal states are permanent, so a
+// restarted driver must never reuse a txid string either.
+func (c *LiveClient) RunTag() string {
+	return fmt.Sprintf("%d.%x", c.ID, c.nextID.Load()&0xFFFFFFFF)
+}
+
+// SubmitDistributed submits a cross-shard transaction (Figure 5 flow).
+func (c *LiveClient) SubmitDistributed(d txn.DTx, done func(txn.Result)) error {
+	if !c.loop.Do(func() { c.client.SubmitDistributed(d, done) }) {
+		return fmt.Errorf("live: client %d stopped", c.ID)
+	}
+	return nil
+}
+
+// SubmitSingle submits a single-shard transaction and completes after
+// f+1 matching replies.
+func (c *LiveClient) SubmitSingle(shard int, tx chain.Tx, done func(txn.Result)) error {
+	if !c.loop.Do(func() { c.client.SubmitSingle(shard, tx, done) }) {
+		return fmt.Errorf("live: client %d stopped", c.ID)
+	}
+	return nil
+}
+
+// ShardOf maps an application key to its owning shard under this
+// topology.
+func (c *LiveClient) ShardOf(key string) int { return ShardOfKey(key, c.Shards) }
+
+// Stop halts the client's event loop.
+func (c *LiveClient) Stop() { c.loop.Stop() }

@@ -1,0 +1,315 @@
+package core_test
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/txn"
+)
+
+// liveCluster is an in-process deployment of real LiveNodes talking
+// loopback TCP — the CI-friendly equivalent of one ahlnode process per
+// replica plus an ahlctl client.
+type liveCluster struct {
+	cfg    *core.ClusterConfig
+	nodes  map[simnet.NodeID]*core.LiveNode
+	client *core.LiveClient
+}
+
+// startLiveCluster raises shards×per replicas, a reference committee of
+// ref nodes, and one client, all over 127.0.0.1 TCP with OS-assigned
+// ports.
+func startLiveCluster(t *testing.T, shards, per, ref int) *liveCluster {
+	t.Helper()
+	cfg := &core.ClusterConfig{
+		Seed:           7,
+		Variant:        "ahl+",
+		BatchTimeoutMs: 20,
+	}
+	listeners := make(map[simnet.NodeID]net.Listener)
+	next := 0
+	addNode := func() core.NodeAddr {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := next
+		next++
+		listeners[simnet.NodeID(id)] = ln
+		return core.NodeAddr{ID: id, Addr: ln.Addr().String()}
+	}
+	for s := 0; s < shards; s++ {
+		var committee []core.NodeAddr
+		for i := 0; i < per; i++ {
+			committee = append(committee, addNode())
+		}
+		cfg.Shards = append(cfg.Shards, committee)
+	}
+	for i := 0; i < ref; i++ {
+		cfg.Reference = append(cfg.Reference, addNode())
+	}
+	clientAddr := addNode()
+	cfg.Clients = []core.NodeAddr{clientAddr}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	peers := cfg.PeerAddrs()
+	cl := &liveCluster{cfg: cfg, nodes: make(map[simnet.NodeID]*core.LiveNode)}
+	newTransport := func(id simnet.NodeID) *transport.TCP {
+		tr, err := transport.NewTCP(transport.TCPConfig{
+			Listener:    listeners[id],
+			Peers:       peers,
+			BackoffBase: 50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		return tr
+	}
+	for id := range peers {
+		if id == simnet.NodeID(clientAddr.ID) {
+			continue
+		}
+		n, err := core.StartLiveNode(cfg, id, newTransport(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(n.Stop)
+		cl.nodes[id] = n
+	}
+	c, err := core.StartLiveClient(cfg, simnet.NodeID(clientAddr.ID), newTransport(simnet.NodeID(clientAddr.ID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	cl.client = c
+	return cl
+}
+
+// accountsOnShard returns n distinct account names owned by shard.
+func accountsOnShard(shards, shard, n int, taken map[string]bool) []string {
+	var out []string
+	for i := 0; len(out) < n; i++ {
+		acc := fmt.Sprintf("live%d", i)
+		if taken[acc] || core.ShardOfKey(acc, shards) != shard {
+			continue
+		}
+		taken[acc] = true
+		out = append(out, acc)
+	}
+	return out
+}
+
+// TestLiveLoopbackClusterSmallBank is the live-cluster smoke test: a
+// 2-shard (4 replicas each) + reference-committee deployment of real
+// ahlnode-equivalent processes over loopback TCP runs smallbank with
+// cross-shard transfers; every transfer must commit and the money supply
+// must be conserved exactly on every replica of every shard.
+func TestLiveLoopbackClusterSmallBank(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP cluster (seconds of wall clock) skipped in -short")
+	}
+	const (
+		shards, per, ref = 2, 4, 4
+		perShardAccs     = 4
+		initialBalance   = int64(1000)
+	)
+	cl := startLiveCluster(t, shards, per, ref)
+	client := cl.client
+
+	taken := make(map[string]bool)
+	accs0 := accountsOnShard(shards, 0, perShardAccs, taken)
+	accs1 := accountsOnShard(shards, 1, perShardAccs, taken)
+	all := append(append([]string(nil), accs0...), accs1...)
+
+	// Seed: single-shard create transactions, acknowledged by f+1 replies.
+	seedDone := make(chan txn.Result, len(all))
+	for _, acc := range all {
+		tx := chain.Tx{
+			ID:        client.NextTxID(),
+			Chaincode: "smallbank-sharded",
+			Fn:        "create",
+			Args:      []string{acc, strconv.FormatInt(initialBalance, 10), "0"},
+		}
+		if err := client.SubmitSingle(client.ShardOf(acc), tx, func(r txn.Result) { seedDone <- r }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for range all {
+		select {
+		case r := <-seedDone:
+			if !r.Committed {
+				t.Fatalf("seed tx %s failed", r.TxID)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("seeding timed out")
+		}
+	}
+
+	// Cross-shard transfers between disjoint account pairs (no lock
+	// contention, so every one must commit), two waves to reuse accounts.
+	expected := make(map[string]int64, len(all))
+	for _, acc := range all {
+		expected[acc] = initialBalance
+	}
+	var txSeq int
+	transfer := func(from, to string, amount int64) txn.DTx {
+		txSeq++
+		d := core.PaymentDTx(shards, fmt.Sprintf("live-t%d", txSeq), from, to, amount)
+		expected[from] -= amount
+		expected[to] += amount
+		return d
+	}
+	for wave := 0; wave < 2; wave++ {
+		var dtxs []txn.DTx
+		for i := 0; i < perShardAccs; i++ {
+			// shard0 -> shard1 and shard1 -> shard0, disjoint pairs.
+			if i%2 == wave%2 {
+				dtxs = append(dtxs, transfer(accs0[i], accs1[i], int64(10+i)))
+			} else {
+				dtxs = append(dtxs, transfer(accs1[i], accs0[i], int64(20+i)))
+			}
+		}
+		done := make(chan txn.Result, len(dtxs))
+		for _, d := range dtxs {
+			if err := client.SubmitDistributed(d, func(r txn.Result) { done <- r }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for range dtxs {
+			select {
+			case r := <-done:
+				if !r.Committed {
+					t.Fatalf("cross-shard transfer %s aborted", r.TxID)
+				}
+			case <-time.After(120 * time.Second):
+				t.Fatal("cross-shard transfers timed out")
+			}
+		}
+	}
+
+	// Global conservation first: transfers only move money, so the
+	// expected balances must still sum to the seeded supply.
+	var supply int64
+	for _, acc := range all {
+		supply += expected[acc]
+	}
+	if want := int64(len(all)) * initialBalance; supply != want {
+		t.Fatalf("expected-balance bookkeeping broken: %d != %d", supply, want)
+	}
+
+	// Conservation: once phase 2 has drained everywhere, every replica of
+	// every shard must hold the exact expected balances, no 2PL locks and
+	// no staged writes. Replicas lag the client-visible outcome (the
+	// decide still has to execute), so poll with a deadline.
+	assertSettled := func() error {
+		for id, n := range cl.nodes {
+			if n.Place.Role != core.RoleShardReplica {
+				continue
+			}
+			shard := n.Place.Shard
+			var errOut error
+			ok := n.Do(func() {
+				store := n.Replica.Store()
+				if locks := store.KeysWithPrefix("L_"); len(locks) > 0 {
+					errOut = fmt.Errorf("node %d: %d locks held: %v", id, len(locks), locks)
+					return
+				}
+				if staged := store.KeysWithPrefix("S_"); len(staged) > 0 {
+					errOut = fmt.Errorf("node %d: %d staged writes: %v", id, len(staged), staged)
+					return
+				}
+				var total, wantTotal int64
+				for acc, want := range expected {
+					if core.ShardOfKey(acc, shards) != shard {
+						continue
+					}
+					raw, found := store.Get("c_" + acc)
+					if !found {
+						errOut = fmt.Errorf("node %d: account %s missing", id, acc)
+						return
+					}
+					got, err := strconv.ParseInt(string(raw), 10, 64)
+					if err != nil {
+						errOut = fmt.Errorf("node %d: account %s: %v", id, acc, err)
+						return
+					}
+					if got != want {
+						errOut = fmt.Errorf("node %d: account %s = %d, want %d", id, acc, got, want)
+						return
+					}
+					total += got
+					wantTotal += want
+				}
+				if total != wantTotal {
+					errOut = fmt.Errorf("node %d shard %d: total %d, want %d", id, shard, total, wantTotal)
+				}
+			})
+			if !ok {
+				return fmt.Errorf("node %d stopped", id)
+			}
+			if errOut != nil {
+				return errOut
+			}
+		}
+		return nil
+	}
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		err := assertSettled()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never settled: %v", err)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+func TestClusterConfigValidate(t *testing.T) {
+	good := &core.ClusterConfig{
+		Shards: [][]core.NodeAddr{
+			{{ID: 0, Addr: "h:1"}, {ID: 1, Addr: "h:2"}, {ID: 2, Addr: "h:3"}},
+		},
+		Reference: []core.NodeAddr{{ID: 3, Addr: "h:4"}, {ID: 4, Addr: "h:5"}, {ID: 5, Addr: "h:6"}},
+		Clients:   []core.NodeAddr{{ID: 6, Addr: "h:7"}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	topo := good.Topology()
+	if len(topo.ShardNodes) != 1 || topo.ShardF[0] != 1 || topo.RefF != 1 {
+		t.Fatalf("topology: %+v", topo)
+	}
+	if place, ok := good.Place(4); !ok || place.Role != core.RoleRefReplica || place.Index != 1 {
+		t.Fatalf("place of 4: %+v", place)
+	}
+	if _, ok := good.Place(99); ok {
+		t.Fatal("place of unknown id")
+	}
+
+	dup := *good
+	dup.Clients = []core.NodeAddr{{ID: 0, Addr: "h:8"}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	noAddr := &core.ClusterConfig{Shards: [][]core.NodeAddr{{{ID: 0}}}}
+	if err := noAddr.Validate(); err == nil {
+		t.Fatal("missing address accepted")
+	}
+	badVariant := *good
+	badVariant.Variant = "pow"
+	if err := badVariant.Validate(); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}

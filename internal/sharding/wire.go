@@ -1,0 +1,44 @@
+package sharding
+
+import (
+	"repro/internal/simnet"
+	"repro/internal/tee/beacon"
+	"repro/internal/wire"
+)
+
+// Wire codecs for the shard-formation traffic: the trusted-beacon
+// certificate broadcast and the RandHound baseline's protocol rounds
+// (whose payloads the simulation models by size only — the wire frames
+// carry just the envelope).
+
+func init() {
+	wire.Register(msgCert, wire.Codec{
+		Encode: func(e *wire.Encoder, p any) {
+			c := p.(beacon.Cert)
+			e.Uvarint(c.Epoch)
+			e.Uvarint(c.Rnd)
+			wire.PutReport(e, c.Report)
+		},
+		Decode: func(d *wire.Decoder) any {
+			return beacon.Cert{Epoch: d.Uvarint(), Rnd: d.Uvarint(), Report: wire.Report(d)}
+		},
+	})
+	for _, typ := range []string{msgRHInit, msgRHShare, msgRHResponse, msgRHFinal} {
+		wire.Register(typ, wire.NilCodec())
+	}
+}
+
+// WireSamples returns one populated message per sharding wire type; test
+// support for the wire package's round-trip and fuzz corpus.
+func WireSamples() []simnet.Message {
+	msg := func(typ string, payload any) simnet.Message {
+		return simnet.Message{From: 0, To: 1, Class: simnet.ClassConsensus, Type: typ, Payload: payload}
+	}
+	return []simnet.Message{
+		msg(msgCert, beacon.Cert{Epoch: 3, Rnd: 12345}),
+		msg(msgRHInit, nil),
+		msg(msgRHShare, nil),
+		msg(msgRHResponse, nil),
+		msg(msgRHFinal, nil),
+	}
+}

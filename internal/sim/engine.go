@@ -171,6 +171,19 @@ func (e *Engine) runOne() bool {
 // cancelled timer arms that have not reached their firing time yet).
 func (e *Engine) Pending() int { return len(e.heap) }
 
+// PeekNext returns the time of the earliest queued event, if any. The
+// real-time driver (internal/core's live runtime) uses it to sleep exactly
+// until the next virtual deadline instead of polling. Note that a
+// cancelled timer's queued firing still occupies the heap until its time
+// arrives, so PeekNext may report a deadline whose event turns out inert —
+// waking early and finding nothing to run is harmless.
+func (e *Engine) PeekNext() (Time, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}
+
 // --- inlined 4-ary min-heap over slab-allocated payloads ---
 //
 // A 4-ary layout halves the tree depth of a binary heap, trading slightly

@@ -24,6 +24,11 @@ const (
 	numClasses
 )
 
+// Valid reports whether c names a real traffic class. Wire decoders use
+// it to reject frames whose class byte would index past the endpoints'
+// fixed per-class queue arrays.
+func (c Class) Valid() bool { return c < numClasses }
+
 func (c Class) String() string {
 	switch c {
 	case ClassRequest:
@@ -359,6 +364,13 @@ func endpointServe(x any) {
 	ep.dispatch()
 }
 
+// Gateway carries messages addressed to nodes that are not attached to
+// this network. It is how a live node's local simnet (holding only that
+// node's endpoint) bridges onto a real transport: route hands the gateway
+// every remote-bound message instead of panicking on the unknown
+// destination. Inject is the inbound counterpart.
+type Gateway func(m Message)
+
 // Network connects endpoints through a latency model.
 type Network struct {
 	engine  *sim.Engine
@@ -367,6 +379,7 @@ type Network struct {
 	order   []NodeID
 	filter  Filter
 	faults  FaultHook
+	gateway Gateway
 	rng     *rand.Rand
 	dpool   []*delivery // recycled in-flight delivery records
 
@@ -417,6 +430,35 @@ func (n *Network) SetFilter(f Filter) { n.filter = f }
 // after the filter, so a message must survive both to be delivered.
 func (n *Network) SetFaults(h FaultHook) { n.faults = h }
 
+// SetGateway installs the off-network forwarder (nil to clear). With a
+// gateway installed, sends to unattached node ids are handed to it instead
+// of panicking; filter and fault hooks do not apply to forwarded traffic
+// (fault injection models the simulated links, not the real ones).
+func (n *Network) SetGateway(gw Gateway) { n.gateway = gw }
+
+// Inject schedules delivery of m to its locally attached destination as if
+// it had just arrived off the wire: no latency model, filter, or fault
+// hook applies. It is the inbound half of the gateway bridge and must be
+// called from the engine's goroutine. Messages for unknown destinations
+// are dropped (a live peer may legitimately hold a stale topology).
+func (n *Network) Inject(m Message) {
+	dst, ok := n.eps[m.To]
+	if !ok {
+		return
+	}
+	n.Messages++
+	n.Bytes += m.Size
+	var d *delivery
+	if k := len(n.dpool); k > 0 {
+		d = n.dpool[k-1]
+		n.dpool = n.dpool[:k-1]
+	} else {
+		d = &delivery{net: n}
+	}
+	d.dst, d.m = dst, m
+	n.engine.ScheduleArg(0, deliverPooled, d)
+}
+
 // Attach creates an endpoint for id with the given queue layout.
 func (n *Network) Attach(id NodeID, cfg QueueConfig) *Endpoint {
 	if _, dup := n.eps[id]; dup {
@@ -437,6 +479,12 @@ func (n *Network) NodeIDs() []NodeID { return append([]NodeID(nil), n.order...) 
 func (n *Network) route(m Message) {
 	dst, ok := n.eps[m.To]
 	if !ok {
+		if n.gateway != nil {
+			n.Messages++
+			n.Bytes += m.Size
+			n.gateway(m)
+			return
+		}
 		panic(fmt.Sprintf("simnet: send to unknown node %d", m.To))
 	}
 	extra := time.Duration(0)

@@ -1,0 +1,23 @@
+// Package transport abstracts how protocol messages move between nodes,
+// so the same consensus/transaction stack runs over the discrete-event
+// simulator and over real sockets.
+//
+// A Transport delivers simnet.Message values addressed by node id:
+//
+//   - Sim adapts an existing simnet.Network. It adds nothing on top of the
+//     simulator's own routing — experiments that use simnet directly stay
+//     byte-identical — and exists so runtime-agnostic code (node assembly,
+//     tools, tests) can be written once against the Transport interface.
+//
+//   - TCP carries frames over real TCP connections: each message is
+//     encoded with internal/wire, length-prefixed, and written to a
+//     per-peer outbound queue whose writer goroutine dials lazily,
+//     redials with exponential backoff, and drains on graceful shutdown.
+//     Peer addresses come from a static topology (see core.ClusterConfig).
+//
+// The AHL protocol family is designed for lossy, partially-synchronous
+// networks — every layer retransmits with backoff — so the TCP transport
+// deliberately keeps fire-and-forget semantics: a frame that cannot be
+// queued or written (peer down, queue full, mid-reconnect) is dropped and
+// counted, never buffered unboundedly or blocked on.
+package transport

@@ -1,0 +1,45 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// Sim adapts a simnet.Network to the Transport interface. Messages travel
+// through the simulator's own latency model, queues and fault hooks —
+// nothing is re-encoded — so simulation results through the adapter are
+// byte-identical to driving simnet directly.
+type Sim struct {
+	net *simnet.Network
+}
+
+// NewSim wraps net. The caller keeps ownership of the network and engine;
+// Close is a no-op.
+func NewSim(net *simnet.Network) *Sim { return &Sim{net: net} }
+
+// Send implements Transport: the message is sent from m.From's endpoint,
+// which must be attached.
+func (s *Sim) Send(m simnet.Message) error {
+	ep := s.net.Endpoint(m.From)
+	if ep == nil {
+		return fmt.Errorf("transport: sim send from unattached node %d", m.From)
+	}
+	ep.Send(m)
+	return nil
+}
+
+// RegisterHandler implements Transport: it attaches id (if needed) and
+// installs h as the endpoint handler. Messages cost no CPU service time
+// on delivery; protocol stacks that model processing cost install their
+// own simnet.Handler on the endpoint instead.
+func (s *Sim) RegisterHandler(id simnet.NodeID, h Handler) {
+	ep := s.net.Endpoint(id)
+	if ep == nil {
+		ep = s.net.Attach(id, simnet.DefaultSplitQueue())
+	}
+	ep.SetHandler(simnet.HandlerFunc{HandleFn: func(m simnet.Message) { h(m) }})
+}
+
+// Close implements Transport.
+func (s *Sim) Close() error { return nil }

@@ -1,0 +1,422 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// maxFrame bounds one length-prefixed frame (64 MiB): large enough for a
+// full state snapshot, small enough that a corrupt length prefix cannot
+// make a reader allocate unboundedly.
+const maxFrame = 1 << 26
+
+// TCPConfig configures a TCP transport.
+type TCPConfig struct {
+	// Listen is the address to accept inbound connections on. Empty with
+	// no Listener means send-only (a pure client that receives replies on
+	// its own listener would instead set one of the two).
+	Listen string
+	// Listener optionally supplies a pre-bound listener (tests bind :0
+	// themselves to learn the port before building the topology).
+	Listener net.Listener
+	// Peers maps remote node ids to dialable addresses. Multiple ids may
+	// share an address (a process hosting several nodes); frames to them
+	// share one connection and queue.
+	Peers map[simnet.NodeID]string
+
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// BackoffBase/BackoffMax shape the redial backoff: the delay after a
+	// failed dial starts at BackoffBase and doubles up to BackoffMax
+	// (defaults 100ms and 5s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// QueueLen is each peer's outbound queue capacity in frames (default
+	// 1024). A full queue drops the newest frame — the protocols above
+	// retransmit.
+	QueueLen int
+	// FlushTimeout bounds how long Close spends draining queued frames
+	// (default 2s).
+	FlushTimeout time.Duration
+	// Logf, when set, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c *TCPConfig) withDefaults() {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.QueueLen == 0 {
+		c.QueueLen = 1024
+	}
+	if c.FlushTimeout == 0 {
+		c.FlushTimeout = 2 * time.Second
+	}
+}
+
+// TCPStats counts a transport's traffic.
+type TCPStats struct {
+	SentFrames uint64
+	SentBytes  uint64
+	RecvFrames uint64
+	RecvBytes  uint64
+	// Dropped counts frames lost locally: full queues, write failures,
+	// frames for unregistered local ids, and frames discarded at close.
+	Dropped uint64
+	// Redials counts reconnection attempts after a broken connection.
+	Redials uint64
+}
+
+// TCP is the socket-backed Transport: internal/wire frames, length
+// prefixes, one lazily-dialed connection and outbound queue per peer
+// address, exponential redial backoff, and graceful shutdown.
+type TCP struct {
+	cfg  TCPConfig
+	ln   net.Listener
+	logf func(string, ...any)
+
+	mu       sync.RWMutex
+	handlers map[simnet.NodeID]Handler
+	peers    map[string]*tcpPeer
+	conns    map[net.Conn]bool
+	shut     bool
+
+	closed chan struct{}
+	wg     sync.WaitGroup
+
+	sentFrames atomic.Uint64
+	sentBytes  atomic.Uint64
+	recvFrames atomic.Uint64
+	recvBytes  atomic.Uint64
+	dropped    atomic.Uint64
+	redials    atomic.Uint64
+}
+
+type tcpPeer struct {
+	addr string
+	ch   chan []byte
+}
+
+// NewTCP starts a TCP transport. If cfg names a listen address (or
+// supplies a listener) the accept loop starts immediately; outbound
+// connections are dialed on first send to each peer.
+func NewTCP(cfg TCPConfig) (*TCP, error) {
+	cfg.withDefaults()
+	t := &TCP{
+		cfg:      cfg,
+		ln:       cfg.Listener,
+		logf:     cfg.Logf,
+		handlers: make(map[simnet.NodeID]Handler),
+		peers:    make(map[string]*tcpPeer),
+		conns:    make(map[net.Conn]bool),
+		closed:   make(chan struct{}),
+	}
+	if t.logf == nil {
+		t.logf = func(string, ...any) {}
+	}
+	if t.ln == nil && cfg.Listen != "" {
+		ln, err := net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+		}
+		t.ln = ln
+	}
+	if t.ln != nil {
+		t.wg.Add(1)
+		go t.acceptLoop()
+	}
+	return t, nil
+}
+
+// Addr returns the actual listen address ("" when send-only); with a
+// ":0" Listen address this is how callers learn the bound port.
+func (t *TCP) Addr() string {
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (t *TCP) Stats() TCPStats {
+	return TCPStats{
+		SentFrames: t.sentFrames.Load(),
+		SentBytes:  t.sentBytes.Load(),
+		RecvFrames: t.recvFrames.Load(),
+		RecvBytes:  t.recvBytes.Load(),
+		Dropped:    t.dropped.Load(),
+		Redials:    t.redials.Load(),
+	}
+}
+
+// RegisterHandler implements Transport.
+func (t *TCP) RegisterHandler(id simnet.NodeID, h Handler) {
+	t.mu.Lock()
+	t.handlers[id] = h
+	t.mu.Unlock()
+}
+
+// Send implements Transport. Frames to ids registered locally short-
+// circuit to their handler without touching a socket.
+func (t *TCP) Send(m simnet.Message) error {
+	t.mu.RLock()
+	h := t.handlers[m.To]
+	shut := t.shut
+	t.mu.RUnlock()
+	if shut {
+		t.dropped.Add(1)
+		return nil
+	}
+	if h != nil {
+		h(m)
+		return nil
+	}
+	addr, ok := t.cfg.Peers[m.To]
+	if !ok {
+		return fmt.Errorf("transport: no route to node %d", m.To)
+	}
+	frame := make([]byte, 4, 4+256)
+	frame, err := wire.EncodeMessage(frame, m)
+	if err != nil {
+		return err
+	}
+	if len(frame)-4 > maxFrame {
+		return fmt.Errorf("transport: frame for node %d exceeds %d bytes", m.To, maxFrame)
+	}
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	p, ok := t.peer(addr)
+	if !ok { // shut down between the check above and now
+		t.dropped.Add(1)
+		return nil
+	}
+	select {
+	case p.ch <- frame:
+	default:
+		t.dropped.Add(1) // full queue: shed, the protocol retransmits
+	}
+	return nil
+}
+
+func (t *TCP) peer(addr string) (*tcpPeer, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.shut {
+		return nil, false
+	}
+	p := t.peers[addr]
+	if p == nil {
+		p = &tcpPeer{addr: addr, ch: make(chan []byte, t.cfg.QueueLen)}
+		t.peers[addr] = p
+		t.wg.Add(1)
+		go t.writeLoop(p)
+	}
+	return p, true
+}
+
+// writeLoop owns the outbound connection to one peer address.
+func (t *TCP) writeLoop(p *tcpPeer) {
+	defer t.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		var frame []byte
+		select {
+		case <-t.closed:
+			t.flush(p, conn)
+			return
+		case frame = <-p.ch:
+		}
+		conn = t.writeFrame(p, conn, frame)
+	}
+}
+
+// writeFrame writes one frame, dialing if necessary. It returns the live
+// connection (nil after a failure; the frame is then dropped — AHL's
+// retransmission layers own reliability).
+func (t *TCP) writeFrame(p *tcpPeer, conn net.Conn, frame []byte) net.Conn {
+	if conn == nil {
+		conn = t.dial(p.addr)
+		if conn == nil {
+			t.dropped.Add(1)
+			return nil
+		}
+	}
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Write(frame); err != nil {
+		t.logf("transport: write %s: %v", p.addr, err)
+		conn.Close()
+		t.dropped.Add(1)
+		return nil
+	}
+	t.sentFrames.Add(1)
+	t.sentBytes.Add(uint64(len(frame)))
+	return conn
+}
+
+// dial connects to addr, backing off exponentially between attempts until
+// it succeeds or the transport closes (then nil).
+func (t *TCP) dial(addr string) net.Conn {
+	backoff := t.cfg.BackoffBase
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-t.closed:
+			return nil
+		default:
+		}
+		if attempt > 0 {
+			t.redials.Add(1)
+		}
+		conn, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+		if err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			return conn
+		}
+		t.logf("transport: dial %s: %v (retry in %v)", addr, err, backoff)
+		select {
+		case <-t.closed:
+			return nil
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > t.cfg.BackoffMax {
+			backoff = t.cfg.BackoffMax
+		}
+	}
+}
+
+// flush drains whatever is already queued at shutdown, bounded by
+// FlushTimeout; frames that cannot be written in time are dropped.
+func (t *TCP) flush(p *tcpPeer, conn net.Conn) {
+	deadline := time.Now().Add(t.cfg.FlushTimeout)
+	for {
+		select {
+		case frame := <-p.ch:
+			if conn == nil || time.Now().After(deadline) {
+				t.dropped.Add(1)
+				continue
+			}
+			conn.SetWriteDeadline(deadline)
+			if _, err := conn.Write(frame); err != nil {
+				conn.Close()
+				conn = nil
+				t.dropped.Add(1)
+				continue
+			}
+			t.sentFrames.Add(1)
+			t.sentBytes.Add(uint64(len(frame)))
+		default:
+			if conn != nil {
+				conn.Close()
+			}
+			return
+		}
+	}
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.shut {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readConn(conn)
+	}
+}
+
+func (t *TCP) readConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+	}()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrame {
+			t.logf("transport: bad frame length %d from %s", n, conn.RemoteAddr())
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		m, err := wire.DecodeMessage(buf)
+		if err != nil {
+			// A frame that fails to decode means the stream is garbage or
+			// the peer speaks another version; resynchronization is not
+			// possible mid-stream, so drop the connection.
+			t.logf("transport: decode from %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		t.recvFrames.Add(1)
+		t.recvBytes.Add(uint64(4 + len(buf)))
+		t.mu.RLock()
+		h := t.handlers[m.To]
+		t.mu.RUnlock()
+		if h == nil {
+			t.dropped.Add(1)
+			continue
+		}
+		h(m)
+	}
+}
+
+// Close implements Transport: stop accepting, close inbound connections,
+// flush outbound queues on the FlushTimeout, and wait for all goroutines.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.shut {
+		t.mu.Unlock()
+		return nil
+	}
+	t.shut = true
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	close(t.closed)
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}

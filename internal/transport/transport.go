@@ -1,0 +1,24 @@
+package transport
+
+import "repro/internal/simnet"
+
+// Handler receives inbound messages addressed to one local node id. It is
+// called from a transport goroutine; implementations hand the message to
+// their own event loop rather than doing protocol work inline.
+type Handler func(m simnet.Message)
+
+// Transport moves protocol messages between nodes. Implementations are
+// safe for concurrent use.
+type Transport interface {
+	// Send delivers m toward m.To. Delivery is best-effort (see package
+	// comment); the error reports only local, permanent problems — an
+	// unroutable destination or an unencodable message — not transient
+	// network failures.
+	Send(m simnet.Message) error
+	// RegisterHandler binds h as the receiver for messages addressed to
+	// id. Re-registering replaces the previous handler.
+	RegisterHandler(id simnet.NodeID, h Handler)
+	// Close shuts the transport down, flushing queued outbound frames on
+	// a short deadline. After Close, Send drops everything.
+	Close() error
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/consensus/pbft"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/wire"
 )
 
 // Client is a blockchain client gateway: it submits single-shard requests
@@ -174,9 +175,10 @@ func (c *Client) retryTick() {
 		target := p.group[(p.begin.ID+uint64(p.attempts))%uint64(len(p.group))]
 		c.ep.Send(pbft.ClientRequest(target, p.begin))
 		q := &statusQueryMsg{TxID: txid}
+		qSize := wire.PayloadSize(MsgStatus, q)
 		for _, node := range p.group {
 			c.ep.Send(simnet.Message{To: node, Class: simnet.ClassConsensus,
-				Type: MsgStatus, Payload: q, Size: 96})
+				Type: MsgStatus, Payload: q, Size: qSize})
 		}
 	}
 	for _, id := range sortedKeys(c.replyNeed) {

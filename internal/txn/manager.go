@@ -9,6 +9,7 @@ import (
 	"repro/internal/consensus/pbft"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/wire"
 )
 
 // The transaction manager is the glue of Figure 5: it runs on every
@@ -296,8 +297,9 @@ func (m *Manager) handleStatus(msg simnet.Message) {
 	if !status.Terminal() {
 		return
 	}
+	out := OutcomeMsg{TxID: q.TxID, Committed: status == StatusCommitted}
 	m.ep.Send(simnet.Message{To: msg.From, Class: simnet.ClassConsensus,
-		Type: MsgOutcome, Payload: OutcomeMsg{TxID: q.TxID, Committed: status == StatusCommitted}, Size: 128})
+		Type: MsgOutcome, Payload: out, Size: wire.PayloadSize(MsgOutcome, out)})
 }
 
 // --- shard side ---
@@ -474,9 +476,10 @@ func (m *Manager) handleVote(msg simnet.Message) {
 		if m.announced[v.TxID] {
 			if status := StatusOf(m.replica.Store(), v.TxID); status.Terminal() {
 				dec := &decideMsg{TxID: v.TxID, Commit: status == StatusCommitted}
+				size := wire.PayloadSize(MsgDecide, dec)
 				for _, node := range m.topo.ShardNodes[v.Shard] {
 					m.ep.Send(simnet.Message{To: node, Class: simnet.ClassConsensus,
-						Type: MsgDecide, Payload: dec, Size: 256})
+						Type: MsgDecide, Payload: dec, Size: size})
 				}
 			}
 		}
@@ -547,15 +550,20 @@ func (m *Manager) onRefExecuted(tx chain.Tx, ok bool) {
 			return
 		}
 		dec := &decideMsg{TxID: txid, Commit: status == StatusCommitted}
+		size := wire.PayloadSize(MsgDecide, dec)
 		for _, shard := range d.Shards() {
+			if !m.shardInRange(shard) {
+				continue
+			}
 			for _, node := range m.topo.ShardNodes[shard] {
 				m.ep.Send(simnet.Message{To: node, Class: simnet.ClassConsensus,
-					Type: MsgDecide, Payload: dec, Size: 256})
+					Type: MsgDecide, Payload: dec, Size: size})
 			}
 		}
 		if d.Client != 0 {
+			out := OutcomeMsg{TxID: txid, Committed: dec.Commit}
 			m.ep.Send(simnet.Message{To: d.Client, Class: simnet.ClassConsensus,
-				Type: MsgOutcome, Payload: OutcomeMsg{TxID: txid, Committed: dec.Commit}, Size: 128})
+				Type: MsgOutcome, Payload: out, Size: wire.PayloadSize(MsgOutcome, out)})
 		}
 	}
 }
@@ -626,15 +634,28 @@ func (m *Manager) injectLateCleanup(txid string) {
 }
 
 // sendPrepares transmits PrepareTx for txid to every replica of every
-// involved tx-committee.
+// involved tx-committee. Shard indices come from a client-encoded DTx —
+// remotely supplied in the live runtime — so out-of-range ops are
+// skipped rather than trusted (their transaction can then never gather
+// the missing vote and aborts at the protocol level, which is the right
+// fate for a malformed DTx).
 func (m *Manager) sendPrepares(txid string, d DTx) {
 	p := &prepareMsg{TxID: txid, DTx: d.Encode()}
+	size := wire.PayloadSize(MsgPrepare, p)
 	for _, shard := range d.Shards() {
+		if !m.shardInRange(shard) {
+			continue
+		}
 		for _, node := range m.topo.ShardNodes[shard] {
 			m.ep.Send(simnet.Message{To: node, Class: simnet.ClassConsensus,
-				Type: MsgPrepare, Payload: p, Size: 512 + len(p.DTx)})
+				Type: MsgPrepare, Payload: p, Size: size})
 		}
 	}
+}
+
+// shardInRange reports whether shard names a committee in the topology.
+func (m *Manager) shardInRange(shard int) bool {
+	return shard >= 0 && shard < len(m.topo.ShardNodes)
 }
 
 // scheduleRetry makes the retry timer fire no later than `at` — the O(1)
@@ -715,8 +736,9 @@ func (m *Manager) retryTick() {
 // reference group.
 func (m *Manager) sendVote(v *voteNetMsg) {
 	group, _ := m.topo.RefGroup(m.topo.GroupForTx(v.TxID))
+	size := wire.PayloadSize(MsgVote, v)
 	for _, node := range group {
 		m.ep.Send(simnet.Message{To: node, Class: simnet.ClassConsensus,
-			Type: MsgVote, Payload: v, Size: 192})
+			Type: MsgVote, Payload: v, Size: size})
 	}
 }

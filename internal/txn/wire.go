@@ -1,0 +1,85 @@
+package txn
+
+import (
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// Wire codecs for the cross-shard coordination messages of Figure 5,
+// registered with the internal/wire registry (see pbft/wire.go for the
+// consensus-layer counterparts).
+
+func init() {
+	wire.Register(MsgPrepare, wire.Codec{
+		Encode: func(e *wire.Encoder, p any) {
+			m := p.(*prepareMsg)
+			e.String(m.TxID)
+			e.String(m.DTx)
+		},
+		Decode: func(d *wire.Decoder) any {
+			return &prepareMsg{TxID: d.String(), DTx: d.String()}
+		},
+	})
+
+	wire.Register(MsgVote, wire.Codec{
+		Encode: func(e *wire.Encoder, p any) {
+			m := p.(*voteNetMsg)
+			e.String(m.TxID)
+			e.Int(m.Shard)
+			e.Bool(m.OK)
+		},
+		Decode: func(d *wire.Decoder) any {
+			return &voteNetMsg{TxID: d.String(), Shard: d.Int(), OK: d.Bool()}
+		},
+	})
+
+	wire.Register(MsgDecide, wire.Codec{
+		Encode: func(e *wire.Encoder, p any) {
+			m := p.(*decideMsg)
+			e.String(m.TxID)
+			e.Bool(m.Commit)
+		},
+		Decode: func(d *wire.Decoder) any {
+			return &decideMsg{TxID: d.String(), Commit: d.Bool()}
+		},
+	})
+
+	wire.Register(MsgOutcome, wire.Codec{
+		Encode: func(e *wire.Encoder, p any) {
+			m := p.(OutcomeMsg)
+			e.String(m.TxID)
+			e.Bool(m.Committed)
+		},
+		Decode: func(d *wire.Decoder) any {
+			return OutcomeMsg{TxID: d.String(), Committed: d.Bool()}
+		},
+	})
+
+	wire.Register(MsgStatus, wire.Codec{
+		Encode: func(e *wire.Encoder, p any) { e.String(p.(*statusQueryMsg).TxID) },
+		Decode: func(d *wire.Decoder) any { return &statusQueryMsg{TxID: d.String()} },
+	})
+}
+
+// WireSamples returns one populated message per txn wire type; test
+// support for the wire package's round-trip and fuzz corpus.
+func WireSamples() []simnet.Message {
+	d := DTx{
+		TxID: "t1", Chaincode: "smallbank-sharded",
+		Ops: []Op{
+			{Shard: 0, Fn: "preparePayment", Args: []string{"t1", "acc1", "-10"}},
+			{Shard: 1, Fn: "preparePayment", Args: []string{"t1", "acc2", "10"}},
+		},
+		CommitFn: "commitPayment", AbortFn: "abortPayment", Client: 9,
+	}
+	msg := func(typ string, payload any) simnet.Message {
+		return simnet.Message{From: 4, To: 5, Class: simnet.ClassConsensus, Type: typ, Payload: payload}
+	}
+	return []simnet.Message{
+		msg(MsgPrepare, &prepareMsg{TxID: "t1", DTx: d.Encode()}),
+		msg(MsgVote, &voteNetMsg{TxID: "t1", Shard: 1, OK: true}),
+		msg(MsgDecide, &decideMsg{TxID: "t1", Commit: true}),
+		msg(MsgOutcome, OutcomeMsg{TxID: "t1", Committed: true}),
+		msg(MsgStatus, &statusQueryMsg{TxID: "t1"}),
+	}
+}

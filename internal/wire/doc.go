@@ -1,0 +1,42 @@
+// Package wire is the deterministic, versioned binary codec for every
+// message the system puts on a network — the serialization layer that was
+// missing while the reproduction lived only inside the discrete-event
+// simulator, where simnet.Message.Payload carried live Go pointers and
+// Size was hand-estimated.
+//
+// # Format
+//
+// A framed message ("envelope") is
+//
+//	magic     byte    0xA4
+//	version   byte    1
+//	type      string  the simnet Message.Type tag ("pbft/prepare", ...)
+//	from, to  uvarint node ids
+//	class     byte    simnet.Class
+//	payload   bytes   type-specific encoding (length-prefixed)
+//
+// All integers are unsigned LEB128 varints; strings and byte slices are
+// length-prefixed; digests are raw 32-byte values. Maps are encoded in
+// sorted key order, so encoding is a pure function of the message value —
+// two replicas that build the same message produce identical bytes, which
+// is what lets encoded sizes double as the simulator's transmission-size
+// model and lets tests compare frames byte-for-byte.
+//
+// # Registry
+//
+// The payload codec for each message type is looked up in a registry keyed
+// by the Message.Type string. The protocol packages own their message
+// structs (many are unexported), so each package registers its own codecs
+// from an init function: pbft registers the consensus, view-change,
+// state-sync, replay and recovery messages plus client requests/replies;
+// txn registers the 2PC coordination messages; sharding registers the
+// committee-formation traffic. Importing those packages is what populates
+// the registry.
+//
+// # Safety
+//
+// Decode never panics on arbitrary input (enforced by FuzzDecodeMessage):
+// the decoder carries a sticky error, bounds-checks every read, and caps
+// claimed lengths by the number of bytes actually remaining, so a hostile
+// length prefix cannot force a large allocation.
+package wire

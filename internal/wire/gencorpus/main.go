@@ -1,0 +1,58 @@
+// Command gencorpus regenerates the checked-in fuzz seed corpus for
+// wire.FuzzDecodeMessage: one canonical encoded frame per registered
+// message type. Run it from the repository root after adding message
+// types:
+//
+//	go run ./internal/wire/gencorpus
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/consensus/pbft"
+	"repro/internal/sharding"
+	"repro/internal/simnet"
+	"repro/internal/txn"
+	"repro/internal/wire"
+)
+
+func main() {
+	dir := filepath.Join("internal", "wire", "testdata", "fuzz", "FuzzDecodeMessage")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var samples []simnet.Message
+	samples = append(samples, pbft.WireSamples()...)
+	samples = append(samples, txn.WireSamples()...)
+	samples = append(samples, sharding.WireSamples()...)
+	for _, m := range samples {
+		frame, err := wire.EncodeMessage(nil, m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", m.Type, err)
+			os.Exit(1)
+		}
+		name := "seed-" + sanitize(m.Type)
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(frame)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("wrote %d corpus seeds to %s\n", len(samples), dir)
+}
+
+func sanitize(typ string) string {
+	out := make([]byte, 0, len(typ))
+	for i := 0; i < len(typ); i++ {
+		c := typ[i]
+		if c == '/' || c == ' ' {
+			c = '_'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/simnet"
+)
+
+// Envelope framing constants.
+const (
+	// Magic is the first byte of every frame.
+	Magic byte = 0xA4
+	// Version is the codec version stamped into every frame. Decoders
+	// reject frames from a different version instead of guessing.
+	Version byte = 1
+)
+
+// frameOverhead is the fixed portion of the envelope — magic, version,
+// class, and the from/to varints — charged by PayloadSize in addition to
+// the type tag and payload bytes. Varints make the true header a byte or
+// two smaller for low node ids; the constant keeps simulated sizes
+// independent of the recipient so one broadcast has one size.
+const frameOverhead = 8
+
+// Codec encodes and decodes one message type's payload.
+type Codec struct {
+	// Encode appends the payload encoding. It may assume payload is the
+	// registered concrete type (a send with a payload of the wrong type is
+	// a programming error and panics like the type assertion it is).
+	Encode func(e *Encoder, payload any)
+	// Decode reads the payload back. It reports malformed input through
+	// the decoder's sticky error rather than panicking.
+	Decode func(d *Decoder) any
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Codec)
+)
+
+// Register installs the codec for a message type. Protocol packages call
+// it from init; registering a type twice is a bug and panics.
+func Register(typ string, c Codec) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[typ]; dup {
+		panic("wire: duplicate codec for " + typ)
+	}
+	if c.Encode == nil || c.Decode == nil {
+		panic("wire: codec for " + typ + " missing Encode or Decode")
+	}
+	registry[typ] = c
+}
+
+// NilCodec returns the codec for messages that carry no payload.
+func NilCodec() Codec {
+	return Codec{
+		Encode: func(*Encoder, any) {},
+		Decode: func(*Decoder) any { return nil },
+	}
+}
+
+// Registered reports whether a codec exists for typ.
+func Registered(typ string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := registry[typ]
+	return ok
+}
+
+// Types returns all registered message types, sorted.
+func Types() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for t := range registry {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func lookup(typ string) (Codec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := registry[typ]
+	return c, ok
+}
+
+// EncodeMessage appends m's framed encoding to buf and returns the
+// extended slice. It fails on unregistered message types.
+func EncodeMessage(buf []byte, m simnet.Message) ([]byte, error) {
+	c, ok := lookup(m.Type)
+	if !ok {
+		return buf, fmt.Errorf("wire: no codec for message type %q", m.Type)
+	}
+	e := Encoder{b: buf}
+	e.Byte(Magic)
+	e.Byte(Version)
+	e.String(m.Type)
+	e.Uvarint(uint64(m.From))
+	e.Uvarint(uint64(m.To))
+	e.Byte(byte(m.Class))
+	c.Encode(&e, m.Payload)
+	return e.b, nil
+}
+
+// DecodeMessage parses one framed message. The returned message's Size is
+// the frame length, so live-received messages carry their true wire size
+// through any code that inspects it. DecodeMessage never panics on
+// malformed input.
+func DecodeMessage(data []byte) (simnet.Message, error) {
+	d := NewDecoder(data)
+	if d.Byte() != Magic {
+		return simnet.Message{}, fmt.Errorf("wire: bad magic")
+	}
+	if v := d.Byte(); v != Version {
+		return simnet.Message{}, fmt.Errorf("wire: unsupported version %d", v)
+	}
+	typ := d.String()
+	from := d.Uvarint()
+	to := d.Uvarint()
+	class := simnet.Class(d.Byte())
+	if err := d.Err(); err != nil {
+		return simnet.Message{}, err
+	}
+	if !class.Valid() {
+		// An out-of-range class would index past the endpoints' fixed
+		// per-class queue arrays on the receiving node.
+		return simnet.Message{}, fmt.Errorf("wire: invalid message class %d", class)
+	}
+	c, ok := lookup(typ)
+	if !ok {
+		return simnet.Message{}, fmt.Errorf("wire: no codec for message type %q", typ)
+	}
+	payload := c.Decode(d)
+	if err := d.Finish(); err != nil {
+		return simnet.Message{}, fmt.Errorf("wire: decode %s: %w", typ, err)
+	}
+	return simnet.Message{
+		From:    simnet.NodeID(from),
+		To:      simnet.NodeID(to),
+		Class:   class,
+		Type:    typ,
+		Payload: payload,
+		Size:    len(data),
+	}, nil
+}
+
+// encPool recycles encoders for size computation so the simulator's send
+// hot path performs no steady-state allocation.
+var encPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// PayloadSize returns the wire size of a message of the given type and
+// payload: fixed envelope overhead, the type tag, and the encoded payload.
+// It is the simulator's replacement for hand-estimated Message.Size — the
+// transmission-time model now charges exactly what the TCP transport would
+// put on the wire. An unregistered type panics: every protocol message
+// must have a codec (registration lives in each package's wire.go), and
+// a silent zero here would model the new type's traffic as free.
+func PayloadSize(typ string, payload any) int {
+	c, ok := lookup(typ)
+	if !ok {
+		panic("wire: PayloadSize for unregistered message type " + typ)
+	}
+	e := encPool.Get().(*Encoder)
+	e.Reset()
+	c.Encode(e, payload)
+	n := frameOverhead + len(typ) + e.Len()
+	encPool.Put(e)
+	return n
+}

@@ -1,0 +1,237 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/blockcrypto"
+)
+
+// Errors surfaced by the decoder. Decode methods never panic; the first
+// failure sticks and every later read returns zero values.
+var (
+	// ErrTruncated reports input that ended before a declared field.
+	ErrTruncated = errors.New("wire: truncated input")
+	// ErrOverflow reports a varint wider than 64 bits.
+	ErrOverflow = errors.New("wire: varint overflow")
+	// ErrLength reports a length prefix larger than the remaining input.
+	ErrLength = errors.New("wire: length prefix exceeds remaining input")
+)
+
+// Encoder appends a deterministic binary encoding to a byte slice. The
+// zero value is ready to use; Reset recycles the backing array so a pooled
+// encoder's steady state allocates nothing.
+type Encoder struct {
+	b []byte
+}
+
+// Reset empties the encoder, keeping the backing array.
+func (e *Encoder) Reset() { e.b = e.b[:0] }
+
+// Bytes returns the encoded bytes (valid until the next Reset).
+func (e *Encoder) Bytes() []byte { return e.b }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.b) }
+
+// Byte appends one raw byte.
+func (e *Encoder) Byte(v byte) { e.b = append(e.b, v) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+
+// Uvarint appends v as an unsigned LEB128 varint.
+func (e *Encoder) Uvarint(v uint64) {
+	for v >= 0x80 {
+		e.b = append(e.b, byte(v)|0x80)
+		v >>= 7
+	}
+	e.b = append(e.b, byte(v))
+}
+
+// Int appends a signed integer in zig-zag varint form.
+func (e *Encoder) Int(v int) {
+	e.Uvarint(uint64(v<<1) ^ uint64(v>>(bits.UintSize-1)))
+}
+
+// Duration appends a time.Duration-compatible signed 64-bit value.
+func (e *Encoder) Duration(v int64) {
+	e.Uvarint(uint64(v<<1) ^ uint64(v>>63))
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// ByteSlice appends a length-prefixed byte slice. Nil and empty slices
+// encode identically (length zero) and decode as nil.
+func (e *Encoder) ByteSlice(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.b = append(e.b, b...)
+}
+
+// Digest appends a raw 32-byte digest.
+func (e *Encoder) Digest(d blockcrypto.Digest) { e.b = append(e.b, d[:]...) }
+
+// Decoder reads the Encoder's format back. The first error sticks: every
+// subsequent read returns zero values, so codecs can decode a whole struct
+// and check Err once at the end.
+type Decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over data. The decoder does not copy data;
+// ByteSlice and Digest results are copied out, String results share no
+// mutable state, so the caller may recycle data once decoding finishes.
+func NewDecoder(data []byte) *Decoder { return &Decoder{b: data} }
+
+// Err returns the first decoding error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.b) - d.off }
+
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Byte reads one raw byte.
+func (d *Decoder) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+// Bool reads a boolean byte; any nonzero value is true.
+func (d *Decoder) Bool() bool { return d.Byte() != 0 }
+
+// Uvarint reads an unsigned LEB128 varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	var v uint64
+	var shift uint
+	for {
+		if d.off >= len(d.b) {
+			d.fail(ErrTruncated)
+			return 0
+		}
+		c := d.b[d.off]
+		d.off++
+		if shift == 63 && c > 1 {
+			d.fail(ErrOverflow)
+			return 0
+		}
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v
+		}
+		shift += 7
+		if shift > 63 {
+			d.fail(ErrOverflow)
+			return 0
+		}
+	}
+}
+
+// Int reads a zig-zag varint back into a signed integer.
+func (d *Decoder) Int() int {
+	u := d.Uvarint()
+	return int((u >> 1) ^ -(u & 1))
+}
+
+// Duration reads a signed 64-bit zig-zag varint.
+func (d *Decoder) Duration() int64 {
+	u := d.Uvarint()
+	return int64((u >> 1) ^ -(u & 1))
+}
+
+// Count reads a collection length and validates it against the remaining
+// input, assuming each element occupies at least elemMin (>= 1) bytes.
+// A hostile length prefix therefore cannot force an allocation larger
+// than the input itself.
+func (d *Decoder) Count(elemMin int) int {
+	if elemMin < 1 {
+		elemMin = 1
+	}
+	n := d.Uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(d.Remaining()/elemMin) {
+		d.fail(ErrLength)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n > d.Remaining() {
+		d.fail(ErrLength)
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Count(1)
+	if n == 0 {
+		return ""
+	}
+	return string(d.take(n))
+}
+
+// ByteSlice reads a length-prefixed byte slice (copied; nil when empty).
+func (d *Decoder) ByteSlice() []byte {
+	n := d.Count(1)
+	if n == 0 {
+		return nil
+	}
+	return append([]byte(nil), d.take(n)...)
+}
+
+// Digest reads a raw 32-byte digest.
+func (d *Decoder) Digest() blockcrypto.Digest {
+	var out blockcrypto.Digest
+	copy(out[:], d.take(blockcrypto.DigestSize))
+	return out
+}
+
+// Finish returns an error unless the decoder consumed its whole input
+// cleanly — trailing garbage on a frame is a framing bug, not padding.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("wire: %d trailing bytes", d.Remaining())
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package wire_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/consensus/pbft"
+	"repro/internal/sharding"
+	"repro/internal/simnet"
+	"repro/internal/txn"
+	"repro/internal/wire"
+)
+
+// allSamples gathers one populated message per registered wire type from
+// every protocol package (whose imports also trigger codec registration).
+func allSamples() []simnet.Message {
+	var out []simnet.Message
+	out = append(out, pbft.WireSamples()...)
+	out = append(out, txn.WireSamples()...)
+	out = append(out, sharding.WireSamples()...)
+	return out
+}
+
+func TestSamplesCoverRegistry(t *testing.T) {
+	covered := make(map[string]bool)
+	for _, m := range allSamples() {
+		if !wire.Registered(m.Type) {
+			t.Errorf("sample type %q has no registered codec", m.Type)
+		}
+		covered[m.Type] = true
+	}
+	for _, typ := range wire.Types() {
+		if !covered[typ] {
+			t.Errorf("registered type %q has no sample (round-trip/fuzz coverage gap)", typ)
+		}
+	}
+}
+
+func TestRoundTripEveryType(t *testing.T) {
+	for _, m := range allSamples() {
+		frame, err := wire.EncodeMessage(nil, m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", m.Type, err)
+		}
+		got, err := wire.DecodeMessage(frame)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Type, err)
+		}
+		if got.From != m.From || got.To != m.To || got.Class != m.Class || got.Type != m.Type {
+			t.Fatalf("%s: envelope mismatch: got %+v", m.Type, got)
+		}
+		if !reflect.DeepEqual(got.Payload, m.Payload) {
+			t.Fatalf("%s: payload mismatch:\n got %#v\nwant %#v", m.Type, got.Payload, m.Payload)
+		}
+		if got.Size != len(frame) {
+			t.Fatalf("%s: decoded Size = %d, frame length %d", m.Type, got.Size, len(frame))
+		}
+	}
+}
+
+func TestEncodingDeterministic(t *testing.T) {
+	for _, m := range allSamples() {
+		a, err := wire.EncodeMessage(nil, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Type, err)
+		}
+		b, _ := wire.EncodeMessage(nil, m)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: two encodings differ", m.Type)
+		}
+	}
+}
+
+// TestPayloadSizeMatchesFrame pins the simulator's size model to the real
+// frame length: PayloadSize uses a fixed header constant where the actual
+// envelope holds two node-id varints, so the two may differ by at most the
+// few bytes of varint slack.
+func TestPayloadSizeMatchesFrame(t *testing.T) {
+	const slack = 6
+	for _, m := range allSamples() {
+		frame, err := wire.EncodeMessage(nil, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Type, err)
+		}
+		est := wire.PayloadSize(m.Type, m.Payload)
+		if diff := est - len(frame); diff < 0 || diff > slack {
+			t.Fatalf("%s: PayloadSize %d vs frame %d (diff %d)", m.Type, est, len(frame), diff)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	frame, err := wire.EncodeMessage(nil, allSamples()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every proper prefix must fail cleanly, never panic.
+	for i := 0; i < len(frame); i++ {
+		if _, err := wire.DecodeMessage(frame[:i]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded successfully", i, len(frame))
+		}
+	}
+	if _, err := wire.DecodeMessage(append(append([]byte(nil), frame...), 0xff)); err == nil {
+		t.Fatal("trailing garbage decoded successfully")
+	}
+	bad := append([]byte(nil), frame...)
+	bad[1] = 99 // unsupported version
+	if _, err := wire.DecodeMessage(bad); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	// An out-of-range class byte must be rejected at decode time: it would
+	// index past the receiving endpoint's fixed per-class queue array.
+	hostile := allSamples()[0]
+	hostile.Class = simnet.Class(7)
+	badClass, err := wire.EncodeMessage(nil, hostile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.DecodeMessage(badClass); err == nil {
+		t.Fatal("invalid class accepted")
+	}
+	if _, err := wire.EncodeMessage(nil, simnet.Message{Type: "no/such-type"}); err == nil {
+		t.Fatal("unregistered type encoded")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("PayloadSize for unregistered type should panic")
+			}
+		}()
+		wire.PayloadSize("no/such-type", nil)
+	}()
+}
+
+func TestEncodeAppends(t *testing.T) {
+	ms := allSamples()
+	var buf []byte
+	var lens []int
+	for _, m := range ms[:3] {
+		var err error
+		buf, err = wire.EncodeMessage(buf, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lens = append(lens, len(buf))
+	}
+	// Frames decode back from their own ranges.
+	start := 0
+	for i, m := range ms[:3] {
+		got, err := wire.DecodeMessage(buf[start:lens[i]])
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != m.Type {
+			t.Fatalf("frame %d: type %q, want %q", i, got.Type, m.Type)
+		}
+		start = lens[i]
+	}
+}
