@@ -8,8 +8,16 @@
 //
 //	ahlnode -topo topology.json -id 3
 //
+// With a data directory (topology data_dir or -data) the replica keeps a
+// write-ahead log and periodic state snapshots under <dir>/node-<id>/ and
+// recovers from them at startup — a killed process rejoins with its
+// pre-crash state instead of an empty one. Unrecoverable storage errors
+// make the process exit non-zero (a replica that cannot journal must not
+// keep executing).
+//
 // The process serves until SIGINT/SIGTERM, then shuts down gracefully
-// (event loop stopped, outbound queues flushed).
+// (event loop stopped, storage flushed and closed, outbound queues
+// flushed).
 package main
 
 import (
@@ -31,6 +39,7 @@ func main() {
 		topoPath = flag.String("topo", "", "cluster topology JSON (required)")
 		id       = flag.Int("id", -1, "this node's id in the topology (required)")
 		listen   = flag.String("listen", "", "listen address override (default: this node's topology address)")
+		dataDir  = flag.String("data", "", "durable-state root override (default: topology data_dir; empty = memory-only)")
 		statusIv = flag.Duration("status", 10*time.Second, "status log interval (0 disables)")
 		verbose  = flag.Bool("v", false, "log transport diagnostics")
 	)
@@ -42,6 +51,9 @@ func main() {
 	cfg, err := core.LoadClusterConfig(*topoPath)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		cfg.DataDir = *dataDir
 	}
 	nodeID := simnet.NodeID(*id)
 	place, ok := cfg.Place(nodeID)
@@ -60,12 +72,14 @@ func main() {
 		Listen: addr,
 		Peers:  cfg.PeerAddrs(),
 		Logf:   logf,
+		Warnf:  log.Printf, // overflow warnings are wanted even without -v
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	node, err := core.StartLiveNode(cfg, nodeID, tr)
 	if err != nil {
+		tr.Close()
 		log.Fatal(err)
 	}
 	var desc string
@@ -74,7 +88,11 @@ func main() {
 	} else {
 		desc = fmt.Sprintf("reference replica %d", place.Index)
 	}
-	log.Printf("ahlnode %d: %s, listening on %s", *id, desc, tr.Addr())
+	durable := "memory-only"
+	if dir := cfg.NodeDataDir(nodeID); dir != "" {
+		durable = "data " + dir
+	}
+	log.Printf("ahlnode %d: %s, listening on %s, %s", *id, desc, tr.Addr(), durable)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -88,13 +106,25 @@ func main() {
 		select {
 		case <-status:
 			st := tr.Stats()
-			log.Printf("ahlnode %d: executed=%d sent=%d recv=%d dropped=%d redials=%d",
-				*id, node.Executed(), st.SentFrames, st.RecvFrames, st.Dropped, st.Redials)
+			log.Printf("ahlnode %d: executed=%d sent=%d recv=%d dropped=%d overflows=%d redials=%d reconnects=%d",
+				*id, node.Executed(), st.SentFrames, st.RecvFrames, st.Dropped,
+				st.QueueOverflows, st.Redials, st.Reconnects)
+		case err := <-node.Fatal():
+			// The replica stopped executing the moment its journal failed;
+			// exit non-zero so a supervisor restarts the process into the
+			// recovery path.
+			log.Printf("ahlnode %d: fatal storage error: %v", *id, err)
+			tr.Close()
+			os.Exit(1)
 		case s := <-sig:
 			log.Printf("ahlnode %d: %v, shutting down", *id, s)
-			node.Stop()
+			exit := 0
+			if err := node.Stop(); err != nil {
+				log.Printf("ahlnode %d: %v", *id, err)
+				exit = 1
+			}
 			tr.Close()
-			return
+			os.Exit(exit)
 		}
 	}
 }

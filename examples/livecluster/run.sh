@@ -4,17 +4,28 @@
 # topology.json as 12 real processes on loopback, drives a SmallBank
 # workload through ahlctl, and tears everything down.
 #
-#   ./examples/livecluster/run.sh [extra ahlctl flags]
+#   ./examples/livecluster/run.sh [--wipe] [extra ahlctl flags]
 #
-# Run from the repository root.
+# Each replica keeps a write-ahead log and snapshots under
+# $AHL_DATA/node-<id>/ (default examples/livecluster/data), so a rerun
+# recovers the previous run's ledger state; pass --wipe to start from a
+# clean slate instead. Run from the repository root.
 set -e
 
 TOPO="examples/livecluster/topology.json"
+DATA="${AHL_DATA:-examples/livecluster/data}"
 BIN="$(mktemp -d)"
 PIDS=""
 # POSIX sh: $(jobs -p) is empty inside a command substitution, so track
 # the replica PIDs explicitly for the cleanup trap.
 trap 'kill $PIDS 2>/dev/null; rm -rf "$BIN"' EXIT INT TERM
+
+if [ "$1" = "--wipe" ]; then
+  shift
+  echo "== wiping $DATA"
+  rm -rf "$DATA"
+fi
+mkdir -p "$DATA"
 
 echo "== building ahlnode + ahlctl"
 go build -o "$BIN/ahlnode" ./cmd/ahlnode
@@ -22,7 +33,7 @@ go build -o "$BIN/ahlctl" ./cmd/ahlctl
 
 echo "== starting 12 replicas (2 shards x 4 + reference committee of 4)"
 for id in 0 1 2 3 4 5 6 7 8 9 10 11; do
-  "$BIN/ahlnode" -topo "$TOPO" -id "$id" -status 0 2>"$BIN/node$id.log" &
+  "$BIN/ahlnode" -topo "$TOPO" -id "$id" -data "$DATA" -status 0 2>"$BIN/node$id.log" &
   PIDS="$PIDS $!"
 done
 sleep 1
@@ -30,4 +41,4 @@ sleep 1
 echo "== driving workload"
 "$BIN/ahlctl" -topo "$TOPO" -accounts 32 -txs 200 -cross 0.3 "$@"
 
-echo "== done; stopping cluster"
+echo "== done; stopping cluster (state kept in $DATA; rerun with --wipe for a clean slate)"

@@ -7,6 +7,7 @@ import (
 	"repro/internal/chaincode"
 	"repro/internal/consensus"
 	"repro/internal/simnet"
+	"repro/internal/storage"
 	"repro/internal/tee"
 	"repro/internal/tee/aaom"
 )
@@ -26,6 +27,11 @@ type CommitteeSpec struct {
 	Tune func(*Options)
 	// Costs is the TEE cost model (DefaultCosts when zero-value).
 	Costs tee.CostModel
+	// Durable is the storage backend handed to the replica (nil = memory-
+	// only). Meaningful only for the single-replica BuildReplica path a
+	// live process uses: one backend belongs to one replica, so committee-
+	// wide Build calls must leave it nil.
+	Durable storage.Backend
 }
 
 // BuiltCommittee is the wired result: replicas in committee order.
@@ -111,6 +117,7 @@ func buildReplica(net *simnet.Network, scheme blockcrypto.Scheme, spec Committee
 		Platform: platform,
 		AAOM:     mem,
 		Registry: registry,
+		Durable:  spec.Durable,
 	})
 	return r, platform
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/chaincode"
 	"repro/internal/consensus"
 	"repro/internal/simnet"
+	"repro/internal/storage"
 	"repro/internal/tee"
 	"repro/internal/tee/aaom"
 	"repro/internal/tee/aggregator"
@@ -334,6 +335,11 @@ type Deps struct {
 	AAOM     *aaom.Memory
 	Registry *chaincode.Registry
 	Store    *chain.Store
+	// Durable, when non-nil, makes the replica write decided batches and
+	// stable-checkpoint snapshots through it (see durable.go). Live nodes
+	// pass their storage backend; the simulator leaves it nil, keeping the
+	// deterministic path byte-identical.
+	Durable storage.Backend
 }
 
 func executionResultsDigest(results []chaincode.Result) blockcrypto.Digest {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/storage"
 	"repro/internal/tee/aggregator"
 	"repro/internal/wire"
 )
@@ -146,6 +147,11 @@ type Replica struct {
 	executedCount int
 	vcCount       int
 
+	// Durability hooks (see durable.go); all nil/no-op in the simulator.
+	durable        storage.Backend
+	durableExtra   func() []byte
+	onStorageFatal func(error)
+
 	// intake throttling (token bucket), see Options.IntakeCap.
 	intakeTokens float64
 	intakeLast   sim.Time
@@ -181,6 +187,7 @@ func New(opts Options, deps Deps) *Replica {
 		replayVotes:   make(map[uint64]map[blockcrypto.Digest]map[int]bool),
 		replayBlocks:  make(map[blockcrypto.Digest]*chain.Block),
 		intakeTokens:  opts.IntakeCap, // start with a full bucket
+		durable:       deps.Durable,
 	}
 	r.engine = deps.Platform.Engine()
 	if r.store == nil {
@@ -1044,6 +1051,9 @@ func (r *Replica) tryExecute() {
 	if e == nil || !e.committed || e.executed || e.block == nil {
 		return
 	}
+	if !r.appendDecided(e) {
+		return // durability failure: do not execute what the WAL lost
+	}
 	r.executing = true
 	r.execEntry = e
 	cost := time.Duration(len(e.block.Txs)) * r.opts.ExecPerTx
@@ -1176,6 +1186,7 @@ func (r *Replica) advanceStable(seq uint64, digest blockcrypto.Digest, ck map[in
 		// order must not depend on map iteration.
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		r.stableExecIDs = ids
+		r.persistDurableSnapshot()
 	}
 	// Sorted holders: maybeRequestSync asks the first two, so map-order
 	// iteration here would pick run-dependent donors and break the

@@ -157,6 +157,10 @@ func (r *Replica) installSnapshot(seq uint64, snap chain.Snapshot, cert []*check
 	r.stableSnapSeq = seq
 	r.stableCert = cert
 	r.stableExecIDs = execIDs
+	// A peer-supplied snapshot is as final as a local stable checkpoint:
+	// make it the durable recovery root too, so a crash right after
+	// catch-up does not rewind to the pre-sync state.
+	r.persistDurableSnapshot()
 	r.suspected = false
 	r.inViewChange = false
 	r.maybeFinishEnclaveRecovery()

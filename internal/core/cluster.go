@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/consensus/pbft"
 	"repro/internal/simnet"
+	"repro/internal/storage"
 	"repro/internal/tee"
 	"repro/internal/txn"
 )
@@ -67,6 +69,21 @@ type ClusterConfig struct {
 	// (Table 2) to each node's virtual CPU, as the simulator does. Live
 	// deployments default to free costs: the real process pays real CPU.
 	Table2Costs bool `json:"table2_costs,omitempty"`
+
+	// DataDir roots each replica's durable state (WAL + snapshots) at
+	// <DataDir>/node-<id>/; empty runs memory-only, with recovery relying
+	// entirely on peer state sync. Per-process overrides (ahlnode -data)
+	// replace this path before StartLiveNode.
+	DataDir string `json:"data_dir,omitempty"`
+	// Fsync selects the WAL durability/latency trade-off: "always" (fsync
+	// every append; the default), "interval" (fsync at most every
+	// FsyncIntervalMs), or "off" (fsync only at snapshots and shutdown).
+	Fsync string `json:"fsync,omitempty"`
+	// FsyncIntervalMs is the "interval" mode's fsync period (default 50).
+	FsyncIntervalMs int `json:"fsync_interval_ms,omitempty"`
+	// WALSegmentKB overrides the WAL segment roll size in KiB (default
+	// 4096).
+	WALSegmentKB int `json:"wal_segment_kb,omitempty"`
 }
 
 // LoadClusterConfig reads and validates a topology file.
@@ -130,7 +147,33 @@ func (c *ClusterConfig) Validate() error {
 			return err
 		}
 	}
+	if _, err := c.fsyncMode(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// fsyncMode parses the Fsync field.
+func (c *ClusterConfig) fsyncMode() (storage.FsyncMode, error) {
+	switch c.Fsync {
+	case "", "always":
+		return storage.FsyncAlways, nil
+	case "interval":
+		return storage.FsyncInterval, nil
+	case "off":
+		return storage.FsyncOff, nil
+	default:
+		return "", fmt.Errorf("cluster: unknown fsync mode %q (want always|interval|off)", c.Fsync)
+	}
+}
+
+// NodeDataDir returns node id's durable-state directory, or "" when the
+// deployment runs memory-only.
+func (c *ClusterConfig) NodeDataDir(id simnet.NodeID) string {
+	if c.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(c.DataDir, fmt.Sprintf("node-%d", id))
 }
 
 // PBFTVariant parses the Variant field.

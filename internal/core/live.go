@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/consensus/pbft"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/txn"
 )
@@ -192,7 +194,85 @@ type LiveNode struct {
 	// Manager is non-nil when the topology has a reference committee.
 	Manager *txn.Manager
 
-	loop *liveLoop
+	loop    *liveLoop
+	backend storage.Backend
+	fatal   chan error
+}
+
+// openBackend opens node id's durable storage per the cluster config
+// (nil backend when the deployment runs memory-only).
+func openBackend(c *ClusterConfig, id simnet.NodeID) (storage.Backend, error) {
+	dir := c.NodeDataDir(id)
+	if dir == "" {
+		return nil, nil
+	}
+	mode, err := c.fsyncMode()
+	if err != nil {
+		return nil, err
+	}
+	opts := storage.DiskOptions{Fsync: mode, Logf: log.Printf}
+	if c.FsyncIntervalMs > 0 {
+		opts.Interval = time.Duration(c.FsyncIntervalMs) * time.Millisecond
+	}
+	if c.WALSegmentKB > 0 {
+		opts.SegmentBytes = int64(c.WALSegmentKB) << 10
+	}
+	return storage.OpenDisk(dir, opts)
+}
+
+// recover replays the node's durable state into a freshly built stack:
+// newest valid snapshot first (replica state + the manager's 2PC stage
+// blob), then the WAL tail in order — block records through the replica,
+// stage records through the manager — and finally the managers' recovery
+// completion. Runs before the event loop starts; the sends it triggers
+// (votes, prepares) queue in the engine and go out once the loop runs.
+func (n *LiveNode) recover() error {
+	snap, tail, err := n.backend.Recover()
+	if err != nil {
+		return fmt.Errorf("live: node %d: recover: %w", n.ID, err)
+	}
+	if snap != nil {
+		stage, err := n.Replica.RestoreDurableSnapshot(snap)
+		if err != nil {
+			return fmt.Errorf("live: node %d: restore snapshot seq %d: %w", n.ID, snap.Seq, err)
+		}
+		if n.Manager != nil {
+			if err := n.Manager.ApplyStageBlob(stage); err != nil {
+				return fmt.Errorf("live: node %d: stage blob: %w", n.ID, err)
+			}
+		}
+	}
+	var blocks, stages int
+	for _, rec := range tail {
+		switch rec.Kind {
+		case storage.KindBlock:
+			if err := n.Replica.ReplayDecided(rec.Seq, rec.Block); err != nil {
+				return fmt.Errorf("live: node %d: %w", n.ID, err)
+			}
+			blocks++
+		case storage.KindStage:
+			if n.Manager == nil {
+				continue
+			}
+			if err := n.Manager.ApplyStage(rec.Stage); err != nil {
+				return fmt.Errorf("live: node %d: %w", n.ID, err)
+			}
+			stages++
+		}
+	}
+	if n.Manager != nil {
+		n.Manager.FinishRecovery()
+	}
+	var snapSeq uint64
+	if snap != nil {
+		snapSeq = snap.Seq
+	}
+	log.Printf("live: node %d: recovered snapshot seq %d, WAL tail %d blocks + %d stage records",
+		n.ID, snapSeq, blocks, stages)
+	// Whatever the committee decided while this process was down comes
+	// through the normal state-sync/replay protocol once traffic flows.
+	n.Replica.ResyncWithPeers()
+	return nil
 }
 
 // StartLiveNode assembles and starts the replica for node id of the
@@ -207,6 +287,10 @@ func StartLiveNode(c *ClusterConfig, id simnet.NodeID, tr transport.Transport) (
 	}
 	cfg := c.liveConfig()
 	topo := c.Topology()
+	backend, err := openBackend(c, id)
+	if err != nil {
+		return nil, err
+	}
 	_, net, loop := buildLiveStack(c, id, tr)
 
 	// Deployment-wide key material: the committee this replica verifies
@@ -231,18 +315,45 @@ func StartLiveNode(c *ClusterConfig, id simnet.NodeID, tr transport.Transport) (
 		}
 	}
 
+	spec.Durable = backend
 	replica, _ := pbft.BuildReplica(net, scheme, spec, place.Index, signer, teeSeedFor(c.Seed, id))
-	n := &LiveNode{ID: id, Place: place, Replica: replica, loop: loop}
+	n := &LiveNode{ID: id, Place: place, Replica: replica, loop: loop,
+		backend: backend, fatal: make(chan error, 1)}
+	replica.OnStorageFatal(n.noteFatal)
 	if len(c.Reference) > 0 {
 		if place.Role == RoleShardReplica {
 			n.Manager = txn.NewManager(txn.RoleShard, place.Shard, topo, replica)
 		} else {
 			n.Manager = txn.NewManager(txn.RoleReference, 0, topo, replica)
 		}
+		if backend != nil {
+			n.Manager.EnableDurability(backend)
+		}
+	}
+	if backend != nil {
+		if err := n.recover(); err != nil {
+			backend.Close()
+			return nil, err
+		}
 	}
 	loop.start()
 	return n, nil
 }
+
+// noteFatal records a durability failure and wakes Fatal() watchers. It
+// runs on the engine goroutine, so it must not call Stop (which waits for
+// that goroutine); the process supervisor reacts instead.
+func (n *LiveNode) noteFatal(err error) {
+	select {
+	case n.fatal <- err:
+	default:
+	}
+}
+
+// Fatal delivers unrecoverable storage errors: the replica has stopped
+// executing (it will not run what the WAL cannot hold) and the process
+// should exit non-zero.
+func (n *LiveNode) Fatal() <-chan error { return n.fatal }
 
 // Do runs fn on the node's engine goroutine (see liveLoop.Do).
 func (n *LiveNode) Do(fn func()) bool { return n.loop.Do(fn) }
@@ -257,9 +368,35 @@ func (n *LiveNode) Executed() int {
 // DroppedInbound reports frames shed by a full inbox.
 func (n *LiveNode) DroppedInbound() uint64 { return n.loop.droppedIn.Load() }
 
-// Stop halts the node's event loop. The transport is the caller's to
-// close (several in-process nodes may share one).
-func (n *LiveNode) Stop() { n.loop.Stop() }
+// Stop halts the node's event loop and cleanly flushes and closes its
+// storage backend. The transport is the caller's to close (several
+// in-process nodes may share one).
+func (n *LiveNode) Stop() error {
+	n.loop.Stop()
+	if n.backend == nil {
+		return nil
+	}
+	if err := n.backend.Sync(); err != nil {
+		n.backend.Close()
+		return fmt.Errorf("live: node %d: flush storage: %w", n.ID, err)
+	}
+	if err := n.backend.Close(); err != nil {
+		return fmt.Errorf("live: node %d: close storage: %w", n.ID, err)
+	}
+	return nil
+}
+
+// Kill halts the node like a crash: the event loop stops but the backend
+// is abandoned without a final flush, leaving on disk exactly what the
+// configured fsync policy already made durable. In-process restart tests
+// use it; a real kill -9 is the stronger version the CI smoke script
+// applies.
+func (n *LiveNode) Kill() {
+	n.loop.Stop()
+	if d, ok := n.backend.(*storage.Disk); ok {
+		d.Abandon()
+	}
+}
 
 // LiveClient is a client gateway running against a live cluster: the
 // ahlctl process body. Completion callbacks run on the client's engine

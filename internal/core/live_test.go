@@ -18,15 +18,18 @@ import (
 // loopback TCP — the CI-friendly equivalent of one ahlnode process per
 // replica plus an ahlctl client.
 type liveCluster struct {
+	t      *testing.T
 	cfg    *core.ClusterConfig
 	nodes  map[simnet.NodeID]*core.LiveNode
+	trs    map[simnet.NodeID]*transport.TCP
 	client *core.LiveClient
 }
 
 // startLiveCluster raises shards×per replicas, a reference committee of
 // ref nodes, and one client, all over 127.0.0.1 TCP with OS-assigned
-// ports.
-func startLiveCluster(t *testing.T, shards, per, ref int) *liveCluster {
+// ports. Optional tweaks adjust the config (e.g. a data_dir) before the
+// nodes start.
+func startLiveCluster(t *testing.T, shards, per, ref int, tweaks ...func(*core.ClusterConfig)) *liveCluster {
 	t.Helper()
 	cfg := &core.ClusterConfig{
 		Seed:           7,
@@ -57,42 +60,241 @@ func startLiveCluster(t *testing.T, shards, per, ref int) *liveCluster {
 	}
 	clientAddr := addNode()
 	cfg.Clients = []core.NodeAddr{clientAddr}
+	for _, tweak := range tweaks {
+		tweak(cfg)
+	}
 	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
 	}
 
 	peers := cfg.PeerAddrs()
-	cl := &liveCluster{cfg: cfg, nodes: make(map[simnet.NodeID]*core.LiveNode)}
-	newTransport := func(id simnet.NodeID) *transport.TCP {
+	cl := &liveCluster{
+		t:     t,
+		cfg:   cfg,
+		nodes: make(map[simnet.NodeID]*core.LiveNode),
+		trs:   make(map[simnet.NodeID]*transport.TCP),
+	}
+	newTransport := func(id simnet.NodeID, ln net.Listener) *transport.TCP {
 		tr, err := transport.NewTCP(transport.TCPConfig{
-			Listener:    listeners[id],
+			Listener:    ln,
 			Peers:       peers,
 			BackoffBase: 50 * time.Millisecond,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(func() { tr.Close() })
 		return tr
 	}
 	for id := range peers {
 		if id == simnet.NodeID(clientAddr.ID) {
 			continue
 		}
-		n, err := core.StartLiveNode(cfg, id, newTransport(id))
+		tr := newTransport(id, listeners[id])
+		n, err := core.StartLiveNode(cfg, id, tr)
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(n.Stop)
 		cl.nodes[id] = n
+		cl.trs[id] = tr
 	}
-	c, err := core.StartLiveClient(cfg, simnet.NodeID(clientAddr.ID), newTransport(simnet.NodeID(clientAddr.ID)))
+	clientTr := newTransport(simnet.NodeID(clientAddr.ID), listeners[simnet.NodeID(clientAddr.ID)])
+	c, err := core.StartLiveClient(cfg, simnet.NodeID(clientAddr.ID), clientTr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(c.Stop)
+	t.Cleanup(func() {
+		c.Stop()
+		clientTr.Close()
+		for _, n := range cl.nodes {
+			n.Stop()
+		}
+		for _, tr := range cl.trs {
+			tr.Close()
+		}
+	})
 	cl.client = c
 	return cl
+}
+
+// kill crash-stops a replica the way kill -9 does: storage file handles
+// dropped without a final flush, TCP connections severed, no goodbye to
+// peers.
+func (cl *liveCluster) kill(id simnet.NodeID) {
+	cl.t.Helper()
+	n, ok := cl.nodes[id]
+	if !ok {
+		cl.t.Fatalf("kill: node %d not running", id)
+	}
+	n.Kill()
+	cl.trs[id].Close()
+	delete(cl.nodes, id)
+	delete(cl.trs, id)
+}
+
+// restart brings a killed replica back on its original topology address,
+// running the full boot-recovery path (snapshot + WAL replay + peer
+// statesync).
+func (cl *liveCluster) restart(id simnet.NodeID) *core.LiveNode {
+	cl.t.Helper()
+	if _, ok := cl.nodes[id]; ok {
+		cl.t.Fatalf("restart: node %d still running", id)
+	}
+	addr := cl.cfg.PeerAddrs()[id]
+	// The old listener was just closed; rebinding is immediate (Go
+	// listeners set SO_REUSEADDR) but give the kernel a moment anyway.
+	var ln net.Listener
+	var err error
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cl.t.Fatalf("restart: rebind %s: %v", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	tr, err := transport.NewTCP(transport.TCPConfig{
+		Listener:    ln,
+		Peers:       cl.cfg.PeerAddrs(),
+		BackoffBase: 50 * time.Millisecond,
+	})
+	if err != nil {
+		cl.t.Fatal(err)
+	}
+	n, err := core.StartLiveNode(cl.cfg, id, tr)
+	if err != nil {
+		tr.Close()
+		cl.t.Fatalf("restart: node %d: %v", id, err)
+	}
+	cl.nodes[id] = n
+	cl.trs[id] = tr
+	return n
+}
+
+// settled checks that every running shard replica holds exactly the
+// expected balances with no 2PL locks and no staged writes — the
+// balance-conservation invariant. Returns the first violation, nil once
+// the cluster has fully drained.
+func (cl *liveCluster) settled(expected map[string]int64) error {
+	shards := len(cl.cfg.Shards)
+	for id, n := range cl.nodes {
+		if n.Place.Role != core.RoleShardReplica {
+			continue
+		}
+		shard := n.Place.Shard
+		var errOut error
+		ok := n.Do(func() {
+			store := n.Replica.Store()
+			if locks := store.KeysWithPrefix("L_"); len(locks) > 0 {
+				errOut = fmt.Errorf("node %d: %d locks held: %v", id, len(locks), locks)
+				return
+			}
+			if staged := store.KeysWithPrefix("S_"); len(staged) > 0 {
+				errOut = fmt.Errorf("node %d: %d staged writes: %v", id, len(staged), staged)
+				return
+			}
+			var total, wantTotal int64
+			for acc, want := range expected {
+				if core.ShardOfKey(acc, shards) != shard {
+					continue
+				}
+				raw, found := store.Get("c_" + acc)
+				if !found {
+					errOut = fmt.Errorf("node %d: account %s missing", id, acc)
+					return
+				}
+				got, err := strconv.ParseInt(string(raw), 10, 64)
+				if err != nil {
+					errOut = fmt.Errorf("node %d: account %s: %v", id, acc, err)
+					return
+				}
+				if got != want {
+					errOut = fmt.Errorf("node %d: account %s = %d, want %d", id, acc, got, want)
+					return
+				}
+				total += got
+				wantTotal += want
+			}
+			if total != wantTotal {
+				errOut = fmt.Errorf("node %d shard %d: total %d, want %d", id, shard, total, wantTotal)
+			}
+		})
+		if !ok {
+			return fmt.Errorf("node %d stopped", id)
+		}
+		if errOut != nil {
+			return errOut
+		}
+	}
+	return nil
+}
+
+// waitSettled polls settled until it passes or the deadline expires.
+func (cl *liveCluster) waitSettled(expected map[string]int64, timeout time.Duration) {
+	cl.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		err := cl.settled(expected)
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			cl.t.Fatalf("cluster never settled: %v", err)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+// seedAccounts creates each account with the given starting balance via
+// single-shard transactions, acknowledged by f+1 replies.
+func (cl *liveCluster) seedAccounts(accs []string, balance int64) {
+	cl.t.Helper()
+	done := make(chan txn.Result, len(accs))
+	for _, acc := range accs {
+		tx := chain.Tx{
+			ID:        cl.client.NextTxID(),
+			Chaincode: "smallbank-sharded",
+			Fn:        "create",
+			Args:      []string{acc, strconv.FormatInt(balance, 10), "0"},
+		}
+		if err := cl.client.SubmitSingle(cl.client.ShardOf(acc), tx, func(r txn.Result) { done <- r }); err != nil {
+			cl.t.Fatal(err)
+		}
+	}
+	for range accs {
+		select {
+		case r := <-done:
+			if !r.Committed {
+				cl.t.Fatalf("seed tx %s failed", r.TxID)
+			}
+		case <-time.After(60 * time.Second):
+			cl.t.Fatal("seeding timed out")
+		}
+	}
+}
+
+// runTransfers submits the cross-shard transfers concurrently and waits
+// for every one to commit.
+func (cl *liveCluster) runTransfers(dtxs []txn.DTx, timeout time.Duration) {
+	cl.t.Helper()
+	done := make(chan txn.Result, len(dtxs))
+	for _, d := range dtxs {
+		if err := cl.client.SubmitDistributed(d, func(r txn.Result) { done <- r }); err != nil {
+			cl.t.Fatal(err)
+		}
+	}
+	for range dtxs {
+		select {
+		case r := <-done:
+			if !r.Committed {
+				cl.t.Fatalf("cross-shard transfer %s aborted", r.TxID)
+			}
+		case <-time.After(timeout):
+			cl.t.Fatal("cross-shard transfers timed out")
+		}
+	}
 }
 
 // accountsOnShard returns n distinct account names owned by shard.
@@ -124,7 +326,6 @@ func TestLiveLoopbackClusterSmallBank(t *testing.T) {
 		initialBalance   = int64(1000)
 	)
 	cl := startLiveCluster(t, shards, per, ref)
-	client := cl.client
 
 	taken := make(map[string]bool)
 	accs0 := accountsOnShard(shards, 0, perShardAccs, taken)
@@ -132,28 +333,7 @@ func TestLiveLoopbackClusterSmallBank(t *testing.T) {
 	all := append(append([]string(nil), accs0...), accs1...)
 
 	// Seed: single-shard create transactions, acknowledged by f+1 replies.
-	seedDone := make(chan txn.Result, len(all))
-	for _, acc := range all {
-		tx := chain.Tx{
-			ID:        client.NextTxID(),
-			Chaincode: "smallbank-sharded",
-			Fn:        "create",
-			Args:      []string{acc, strconv.FormatInt(initialBalance, 10), "0"},
-		}
-		if err := client.SubmitSingle(client.ShardOf(acc), tx, func(r txn.Result) { seedDone <- r }); err != nil {
-			t.Fatal(err)
-		}
-	}
-	for range all {
-		select {
-		case r := <-seedDone:
-			if !r.Committed {
-				t.Fatalf("seed tx %s failed", r.TxID)
-			}
-		case <-time.After(60 * time.Second):
-			t.Fatal("seeding timed out")
-		}
-	}
+	cl.seedAccounts(all, initialBalance)
 
 	// Cross-shard transfers between disjoint account pairs (no lock
 	// contention, so every one must commit), two waves to reuse accounts.
@@ -179,22 +359,7 @@ func TestLiveLoopbackClusterSmallBank(t *testing.T) {
 				dtxs = append(dtxs, transfer(accs1[i], accs0[i], int64(20+i)))
 			}
 		}
-		done := make(chan txn.Result, len(dtxs))
-		for _, d := range dtxs {
-			if err := client.SubmitDistributed(d, func(r txn.Result) { done <- r }); err != nil {
-				t.Fatal(err)
-			}
-		}
-		for range dtxs {
-			select {
-			case r := <-done:
-				if !r.Committed {
-					t.Fatalf("cross-shard transfer %s aborted", r.TxID)
-				}
-			case <-time.After(120 * time.Second):
-				t.Fatal("cross-shard transfers timed out")
-			}
-		}
+		cl.runTransfers(dtxs, 120*time.Second)
 	}
 
 	// Global conservation first: transfers only move money, so the
@@ -211,69 +376,7 @@ func TestLiveLoopbackClusterSmallBank(t *testing.T) {
 	// every shard must hold the exact expected balances, no 2PL locks and
 	// no staged writes. Replicas lag the client-visible outcome (the
 	// decide still has to execute), so poll with a deadline.
-	assertSettled := func() error {
-		for id, n := range cl.nodes {
-			if n.Place.Role != core.RoleShardReplica {
-				continue
-			}
-			shard := n.Place.Shard
-			var errOut error
-			ok := n.Do(func() {
-				store := n.Replica.Store()
-				if locks := store.KeysWithPrefix("L_"); len(locks) > 0 {
-					errOut = fmt.Errorf("node %d: %d locks held: %v", id, len(locks), locks)
-					return
-				}
-				if staged := store.KeysWithPrefix("S_"); len(staged) > 0 {
-					errOut = fmt.Errorf("node %d: %d staged writes: %v", id, len(staged), staged)
-					return
-				}
-				var total, wantTotal int64
-				for acc, want := range expected {
-					if core.ShardOfKey(acc, shards) != shard {
-						continue
-					}
-					raw, found := store.Get("c_" + acc)
-					if !found {
-						errOut = fmt.Errorf("node %d: account %s missing", id, acc)
-						return
-					}
-					got, err := strconv.ParseInt(string(raw), 10, 64)
-					if err != nil {
-						errOut = fmt.Errorf("node %d: account %s: %v", id, acc, err)
-						return
-					}
-					if got != want {
-						errOut = fmt.Errorf("node %d: account %s = %d, want %d", id, acc, got, want)
-						return
-					}
-					total += got
-					wantTotal += want
-				}
-				if total != wantTotal {
-					errOut = fmt.Errorf("node %d shard %d: total %d, want %d", id, shard, total, wantTotal)
-				}
-			})
-			if !ok {
-				return fmt.Errorf("node %d stopped", id)
-			}
-			if errOut != nil {
-				return errOut
-			}
-		}
-		return nil
-	}
-	deadline := time.Now().Add(90 * time.Second)
-	for {
-		err := assertSettled()
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("cluster never settled: %v", err)
-		}
-		time.Sleep(250 * time.Millisecond)
-	}
+	cl.waitSettled(expected, 90*time.Second)
 }
 
 func TestClusterConfigValidate(t *testing.T) {

@@ -48,6 +48,10 @@ type TCPConfig struct {
 	FlushTimeout time.Duration
 	// Logf, when set, receives connection lifecycle diagnostics.
 	Logf func(format string, args ...any)
+	// Warnf, when set, receives rate-limited operational warnings (e.g.
+	// per-peer queue overflow) that a deployment wants even when verbose
+	// Logf diagnostics are off. Defaults to Logf.
+	Warnf func(format string, args ...any)
 }
 
 func (c *TCPConfig) withDefaults() {
@@ -77,17 +81,24 @@ type TCPStats struct {
 	// Dropped counts frames lost locally: full queues, write failures,
 	// frames for unregistered local ids, and frames discarded at close.
 	Dropped uint64
+	// QueueOverflows counts the subset of Dropped shed because a peer's
+	// outbound queue was full — the signal that a peer is down or slow.
+	QueueOverflows uint64
 	// Redials counts reconnection attempts after a broken connection.
 	Redials uint64
+	// Reconnects counts connections successfully re-established after a
+	// break or dial failure (Redials counts the attempts).
+	Reconnects uint64
 }
 
 // TCP is the socket-backed Transport: internal/wire frames, length
 // prefixes, one lazily-dialed connection and outbound queue per peer
 // address, exponential redial backoff, and graceful shutdown.
 type TCP struct {
-	cfg  TCPConfig
-	ln   net.Listener
-	logf func(string, ...any)
+	cfg   TCPConfig
+	ln    net.Listener
+	logf  func(string, ...any)
+	warnf func(string, ...any)
 
 	mu       sync.RWMutex
 	handlers map[simnet.NodeID]Handler
@@ -103,13 +114,27 @@ type TCP struct {
 	recvFrames atomic.Uint64
 	recvBytes  atomic.Uint64
 	dropped    atomic.Uint64
+	overflows  atomic.Uint64
 	redials    atomic.Uint64
+	reconnects atomic.Uint64
 }
 
 type tcpPeer struct {
 	addr string
 	ch   chan []byte
+
+	// overflow warning state: total sheds and the last warning time, so a
+	// persistently-full queue logs one line per overflowWarnEvery instead
+	// of one per frame.
+	overflows atomic.Uint64
+	lastWarn  atomic.Int64 // unix nanoseconds
+	// hadConn marks that the write loop once held a live connection, which
+	// turns the next successful dial into a reconnect (writeLoop only).
+	hadConn bool
 }
+
+// overflowWarnEvery rate-limits per-peer queue-overflow warnings.
+const overflowWarnEvery = 5 * time.Second
 
 // NewTCP starts a TCP transport. If cfg names a listen address (or
 // supplies a listener) the accept loop starts immediately; outbound
@@ -120,6 +145,7 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 		cfg:      cfg,
 		ln:       cfg.Listener,
 		logf:     cfg.Logf,
+		warnf:    cfg.Warnf,
 		handlers: make(map[simnet.NodeID]Handler),
 		peers:    make(map[string]*tcpPeer),
 		conns:    make(map[net.Conn]bool),
@@ -127,6 +153,9 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 	}
 	if t.logf == nil {
 		t.logf = func(string, ...any) {}
+	}
+	if t.warnf == nil {
+		t.warnf = t.logf
 	}
 	if t.ln == nil && cfg.Listen != "" {
 		ln, err := net.Listen("tcp", cfg.Listen)
@@ -154,12 +183,14 @@ func (t *TCP) Addr() string {
 // Stats returns a snapshot of the traffic counters.
 func (t *TCP) Stats() TCPStats {
 	return TCPStats{
-		SentFrames: t.sentFrames.Load(),
-		SentBytes:  t.sentBytes.Load(),
-		RecvFrames: t.recvFrames.Load(),
-		RecvBytes:  t.recvBytes.Load(),
-		Dropped:    t.dropped.Load(),
-		Redials:    t.redials.Load(),
+		SentFrames:     t.sentFrames.Load(),
+		SentBytes:      t.sentBytes.Load(),
+		RecvFrames:     t.recvFrames.Load(),
+		RecvBytes:      t.recvBytes.Load(),
+		Dropped:        t.dropped.Load(),
+		QueueOverflows: t.overflows.Load(),
+		Redials:        t.redials.Load(),
+		Reconnects:     t.reconnects.Load(),
 	}
 }
 
@@ -206,9 +237,23 @@ func (t *TCP) Send(m simnet.Message) error {
 	select {
 	case p.ch <- frame:
 	default:
-		t.dropped.Add(1) // full queue: shed, the protocol retransmits
+		t.noteOverflow(p) // full queue: shed, the protocol retransmits
 	}
 	return nil
+}
+
+// noteOverflow accounts one frame shed at a full per-peer queue and warns
+// at most once per overflowWarnEvery per peer — enough to see a dead or
+// slow peer in the logs without one line per dropped frame.
+func (t *TCP) noteOverflow(p *tcpPeer) {
+	t.dropped.Add(1)
+	t.overflows.Add(1)
+	n := p.overflows.Add(1)
+	now := time.Now().UnixNano()
+	last := p.lastWarn.Load()
+	if now-last >= int64(overflowWarnEvery) && p.lastWarn.CompareAndSwap(last, now) {
+		t.warnf("transport: outbound queue to %s full, %d frames dropped so far", p.addr, n)
+	}
 }
 
 func (t *TCP) peer(addr string) (*tcpPeer, bool) {
@@ -258,6 +303,10 @@ func (t *TCP) writeFrame(p *tcpPeer, conn net.Conn, frame []byte) net.Conn {
 			t.dropped.Add(1)
 			return nil
 		}
+		if p.hadConn {
+			t.reconnects.Add(1)
+		}
+		p.hadConn = true
 	}
 	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 	if _, err := conn.Write(frame); err != nil {

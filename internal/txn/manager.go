@@ -9,6 +9,7 @@ import (
 	"repro/internal/consensus/pbft"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/storage"
 	"repro/internal/wire"
 )
 
@@ -155,6 +156,10 @@ type Manager struct {
 	// rebroadcasts PrepareTx for entries whose next retry time has come.
 	pending map[string]*retrySched
 	retry   *retryTimer
+
+	// Durability (see durable.go); nil/empty in the simulator.
+	durable      storage.Backend
+	injectedBody map[uint64]chain.Tx // injected-step bodies for resubmission
 }
 
 // retrySched is one transaction's retransmission state under bounded
@@ -335,6 +340,7 @@ func (m *Manager) handlePrepare(msg simnet.Message) {
 	if _, known := m.prepareDTx[p.TxID]; !known {
 		if d, err := DecodeDTx(p.DTx); err == nil {
 			m.prepareDTx[p.TxID] = d
+			m.stageWriteDTx(p.TxID, p.DTx)
 			// A decide quorum may have formed before we learned the DTx
 			// (possible when this replica missed the original prepares):
 			// the phase-2 injection was deferred until now.
@@ -378,6 +384,7 @@ func (m *Manager) inject(id uint64, ref kindRef, tx chain.Tx) {
 		return
 	}
 	m.injectedTx[id] = ref
+	m.stageWriteInjected(id, ref, tx)
 	if ok, executed := m.replica.ExecutedOK(id); executed {
 		m.onShardExecuted(tx, ok)
 		return
@@ -417,6 +424,7 @@ func (m *Manager) handleDecide(msg simnet.Message) {
 	}
 	if _, known := m.decided[dec.TxID]; !known {
 		m.decided[dec.TxID] = dec.Commit
+		m.stageWriteDecided(dec.TxID, dec.Commit)
 	}
 	m.maybeInjectDecide(dec.TxID)
 }
