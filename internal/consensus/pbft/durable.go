@@ -91,13 +91,20 @@ func (r *Replica) persistDurableSnapshot() {
 	sort.Slice(okIDs, func(i, j int) bool { return okIDs[i] < okIDs[j] })
 	sort.Slice(failIDs, func(i, j int) bool { return failIDs[i] < failIDs[j] })
 	snap := storage.Snapshot{
-		Seq:     r.stableSnapSeq,
-		View:    r.view,
-		State:   r.stableSnap,
-		ExecIDs: r.stableExecIDs,
-		OKIDs:   okIDs,
-		FailIDs: failIDs,
-		Cert:    encodeCert(r.stableCert),
+		Seq: r.stableSnapSeq,
+		// The capture reflects everything executed so far, which can run
+		// past the checkpoint (blocks whose transactions were all deduped
+		// or failed leave the digest unchanged, so advanceStable still
+		// matches). Recording the true execution watermark keeps boot
+		// replay's continuity check aligned with the WAL tail; recording
+		// Seq instead would make every restart fail with a phantom gap.
+		ExecutedThrough: r.executedThrough,
+		View:            r.view,
+		State:           r.stableSnap,
+		ExecIDs:         r.stableExecIDs,
+		OKIDs:           okIDs,
+		FailIDs:         failIDs,
+		Cert:            encodeCert(r.stableCert),
 	}
 	if r.durableExtra != nil {
 		snap.Stage = r.durableExtra()
@@ -105,6 +112,20 @@ func (r *Replica) persistDurableSnapshot() {
 	if err := r.durable.SaveSnapshot(snap); err != nil {
 		r.storageFatal(fmt.Errorf("pbft: snapshot at seq %d: %w", snap.Seq, err))
 		return
+	}
+	// The WAL may already hold the block being executed right now:
+	// appendDecided runs before execution starts, so that record sits
+	// below the replay floor SaveSnapshot just established, yet its
+	// effects are not in the snapshot (executedThrough has not advanced).
+	// Re-append it above the floor or the tail would resume one block
+	// late and boot recovery would report a gap. A duplicate seen when
+	// replaying from an older fallback snapshot is skipped harmlessly.
+	if e := r.execEntry; r.executing && e != nil && e.seq == r.executedThrough+1 {
+		err := r.durable.Append(storage.Record{Kind: storage.KindBlock, Seq: e.seq, Block: e.block})
+		if err != nil {
+			r.storageFatal(fmt.Errorf("pbft: WAL re-append of seq %d: %w", e.seq, err))
+			return
+		}
 	}
 	if err := r.durable.TruncateBefore(snap.Seq); err != nil {
 		r.storageFatal(fmt.Errorf("pbft: WAL truncation at seq %d: %w", snap.Seq, err))
@@ -134,9 +155,16 @@ func (r *Replica) RestoreDurableSnapshot(s *storage.Snapshot) ([]byte, error) {
 	for _, id := range s.FailIDs {
 		r.executedOK[id] = false
 	}
-	r.executedThrough = s.Seq
+	// Execution resumes where the capture left off, which can be past the
+	// checkpoint itself (see persistDurableSnapshot); the checkpoint
+	// watermarks stay at Seq, the sequence the certificate covers.
+	et := s.ExecutedThrough
+	if et < s.Seq {
+		et = s.Seq
+	}
+	r.executedThrough = et
 	r.h = s.Seq
-	r.seqAssign = s.Seq
+	r.seqAssign = et
 	r.view = s.View
 	r.stableSnap = s.State
 	r.stableSnapSeq = s.Seq

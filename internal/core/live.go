@@ -1,6 +1,8 @@
 package core
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"log"
 	"math/rand"
@@ -408,6 +410,7 @@ type LiveClient struct {
 	client *txn.Client
 	loop   *liveLoop
 	nextID atomic.Uint64
+	salt   uint64 // random per-process counter start, fixed at birth
 }
 
 // StartLiveClient assembles and starts the client gateway for node id.
@@ -427,26 +430,44 @@ func StartLiveClient(c *ClusterConfig, id simnet.NodeID, tr transport.Transport)
 		client: txn.NewClient(net, id, topo),
 		loop:   loop,
 	}
-	// Client-unique id space, salted per process start: committees
-	// deduplicate on tx id forever, so a restarted client that reused its
-	// previous run's ids would see stale replies instead of fresh
-	// executions. Layout: id(16b) | start salt(24b) | counter(24b) —
-	// 16M transactions per run before the counter could carry into the
-	// salt field (topology ids are capped at 16 bits by Validate).
-	lc.nextID.Store(uint64(id)<<48 | (uint64(time.Now().UnixNano())&0xFFFFFF)<<24)
+	// Client-unique id space: id(16b) | counter(48b), with the counter
+	// started at a crypto/rand point in its space. Committees deduplicate
+	// on tx id forever, so a restarted client that reused a previous
+	// run's ids would see stale cached replies instead of fresh
+	// executions; two runs collide only if one's random start lands
+	// inside the range another consumed (~n/2^48 for an n-transaction
+	// run), rather than depending on clock granularity. (Topology ids are
+	// capped at 16 bits by Validate, so id never collides with the
+	// counter field.)
+	var seed [8]byte
+	if _, err := crand.Read(seed[:]); err != nil {
+		return nil, fmt.Errorf("live: client %d: tx id salt: %w", id, err)
+	}
+	lc.salt = binary.LittleEndian.Uint64(seed[:]) & (1<<48 - 1)
+	lc.nextID.Store(uint64(id)<<48 | lc.salt)
 	loop.start()
 	return lc, nil
 }
 
-// NextTxID returns a process-unique transaction id in this client's
-// id space.
-func (c *LiveClient) NextTxID() uint64 { return c.nextID.Add(1) }
+// NextTxID returns a process-unique transaction id in this client's id
+// space. If the counter ever carried out of its 48 bits it would alias
+// another client's space, so that is a loud failure, not a silent wrap —
+// unreachable in practice (the counter starts uniformly below 2^48, so a
+// run would need ~2^47 transactions for even coin-flip odds).
+func (c *LiveClient) NextTxID() uint64 {
+	v := c.nextID.Add(1)
+	if v>>48 != uint64(c.ID) {
+		panic(fmt.Sprintf("live: client %d exhausted its tx id space", c.ID))
+	}
+	return v
+}
 
 // RunTag returns a short per-process tag clients weave into distributed
 // transaction ids: the coordinator's terminal states are permanent, so a
-// restarted driver must never reuse a txid string either.
+// restarted driver must never reuse a txid string either. The tag is the
+// run's random counter start, so it is stable for the process lifetime.
 func (c *LiveClient) RunTag() string {
-	return fmt.Sprintf("%d.%x", c.ID, c.nextID.Load()&0xFFFFFFFF)
+	return fmt.Sprintf("%d.%x", c.ID, c.salt)
 }
 
 // SubmitDistributed submits a cross-shard transaction (Figure 5 flow).

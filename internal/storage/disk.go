@@ -29,11 +29,18 @@ import (
 // so a *.snap file is either complete or absent, and a bad CRC means
 // damage after the fact, handled by falling back to the previous file.
 //
-// Torn tails: a crash can leave a partial frame at the end of the highest
-// segment only. Recovery truncates it and replays the clean prefix. The
-// same pattern anywhere else — or a frame whose CRC passes but whose
-// payload does not decode — is reported as ErrCorrupt, never repaired
-// silently.
+// Crash damage: only the highest segment can hold unsynced bytes — roll
+// syncs a segment before creating its successor under EVERY fsync policy
+// (including FsyncOff), which is what confines crash damage to the final
+// segment. A crash mid-append tears the tail; with fsync=interval/off an
+// OS or power crash can additionally write the unsynced suffix's pages
+// back out of order, leaving a bad frame ahead of intact ones. Recovery
+// therefore truncates the final segment at the FIRST damaged frame, at
+// any offset — the dropped records were never acknowledged as durable
+// under those policies, and peers re-supply them — and fsyncs the repair.
+// The same damage in a non-final segment, or a frame whose CRC passes but
+// whose payload does not decode, cannot be a crash artifact and is
+// reported as ErrCorrupt, never repaired silently.
 
 const (
 	walSuffix    = ".wal"
@@ -58,7 +65,9 @@ const (
 	// FsyncInterval syncs at most once per interval; a crash can lose the
 	// records appended since the last sync (peers re-supply them).
 	FsyncInterval FsyncMode = "interval"
-	// FsyncOff never syncs explicitly; the OS decides. Benchmarks only.
+	// FsyncOff never syncs on append; the OS decides when data lands.
+	// Benchmarks only. Segment rolls still sync (see roll), preserving
+	// recovery's ability to tell crash damage from real corruption.
 	FsyncOff FsyncMode = "off"
 )
 
@@ -288,9 +297,13 @@ func (d *Disk) recoverWAL() error {
 }
 
 // replaySegment appends the segment's records to recTail. In the final
-// segment a structurally broken tail (short header, short payload, CRC
-// mismatch) is a torn write: the file is truncated at the last good frame.
-// Anywhere else the same damage is ErrCorrupt.
+// segment, structural damage (short header, short payload, CRC mismatch)
+// at ANY offset is a crash artifact — an interrupted append at the tail,
+// or pages of the unsynced suffix written back out of order, which can
+// leave a bad frame ahead of intact ones — so the file is truncated at
+// the first damaged frame and the records beyond it (never acknowledged
+// as durable) are dropped for peers to re-supply. Non-final segments were
+// fully synced when they rolled, so the same damage there is ErrCorrupt.
 func (d *Disk) replaySegment(seg uint64, last bool, expect *uint64) error {
 	path := d.segPath(seg)
 	data, err := os.ReadFile(path)
@@ -304,7 +317,7 @@ func (d *Disk) replaySegment(seg uint64, last bool, expect *uint64) error {
 			if last && isTorn(err) {
 				d.opts.Logf("storage: truncating torn WAL tail in %s at offset %d (%v)",
 					filepath.Base(path), off, err)
-				return os.Truncate(path, int64(off))
+				return truncateDurably(path, int64(off))
 			}
 			if isTorn(err) {
 				// Damage shaped like a torn write, but not at the log's
@@ -322,6 +335,27 @@ func (d *Disk) replaySegment(seg uint64, last bool, expect *uint64) error {
 		*expect++
 		d.recTail = append(d.recTail, rec)
 		off += n
+	}
+	return nil
+}
+
+// truncateDurably cuts the file at off and fsyncs the repair, so the
+// removed bytes cannot resurface if the machine crashes again before the
+// next WAL sync.
+func truncateDurably(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("storage: open for truncation: %w", err)
+	}
+	err = f.Truncate(off)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("storage: truncate torn WAL tail: %w", err)
 	}
 	return nil
 }
@@ -406,8 +440,12 @@ func (d *Disk) createSegment(seg uint64) error {
 	return nil
 }
 
-// roll closes the current segment (synced, so its contents outlive the
-// handle) and starts the next one.
+// roll closes the current segment and starts the next one. The sync here
+// is unconditional — even under FsyncInterval/FsyncOff — and is a load-
+// bearing recovery invariant: because no segment gains a successor until
+// its bytes are durable, unsynced data (and so crash damage) can only
+// ever live in the final segment, which is exactly where replaySegment
+// is willing to truncate instead of failing.
 func (d *Disk) roll() error {
 	if err := d.cur.Sync(); err != nil {
 		return fmt.Errorf("storage: sync WAL segment: %w", err)

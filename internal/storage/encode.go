@@ -57,6 +57,7 @@ func encodeSnapshotBody(e *wire.Encoder, snap Snapshot, segBase, ord uint64) {
 	e.Uvarint(segBase)
 	e.Uvarint(ord)
 	e.Uvarint(snap.Seq)
+	e.Uvarint(snap.ExecutedThrough)
 	e.Uvarint(snap.View)
 	wire.PutSnapshot(e, snap.State)
 	wire.PutUint64s(e, snap.ExecIDs)
@@ -71,14 +72,15 @@ func decodeSnapshotBody(data []byte) (Snapshot, uint64, uint64, error) {
 	segBase := d.Uvarint()
 	ord := d.Uvarint()
 	snap := Snapshot{
-		Seq:     d.Uvarint(),
-		View:    d.Uvarint(),
-		State:   wire.Snapshot(d),
-		ExecIDs: wire.Uint64s(d),
-		OKIDs:   wire.Uint64s(d),
-		FailIDs: wire.Uint64s(d),
-		Cert:    d.ByteSlice(),
-		Stage:   d.ByteSlice(),
+		Seq:             d.Uvarint(),
+		ExecutedThrough: d.Uvarint(),
+		View:            d.Uvarint(),
+		State:           wire.Snapshot(d),
+		ExecIDs:         wire.Uint64s(d),
+		OKIDs:           wire.Uint64s(d),
+		FailIDs:         wire.Uint64s(d),
+		Cert:            d.ByteSlice(),
+		Stage:           d.ByteSlice(),
 	}
 	if err := d.Finish(); err != nil {
 		return Snapshot{}, 0, 0, fmt.Errorf("%w: snapshot body: %v", ErrCorrupt, err)

@@ -16,7 +16,8 @@
 //
 // Recovery is the inverse: load the newest snapshot that passes its CRC
 // (falling back to the previous one on corruption), then replay the WAL
-// tail in append order, truncating a torn final record. Anything decided
+// tail in append order, truncating the final segment at the first frame
+// crash damage made unreadable. Anything decided
 // while the process was down is fetched from peers by the existing pbft
 // state-sync/replay protocols — the backend only has to bring the node
 // back to a state the committee once agreed on.
@@ -56,8 +57,15 @@ type Record struct {
 // and Stage are opaque owner-encoded blobs (the checkpoint certificate
 // and the transaction manager's live stage state).
 type Snapshot struct {
-	// Seq is the sequence number the state reflects (executedThrough).
+	// Seq is the stable checkpoint sequence number Cert covers.
 	Seq uint64
+	// ExecutedThrough is the highest decided sequence State reflects. It
+	// can exceed Seq: a checkpoint quorum may form after the replica has
+	// executed further blocks that happened not to mutate state (only
+	// deduplicated or failed transactions), and the capture always
+	// reflects everything executed so far. Recovery must resume replay at
+	// ExecutedThrough+1, not Seq+1. Zero means "same as Seq".
+	ExecutedThrough uint64
 	// View is the replica's view at capture time.
 	View uint64
 	// State is the world state.
@@ -106,8 +114,10 @@ type Backend interface {
 	SaveSnapshot(snap Snapshot) error
 
 	// Recover loads the newest valid snapshot (nil if none was ever
-	// saved) and the WAL tail to replay after it, in append order. A torn
-	// final record is truncated and not returned; a snapshot that fails
+	// saved) and the WAL tail to replay after it, in append order. Crash
+	// damage in the log's unsynced suffix (a torn tail, or a bad frame
+	// the OS wrote back out of order) is truncated away along with what
+	// followed it, not returned; a snapshot that fails
 	// validation is skipped in favor of its predecessor. The returned
 	// error is non-nil only when the data is damaged beyond the
 	// torn-tail/fallback rules (ErrCorrupt) or the store is unreadable.

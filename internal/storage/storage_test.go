@@ -41,8 +41,11 @@ func testRecords(n int) []Record {
 
 func testSnapshot(seq uint64) Snapshot {
 	return Snapshot{
-		Seq:  seq,
-		View: 2,
+		Seq: seq,
+		// Deliberately ahead of Seq: execution past the checkpoint must
+		// round-trip, it is what recovery resumes from.
+		ExecutedThrough: seq + 2,
+		View:            2,
 		State: chain.Snapshot{
 			KV:      map[string][]byte{"c_alice": []byte("100"), "c_bob": []byte("42")},
 			Version: seq * 3,

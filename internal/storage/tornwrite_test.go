@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // TestWALTornWriteEveryOffset is the torn-write property test: a WAL cut
@@ -123,6 +124,88 @@ func TestWALTornWriteEveryOffset(t *testing.T) {
 			}
 		}
 		recordsBefore += info.counts[len(info.data)]
+	}
+}
+
+// TestWALUnsyncedSuffixWritebackDamage models what an OS or power crash
+// can leave behind under fsync=interval/off: the unsynced suffix's pages
+// are written back out of order, so a damaged frame sits in the MIDDLE of
+// the final segment with intact frames after it. That damage is a crash
+// artifact, not corruption — recovery must truncate at the first bad
+// frame (dropping only records that were never acknowledged as durable;
+// peers re-supply them), boot cleanly, and accept new appends. The same
+// damage in a non-final segment cannot be a crash artifact (segments are
+// synced when they roll, under every fsync policy) and stays fatal; that
+// side is covered by TestDiskMidLogCorruption and the every-offset test
+// above.
+func TestWALUnsyncedSuffixWritebackDamage(t *testing.T) {
+	master := t.TempDir()
+	d, err := OpenDisk(master, DiskOptions{Fsync: FsyncInterval, Interval: time.Hour})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	recs := testRecords(6)
+	for _, r := range recs {
+		if err := d.Append(r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	d.Abandon() // crash: nothing explicitly synced
+
+	seg := filepath.Join(master, "wal", segName(0))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	var starts []int
+	off := 0
+	for off < len(data) {
+		n, _, _, err := parseFrame(data[off:])
+		if err != nil {
+			t.Fatalf("master segment unparseable at %d: %v", off, err)
+		}
+		starts = append(starts, off)
+		off += n
+	}
+	starts = append(starts, off)
+	if len(starts) != len(recs)+1 {
+		t.Fatalf("parsed %d frames, want %d", len(starts)-1, len(recs))
+	}
+
+	// Damage frame 3 of 6: two whole intact frames follow it.
+	const target = 3
+	cases := []struct {
+		name  string
+		wreck func(frame []byte)
+	}{
+		// A whole data page that never reached the platter reads as
+		// zeros under the extended file size.
+		{"lost-page", func(frame []byte) {
+			for i := range frame {
+				frame[i] = 0
+			}
+		}},
+		// A garbled partial write: the frame is present but its CRC no
+		// longer matches.
+		{"garbled-payload", func(frame []byte) { frame[8] ^= 0x40 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			copyTree(t, master, dir)
+			path := filepath.Join(dir, "wal", segName(0))
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read copy: %v", err)
+			}
+			tc.wreck(b[starts[target]:starts[target+1]])
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatalf("write damage: %v", err)
+			}
+			// Must boot by truncating at the damage — never ErrCorrupt —
+			// and the repair must survive a reopen round-trip.
+			checkTornTail(t, dir, recs[:target], starts[target])
+		})
 	}
 }
 
