@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +28,27 @@ import (
 	"repro/internal/txn"
 )
 
+// liveReport is one BENCH_live_*.json row: the measured (post-warmup)
+// throughput and latency distribution of a run, comparable across PRs by
+// the -compare gate.
+type liveReport struct {
+	Label       string  `json:"label"`
+	Timestamp   string  `json:"timestamp"`
+	Txs         int     `json:"txs"`
+	Warmup      int     `json:"warmup_excluded"`
+	Committed   int     `json:"committed"`
+	Aborted     int     `json:"aborted"`
+	Cross       float64 `json:"cross_fraction"`
+	Outstanding int     `json:"outstanding"`
+	ElapsedS    float64 `json:"elapsed_s"`
+	TPS         float64 `json:"tps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	P999Ms      float64 `json:"p999_ms"`
+	MaxMs       float64 `json:"max_ms"`
+}
+
 func main() {
 	var (
 		topoPath    = flag.String("topo", "", "cluster topology JSON (required)")
@@ -38,6 +60,11 @@ func main() {
 		outstanding = flag.Int("outstanding", 16, "closed-loop window (in-flight transactions)")
 		seed        = flag.Int64("seed", 1, "workload RNG seed")
 		timeout     = flag.Duration("timeout", 5*time.Minute, "overall run deadline")
+		warmup      = flag.Int("warmup", -1, "completed transactions excluded from the measurement window (-1 = txs/10)")
+		label       = flag.String("label", "live", "label recorded in the -json report")
+		jsonOut     = flag.String("json", "", "write the measured report as a BENCH_live JSON row to this file")
+		compare     = flag.String("compare", "", "baseline BENCH_live JSON to compare throughput against")
+		gate        = flag.Float64("gate", 0, "with -compare: exit 3 if measured tps regresses more than this percent")
 	)
 	flag.Parse()
 	if *topoPath == "" {
@@ -143,7 +170,20 @@ func main() {
 		}
 	}
 
+	// The first completions pay cold costs (TCP dials, first pre-prepares,
+	// empty caches) that say nothing about steady state; exclude them from
+	// the measurement window so pipeline tail effects are visible in the
+	// percentiles instead of being drowned by startup noise.
+	wu := *warmup
+	if wu < 0 {
+		wu = *txs / 10
+	}
+	if wu >= *txs {
+		log.Fatalf("ahlctl: -warmup %d leaves no measured transactions (txs %d)", wu, *txs)
+	}
+
 	start := time.Now()
+	measStart := start
 	inFlight := 0
 	for inFlight < *outstanding && txSeq < *txs {
 		submit()
@@ -161,7 +201,12 @@ func main() {
 			} else {
 				aborted++
 			}
-			lats = append(lats, r.Latency)
+			if done > wu {
+				lats = append(lats, r.Latency)
+			}
+			if done == wu {
+				measStart = time.Now()
+			}
 			if txSeq < *txs {
 				submit()
 				inFlight++
@@ -171,6 +216,7 @@ func main() {
 		}
 	}
 	elapsed := time.Since(start)
+	measured := time.Since(measStart)
 
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	pct := func(p float64) time.Duration {
@@ -183,13 +229,16 @@ func main() {
 		}
 		return lats[i]
 	}
+	tps := float64(*txs-wu) / measured.Seconds()
 	st := tr.Stats()
 	fmt.Printf("ahlctl report\n")
-	fmt.Printf("  transactions  %d committed, %d aborted in %.2fs\n", committed, aborted, elapsed.Seconds())
-	fmt.Printf("  throughput    %.1f tx/s\n", float64(committed+aborted)/elapsed.Seconds())
-	fmt.Printf("  latency       p50 %s  p95 %s  p99 %s  max %s\n",
+	fmt.Printf("  transactions  %d committed, %d aborted in %.2fs (%d warmup excluded from measurement)\n",
+		committed, aborted, elapsed.Seconds(), wu)
+	fmt.Printf("  throughput    %.1f tx/s (measured window %.2fs)\n", tps, measured.Seconds())
+	fmt.Printf("  latency       p50 %s  p95 %s  p99 %s  p99.9 %s  max %s\n",
 		pct(0.50).Round(time.Millisecond), pct(0.95).Round(time.Millisecond),
-		pct(0.99).Round(time.Millisecond), pct(1.0).Round(time.Millisecond))
+		pct(0.99).Round(time.Millisecond), pct(0.999).Round(time.Millisecond),
+		pct(1.0).Round(time.Millisecond))
 	fmt.Printf("  transport     sent %d frames / %d B, recv %d frames / %d B, dropped %d\n",
 		st.SentFrames, st.SentBytes, st.RecvFrames, st.RecvBytes, st.Dropped)
 	if aborted > 0 {
@@ -197,4 +246,64 @@ func main() {
 		// are a workload property, not an error.
 		fmt.Printf("  note          aborts are lock conflicts (2PL); rerun with more -accounts to reduce contention\n")
 	}
+
+	rep := liveReport{
+		Label:       *label,
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		Txs:         *txs,
+		Warmup:      wu,
+		Committed:   committed,
+		Aborted:     aborted,
+		Cross:       *cross,
+		Outstanding: *outstanding,
+		ElapsedS:    elapsed.Seconds(),
+		TPS:         tps,
+		P50Ms:       ms(pct(0.50)),
+		P95Ms:       ms(pct(0.95)),
+		P99Ms:       ms(pct(0.99)),
+		P999Ms:      ms(pct(0.999)),
+		MaxMs:       ms(pct(1.0)),
+	}
+	if *jsonOut != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(raw, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("ahlctl: wrote %s", *jsonOut)
+	}
+	if *compare != "" {
+		os.Exit(compareBaseline(*compare, rep, *gate))
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// compareBaseline prints measured-vs-baseline throughput and returns the
+// process exit code: 3 when gate > 0 and throughput regressed by more
+// than gate percent (the same contract as shardsim -compare -gate).
+func compareBaseline(path string, rep liveReport, gate float64) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Printf("ahlctl: compare: %v", err)
+		return 1
+	}
+	var base liveReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Printf("ahlctl: compare: parse %s: %v", path, err)
+		return 1
+	}
+	if base.TPS <= 0 {
+		log.Printf("ahlctl: compare: baseline %s has no tps", path)
+		return 1
+	}
+	delta := (rep.TPS - base.TPS) / base.TPS * 100
+	fmt.Printf("  baseline      %.1f tx/s (%s); delta %+.1f%%\n", base.TPS, base.Label, delta)
+	if gate > 0 && delta < -gate {
+		fmt.Printf("  GATE FAILED   throughput regressed %.1f%% (> %.0f%% allowed)\n", -delta, gate)
+		return 3
+	}
+	return 0
 }

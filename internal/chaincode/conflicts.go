@@ -1,0 +1,137 @@
+package chaincode
+
+// Conflict declarations for the built-in chaincodes: each returns a
+// superset of the state keys an invocation may read or write, computed
+// from the call's arguments (and, for 2PC commit/abort, from the staging
+// index in committed state). The parallel executor unions transactions
+// with overlapping declarations into one group and runs groups
+// concurrently, so over-declaring only costs parallelism, never
+// correctness; under-declaring would, which is why prepare declares the
+// base key it merely stages: a commit later in the same block touches
+// that key, and declaring it on the prepare bridges the commit's group to
+// any third transaction on the same key through the shared prepare.
+//
+// Malformed invocations (wrong arity, unknown function) fail before
+// touching state, so they declare whatever prefix of keys the arguments
+// yield — a superset of the nothing they will touch.
+
+// ConflictKeys implements ConflictDeclarer.
+func (KVStore) ConflictKeys(_ Reader, fn string, args []string) ([]string, bool) {
+	switch fn {
+	case "put", "get", "del":
+		if len(args) < 1 {
+			return nil, true
+		}
+		return []string{args[0]}, true
+	case "update":
+		keys := make([]string, 0, (len(args)+1)/2)
+		for i := 0; i < len(args); i += 2 {
+			keys = append(keys, args[i])
+		}
+		return keys, true
+	default:
+		return nil, true
+	}
+}
+
+// ConflictKeys implements ConflictDeclarer.
+func (SmallBank) ConflictKeys(_ Reader, fn string, args []string) ([]string, bool) {
+	switch fn {
+	case "create", "query":
+		if len(args) < 1 {
+			return nil, true
+		}
+		return []string{checkingKey(args[0]), savingsKey(args[0])}, true
+	case "transactSavings":
+		if len(args) < 1 {
+			return nil, true
+		}
+		return []string{savingsKey(args[0])}, true
+	case "depositChecking", "writeCheck":
+		if len(args) < 1 {
+			return nil, true
+		}
+		return []string{checkingKey(args[0])}, true
+	case "sendPayment":
+		if len(args) < 2 {
+			return nil, true
+		}
+		return []string{checkingKey(args[0]), checkingKey(args[1])}, true
+	case "amalgamate":
+		if len(args) < 2 {
+			return nil, true
+		}
+		return []string{savingsKey(args[0]), checkingKey(args[0]), checkingKey(args[1])}, true
+	default:
+		return nil, true
+	}
+}
+
+// stagedTxKeys declares everything prepare touches for one (txid, key)
+// pair: the lock, the staged value, and the base key itself (staged only,
+// but declaring it here is what links a same-block commit's group to
+// other transactions on key — see the package comment above).
+func stagedTxKeys(txid, key string) []string {
+	return []string{key, LockKey(key), stageKey(txid, key)}
+}
+
+// finishTxKeys declares what commit/abort of txid touches: the staging
+// index always, plus — when the index is resolvable from committed state
+// — every indexed key with its lock and staged value. When the index is
+// absent the prepare must be in the same block; it declares the index
+// too, so grouping unions them and the overlay makes the index visible.
+func finishTxKeys(view Reader, txid string) []string {
+	keys := []string{stageIndexKey(txid)}
+	idx, ok := view.Get(stageIndexKey(txid))
+	if !ok {
+		return keys
+	}
+	for _, k := range decodeIndex(idx) {
+		keys = append(keys, stagedTxKeys(txid, k)...)
+	}
+	return keys
+}
+
+// ConflictKeys implements ConflictDeclarer.
+func (ShardedKVStore) ConflictKeys(view Reader, fn string, args []string) ([]string, bool) {
+	switch fn {
+	case "prepare":
+		if len(args) < 1 {
+			return nil, true
+		}
+		keys := []string{stageIndexKey(args[0])}
+		for i := 1; i < len(args); i += 2 {
+			keys = append(keys, stagedTxKeys(args[0], args[i])...)
+		}
+		return keys, true
+	case "commit", "abort":
+		if len(args) < 1 {
+			return nil, true
+		}
+		return finishTxKeys(view, args[0]), true
+	default:
+		return nil, true
+	}
+}
+
+// ConflictKeys implements ConflictDeclarer.
+func (ShardedSmallBank) ConflictKeys(view Reader, fn string, args []string) ([]string, bool) {
+	switch fn {
+	case "create", "query":
+		return SmallBank{}.ConflictKeys(view, fn, args)
+	case "preparePayment":
+		if len(args) < 2 {
+			return nil, true
+		}
+		keys := []string{stageIndexKey(args[0])}
+		keys = append(keys, stagedTxKeys(args[0], checkingKey(args[1]))...)
+		return keys, true
+	case "commitPayment", "abortPayment":
+		if len(args) < 1 {
+			return nil, true
+		}
+		return finishTxKeys(view, args[0]), true
+	default:
+		return nil, true
+	}
+}

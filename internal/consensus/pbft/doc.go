@@ -28,4 +28,36 @@
 // optimizations are what keep those committees live at N=79 and on WAN
 // deployments (Figures 8, 9, 14). Byzantine behaviors (equivocation,
 // silence) are injectable per replica for the failure experiments.
+//
+// # Pipelined protocol flow
+//
+// Ordering and execution are decoupled, as in classic PBFT: the leader
+// assigns sequence numbers and issues pre-prepares without waiting for
+// earlier sequences to execute, bounded by min(stable checkpoint + Window,
+// executedThrough + PipelineDepth) — see maxAssign. Prepares and commits
+// for many sequences run concurrently; execution alone is strictly
+// ordered, advancing executedThrough one sequence at a time only after
+// the commit quorum forms and (on durable nodes) the decided block's WAL
+// append returns. A view change collects every in-flight sequence above
+// the stable checkpoint into the new-view message, so a deep pipeline
+// survives leader failure with no decided sequence lost and no sequence
+// executed twice (pipeline_test.go pins this).
+//
+// Three optional levers tune the live path and default off, keeping the
+// simulator's published baselines byte-identical:
+//
+//   - AdaptiveBatch replaces the fixed BatchTimeout cadence when the
+//     pipeline is idle: a partial batch is cut after the short
+//     BatchMinDelay coalescing window instead of waiting out the full
+//     timer. Under load the legacy cadence is kept — larger batches
+//     amortize per-sequence protocol cost.
+//   - PipelineDepth caps how far sequence assignment may run ahead of
+//     local execution (0 = checkpoint window only).
+//   - ExecWorkers > 1 enables conflict-aware parallel execution of a
+//     decided batch: transactions are partitioned into non-conflicting
+//     groups via the chaincodes' declared key sets (chaincode.ConflictKeys,
+//     grounded in the same keys the 2PL lock table guards), groups execute
+//     concurrently against overlay views, and write-sets are applied in
+//     original block order — so the state digest chain is byte-identical
+//     to serial execution (internal/bench equivalence harness).
 package pbft

@@ -156,6 +156,21 @@ type Replica struct {
 	intakeTokens float64
 	intakeLast   sim.Time
 
+	// verifiedMsg is set by Handle from Message.Verified for the duration
+	// of one dispatch: the live runtime's transport goroutines pre-verify
+	// attestations before the message reaches the engine (see Preverifier)
+	// and the flag lets the handler skip the redundant check. Consume-once
+	// via takeVerified so an early return cannot leak it to a later check.
+	verifiedMsg bool
+	// execWorkers caps goroutines for conflict-aware parallel execution
+	// (resolved from Options.ExecWorkers at construction; <=1 = serial).
+	execWorkers int
+	// batchTimerFast records that batchTimer is armed with the adaptive
+	// fast-path coalescing delay rather than the full BatchTimeout, so an
+	// idle-pipeline arrival can tell whether the pending cut is already
+	// imminent (see scheduleAdaptiveBatch).
+	batchTimerFast bool
+
 	// ExecBusy accumulates virtual CPU time spent executing transactions,
 	// as opposed to running consensus (Figure 17).
 	ExecBusy time.Duration
@@ -192,6 +207,10 @@ func New(opts Options, deps Deps) *Replica {
 	r.engine = deps.Platform.Engine()
 	if r.store == nil {
 		r.store = chain.NewStore()
+	}
+	r.execWorkers = opts.ExecWorkers
+	if r.execWorkers == 0 {
+		r.execWorkers = defaultExecWorkers()
 	}
 	charge := func(d time.Duration) { deps.Endpoint.CPU().Charge(d) }
 	costs := deps.Platform.Costs()
@@ -364,6 +383,7 @@ func (r *Replica) Handle(m simnet.Message) {
 	if r.byz(BehaviorSilent) {
 		return
 	}
+	r.verifiedMsg = m.Verified
 	switch m.Type {
 	case msgRequest:
 		r.handleRequest(m.Payload.(chain.Tx), true)
@@ -505,9 +525,57 @@ func (r *Replica) scheduleBatch() {
 		r.tryBatch()
 		return
 	}
+	if r.opts.AdaptiveBatch {
+		r.scheduleAdaptiveBatch()
+		return
+	}
 	if !r.batchTimer.Active() {
 		r.batchTimer.Reset(r.opts.Timing.BatchTimeout, r.tryBatch)
 	}
+}
+
+// scheduleAdaptiveBatch is the AdaptiveBatch batch-cut policy. With
+// proposals in flight it keeps the legacy BatchTimeout cadence — under
+// sustained load big batches amortize the per-sequence protocol cost,
+// and cutting eagerly measurably fragments the pipeline. Only when the
+// pipeline is idle (every assigned sequence executed) does waiting help
+// nobody, so the cut happens after just a short BatchMinDelay coalescing
+// window that lets a burst of near-simultaneous arrivals share a block.
+// The fast timer is not pushed forward by later arrivals: a steady
+// trickle must not postpone the cut indefinitely.
+func (r *Replica) scheduleAdaptiveBatch() {
+	if r.unbatchedCount() == 0 {
+		return
+	}
+	if r.seqAssign > r.executedThrough { // pipeline busy: legacy cadence
+		if !r.batchTimer.Active() {
+			r.batchTimer.Reset(r.opts.Timing.BatchTimeout, r.tryBatch)
+			r.batchTimerFast = false
+		}
+		return
+	}
+	if r.batchTimer.Active() && r.batchTimerFast {
+		return
+	}
+	floor := r.opts.BatchMinDelay
+	if floor <= 0 {
+		floor = DefaultBatchMinDelay
+	}
+	r.batchTimer.Reset(floor, r.tryBatch)
+	r.batchTimerFast = true
+}
+
+// maxAssign returns the exclusive upper bound on leader sequence
+// assignment: the checkpoint window always, tightened by PipelineDepth's
+// cap on proposals running ahead of local execution when set.
+func (r *Replica) maxAssign() uint64 {
+	lim := r.h + r.opts.Window
+	if d := r.opts.PipelineDepth; d > 0 {
+		if byExec := r.executedThrough + d; byExec < lim {
+			lim = byExec
+		}
+	}
+	return lim
 }
 
 func (r *Replica) unbatchedCount() int { return r.unbatched }
@@ -548,7 +616,7 @@ func (r *Replica) tryBatch() {
 	if !r.isLeader() || r.inViewChange {
 		return
 	}
-	for r.unbatchedCount() > 0 && r.seqAssign < r.h+r.opts.Window {
+	for r.unbatchedCount() > 0 && r.seqAssign < r.maxAssign() {
 		batch := r.takeBatch()
 		if len(batch) == 0 {
 			return
@@ -557,6 +625,15 @@ func (r *Replica) tryBatch() {
 		r.propose(r.seqAssign, batch)
 	}
 	if r.unbatchedCount() > 0 && !r.batchTimer.Active() {
+		if r.seqAssign < r.h+r.opts.Window {
+			// Depth-capped, not window-full: local execution is the
+			// bottleneck and finishExecute re-triggers batching the moment
+			// it advances. Re-arm a plain retry as a safety net without
+			// retransmitting (the committee is keeping up; only we are).
+			r.batchTimer.Reset(r.opts.Timing.BatchTimeout, r.tryBatch)
+			r.batchTimerFast = false
+			return
+		}
 		// Window full: retry after the batch timeout; checkpoint
 		// progress will also retrigger batching. Retransmit the oldest
 		// in-flight proposal so replicas that fell behind (and replicas
@@ -566,6 +643,7 @@ func (r *Replica) tryBatch() {
 			r.retransmitOldest()
 			r.tryBatch()
 		})
+		r.batchTimerFast = false
 	}
 }
 
@@ -810,7 +888,7 @@ func (r *Replica) handlePrePrepare(m *prePrepareMsg) {
 	if m.Block != nil {
 		digest = m.Block.Digest()
 	}
-	if !r.att.verify(leaderIdx, logName(phasePrePrepare, m.View), m.Seq, digest, m.Att) {
+	if !r.takeVerified() && !r.att.verify(leaderIdx, logName(phasePrePrepare, m.View), m.Seq, digest, m.Att) {
 		return
 	}
 	e := r.getEntry(m.Seq)
@@ -899,7 +977,7 @@ func (r *Replica) handleVote(m *voteMsg) {
 		return
 	}
 	slot := m.Seq
-	if !r.att.verify(m.Replica, logName(m.Phase, m.View), slot, m.Digest, m.Att) {
+	if !r.takeVerified() && !r.att.verify(m.Replica, logName(m.Phase, m.View), slot, m.Digest, m.Att) {
 		return
 	}
 	e := r.getEntry(m.Seq)
@@ -1088,13 +1166,28 @@ func (r *Replica) finishExecute(e *entry) {
 		panic("pbft: ledger append: " + err.Error())
 	}
 
+	// Conflict-aware parallel execution (live path): precompute results
+	// for non-conflicting groups on worker goroutines, then fold them in
+	// below in block order — write-sets apply in the same order the serial
+	// loop would, so the state digest chain is identical. plan is nil when
+	// the block executes serially (workers <= 1, undeclarable conflicts,
+	// or a single conflict group).
+	plan := r.planParallel(e.block.Txs)
 	results := make([]chaincode.Result, 0, len(e.block.Txs))
 	for _, tx := range e.block.Txs {
 		if r.executedTxIDs[tx.ID] {
 			continue
 		}
 		r.executedTxIDs[tx.ID] = true
-		res := r.deps.Registry.Execute(r.store, tx)
+		var res chaincode.Result
+		if plan != nil {
+			res = plan.results[tx.ID]
+			if res.OK() {
+				r.store.Apply(res.Write)
+			}
+		} else {
+			res = r.deps.Registry.Execute(r.store, tx)
+		}
 		r.executedOK[tx.ID] = res.OK()
 		results = append(results, res)
 		r.dropRequest(tx.ID)
@@ -1142,7 +1235,7 @@ func (r *Replica) handleCheckpoint(m *checkpointMsg) {
 	if m.Seq <= r.h {
 		return
 	}
-	if !r.att.verify(m.Replica, "checkpoint", m.Seq, m.State, m.Att) {
+	if !r.takeVerified() && !r.att.verify(m.Replica, "checkpoint", m.Seq, m.State, m.Att) {
 		return
 	}
 	r.recordCheckpoint(m)

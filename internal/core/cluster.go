@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/consensus/pbft"
@@ -69,6 +70,22 @@ type ClusterConfig struct {
 	// (Table 2) to each node's virtual CPU, as the simulator does. Live
 	// deployments default to free costs: the real process pays real CPU.
 	Table2Costs bool `json:"table2_costs,omitempty"`
+
+	// PipelineDepth caps how many proposals the leader pipelines ahead of
+	// local execution: 0 selects the default (8), negative disables the
+	// cap (consensus-window-only pipelining, the pre-pipelining behavior).
+	PipelineDepth int `json:"pipeline_depth,omitempty"`
+	// LegacyBatching restores the fixed batch-timeout cut. The default is
+	// adaptive batching: cut immediately when the pipeline is idle, scale
+	// the wait with pipeline occupancy under load.
+	LegacyBatching bool `json:"legacy_batching,omitempty"`
+	// BatchMinDelayUs floors the adaptive batch-cut delay, in
+	// microseconds (0 = protocol default, 500µs).
+	BatchMinDelayUs int `json:"batch_min_delay_us,omitempty"`
+	// ExecWorkers sets per-replica parallel-execution workers: 0 sizes to
+	// the machine (NumCPU, capped at 8), 1 or negative forces serial
+	// execution.
+	ExecWorkers int `json:"exec_workers,omitempty"`
 
 	// DataDir roots each replica's durable state (WAL + snapshots) at
 	// <DataDir>/node-<id>/; empty runs memory-only, with recovery relying
@@ -150,7 +167,47 @@ func (c *ClusterConfig) Validate() error {
 	if _, err := c.fsyncMode(); err != nil {
 		return err
 	}
+	if c.BatchMinDelayUs < 0 {
+		return fmt.Errorf("cluster: batch_min_delay_us %d is negative", c.BatchMinDelayUs)
+	}
+	if c.ExecWorkers > 1024 {
+		return fmt.Errorf("cluster: exec_workers %d unreasonably large (max 1024)", c.ExecWorkers)
+	}
 	return nil
+}
+
+// liveDefaultPipelineDepth is the in-flight proposal cap live clusters
+// get when the topology does not set pipeline_depth. Deep enough to keep
+// consensus busy across the commit round trip, shallow enough that a
+// restarting replica replays at most this many blocks past its snapshot.
+const liveDefaultPipelineDepth = 8
+
+// pipelineDepth resolves the PipelineDepth knob (see its field comment).
+func (c *ClusterConfig) pipelineDepth() uint64 {
+	switch {
+	case c.PipelineDepth > 0:
+		return uint64(c.PipelineDepth)
+	case c.PipelineDepth < 0:
+		return 0
+	default:
+		return liveDefaultPipelineDepth
+	}
+}
+
+// execWorkers resolves the ExecWorkers knob (see its field comment).
+func (c *ClusterConfig) execWorkers() int {
+	switch {
+	case c.ExecWorkers > 0:
+		return c.ExecWorkers
+	case c.ExecWorkers < 0:
+		return 1
+	default:
+		n := runtime.NumCPU()
+		if n > 8 {
+			n = 8
+		}
+		return n
+	}
 }
 
 // fsyncMode parses the Fsync field.
@@ -312,6 +369,12 @@ func (c *ClusterConfig) liveConfig() Config {
 	} else {
 		cfg.Costs = liveCosts()
 	}
+	cfg.PipelineDepth = c.pipelineDepth()
+	cfg.AdaptiveBatch = !c.LegacyBatching
+	if c.BatchMinDelayUs > 0 {
+		cfg.BatchMinDelay = time.Duration(c.BatchMinDelayUs) * time.Microsecond
+	}
+	cfg.ExecWorkers = c.execWorkers()
 	cfg.Tune = func(o *pbft.Options) {
 		if c.BatchSize > 0 {
 			o.BatchSize = c.BatchSize

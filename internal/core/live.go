@@ -50,6 +50,13 @@ type liveLoop struct {
 	stop  chan struct{}
 	done  chan struct{}
 
+	// preverify, when set, runs on the transport goroutine for each
+	// inbound message before it enters the inbox — attestation checks
+	// happen concurrently with the engine's ordering work (see
+	// pbft.Replica.Preverifier). Set before the handler is registered;
+	// never written afterwards.
+	preverify func(*simnet.Message)
+
 	stopOnce  sync.Once
 	droppedIn atomic.Uint64
 }
@@ -67,9 +74,14 @@ func newLiveLoop(engine *sim.Engine, net *simnet.Network) *liveLoop {
 
 // handler returns the transport.Handler feeding this loop's inbox. It is
 // called from transport goroutines; the message crosses into the engine
-// goroutine through the channel.
+// goroutine through the channel. The TCP transport runs one receive
+// goroutine per peer connection, so pre-verification naturally fans out
+// across peers while the engine goroutine keeps ordering.
 func (l *liveLoop) handler() transport.Handler {
 	return func(m simnet.Message) {
+		if l.preverify != nil {
+			l.preverify(&m)
+		}
 		select {
 		case l.inbox <- m:
 		default:
@@ -177,13 +189,15 @@ func teeSeedFor(seed int64, id simnet.NodeID) int64 {
 }
 
 // buildLiveStack creates the engine/network pair every live node runs on
-// and bridges its outbound traffic to tr.
+// and bridges its outbound traffic to tr. The caller registers the
+// loop's inbound handler on tr once the stack is fully assembled (a
+// replica's pre-verifier must be installed on the loop first, or the
+// first frames would race its installation).
 func buildLiveStack(c *ClusterConfig, id simnet.NodeID, tr transport.Transport) (*sim.Engine, *simnet.Network, *liveLoop) {
 	engine := sim.NewEngine(teeSeedFor(c.Seed, id) + 1)
 	net := simnet.New(engine, simnet.LAN())
 	loop := newLiveLoop(engine, net)
 	net.SetGateway(func(m simnet.Message) { tr.Send(m) })
-	tr.RegisterHandler(id, loop.handler())
 	return engine, net, loop
 }
 
@@ -332,6 +346,11 @@ func StartLiveNode(c *ClusterConfig, id simnet.NodeID, tr transport.Transport) (
 			n.Manager.EnableDurability(backend)
 		}
 	}
+	// Attestation checks move off the engine goroutine: frames arriving
+	// from here on are pre-verified on the transport's per-connection
+	// goroutines and buffered in the inbox until the loop runs.
+	loop.preverify = replica.Preverifier()
+	tr.RegisterHandler(id, loop.handler())
 	if backend != nil {
 		if err := n.recover(); err != nil {
 			backend.Close()
@@ -424,6 +443,7 @@ func StartLiveClient(c *ClusterConfig, id simnet.NodeID, tr transport.Transport)
 	}
 	topo := c.Topology()
 	_, net, loop := buildLiveStack(c, id, tr)
+	tr.RegisterHandler(id, loop.handler())
 	lc := &LiveClient{
 		ID:     id,
 		Shards: len(c.Shards),

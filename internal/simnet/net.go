@@ -49,6 +49,11 @@ type Message struct {
 	Type     string
 	Payload  any
 	Size     int
+	// Verified marks the payload's attestation as already checked by a
+	// transport-side pre-verifier (live runtime only). It is local
+	// receive-path state: the wire codec neither encodes nor decodes it,
+	// and the simulator never sets it.
+	Verified bool
 }
 
 // Handler processes messages delivered to an endpoint. Cost reports the CPU

@@ -1,0 +1,100 @@
+#!/usr/bin/env sh
+# Live-throughput perf smoke: start the 12-replica loopback topology with
+# the WAL on (fsync: interval — the deployment-recommended group-commit
+# mode PERFORMANCE.md tracks), drive a closed-loop SmallBank mix through
+# ahlctl, and write the measured tx/s + latency percentiles as a
+# BENCH_live JSON row. When a baseline row exists, the run is gated:
+# >LIVE_PERF_GATE percent throughput regression fails the script (exit 3,
+# the same contract as shardsim -compare -gate).
+#
+# Environment knobs (all optional):
+#   LIVE_PERF_TXS          transactions to measure       (default 3000)
+#   LIVE_PERF_OUTSTANDING  closed-loop window            (default 128)
+#   LIVE_PERF_JSON         output row path               (default BENCH_live_smoke.json)
+#   LIVE_PERF_BASELINE     baseline row to gate against  (default BENCH_live_pr7.json)
+#   LIVE_PERF_GATE         allowed regression, percent   (default 15; 0 disables)
+#   LIVE_PERF_LABEL        label recorded in the row     (default live-smoke)
+#
+# Run from the repository root.
+set -e
+
+TXS="${LIVE_PERF_TXS:-3000}"
+OUTSTANDING="${LIVE_PERF_OUTSTANDING:-128}"
+OUT="${LIVE_PERF_JSON:-BENCH_live_smoke.json}"
+BASELINE="${LIVE_PERF_BASELINE:-BENCH_live_pr7.json}"
+GATE="${LIVE_PERF_GATE:-15}"
+LABEL="${LIVE_PERF_LABEL:-live-smoke}"
+
+BIN="$(mktemp -d)"
+DATA="$BIN/data"
+TOPO="$BIN/topology.json"
+PIDS=""
+trap 'kill $PIDS 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+
+# The perf topology mirrors examples/livecluster/topology.json (2 shards
+# of 4 + reference committee of 4 + 1 client) but journals every replica
+# with interval fsync, and uses its own port range so it can run next to
+# the example cluster.
+cat >"$TOPO" <<'EOF'
+{
+  "seed": 42,
+  "variant": "ahl+",
+  "batch_timeout_ms": 20,
+  "fsync": "interval",
+  "shards": [
+    [
+      {"id": 0, "addr": "127.0.0.1:7200"},
+      {"id": 1, "addr": "127.0.0.1:7201"},
+      {"id": 2, "addr": "127.0.0.1:7202"},
+      {"id": 3, "addr": "127.0.0.1:7203"}
+    ],
+    [
+      {"id": 4, "addr": "127.0.0.1:7210"},
+      {"id": 5, "addr": "127.0.0.1:7211"},
+      {"id": 6, "addr": "127.0.0.1:7212"},
+      {"id": 7, "addr": "127.0.0.1:7213"}
+    ]
+  ],
+  "reference": [
+    {"id": 8, "addr": "127.0.0.1:7220"},
+    {"id": 9, "addr": "127.0.0.1:7221"},
+    {"id": 10, "addr": "127.0.0.1:7222"},
+    {"id": 11, "addr": "127.0.0.1:7223"}
+  ],
+  "clients": [
+    {"id": 12, "addr": "127.0.0.1:7230"}
+  ]
+}
+EOF
+
+echo "== building ahlnode + ahlctl"
+go build -o "$BIN/ahlnode" ./cmd/ahlnode
+go build -o "$BIN/ahlctl" ./cmd/ahlctl
+
+echo "== starting 12 replicas (WAL on, fsync=interval) under $DATA"
+for id in 0 1 2 3 4 5 6 7 8 9 10 11; do
+  "$BIN/ahlnode" -topo "$TOPO" -id "$id" -data "$DATA" 2>"$BIN/node$id.log" &
+  PIDS="$PIDS $!"
+done
+sleep 1
+
+echo "== driving $TXS transactions (30% cross-shard, window $OUTSTANDING)"
+GATE_ARGS=""
+if [ "$GATE" != "0" ] && [ -f "$BASELINE" ]; then
+  GATE_ARGS="-compare $BASELINE -gate $GATE"
+  echo "== gating against $BASELINE (allowed regression ${GATE}%)"
+fi
+set +e
+# shellcheck disable=SC2086 # GATE_ARGS is intentionally word-split
+"$BIN/ahlctl" -topo "$TOPO" -accounts 32 -txs "$TXS" -outstanding "$OUTSTANDING" \
+  -cross 0.3 -timeout 300s -label "$LABEL" -json "$OUT" $GATE_ARGS \
+  2>"$BIN/ctl.log"
+code=$?
+set -e
+if [ "$code" -ne 0 ]; then
+  echo "FAIL: live perf run failed (exit $code; 3 = regression gate)" >&2
+  cat "$BIN/ctl.log" >&2
+  exit "$code"
+fi
+
+echo "live perf smoke OK ($OUT)"
