@@ -1,0 +1,181 @@
+// Command ahlvet runs the repository's determinism-and-safety analyzer
+// suite (maporder, walltime, wireexhaust, journalbarrier — see
+// internal/analysis) over Go packages.
+//
+// Standalone mode loads packages itself and reports every unsuppressed
+// finding:
+//
+//	ahlvet ./...
+//
+// It exits 0 on a clean tree and 1 on findings — the contract CI's lint
+// job and the repo-wide meta-test both rely on.
+//
+// The binary also speaks the `go vet` unit-checker protocol (it accepts
+// a *.cfg argument plus the -V/-flags probe flags), so it can run as
+//
+//	go vet -vettool=$(which ahlvet) ./...
+//
+// In that mode the go command drives one invocation per package; test
+// variants are skipped (the dynamic harnesses own test determinism, and
+// the analyzers target the replicated runtime).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ahlvet"
+)
+
+func main() {
+	versionFlag := flag.String("V", "", "print version (go vet probe; use -V=full)")
+	flagsFlag := flag.Bool("flags", false, "print registered flags as JSON (go vet probe)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ahlvet [packages]   (default ./...)\n       ahlvet <unit>.cfg   (go vet -vettool mode)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	switch {
+	case *versionFlag != "":
+		// The go command caches vet results keyed on this line.
+		fmt.Printf("ahlvet version 1\n")
+		return
+	case *flagsFlag:
+		fmt.Println("[]")
+		return
+	}
+
+	if flag.NArg() == 1 && strings.HasSuffix(flag.Arg(0), ".cfg") {
+		os.Exit(unitCheck(flag.Arg(0)))
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := ahlvet.Check(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ahlvet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "ahlvet: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// unitConfig is the subset of the go vet unit-checker config ahlvet
+// reads (the go command writes one per package).
+type unitConfig struct {
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitCheck analyzes one package under the go vet protocol and returns
+// the process exit code: 0 clean, 2 findings (matching go vet's
+// expectation that a failing tool exits non-zero after printing
+// file:line:col: message diagnostics to stderr).
+func unitCheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ahlvet:", err)
+		return 2
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ahlvet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The facts file must exist for the go command's action graph even
+	// though this suite exports none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "ahlvet:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly || testVariant(cfg.ImportPath) {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue // test determinism is owned by the dynamic harnesses
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ahlvet:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "ahlvet: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	pkg := &analysis.Package{Path: cfg.ImportPath, Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info}
+	for _, f := range files {
+		pkg.CollectSuppressions(f)
+	}
+	findings, err := ahlvet.CheckPackage(pkg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ahlvet:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.Pos, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// testVariant reports whether the unit package is a test build ("p
+// [p.test]", "p.test", or an external _test package).
+func testVariant(importPath string) bool {
+	return strings.HasSuffix(importPath, ".test") ||
+		strings.HasSuffix(importPath, "_test") ||
+		strings.Contains(importPath, " [")
+}

@@ -1,0 +1,55 @@
+// Package ahlvet assembles the determinism-and-safety analyzer suite
+// and drives it over packages. cmd/ahlvet is a thin wrapper around this
+// package; the repo-wide meta-test calls Check directly so that any
+// unsuppressed finding fails `go test ./...` before CI is even
+// involved.
+package ahlvet
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/journalbarrier"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/walltime"
+	"repro/internal/analysis/wireexhaust"
+)
+
+// Suite returns the full analyzer suite in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.Analyzer,
+		walltime.Analyzer,
+		wireexhaust.Analyzer,
+		journalbarrier.Analyzer,
+	}
+}
+
+// Check loads patterns relative to dir, runs the suite plus the
+// suppression audit on every matched package, and returns the surviving
+// findings sorted by position.
+func Check(dir string, patterns []string) ([]analysis.Finding, error) {
+	pkgs, err := analysis.Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []analysis.Finding
+	for _, pkg := range pkgs {
+		if err := analysis.RunAnalyzers(pkg, Suite(), &findings); err != nil {
+			return nil, err
+		}
+		pkg.Audit(&findings)
+	}
+	analysis.SortFindings(findings)
+	return findings, nil
+}
+
+// CheckPackage runs the suite plus the suppression audit on one
+// already-loaded package (the unitchecker path).
+func CheckPackage(pkg *analysis.Package) ([]analysis.Finding, error) {
+	var findings []analysis.Finding
+	if err := analysis.RunAnalyzers(pkg, Suite(), &findings); err != nil {
+		return nil, err
+	}
+	pkg.Audit(&findings)
+	analysis.SortFindings(findings)
+	return findings, nil
+}

@@ -1,0 +1,27 @@
+package ahlvet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/ahlvet"
+)
+
+// TestRepositoryClean is the repo-wide meta-test: the full analyzer
+// suite over every package must report nothing. Any unsuppressed
+// determinism or safety violation therefore fails `go test ./...`
+// before CI's lint job is even involved.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module; skipped with -short")
+	}
+	findings, err := ahlvet.Check("../../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("ahlvet: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("fix the findings above or annotate them with //ahl:nondeterministic <reason>")
+	}
+}

@@ -1,0 +1,143 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// A directive covers its own line and the line directly below, so the
+// unsuppressed vars are kept well clear of every directive.
+const supSrc = `package p
+
+var a = 1 //ahl:nondeterministic same-line reason
+
+//ahl:nondeterministic line-above reason
+var b = 2
+
+var c = 3 //ahl:nondeterministic
+
+var d = 4
+
+//ahl:nondeterministic reason that suppresses nothing
+// (padding line: the directive reaches only one line down)
+var e = 5
+`
+
+// loadSrc type-checks one dependency-free source string into a Package.
+func loadSrc(t *testing.T, src string) *analysis.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewInfo()
+	tpkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &analysis.Package{Path: "p", Fset: fset, Files: []*ast.File{f}, Pkg: tpkg, TypesInfo: info}
+	pkg.CollectSuppressions(f)
+	return pkg
+}
+
+// reportVars reports one finding on every package-level var declaration.
+var reportVars = &analysis.Analyzer{
+	Name: "reportvars",
+	Doc:  "test analyzer: one finding per package-level var spec",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs := spec.(*ast.ValueSpec)
+					pass.Reportf(vs.Pos(), "var %s", vs.Names[0].Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestSuppressionSemantics(t *testing.T) {
+	pkg := loadSrc(t, supSrc)
+	var findings []analysis.Finding
+	if err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{reportVars}, &findings); err != nil {
+		t.Fatal(err)
+	}
+	// a (same line), b (line above), and c (reasonless but present) are
+	// suppressed; d and e survive.
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Message)
+	}
+	if want := []string{"var d", "var e"}; strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("surviving findings = %v, want %v", got, want)
+	}
+
+	// The audit flags the reasonless directive and the unused one — but
+	// not the two well-formed, used suppressions.
+	var audit []analysis.Finding
+	pkg.Audit(&audit)
+	if len(audit) != 2 {
+		t.Fatalf("audit findings = %v, want 2", audit)
+	}
+	if !strings.Contains(audit[0].Message, "without a reason") {
+		t.Errorf("audit[0] = %v, want missing-reason finding", audit[0])
+	}
+	if !strings.Contains(audit[1].Message, "unused") {
+		t.Errorf("audit[1] = %v, want unused-suppression finding", audit[1])
+	}
+}
+
+func TestNormalizePath(t *testing.T) {
+	for in, want := range map[string]string{
+		"repro/internal/sim": "internal/sim",
+		"internal/sim":       "internal/sim",
+		"repro/cmd/shardsim": "cmd/shardsim",
+	} {
+		if got := analysis.NormalizePath(in); got != want {
+			t.Errorf("NormalizePath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDeterministicPackage(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/sim":            true,
+		"repro/internal/consensus/pbft": true,
+		"internal/tee/aaom":             true,
+		"repro/internal/report":         true,
+		"repro/internal/transport":      false,
+		"repro/internal/storage":        false,
+		"repro/internal/bench":          false,
+		"repro/cmd/ahlnode":             false,
+		// Prefix matching is per path segment, not per string.
+		"repro/internal/simulator2": false,
+	} {
+		if got := analysis.DeterministicPackage(path); got != want {
+			t.Errorf("DeterministicPackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestSortFindings(t *testing.T) {
+	fs := []analysis.Finding{
+		{Analyzer: "b", Pos: token.Position{Filename: "x.go", Line: 9}},
+		{Analyzer: "a", Pos: token.Position{Filename: "x.go", Line: 9}},
+		{Analyzer: "z", Pos: token.Position{Filename: "a.go", Line: 50}},
+	}
+	analysis.SortFindings(fs)
+	if fs[0].Pos.Filename != "a.go" || fs[1].Analyzer != "a" || fs[2].Analyzer != "b" {
+		t.Errorf("unexpected order: %v", fs)
+	}
+}

@@ -1,0 +1,230 @@
+// Package analysistest runs one analyzer over golden-test fixture
+// packages, mirroring golang.org/x/tools/go/analysis/analysistest on the
+// standard library only.
+//
+// Fixtures live under <testdata>/src/<importpath>/. Expected findings
+// are marked in the fixture source with trailing comments of the form
+//
+//	// want "regexp"
+//
+// (several quoted regexps may follow one want for multiple findings on
+// the same line). The harness loads the fixture package — resolving
+// imports first against other fixture packages under src/, then against
+// the real build's export data — runs the analyzer, applies the
+// framework's //ahl:nondeterministic suppression semantics, and fails
+// the test on any mismatch between reported and wanted findings.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package and checks the analyzer's findings
+// against the // want comments in its files.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := &loader{
+		src:  filepath.Join(testdata, "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*analysis.Package),
+	}
+	for _, path := range paths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		var findings []analysis.Finding
+		if err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a}, &findings); err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		check(t, l.fset, pkg, findings)
+	}
+}
+
+// want is one expected-finding marker.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`(?:"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`" + `)`)
+
+// check compares findings against the want comments in pkg's files.
+func check(t *testing.T, fset *token.FileSet, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					} else {
+						raw = strings.ReplaceAll(raw, `\"`, `"`)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// loader resolves fixture packages from source and everything else from
+// the real build's export data.
+type loader struct {
+	src  string
+	fset *token.FileSet
+	pkgs map[string]*analysis.Package
+}
+
+// load parses and type-checks the fixture package at src/<path>.
+func (l *loader) load(path string) (*analysis.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: (*fixtureImporter)(l)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %w", path, err)
+	}
+	pkg := &analysis.Package{Path: path, Fset: l.fset, Files: files, Pkg: tpkg, TypesInfo: info}
+	for _, f := range files {
+		pkg.CollectSuppressions(f)
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// fixtureImporter implements types.Importer over the loader: fixture
+// packages win, the export-data cache covers the rest.
+type fixtureImporter loader
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	l := (*loader)(fi)
+	if _, err := os.Stat(filepath.Join(l.src, filepath.FromSlash(path))); err == nil {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return stdImport(l.fset, path)
+}
+
+// stdImport imports a non-fixture package from compiler export data,
+// shelling out to `go list -export` once per new dependency closure.
+var (
+	stdMu      sync.Mutex
+	stdExports = make(map[string]string)
+	stdImps    = make(map[*token.FileSet]types.Importer)
+)
+
+func stdImport(fset *token.FileSet, path string) (*types.Package, error) {
+	stdMu.Lock()
+	if _, ok := stdExports[path]; !ok {
+		cmd := exec.Command("go", "list", "-export", "-deps", "-json=ImportPath,Export", "--", path)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			stdMu.Unlock()
+			return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+		}
+		dec := json.NewDecoder(&stdout)
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				stdMu.Unlock()
+				return nil, err
+			}
+			if p.Export != "" {
+				stdExports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp, ok := stdImps[fset]
+	if !ok {
+		imp = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			stdMu.Lock()
+			f, ok := stdExports[path]
+			stdMu.Unlock()
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		})
+		stdImps[fset] = imp
+	}
+	stdMu.Unlock()
+	return imp.Import(path)
+}

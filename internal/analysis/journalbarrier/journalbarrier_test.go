@@ -1,0 +1,16 @@
+package journalbarrier_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/journalbarrier"
+)
+
+func TestJournalBarrier(t *testing.T) {
+	analysistest.Run(t, "testdata", journalbarrier.Analyzer, "internal/consensus/pbft")
+}
+
+func TestJournalBarrierMisordered(t *testing.T) {
+	analysistest.Run(t, "testdata/misorder", journalbarrier.Analyzer, "internal/consensus/pbft")
+}

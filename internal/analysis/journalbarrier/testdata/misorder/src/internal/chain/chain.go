@@ -1,0 +1,10 @@
+// Stub of the real internal/chain store and ledger.
+package chain
+
+type Store struct{}
+
+func (s *Store) Apply(ws any) {}
+
+type Ledger struct{}
+
+func (l *Ledger) Append(b any) {}

@@ -1,0 +1,10 @@
+// Stub of the real internal/chaincode execution registry.
+package chaincode
+
+type Result struct{}
+
+type Registry struct{}
+
+func (r *Registry) Execute(tx any) Result { return Result{} }
+
+func (r *Registry) ExecuteOver(view, tx any) Result { return Result{} }

@@ -1,0 +1,583 @@
+// Package maporder flags map iteration with observable order in the
+// repository's deterministic packages.
+//
+// Go randomizes map iteration order per run. Replicas are deterministic
+// state machines — the simulator's byte-identical replay, the digest
+// chain, and the published BENCH baselines all depend on it — so a bare
+// `for k := range m` on a replicated or rendering path is a latent
+// divergence bug (PR 2 fixed five of them by hand; this analyzer keeps
+// the count at five).
+//
+// A range over a map (or over maps.Keys/Values/All) is accepted when the
+// loop is provably order-insensitive:
+//
+//   - the body only accumulates into commutative operations: integer
+//     `+= -= *= |= &= ^=`, `++`/`--`, writes to per-iteration locals
+//     (floating-point accumulation is rejected — float addition is not
+//     associative, so even a "sum" observes order);
+//   - the body takes an extremum: `if x < cur { cur = x }` (and the
+//     `!found ||` first-element variant), which stores the compared value
+//     itself, so ties are indistinguishable and order never shows;
+//   - the body only writes other maps or sets at the range key
+//     (`m2[k] = v`, `delete(m2, k)`), which touches each key once
+//     regardless of order;
+//   - the body only appends to slices that are sorted immediately after
+//     the loop (the canonical collect-then-sort fix);
+//   - conditionals over side-effect-free conditions around such bodies.
+//
+// Anything else is reported. Truly order-free loops the classifier
+// cannot prove carry an explicit
+//
+//	//ahl:nondeterministic <reason>
+//
+// suppression on or above the offending line.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag nondeterministically-ordered map iteration in deterministic packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.DeterministicPackage(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rng := rangeStmt(stmt)
+				if rng == nil || !mapOrdered(pass, rng.X) {
+					continue
+				}
+				c := &classifier{pass: pass, rng: rng}
+				if c.orderInsensitive() && c.sortedAfter(list[i+1:]) {
+					continue
+				}
+				pass.Reportf(rng.Pos(),
+					"nondeterministic iteration over map %s: collect and sort the keys, make the body commutative, or suppress with %s <reason>",
+					types.ExprString(rng.X), analysis.SuppressDirective)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// rangeStmt unwraps labels and returns stmt as a range statement, or nil.
+func rangeStmt(stmt ast.Stmt) *ast.RangeStmt {
+	for {
+		if l, ok := stmt.(*ast.LabeledStmt); ok {
+			stmt = l.Stmt
+			continue
+		}
+		rng, _ := stmt.(*ast.RangeStmt)
+		return rng
+	}
+}
+
+// mapOrdered reports whether ranging over x observes map order: x is of
+// map type, or is a direct call to maps.Keys/Values/All (whose iterators
+// inherit the map's randomized order).
+func mapOrdered(pass *analysis.Pass, x ast.Expr) bool {
+	if t := pass.TypesInfo.TypeOf(x); t != nil {
+		if _, ok := t.Underlying().(*types.Map); ok {
+			return true
+		}
+	}
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "maps" {
+		switch fn.Name() {
+		case "Keys", "Values", "All":
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call's static callee, or nil.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// classifier decides whether one map-range loop is provably
+// order-insensitive.
+type classifier struct {
+	pass *analysis.Pass
+	rng  *ast.RangeStmt
+
+	keyObj types.Object // range key variable, nil if absent or blank
+	valObj types.Object // range value variable, nil if absent or blank
+
+	writtenMaps   map[types.Object]bool // maps written or deleted-from in the body
+	appendTargets []types.Object        // outer slices the body appends to
+}
+
+func (c *classifier) orderInsensitive() bool {
+	info := c.pass.TypesInfo
+	// `for k = range m` into an outer variable leaks the (order-dependent)
+	// last key past the loop; only := and blank forms can be order-free.
+	if c.rng.Tok == token.ASSIGN {
+		return false
+	}
+	if id, ok := c.rng.Key.(*ast.Ident); ok && id.Name != "_" {
+		c.keyObj = info.Defs[id]
+	}
+	if id, ok := c.rng.Value.(*ast.Ident); ok && id.Name != "_" {
+		c.valObj = info.Defs[id]
+	}
+	c.writtenMaps = make(map[types.Object]bool)
+	c.collectWrites(c.rng.Body)
+	return c.stmtsOK(c.rng.Body.List)
+}
+
+// sortedAfter verifies that every slice the loop appended to is sorted
+// by the statements immediately following the loop. Loops that append
+// nothing pass trivially.
+func (c *classifier) sortedAfter(rest []ast.Stmt) bool {
+	if len(c.appendTargets) == 0 {
+		return true
+	}
+	sorted := make(map[types.Object]bool)
+	for _, stmt := range rest {
+		obj := c.sortCallTarget(stmt)
+		if obj == nil {
+			break
+		}
+		sorted[obj] = true
+	}
+	for _, target := range c.appendTargets {
+		if !sorted[target] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortCallTarget matches `sort.X(target, ...)` / `slices.SortX(target,
+// ...)` statements and returns the sorted object (unwrapping a single
+// conversion such as sort.StringSlice(target)), or nil.
+func (c *classifier) sortCallTarget(stmt ast.Stmt) types.Object {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	fn := calleeFunc(c.pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	ok = false
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			ok = true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			ok = true
+		}
+	}
+	if !ok {
+		return nil
+	}
+	arg := ast.Unparen(call.Args[0])
+	if inner, ok := arg.(*ast.CallExpr); ok && len(inner.Args) == 1 {
+		arg = ast.Unparen(inner.Args[0]) // sort.Sort(sort.StringSlice(keys))
+	}
+	return c.exprObj(arg)
+}
+
+// collectWrites records every map object the body writes to or deletes
+// from, so reads of those maps can be held to the range-key-only rule.
+func (c *classifier) collectWrites(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && c.isMap(ix.X) {
+					if obj := c.exprObj(ix.X); obj != nil {
+						c.writtenMaps[obj] = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok && c.isMap(ix.X) {
+				if obj := c.exprObj(ix.X); obj != nil {
+					c.writtenMaps[obj] = true
+				}
+			}
+		case *ast.CallExpr:
+			if c.isBuiltin(n, "delete") && len(n.Args) == 2 {
+				if obj := c.exprObj(n.Args[0]); obj != nil {
+					c.writtenMaps[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *classifier) stmtsOK(list []ast.Stmt) bool {
+	for _, stmt := range list {
+		if !c.stmtOK(stmt) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *classifier) stmtOK(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		return c.stmtsOK(s.List)
+	case *ast.IfStmt:
+		if c.extremumOK(s) {
+			return true
+		}
+		if s.Init != nil || !c.pureExpr(s.Cond) {
+			return false
+		}
+		if !c.stmtsOK(s.Body.List) {
+			return false
+		}
+		if s.Else != nil {
+			return c.stmtOK(s.Else)
+		}
+		return true
+	case *ast.BranchStmt:
+		// continue skips to the next iteration — order-free; break (and
+		// goto) make which iterations ran depend on order.
+		return s.Tok == token.CONTINUE && s.Label == nil
+	case *ast.IncDecStmt:
+		return c.commutativeTarget(s.X) && c.isInteger(s.X)
+	case *ast.AssignStmt:
+		return c.assignOK(s)
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok || !c.isBuiltin(call, "delete") || len(call.Args) != 2 {
+			return false
+		}
+		// Deleting any side-effect-free key works: the set of deleted
+		// keys is order-independent.
+		return c.pureExpr(call.Args[0]) && c.pureExpr(call.Args[1])
+	default:
+		return false
+	}
+}
+
+func (c *classifier) assignOK(s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.DEFINE:
+		for _, rhs := range s.Rhs {
+			if !c.pureExpr(rhs) {
+				return false
+			}
+		}
+		return true
+	case token.ASSIGN:
+		if len(s.Lhs) != len(s.Rhs) {
+			return false // multi-value calls are impure anyway
+		}
+		for i, lhs := range s.Lhs {
+			if !c.plainAssignOK(ast.Unparen(lhs), s.Rhs[i]) {
+				return false
+			}
+		}
+		return true
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		if len(s.Lhs) != 1 {
+			return false
+		}
+		lhs := ast.Unparen(s.Lhs[0])
+		// Integer accumulation commutes; float accumulation does not
+		// (rounding makes + non-associative), strings concatenate in
+		// order. Both are rejected.
+		return c.commutativeTarget(lhs) && c.isInteger(lhs) && c.pureExpr(s.Rhs[0])
+	default:
+		return false
+	}
+}
+
+// plainAssignOK validates one `lhs = rhs` pair inside the loop body.
+func (c *classifier) plainAssignOK(lhs ast.Expr, rhs ast.Expr) bool {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return c.pureExpr(rhs)
+		}
+		obj := c.pass.TypesInfo.Uses[lhs]
+		if obj == nil {
+			return false
+		}
+		if c.localVar(obj) {
+			// Per-iteration temp: dead after the iteration, order-free.
+			return c.pureExpr(rhs)
+		}
+		// Outer slice accumulated via append and sorted after the loop.
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && c.isBuiltin(call, "append") &&
+			len(call.Args) >= 1 && !call.Ellipsis.IsValid() {
+			if first := c.exprObj(call.Args[0]); first == obj {
+				for _, a := range call.Args[1:] {
+					if !c.pureExpr(a) {
+						return false
+					}
+				}
+				c.appendTargets = append(c.appendTargets, obj)
+				return true
+			}
+		}
+		return false // outer scalar: last-writer-wins observes order
+	case *ast.IndexExpr:
+		// Writing another map at the range key touches each key exactly
+		// once whatever the order.
+		return c.isMap(lhs.X) && c.isRangeKey(lhs.Index) && c.pureExpr(rhs)
+	default:
+		return false
+	}
+}
+
+// extremumOK recognizes order-insensitive extremum accumulation:
+//
+//	if x OP cur { cur = x }
+//	if !found || x OP cur { cur, found = x, true }
+//
+// where OP orders x against cur and the assignment stores exactly the
+// compared expression. Because only the compared value is stored, tied
+// elements are indistinguishable and the loop result is the same under
+// any visit order. Storing anything else alongside (a "best key", say)
+// breaks the argument and is not matched.
+func (c *classifier) extremumOK(s *ast.IfStmt) bool {
+	if s.Init != nil || s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	as, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+		return false
+	}
+	cond := ast.Unparen(s.Cond)
+	switch len(as.Lhs) {
+	case 2:
+		// `!found || cmp` guarding `cur, found = x, true`.
+		or, ok := cond.(*ast.BinaryExpr)
+		if !ok || or.Op != token.LOR {
+			return false
+		}
+		not, ok := ast.Unparen(or.X).(*ast.UnaryExpr)
+		if !ok || not.Op != token.NOT {
+			return false
+		}
+		guard, ok := ast.Unparen(not.X).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		flag, ok := ast.Unparen(as.Lhs[1]).(*ast.Ident)
+		if !ok || c.pass.TypesInfo.Uses[flag] == nil ||
+			c.pass.TypesInfo.Uses[flag] != c.pass.TypesInfo.Uses[guard] {
+			return false
+		}
+		if lit, ok := ast.Unparen(as.Rhs[1]).(*ast.Ident); !ok || lit.Name != "true" {
+			return false
+		}
+		cond = ast.Unparen(or.Y)
+	case 1:
+	default:
+		return false
+	}
+	cmp, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cmp.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	cur, x := as.Lhs[0], as.Rhs[0]
+	if !c.pureExpr(x) || !c.pureExpr(cur) {
+		return false
+	}
+	curS, xS := types.ExprString(cur), types.ExprString(x)
+	a, b := types.ExprString(cmp.X), types.ExprString(cmp.Y)
+	return (a == xS && b == curS) || (a == curS && b == xS)
+}
+
+// commutativeTarget reports whether expr may be the target of a
+// commutative accumulation: a variable (any scope) or a map entry at the
+// range key.
+func (c *classifier) commutativeTarget(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name != "_" && c.pass.TypesInfo.Uses[e] != nil
+	case *ast.SelectorExpr:
+		return c.pureExpr(e.X)
+	case *ast.IndexExpr:
+		return c.isMap(e.X) && c.isRangeKey(e.Index) && c.pureExpr(e.X)
+	}
+	return false
+}
+
+// pureExpr reports whether expr is side-effect-free and respects the
+// read-locality rule: maps the body writes may only be read at the range
+// key (reading them elsewhere observes which iterations ran first).
+func (c *classifier) pureExpr(expr ast.Expr) bool {
+	if expr == nil {
+		return false
+	}
+	pure := true
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if !pure {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if c.conversionOrPureBuiltin(n) {
+				return true
+			}
+			pure = false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pure = false
+			}
+		case *ast.IndexExpr:
+			if obj := c.exprObj(n.X); obj != nil && c.writtenMaps[obj] && !c.isRangeKey(n.Index) {
+				pure = false
+			}
+		case *ast.FuncLit:
+			pure = false
+		}
+		return pure
+	})
+	return pure
+}
+
+// conversionOrPureBuiltin accepts type conversions and the pure builtins
+// len/cap/min/max inside otherwise value-only expressions, plus append
+// onto a provably fresh slice (the `append([]byte(nil), v...)` deep-copy
+// idiom). Append onto anything else is rejected: a shared backing array
+// makes the result alias-dependent, which observes order.
+func (c *classifier) conversionOrPureBuiltin(call *ast.CallExpr) bool {
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := c.pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			switch fun.Name {
+			case "len", "cap", "min", "max":
+				return true
+			case "append":
+				return len(call.Args) >= 1 && c.freshSlice(call.Args[0])
+			}
+		}
+	}
+	return false
+}
+
+// freshSlice reports whether expr denotes a newly allocated (or nil)
+// slice that cannot alias state outside the iteration: a composite
+// literal or a `[]T(nil)` conversion.
+func (c *classifier) freshSlice(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if tv, ok := c.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			id, ok := ast.Unparen(e.Args[0]).(*ast.Ident)
+			return ok && id.Name == "nil"
+		}
+	}
+	return false
+}
+
+func (c *classifier) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = c.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isRangeKey reports whether expr is exactly the loop's key variable.
+func (c *classifier) isRangeKey(expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && c.keyObj != nil && c.pass.TypesInfo.Uses[id] == c.keyObj
+}
+
+// localVar reports whether obj is declared inside the loop body (or is
+// the range key/value), making writes to it per-iteration state.
+func (c *classifier) localVar(obj types.Object) bool {
+	if obj == c.keyObj || obj == c.valObj {
+		return true
+	}
+	return obj.Pos() >= c.rng.Body.Pos() && obj.Pos() < c.rng.Body.End()
+}
+
+func (c *classifier) isMap(expr ast.Expr) bool {
+	t := c.pass.TypesInfo.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func (c *classifier) isInteger(expr ast.Expr) bool {
+	t := c.pass.TypesInfo.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// exprObj resolves the variable or field an expression names, for
+// identity comparisons (append targets, written maps). Selector chains
+// resolve to the leaf field object.
+func (c *classifier) exprObj(expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return c.pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return c.pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}

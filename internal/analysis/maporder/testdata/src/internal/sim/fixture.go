@@ -1,0 +1,195 @@
+// Fixture for the maporder analyzer. The first five flagged loops
+// reproduce the shapes of the five map-order bugs PR 2 fixed by hand
+// (transition-plan shuffle, graceful handoff sends, checkpoint holders,
+// txn retry tick, first-match request forwarding).
+package sim
+
+import (
+	"maps"
+	"sort"
+)
+
+// Pattern 1 (PlanTransition): a shuffle assembled in map order.
+func planShuffle(nodes map[int]string) []string {
+	var order []string
+	for _, n := range nodes { // want `nondeterministic iteration over map nodes`
+		order = append(order, n)
+	}
+	return order
+}
+
+// Pattern 2 (gracefulHandoff): one send per entry, in map order.
+func handoff(peers map[string]int, send func(string)) {
+	for p := range peers { // want `nondeterministic iteration over map peers`
+		send(p)
+	}
+}
+
+// Pattern 3 (advanceStable): holders consumed positionally, never sorted.
+func holders(ck map[int]uint64, digest uint64) []int {
+	var hs []int
+	for idx, d := range ck { // want `nondeterministic iteration over map ck`
+		if d == digest {
+			hs = append(hs, idx)
+		}
+	}
+	return hs
+}
+
+// Pattern 4 (retryTick): retransmissions scheduled in map order.
+func retryTick(pending map[string]int, resend func(string, int)) {
+	for txid, st := range pending { // want `nondeterministic iteration over map pending`
+		resend(txid, st)
+	}
+}
+
+// Pattern 5 (request forwarding): first match wins, so order is the
+// result.
+func firstExecuted(entries map[uint64]bool) (uint64, bool) {
+	for s, e := range entries { // want `nondeterministic iteration over map entries`
+		if e {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// Float accumulation observes order (rounding makes + non-associative).
+func floatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `nondeterministic iteration over map m`
+		total += v
+	}
+	return total
+}
+
+// `for k = range` leaks the order-dependent last key past the loop.
+func lastKey(m map[string]int) string {
+	var k string
+	for k = range m { // want `nondeterministic iteration over map m`
+	}
+	return k
+}
+
+// maps.Keys inherits the map's randomized order.
+func viaKeys(m map[string]int, use func(string)) {
+	for k := range maps.Keys(m) { // want `nondeterministic iteration`
+		use(k)
+	}
+}
+
+// Inverting writes at the range value: duplicate values make the result
+// last-writer-wins.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m { // want `nondeterministic iteration over map m`
+		out[v] = k
+	}
+	return out
+}
+
+// break makes which iterations ran order-dependent.
+func breaks(m map[string]int) bool {
+	hot := false
+	for _, v := range m { // want `nondeterministic iteration over map m`
+		if v > 10 {
+			hot = true
+			break
+		}
+	}
+	return hot
+}
+
+// --- order-insensitive shapes the classifier accepts ---
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func count(m map[string]int, cut int) int {
+	n := 0
+	for _, v := range m {
+		if v > cut {
+			n++
+		}
+	}
+	return n
+}
+
+func maxKey(m map[uint64]bool) uint64 {
+	var max uint64
+	for s := range m {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+func earliest(m map[string]int) (int, bool) {
+	var e int
+	found := false
+	for _, v := range m {
+		if !found || v < e {
+			e, found = v, true
+		}
+	}
+	return e, found
+}
+
+func deepCopy(m map[string][]byte) map[string][]byte {
+	out := make(map[string][]byte, len(m))
+	for k, v := range m {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+func keySet(m map[string]int) map[string]bool {
+	set := make(map[string]bool, len(m))
+	for k := range m {
+		set[k] = true
+	}
+	return set
+}
+
+func prune(m map[string]int, cut int) {
+	for k, v := range m {
+		if v < cut {
+			delete(m, k)
+		}
+	}
+}
+
+func continues(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v == 0 {
+			continue
+		}
+		n += v
+	}
+	return n
+}
+
+// An explicit suppression (with the mandatory reason) waives a loop the
+// classifier cannot prove.
+func suppressed(m map[string]int, use func(string)) {
+	//ahl:nondeterministic fixture: the callback is asserted order-insensitive elsewhere
+	for k := range m {
+		use(k)
+	}
+}

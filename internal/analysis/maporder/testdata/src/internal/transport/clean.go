@@ -1,0 +1,9 @@
+// The live I/O layers are outside the deterministic set: bare map
+// iteration here is fine and must produce no findings.
+package transport
+
+func peersInAnyOrder(conns map[string]int, send func(string)) {
+	for addr := range conns {
+		send(addr)
+	}
+}

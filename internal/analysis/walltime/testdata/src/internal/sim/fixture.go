@@ -1,0 +1,33 @@
+// Fixture for the walltime analyzer.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	now := time.Now()                  // want `wall-clock time.Now`
+	time.Sleep(time.Millisecond)       // want `wall-clock time.Sleep`
+	_ = time.Since(now)                // want `wall-clock time.Since`
+	_ = time.After(time.Second)        // want `wall-clock time.After`
+	_ = time.NewTimer(time.Second)     // want `wall-clock time.NewTimer`
+	_ = rand.Intn(4)                   // want `global math/rand.Intn`
+	rand.Shuffle(1, func(i, j int) {}) // want `global math/rand.Shuffle`
+}
+
+func good() {
+	// Seeded generators are the deterministic way to draw randomness;
+	// the constructors themselves are allowed.
+	r := rand.New(rand.NewSource(7))
+	_ = r.Intn(4)
+	// Durations, constants, and time arithmetic stay free: the simulator
+	// itself models time.
+	d := 5 * time.Millisecond
+	t0 := time.Unix(0, 0)
+	_ = t0.Add(d)
+}
+
+func suppressedBridge() {
+	_ = time.Now() //ahl:nondeterministic fixture: wall-clock bridge boundary
+}

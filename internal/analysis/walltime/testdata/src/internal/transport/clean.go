@@ -1,0 +1,6 @@
+// The live I/O layers may use the wall clock freely.
+package transport
+
+import "time"
+
+func dialDeadline() time.Time { return time.Now().Add(time.Second) }

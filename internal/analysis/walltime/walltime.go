@@ -1,0 +1,88 @@
+// Package walltime flags wall-clock and global-randomness use in the
+// repository's deterministic packages.
+//
+// Simulated time comes from sim.Engine.Now and engine-scheduled timers;
+// randomness comes from seeded *rand.Rand instances derived from the
+// engine or the topology seed. A stray time.Now or package-level
+// rand.Intn in a consensus or simulator path silently breaks
+// byte-identical replay — the schedule still runs, the digests just stop
+// matching between runs, which is exactly the class of bug that is
+// cheapest to reject at compile time and most expensive to bisect later.
+//
+// The live I/O layers (internal/transport, internal/storage), the bench
+// runner's report metadata, and the binaries under cmd/ are outside the
+// deterministic set and may use the wall clock freely. The live-runtime
+// files inside deterministic packages (internal/core's wall-clock
+// bridge) carry explicit //ahl:nondeterministic suppressions — the
+// bridge is constitutively wall-clock, and the annotation keeps that
+// fact reviewed.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the walltime check.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "flag wall-clock time and global math/rand use in deterministic packages",
+	Run:  run,
+}
+
+// bannedTime are the time package's wall-clock entry points. Types and
+// constants (time.Duration, time.Millisecond) remain free — the
+// simulator itself models durations.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRand are the math/rand constructors: building a seeded
+// generator is exactly what deterministic code should do. Everything
+// else at package level draws from the shared, wall-seeded source.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.DeterministicPackage(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if recv := fn.Signature().Recv(); recv != nil {
+				return true // methods (e.g. *rand.Rand, time.Time) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTime[fn.Name()] {
+					pass.Reportf(id.Pos(),
+						"wall-clock time.%s in deterministic package %s: use the engine clock (sim.Engine.Now / engine timers), or suppress with %s <reason>",
+						fn.Name(), analysis.NormalizePath(pass.Path), analysis.SuppressDirective)
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[fn.Name()] {
+					pass.Reportf(id.Pos(),
+						"global %s.%s in deterministic package %s: draw from a seeded *rand.Rand derived from the engine or topology seed, or suppress with %s <reason>",
+						fn.Pkg().Path(), fn.Name(), analysis.NormalizePath(pass.Path), analysis.SuppressDirective)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

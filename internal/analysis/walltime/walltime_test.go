@@ -1,0 +1,12 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/walltime"
+)
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, "testdata", walltime.Analyzer, "internal/sim", "internal/transport")
+}

@@ -1,0 +1,38 @@
+// Fixture for the wireexhaust analyzer: a wire-registering protocol
+// package with deliberate registry drift in both directions.
+package pbft
+
+import (
+	"internal/simnet"
+	"internal/wire"
+)
+
+const (
+	MsgPrePrepare = "pbft/pre-prepare"
+	MsgPrepare    = "pbft/prepare"
+	MsgCommit     = "pbft/commit"
+	MsgCheckpoint = "pbft/checkpoint"
+	// The "deleted registration" case: the constant exists, its codec is
+	// gone.
+	MsgOrphan = "pbft/orphan" // want `has no wire codec`
+)
+
+var dynamic = "pbft/dynamic"
+
+func init() {
+	wire.Register(MsgPrePrepare, wire.Codec{})
+	// The batch idiom resolves through the range variable.
+	for _, typ := range []string{MsgPrepare, MsgCommit} {
+		wire.Register(typ, wire.Codec{})
+	}
+	wire.Register(MsgCheckpoint, wire.Codec{})
+	wire.Register("pbft/literal", wire.Codec{}) // want `matches no Msg`
+	wire.Register(dynamic, wire.Codec{})        // want `must be a message-type constant`
+}
+
+func send(ep func(simnet.Message)) {
+	ep(simnet.Message{Type: MsgPrepare})
+	ep(simnet.Message{Type: "pbft/unreg"}) // want `unregistered type "pbft/unreg"`
+	_ = wire.PayloadSize(MsgCommit, nil)
+	_ = wire.PayloadSize("pbft/unreg2", nil) // want `unregistered message type "pbft/unreg2"`
+}

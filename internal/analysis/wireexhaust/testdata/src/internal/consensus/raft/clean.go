@@ -1,0 +1,11 @@
+// A simulation-only baseline: message constants but no wire.Register
+// call anywhere, so the package is out of the analyzer's scope and
+// produces no findings.
+package raft
+
+const (
+	msgVote   = "raft/vote"
+	msgAppend = "raft/append"
+)
+
+type vote struct{ Term uint64 }

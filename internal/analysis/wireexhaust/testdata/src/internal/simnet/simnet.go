@@ -1,0 +1,11 @@
+// Stub of the real internal/simnet Message type.
+package simnet
+
+type NodeID int
+
+type Message struct {
+	To      NodeID
+	Type    string
+	Payload any
+	Size    int
+}

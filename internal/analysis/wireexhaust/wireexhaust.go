@@ -1,0 +1,263 @@
+// Package wireexhaust cross-checks message-type constants against wire
+// codec registrations.
+//
+// Every protocol package that participates in the live wire protocol
+// registers a codec per message type from its wire.go init (PR 4 did
+// all 28 by hand). Drift in either direction is a runtime failure, not
+// a compile error: a constant without a codec panics in
+// wire.PayloadSize on the first simulated send (or fails decode on the
+// live transport); a registration without a constant is dead weight
+// that masks a rename. This analyzer makes the registry exhaustive by
+// construction, per package:
+//
+//   - in any package containing wire.Register calls, every package-level
+//     string constant named Msg*/msg* must be registered;
+//   - every registration must resolve to such a constant (string
+//     literals and constants from elsewhere are flagged) — either
+//     directly or via the `for _, typ := range []string{...}` batch
+//     idiom;
+//   - every simnet.Message composite literal's Type field and every
+//     wire.PayloadSize call must use a registered value.
+//
+// Packages with no wire.Register call are skipped entirely: the
+// simulation-only consensus baselines (raft, tendermint, poet) exchange
+// messages that never cross a process boundary and deliberately have no
+// codecs.
+package wireexhaust
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the wireexhaust check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wireexhaust",
+	Doc:  "cross-check message-type constants against wire codec registrations",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	w := &walker{pass: pass, registered: make(map[string]bool)}
+
+	// Pass 1: collect registrations. Packages that never register are
+	// out of scope.
+	for _, f := range pass.Files {
+		ast.Inspect(f, w.collectRegistration)
+	}
+	if !w.registering {
+		return nil
+	}
+
+	// Pass 2: message-type constants must all be registered.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					cst, ok := pass.TypesInfo.Defs[name].(*types.Const)
+					if !ok || !msgConstName(name.Name) {
+						continue
+					}
+					if cst.Val().Kind() != constant.String {
+						continue
+					}
+					val := constant.StringVal(cst.Val())
+					w.constVals = append(w.constVals, val)
+					if !w.registered[val] {
+						pass.Reportf(name.Pos(),
+							"message type constant %s (%q) has no wire codec: register one in this package's wire.go init, or the first live send/decode of this type will fail at runtime",
+							name.Name, val)
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: registrations must come from this package's constants, and
+	// every message construction site must use a registered type.
+	for _, f := range pass.Files {
+		ast.Inspect(f, w.checkUses)
+	}
+	for val, pos := range w.registeredAt {
+		found := false
+		for _, cv := range w.constVals {
+			if cv == val {
+				found = true
+				break
+			}
+		}
+		if !found {
+			pass.Reportf(pos,
+				"wire.Register of %q matches no Msg*/msg* constant in this package: name the type with a message-type constant so the exhaustiveness check covers it",
+				val)
+		}
+	}
+	return nil
+}
+
+// msgConstName reports whether a constant participates in the
+// message-type naming convention.
+func msgConstName(name string) bool {
+	return strings.HasPrefix(name, "Msg") || strings.HasPrefix(name, "msg")
+}
+
+type walker struct {
+	pass        *analysis.Pass
+	registering bool
+	registered  map[string]bool
+	// registeredAt remembers one representative position per registered
+	// value for the reverse-direction diagnostic. Iteration over it does
+	// not order diagnostics: the driver sorts findings by position.
+	registeredAt map[string]token.Pos
+	constVals    []string
+}
+
+// collectRegistration records wire.Register(arg, ...) values.
+func (w *walker) collectRegistration(n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok || len(call.Args) < 1 {
+		return true
+	}
+	if !w.wireFunc(call, "Register") {
+		return true
+	}
+	w.registering = true
+	if w.registeredAt == nil {
+		w.registeredAt = make(map[string]token.Pos)
+	}
+	arg := ast.Unparen(call.Args[0])
+	if val, ok := w.constString(arg); ok {
+		w.registered[val] = true
+		w.registeredAt[val] = arg.Pos()
+		return true
+	}
+	// The batch idiom: for _, typ := range []string{msgA, msgB} {
+	// wire.Register(typ, ...) }. Resolve the range variable back to the
+	// literal's constant elements.
+	if id, ok := arg.(*ast.Ident); ok {
+		if vals, ok2 := w.rangeLiteralValues(id); ok2 {
+			for _, v := range vals {
+				w.registered[v] = true
+				w.registeredAt[v] = arg.Pos()
+			}
+			return true
+		}
+	}
+	w.pass.Reportf(arg.Pos(),
+		"wire.Register argument must be a message-type constant (or a range over a []string literal of them): anything else hides the type from the exhaustiveness check")
+	return true
+}
+
+// rangeLiteralValues resolves id — the value variable of an enclosing
+// `for _, id := range []string{...}` — to the literal's constant
+// elements. The search is file-wide by object identity, so the range
+// statement need not lexically contain the call being inspected.
+func (w *walker) rangeLiteralValues(id *ast.Ident) ([]string, bool) {
+	obj := w.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil, false
+	}
+	var vals []string
+	found := false
+	for _, f := range w.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || found {
+				return !found
+			}
+			vid, ok := rng.Value.(*ast.Ident)
+			if !ok || w.pass.TypesInfo.Defs[vid] != obj {
+				return true
+			}
+			lit, ok := ast.Unparen(rng.X).(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				v, ok := w.constString(elt)
+				if !ok {
+					return true
+				}
+				vals = append(vals, v)
+			}
+			found = true
+			return false
+		})
+	}
+	return vals, found
+}
+
+// checkUses flags message constructions and size computations with
+// unregistered types.
+func (w *walker) checkUses(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if w.wireFunc(n, "PayloadSize") && len(n.Args) >= 1 {
+			if val, ok := w.constString(n.Args[0]); ok && !w.registered[val] {
+				w.pass.Reportf(n.Args[0].Pos(),
+					"wire.PayloadSize of unregistered message type %q panics at the first send: register a codec for it", val)
+			}
+		}
+	case *ast.CompositeLit:
+		t := w.pass.TypesInfo.TypeOf(n)
+		if t == nil {
+			return true
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Name() != "Message" || named.Obj().Pkg() == nil ||
+			analysis.NormalizePath(named.Obj().Pkg().Path()) != "internal/simnet" {
+			return true
+		}
+		for _, elt := range n.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Type" {
+				continue
+			}
+			if val, ok := w.constString(kv.Value); ok && !w.registered[val] {
+				w.pass.Reportf(kv.Value.Pos(),
+					"simnet.Message with unregistered type %q: this frame cannot cross the wire (no codec) — register one", val)
+			}
+		}
+	}
+	return true
+}
+
+// wireFunc reports whether call's callee is internal/wire's function of
+// the given name.
+func (w *walker) wireFunc(call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	p := analysis.NormalizePath(fn.Pkg().Path())
+	return p == "internal/wire" || p == "wire"
+}
+
+// constString resolves expr's compile-time string value.
+func (w *walker) constString(expr ast.Expr) (string, bool) {
+	tv, ok := w.pass.TypesInfo.Types[ast.Unparen(expr)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

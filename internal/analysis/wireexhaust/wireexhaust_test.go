@@ -1,0 +1,13 @@
+package wireexhaust_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wireexhaust"
+)
+
+func TestWireExhaust(t *testing.T) {
+	analysistest.Run(t, "testdata", wireexhaust.Analyzer,
+		"internal/consensus/pbft", "internal/consensus/raft")
+}

@@ -134,6 +134,7 @@ func (r *Replica) planParallel(txs []chain.Tx) *execPlan {
 	// correct.
 	owner := make(map[string]int)
 	for gi := range out {
+		//ahl:nondeterministic conflict detection is a predicate over the full key set: it returns nil iff any key spans two groups, whatever the visit order, and owner never outlives a clean pass
 		for k := range out[gi].touched {
 			if prev, ok := owner[k]; ok && prev != gi {
 				return nil

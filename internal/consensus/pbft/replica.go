@@ -664,15 +664,16 @@ func (r *Replica) retransmitVotes() {
 	// leader's window fills, and the committee wedges with no view change
 	// able to rescue it (new-view messages carry h but cannot mint the
 	// missing checkpoint attestations).
+	self := r.self()
 	ckSeqs := make([]uint64, 0, len(r.checkpoints))
 	for seq := range r.checkpoints {
-		if seq > r.h && r.checkpoints[seq][r.self()] != nil {
+		if seq > r.h && r.checkpoints[seq][self] != nil {
 			ckSeqs = append(ckSeqs, seq)
 		}
 	}
 	sort.Slice(ckSeqs, func(i, j int) bool { return ckSeqs[i] < ckSeqs[j] })
 	for _, seq := range ckSeqs {
-		r.broadcast(msgCheckpoint, r.checkpoints[seq][r.self()])
+		r.broadcast(msgCheckpoint, r.checkpoints[seq][self])
 	}
 	for seq := r.h + 1; seq <= r.h+r.opts.Window; seq++ {
 		e := r.entries[seq]
@@ -1291,11 +1292,18 @@ func (r *Replica) advanceStable(seq uint64, digest blockcrypto.Digest, ck map[in
 		}
 	}
 	sort.Ints(holders)
+	// Sorted: recycling feeds the entry reuse pool, so map-order iteration
+	// here would make pool order (and future entry identity) run-dependent.
+	var drop []uint64
 	for s, e := range r.entries {
 		if s <= seq && (e.executed || !e.committed) {
-			delete(r.entries, s)
-			r.recycleEntry(e)
+			drop = append(drop, s)
 		}
+	}
+	sort.Slice(drop, func(i, j int) bool { return drop[i] < drop[j] })
+	for _, s := range drop {
+		r.recycleEntry(r.entries[s])
+		delete(r.entries, s)
 	}
 	for s := range r.checkpoints {
 		if s < seq {

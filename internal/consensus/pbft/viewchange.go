@@ -329,10 +329,17 @@ func (r *Replica) adoptNewView(m *newViewMsg) {
 	for _, p := range m.Reissue {
 		reissued[p.Seq] = true
 	}
+	// Sorted: unmarkBatched mutates the pending pool, so the drop order
+	// must not depend on map iteration.
+	var drop []uint64
 	for s, e := range r.entries {
-		if e.executed {
-			continue
+		if !e.executed {
+			drop = append(drop, s)
 		}
+	}
+	sort.Slice(drop, func(i, j int) bool { return drop[i] < drop[j] })
+	for _, s := range drop {
+		e := r.entries[s]
 		delete(r.entries, s)
 		// Make the dropped entry's transactions eligible for re-batching.
 		if e.block != nil && !reissued[s] {

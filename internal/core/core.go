@@ -412,6 +412,7 @@ func PaymentDTx(shards int, txid, from, to string, amount int64) txn.DTx {
 // owning shard into one prepare op per shard.
 func (s *System) KVUpdateDTx(txid string, kv map[string]string) txn.DTx {
 	perShard := make(map[int][]string)
+	//ahl:nondeterministic pairs are bucketed per shard and re-sorted by sortPairs before the op is built, so bucket fill order is immaterial
 	for k, v := range kv {
 		sh := s.ShardOfKey(k)
 		perShard[sh] = append(perShard[sh], k, v)

@@ -327,6 +327,9 @@ func TestSystemWithoutReferenceCommitteeSingleShardTxs(t *testing.T) {
 }
 
 func TestReshardingSwapBatchKeepsThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-epoch resharding simulation in -short mode")
+	}
 	// Figure 12's claim: swap-all renders the system non-operational
 	// during the transition; swap-log(n) maintains throughput.
 	run := func(mode ReshardMode) (total int, minTps float64) {

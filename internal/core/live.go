@@ -118,13 +118,13 @@ func (l *liveLoop) start() { go l.run() }
 
 func (l *liveLoop) run() {
 	defer close(l.done)
-	wallStart := time.Now()
+	wallStart := time.Now() //ahl:nondeterministic the live loop IS the wall-clock bridge: it maps real elapsed time onto the virtual clock
 	base := l.engine.Now()
-	timer := time.NewTimer(time.Hour)
+	timer := time.NewTimer(time.Hour) //ahl:nondeterministic live-mode sleep between virtual-clock advances; never used under simulation
 	defer timer.Stop()
 	for {
 		// Advance the virtual clock to "now" and run everything due.
-		target := base.Add(time.Since(wallStart))
+		target := base.Add(time.Since(wallStart)) //ahl:nondeterministic wall-clock bridge: elapsed real time drives the virtual target
 		if target <= base {
 			target = base + 1 // Run treats 0 as "until idle"
 		}

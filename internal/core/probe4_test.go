@@ -14,6 +14,9 @@ import (
 )
 
 func TestProbeBatch11(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping shard-size-11 batch probe simulation in -short mode")
+	}
 	s := NewSystem(Config{
 		Seed: 2, Shards: 2, ShardSize: 11, RefSize: 0,
 		Variant: pbft.VariantAHLPlus, Clients: 1,

@@ -23,6 +23,21 @@
 // share no state, so independent simulations may run on separate goroutines
 // concurrently (the parallel experiment runner in internal/bench does).
 //
+// Determinism invariants. Code that runs under an Engine (this package
+// and every deterministic package listed in internal/analysis) must obey
+// two rules beyond "advance time only through the Engine": never iterate
+// a map where the order can reach an observable output (schedule an
+// event, send a message, build a digest, render a report) without
+// sorting or proving the body order-insensitive, and never consult the
+// wall clock or the global math/rand source — randomness comes from
+// seeded *rand.Rand instances derived from the engine or topology seed.
+// The dynamic harnesses (byte-identical replay, the serial-vs-parallel
+// equivalence suite) sample these invariants at runtime; the ahlvet
+// analyzer suite (internal/analysis, cmd/ahlvet) enforces them at build
+// time, with //ahl:nondeterministic <reason> as the reviewed escape
+// hatch for the few constitutively wall-clock boundaries (the live-mode
+// bridge in internal/core).
+//
 // The event queue is an inlined index-based 4-ary min-heap storing events
 // by value: scheduling performs no per-event allocation (the backing array
 // grows amortized), and the comparison is specialized to the (at, seq) key

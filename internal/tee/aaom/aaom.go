@@ -131,6 +131,7 @@ func (m *Memory) End(log string) (uint64, bool) {
 // Truncate drops all bindings at or below slot for every log; AHL calls it
 // at stable checkpoints to bound enclave memory.
 func (m *Memory) Truncate(slot uint64) {
+	//ahl:nondeterministic per-log truncation is delete-only and independent per log; no cross-log state is observed
 	for _, l := range m.logs {
 		for s := range l {
 			if s <= slot {

@@ -199,6 +199,7 @@ func (m *Manager) stageBlob() []byte {
 	// executed yet; those must survive even when marked done (a late
 	// cleanup could still be in flight).
 	pendingTx := make(map[string]bool)
+	//ahl:nondeterministic set insertion of a constant keyed by txid, guarded by a read-only ExecutedOK query; insertion order is invisible
 	for id, ref := range m.injectedTx {
 		if _, executed := m.replica.ExecutedOK(id); !executed {
 			pendingTx[ref.txid] = true
@@ -357,7 +358,10 @@ func (m *Manager) DanglingLocks() []string {
 	}
 	var out []string
 	seen := make(map[string]bool)
-	for _, ref := range m.injectedTx {
+	// Sorted injection order: callers diff this list across restarts, so
+	// its order must not depend on map iteration.
+	for _, id := range sortedKeys(m.injectedTx) {
+		ref := m.injectedTx[id]
 		if ref.kind == "prepare" && !m.done[ref.txid] && !seen[ref.txid] {
 			seen[ref.txid] = true
 			out = append(out, ref.txid)

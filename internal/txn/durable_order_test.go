@@ -1,0 +1,45 @@
+package txn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestDanglingLocksDeterministicOrder pins the fix for a real
+// nondeterminism bug the ahlvet sweep surfaced: DanglingLocks used to
+// walk injectedTx in map order, so the returned txid list differed
+// between otherwise identical runs. It must come back in injection-id
+// order no matter how the map was populated.
+func TestDanglingLocksDeterministicOrder(t *testing.T) {
+	entries := []struct {
+		id  uint64
+		ref kindRef
+	}{
+		{40, kindRef{"tx-d", "prepare"}},
+		{11, kindRef{"tx-a", "prepare"}},
+		{12, kindRef{"tx-a", "prepare"}}, // duplicate txid: reported once
+		{23, kindRef{"tx-b", "commit"}},  // phase 2: not a dangling lock
+		{31, kindRef{"tx-c", "prepare"}},
+		{55, kindRef{"tx-done", "prepare"}}, // done: lock released
+		{60, kindRef{"tx-e", "prepare"}},
+	}
+	want := []string{"tx-a", "tx-c", "tx-d", "tx-e"}
+
+	rng := rand.New(rand.NewSource(1))
+	for run := 0; run < 50; run++ {
+		m := &Manager{
+			role:       RoleShard,
+			injectedTx: make(map[uint64]kindRef, len(entries)),
+			done:       map[string]bool{"tx-done": true},
+		}
+		// A fresh map populated in a different order each run: any
+		// map-order dependence shows up as a permuted result.
+		for _, i := range rng.Perm(len(entries)) {
+			m.injectedTx[entries[i].id] = entries[i].ref
+		}
+		if got := m.DanglingLocks(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d: DanglingLocks() = %v, want %v", run, got, want)
+		}
+	}
+}

@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Live-throughput perf smoke: start the 12-replica loopback topology with
 # the WAL on (fsync: interval — the deployment-recommended group-commit
 # mode PERFORMANCE.md tracks), drive a closed-loop SmallBank mix through
@@ -16,7 +16,7 @@
 #   LIVE_PERF_LABEL        label recorded in the row     (default live-smoke)
 #
 # Run from the repository root.
-set -e
+set -euo pipefail
 
 TXS="${LIVE_PERF_TXS:-3000}"
 OUTSTANDING="${LIVE_PERF_OUTSTANDING:-128}"
@@ -28,8 +28,23 @@ LABEL="${LIVE_PERF_LABEL:-live-smoke}"
 BIN="$(mktemp -d)"
 DATA="$BIN/data"
 TOPO="$BIN/topology.json"
-PIDS=""
-trap 'kill $PIDS 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+PIDS=()
+trap 'kill "${PIDS[@]}" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+
+# build_tool compiles one command into $BIN and refuses to continue on
+# failure: a stale or missing binary must never masquerade as a perf
+# result.
+build_tool() {
+  local pkg="$1" out="$2"
+  if ! go build -o "$out" "$pkg"; then
+    echo "FAIL: go build $pkg failed — refusing to run with a stale/missing binary" >&2
+    exit 1
+  fi
+  if [ ! -x "$out" ]; then
+    echo "FAIL: $out not produced by go build $pkg" >&2
+    exit 1
+  fi
+}
 
 # The perf topology mirrors examples/livecluster/topology.json (2 shards
 # of 4 + reference committee of 4 + 1 client) but journals every replica
@@ -68,29 +83,26 @@ cat >"$TOPO" <<'EOF'
 EOF
 
 echo "== building ahlnode + ahlctl"
-go build -o "$BIN/ahlnode" ./cmd/ahlnode
-go build -o "$BIN/ahlctl" ./cmd/ahlctl
+build_tool ./cmd/ahlnode "$BIN/ahlnode"
+build_tool ./cmd/ahlctl "$BIN/ahlctl"
 
 echo "== starting 12 replicas (WAL on, fsync=interval) under $DATA"
 for id in 0 1 2 3 4 5 6 7 8 9 10 11; do
   "$BIN/ahlnode" -topo "$TOPO" -id "$id" -data "$DATA" 2>"$BIN/node$id.log" &
-  PIDS="$PIDS $!"
+  PIDS+=("$!")
 done
 sleep 1
 
 echo "== driving $TXS transactions (30% cross-shard, window $OUTSTANDING)"
-GATE_ARGS=""
+GATE_ARGS=()
 if [ "$GATE" != "0" ] && [ -f "$BASELINE" ]; then
-  GATE_ARGS="-compare $BASELINE -gate $GATE"
+  GATE_ARGS=(-compare "$BASELINE" -gate "$GATE")
   echo "== gating against $BASELINE (allowed regression ${GATE}%)"
 fi
-set +e
-# shellcheck disable=SC2086 # GATE_ARGS is intentionally word-split
+code=0
 "$BIN/ahlctl" -topo "$TOPO" -accounts 32 -txs "$TXS" -outstanding "$OUTSTANDING" \
-  -cross 0.3 -timeout 300s -label "$LABEL" -json "$OUT" $GATE_ARGS \
-  2>"$BIN/ctl.log"
-code=$?
-set -e
+  -cross 0.3 -timeout 300s -label "$LABEL" -json "$OUT" "${GATE_ARGS[@]}" \
+  2>"$BIN/ctl.log" || code=$?
 if [ "$code" -ne 0 ]; then
   echo "FAIL: live perf run failed (exit $code; 3 = regression gate)" >&2
   cat "$BIN/ctl.log" >&2

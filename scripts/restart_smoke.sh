@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Crash-restart smoke on the real-process cluster: start the 12-replica
 # loopback topology with durable data dirs, drive ahlctl load, kill -9 one
 # shard replica mid-load, restart it, and assert that
@@ -10,31 +10,47 @@
 # equivalent, TestLiveClusterReplicaRestartRecovery (internal/core), which
 # CI runs under -race; this script proves the same story end-to-end with
 # real processes and a real SIGKILL. Run from the repository root.
-set -e
+set -euo pipefail
 
 TOPO="examples/livecluster/topology.json"
 BIN="$(mktemp -d)"
 DATA="$BIN/data"
 VICTIM=3 # shard 0, replica index 3 — never the initial leader
-PIDS=""
+VICTIM_PID=""
+LAST_PID=""
+PIDS=()
 # The victim pid is already dead when the trap fires, so the kill must
 # not abort the trap under set -e.
-trap 'kill $PIDS 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+trap 'kill "${PIDS[@]}" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+
+# build_tool compiles one command into $BIN and refuses to continue on
+# failure: a stale or missing binary would invalidate the whole smoke.
+build_tool() {
+  local pkg="$1" out="$2"
+  if ! go build -o "$out" "$pkg"; then
+    echo "FAIL: go build $pkg failed — refusing to run with a stale/missing binary" >&2
+    exit 1
+  fi
+  if [ ! -x "$out" ]; then
+    echo "FAIL: $out not produced by go build $pkg" >&2
+    exit 1
+  fi
+}
 
 echo "== building ahlnode + ahlctl"
-go build -o "$BIN/ahlnode" ./cmd/ahlnode
-go build -o "$BIN/ahlctl" ./cmd/ahlctl
+build_tool ./cmd/ahlnode "$BIN/ahlnode"
+build_tool ./cmd/ahlctl "$BIN/ahlctl"
 
 start_node() {
   "$BIN/ahlnode" -topo "$TOPO" -id "$1" -data "$DATA" -status 1s 2>"$BIN/node$1$2.log" &
   LAST_PID=$!
-  PIDS="$PIDS $LAST_PID"
+  PIDS+=("$LAST_PID")
 }
 
 echo "== starting 12 replicas with data dirs under $DATA"
 for id in 0 1 2 3 4 5 6 7 8 9 10 11; do
   start_node "$id" ""
-  if [ "$id" = "$VICTIM" ]; then VICTIM_PID=$LAST_PID; fi
+  if [ "$id" = "$VICTIM" ]; then VICTIM_PID="$LAST_PID"; fi
 done
 sleep 1
 
@@ -57,7 +73,11 @@ if ! wait "$CTL"; then
   cat "$BIN/ctl1.log" >&2
   exit 1
 fi
-grep '^  transactions' "$BIN/ctl1.log"
+if ! grep '^  transactions' "$BIN/ctl1.log"; then
+  echo "FAIL: no transaction summary in the first load run" >&2
+  cat "$BIN/ctl1.log" >&2
+  exit 1
+fi
 
 echo "== checking recovery markers on node $VICTIM"
 if ! grep -q "recovered snapshot" "$BIN/node$VICTIM-restarted.log"; then
@@ -69,6 +89,7 @@ fi
 # Rejoin: the restarted replica's executed counter must advance past its
 # boot-replay value (statesync + new traffic), visible in -status lines.
 rejoined=""
+execd=""
 for _ in $(seq 1 30); do
   execd="$(sed -n 's/.*executed=\([0-9]*\).*/\1/p' "$BIN/node$VICTIM-restarted.log" | tail -1)"
   if [ -n "$execd" ] && [ "$execd" -gt 0 ]; then rejoined=yes; break; fi
@@ -88,6 +109,10 @@ if ! "$BIN/ahlctl" -topo "$TOPO" -accounts 32 -txs 200 -cross 0.5 -seed 2 \
   cat "$BIN/ctl2.log" >&2
   exit 1
 fi
-grep '^  transactions' "$BIN/ctl2.log"
+if ! grep '^  transactions' "$BIN/ctl2.log"; then
+  echo "FAIL: no transaction summary in the second load run" >&2
+  cat "$BIN/ctl2.log" >&2
+  exit 1
+fi
 
 echo "restart smoke OK"
