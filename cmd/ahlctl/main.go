@@ -8,6 +8,11 @@
 // Cross-shard transactions are §6.3 sendPayment transfers driven through
 // the reference committee's 2PC (Figure 5); single-shard transactions are
 // smallbank queries acknowledged by f+1 replica replies.
+//
+// The scrape subcommand aggregates a running cluster's observability
+// endpoints (each node's metrics_addr) into one latency-breakdown table:
+//
+//	ahlctl scrape -topo topology.json
 package main
 
 import (
@@ -50,6 +55,10 @@ type liveReport struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "scrape" {
+		runScrape(os.Args[2:])
+		return
+	}
 	var (
 		topoPath    = flag.String("topo", "", "cluster topology JSON (required)")
 		id          = flag.Int("id", -1, "client node id (default: first client in the topology)")

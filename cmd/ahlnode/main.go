@@ -15,6 +15,11 @@
 // make the process exit non-zero (a replica that cannot journal must not
 // keep executing).
 //
+// With a metrics address (topology metrics_addr or -metrics-addr) the
+// process serves its observability endpoints over HTTP: Prometheus
+// /metrics, JSON /snapshot, the recent-transaction /trace ring, and
+// net/http/pprof under /debug/pprof/.
+//
 // The process serves until SIGINT/SIGTERM, then shuts down gracefully
 // (event loop stopped, storage flushed and closed, outbound queues
 // flushed).
@@ -24,24 +29,27 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/transport"
 )
 
 func main() {
 	var (
-		topoPath = flag.String("topo", "", "cluster topology JSON (required)")
-		id       = flag.Int("id", -1, "this node's id in the topology (required)")
-		listen   = flag.String("listen", "", "listen address override (default: this node's topology address)")
-		dataDir  = flag.String("data", "", "durable-state root override (default: topology data_dir; empty = memory-only)")
-		statusIv = flag.Duration("status", 10*time.Second, "status log interval (0 disables)")
-		verbose  = flag.Bool("v", false, "log transport diagnostics")
+		topoPath    = flag.String("topo", "", "cluster topology JSON (required)")
+		id          = flag.Int("id", -1, "this node's id in the topology (required)")
+		listen      = flag.String("listen", "", "listen address override (default: this node's topology address)")
+		dataDir     = flag.String("data", "", "durable-state root override (default: topology data_dir; empty = memory-only)")
+		metricsAddr = flag.String("metrics-addr", "", "observability HTTP address override (default: this node's topology metrics_addr; empty = off)")
+		statusIv    = flag.Duration("status", 10*time.Second, "status log interval (0 disables)")
+		verbose     = flag.Bool("v", false, "log transport diagnostics")
 	)
 	flag.Parse()
 	if *topoPath == "" || *id < 0 {
@@ -72,7 +80,6 @@ func main() {
 		Listen: addr,
 		Peers:  cfg.PeerAddrs(),
 		Logf:   logf,
-		Warnf:  log.Printf, // overflow warnings are wanted even without -v
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -82,6 +89,25 @@ func main() {
 		tr.Close()
 		log.Fatal(err)
 	}
+	// All transport health (queue depth per peer, overflows, reconnects)
+	// lives in the registry; the periodic status line and /metrics render
+	// the same counters.
+	tr.RegisterMetrics(node.Obs().Reg)
+
+	obsAddr := *metricsAddr
+	if obsAddr == "" {
+		obsAddr = cfg.MetricsAddr(nodeID)
+	}
+	if obsAddr != "" {
+		srv := &http.Server{Addr: obsAddr, Handler: obs.NewHTTPHandler(node.Obs())}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("ahlnode %d: metrics server: %v", *id, err)
+			}
+		}()
+		defer srv.Close()
+	}
+
 	var desc string
 	if place.Role == core.RoleShardReplica {
 		desc = fmt.Sprintf("shard %d replica %d", place.Shard, place.Index)
@@ -92,7 +118,11 @@ func main() {
 	if dir := cfg.NodeDataDir(nodeID); dir != "" {
 		durable = "data " + dir
 	}
-	log.Printf("ahlnode %d: %s, listening on %s, %s", *id, desc, tr.Addr(), durable)
+	obsDesc := ""
+	if obsAddr != "" {
+		obsDesc = ", metrics on " + obsAddr
+	}
+	log.Printf("ahlnode %d: %s, listening on %s, %s%s", *id, desc, tr.Addr(), durable, obsDesc)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -105,10 +135,10 @@ func main() {
 	for {
 		select {
 		case <-status:
-			st := tr.Stats()
-			log.Printf("ahlnode %d: executed=%d sent=%d recv=%d dropped=%d overflows=%d redials=%d reconnects=%d",
-				*id, node.Executed(), st.SentFrames, st.RecvFrames, st.Dropped,
-				st.QueueOverflows, st.Redials, st.Reconnects)
+			// One line per interval, straight from the registry: the same
+			// counters /metrics serves, so the log and the scrape never
+			// disagree.
+			log.Printf("ahlnode %d: %s", *id, node.Obs().Reg.Snapshot().Summary())
 		case err := <-node.Fatal():
 			// The replica stopped executing the moment its journal failed;
 			// exit non-zero so a supervisor restarts the process into the

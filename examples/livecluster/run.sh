@@ -41,4 +41,7 @@ sleep 1
 echo "== driving workload"
 "$BIN/ahlctl" -topo "$TOPO" -accounts 32 -txs 200 -cross 0.3 "$@"
 
+echo "== scraping cluster observability (per-node metrics_addr endpoints)"
+"$BIN/ahlctl" scrape -topo "$TOPO" || true
+
 echo "== done; stopping cluster (state kept in $DATA; rerun with --wipe for a clean slate)"

@@ -252,4 +252,5 @@ var detPackages = []string{
 	"internal/wire",
 	"internal/report",
 	"internal/core",
+	"internal/obs",
 }

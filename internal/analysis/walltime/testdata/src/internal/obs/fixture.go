@@ -1,0 +1,35 @@
+// Golden fixture for the obs clock seam: internal/obs is a
+// deterministic package, so the walltime analyzer rejects any stray
+// wall-clock read in it — the ONE sanctioned wall-time source is the
+// WallClock constructor, whose time.Now carries the
+// //ahl:nondeterministic suppression at the seam itself. Sim hubs
+// inject the engine clock instead, so everything downstream of a Clock
+// is deterministic by construction.
+package obs
+
+import "time"
+
+// Clock mirrors obs.Clock: the injected time source a Hub reads.
+type Clock func() int64
+
+// WallClock mirrors obs.WallClock — the blessed seam. The suppression
+// sits on the wall-clock read itself, keeping the sim/live boundary
+// reviewable in exactly one place.
+func WallClock() Clock {
+	return func() int64 {
+		return time.Now().UnixNano() //ahl:nondeterministic obs clock seam: the live flight recorder timestamps with wall time by definition
+	}
+}
+
+// rogue shows why the seam matters: any other wall-clock read inside
+// obs — timestamping an event directly instead of going through the
+// injected Clock — is rejected at lint time.
+func rogue() int64 {
+	return time.Now().UnixNano() // want `wall-clock time.Now`
+}
+
+// rogueLatency: measuring durations with time.Since instead of
+// subtracting two Clock readings is equally rejected.
+func rogueLatency(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock time.Since`
+}

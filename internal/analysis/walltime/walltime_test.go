@@ -10,3 +10,11 @@ import (
 func TestWallTime(t *testing.T) {
 	analysistest.Run(t, "testdata", walltime.Analyzer, "internal/sim", "internal/transport")
 }
+
+// TestObsClockSeam pins the flight recorder's clock seam: internal/obs
+// is deterministic, its WallClock constructor carries the one sanctioned
+// //ahl:nondeterministic wall-time suppression, and any other wall-clock
+// read inside the package is rejected.
+func TestObsClockSeam(t *testing.T) {
+	analysistest.Run(t, "testdata", walltime.Analyzer, "internal/obs")
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/blockcrypto"
 	"repro/internal/chaincode"
 	"repro/internal/consensus"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/storage"
 	"repro/internal/tee"
@@ -32,6 +33,10 @@ type CommitteeSpec struct {
 	// live process uses: one backend belongs to one replica, so committee-
 	// wide Build calls must leave it nil.
 	Durable storage.Backend
+	// Obs, when non-nil, instruments every replica built from this spec.
+	// A live process passes its per-node hub; a sim system may share one
+	// hub across the whole committee (events carry the node id).
+	Obs *obs.Hub
 }
 
 // BuiltCommittee is the wired result: replicas in committee order.
@@ -118,6 +123,7 @@ func buildReplica(net *simnet.Network, scheme blockcrypto.Scheme, spec Committee
 		AAOM:     mem,
 		Registry: registry,
 		Durable:  spec.Durable,
+		Obs:      spec.Obs,
 	})
 	return r, platform
 }

@@ -86,18 +86,27 @@ func (r *Replica) planParallel(txs []chain.Tx) *execPlan {
 		list = append(list, tx)
 	}
 	if len(list) < 2 {
+		if r.met != nil {
+			r.met.parexSerial.Inc()
+		}
 		return nil
 	}
 	keys := make([][]string, len(list))
 	for i, tx := range list {
 		ks, ok := r.deps.Registry.ConflictKeys(r.store, tx)
 		if !ok {
+			if r.met != nil {
+				r.met.parexSerial.Inc()
+			}
 			return nil // undeclarable: the whole block stays serial
 		}
 		keys[i] = ks
 	}
 	groups := conflictGroups(len(list), keys)
 	if len(groups) < 2 {
+		if r.met != nil {
+			r.met.parexSerial.Inc()
+		}
 		return nil
 	}
 
@@ -112,21 +121,56 @@ func (r *Replica) planParallel(txs []chain.Tx) *execPlan {
 	if workers > len(groups) {
 		workers = len(groups)
 	}
+	// Per-worker busy time for the utilization metric, measured by the
+	// workers themselves through the obs clock. Indexed per worker, read
+	// only after the wg.Wait join, so there is no contention; in sim mode
+	// the engine clock stands still while the engine goroutine blocks on
+	// the join, making every busy reading 0 — deterministic by design.
+	var busy []int64
+	var obsClock func() int64
+	if r.met != nil {
+		busy = make([]int64, workers)
+		obsClock = r.met.hub.Now
+	}
 	reg, store := r.deps.Registry, r.store
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for gi := range jobs {
+				var t0 int64
+				if obsClock != nil {
+					t0 = obsClock()
+				}
 				out[gi].res, out[gi].touched = runExecGroup(reg, store, list, groups[gi])
+				if obsClock != nil {
+					busy[w] += obsClock() - t0
+				}
 			}
-		}()
+		}(w)
+	}
+	var wallT0 int64
+	if obsClock != nil {
+		wallT0 = obsClock()
 	}
 	for gi := range groups {
 		jobs <- gi
 	}
 	close(jobs)
 	wg.Wait()
+	if m := r.met; m != nil {
+		m.parexGroups.ObserveSize(int64(len(groups)))
+		for _, g := range groups {
+			m.parexGroupTxs.ObserveSize(int64(len(g)))
+		}
+		if wall := obsClock() - wallT0; wall > 0 {
+			var sum int64
+			for _, b := range busy {
+				sum += b
+			}
+			m.parexUtil.ObserveSize(100 * sum / (int64(workers) * wall))
+		}
+	}
 
 	// Safety net: if any key actually read or written spans two groups,
 	// the conflict declaration was too narrow — discard everything
@@ -137,10 +181,16 @@ func (r *Replica) planParallel(txs []chain.Tx) *execPlan {
 		//ahl:nondeterministic conflict detection is a predicate over the full key set: it returns nil iff any key spans two groups, whatever the visit order, and owner never outlives a clean pass
 		for k := range out[gi].touched {
 			if prev, ok := owner[k]; ok && prev != gi {
+				if r.met != nil {
+					r.met.parexFallback.Inc()
+				}
 				return nil
 			}
 			owner[k] = gi
 		}
+	}
+	if r.met != nil {
+		r.met.parexParallel.Inc()
 	}
 	plan := &execPlan{results: make(map[uint64]chaincode.Result, len(list))}
 	for gi, g := range groups {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/chain"
 	"repro/internal/chaincode"
 	"repro/internal/consensus"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/storage"
 	"repro/internal/tee"
@@ -365,6 +366,10 @@ type Deps struct {
 	// pass their storage backend; the simulator leaves it nil, keeping the
 	// deterministic path byte-identical.
 	Durable storage.Backend
+	// Obs, when non-nil, instruments the replica's live path (metrics +
+	// lifecycle tracing; see obs.go). Nil — the default everywhere the
+	// byte-identical BENCH baselines run — records nothing.
+	Obs *obs.Hub
 }
 
 func executionResultsDigest(results []chaincode.Result) blockcrypto.Digest {

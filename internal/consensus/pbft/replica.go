@@ -9,6 +9,7 @@ import (
 	"repro/internal/chain"
 	"repro/internal/chaincode"
 	"repro/internal/consensus"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/storage"
@@ -65,6 +66,11 @@ type entry struct {
 	commitVoters voteSet
 	prepQCSent   bool
 	commitQCSent bool
+
+	// obsTS is the obs-clock reading at pre-prepare accept, the start of
+	// the commit-latency measurement. 0 when uninstrumented (and zeroed
+	// by reset's *e = entry{...} on pool reuse).
+	obsTS int64
 }
 
 // reset clears e for reuse from the entry pool, keeping the vote slices'
@@ -174,6 +180,13 @@ type Replica struct {
 	// ExecBusy accumulates virtual CPU time spent executing transactions,
 	// as opposed to running consensus (Figure 17).
 	ExecBusy time.Duration
+
+	// Observability (see obs.go). met is nil when no hub was injected;
+	// cutReason attributes the in-progress batch cut; execStartNS is the
+	// obs-clock reading when the current block started executing.
+	met         *pbftMetrics
+	cutReason   uint8
+	execStartNS int64
 }
 
 // New constructs a replica and installs it as its endpoint's handler.
@@ -221,6 +234,9 @@ func New(opts Options, deps Deps) *Replica {
 	}
 	if opts.Variant.Aggregated() {
 		r.agg = aggregator.New(deps.Platform, deps.Scheme)
+	}
+	if deps.Obs != nil {
+		r.met = newPBFTMetrics(deps.Obs, uint32(deps.Endpoint.ID()))
 	}
 	r.batchTimer = r.engine.NewTimer()
 	r.vcTimer = r.engine.NewTimer()
@@ -478,6 +494,9 @@ func (r *Replica) handleRequest(tx chain.Tx, external bool) {
 	if _, in := r.batchedIn[tx.ID]; !in {
 		r.unbatched++
 	}
+	if m := r.met; m != nil && external {
+		m.hub.RecordTx(m.node, obs.StageSubmit, 0, tx.ID)
+	}
 	if external {
 		// Dissemination policy: stock PBFT/Hyperledger broadcasts the
 		// request to every replica; optimization 2 forwards it to the
@@ -530,7 +549,7 @@ func (r *Replica) scheduleBatch() {
 		return
 	}
 	if !r.batchTimer.Active() {
-		r.batchTimer.Reset(r.opts.Timing.BatchTimeout, r.tryBatch)
+		r.batchTimer.Reset(r.opts.Timing.BatchTimeout, r.tryBatchTimer)
 	}
 }
 
@@ -549,7 +568,7 @@ func (r *Replica) scheduleAdaptiveBatch() {
 	}
 	if r.seqAssign > r.executedThrough { // pipeline busy: legacy cadence
 		if !r.batchTimer.Active() {
-			r.batchTimer.Reset(r.opts.Timing.BatchTimeout, r.tryBatch)
+			r.batchTimer.Reset(r.opts.Timing.BatchTimeout, r.tryBatchTimer)
 			r.batchTimerFast = false
 		}
 		return
@@ -561,7 +580,7 @@ func (r *Replica) scheduleAdaptiveBatch() {
 	if floor <= 0 {
 		floor = DefaultBatchMinDelay
 	}
-	r.batchTimer.Reset(floor, r.tryBatch)
+	r.batchTimer.Reset(floor, r.tryBatchTimer)
 	r.batchTimerFast = true
 }
 
@@ -630,7 +649,7 @@ func (r *Replica) tryBatch() {
 			// bottleneck and finishExecute re-triggers batching the moment
 			// it advances. Re-arm a plain retry as a safety net without
 			// retransmitting (the committee is keeping up; only we are).
-			r.batchTimer.Reset(r.opts.Timing.BatchTimeout, r.tryBatch)
+			r.batchTimer.Reset(r.opts.Timing.BatchTimeout, r.tryBatchTimer)
 			r.batchTimerFast = false
 			return
 		}
@@ -641,7 +660,7 @@ func (r *Replica) tryBatch() {
 		// assumes exactly this kind of repeated send.
 		r.batchTimer.Reset(r.opts.Timing.BatchTimeout, func() {
 			r.retransmitOldest()
-			r.tryBatch()
+			r.tryBatchTimer()
 		})
 		r.batchTimerFast = false
 	}
@@ -755,6 +774,9 @@ func (r *Replica) takeBatch() []chain.Tx {
 		if len(batch) < r.opts.BatchSize {
 			batch = append(batch, tx)
 			r.markBatched(id, r.seqAssign+1)
+			if m := r.met; m != nil {
+				m.hub.RecordTx(m.node, obs.StageBatch, r.seqAssign+1, id)
+			}
 		}
 	}
 	r.pendingOrder = kept
@@ -790,6 +812,12 @@ func (r *Replica) propose(seq uint64, txs []chain.Tx) {
 	e := r.getEntry(seq)
 	e.view, e.digest, e.block, e.prePrepared = r.view, digest, block, true
 	e.prepares.add(r.self())
+	if m := r.met; m != nil {
+		e.obsTS = m.hub.Now()
+		m.hub.RecordSeq(m.node, obs.StagePrePrepare, seq, int64(len(txs)))
+		r.obsCut(len(txs))
+		r.obsOccupancy()
+	}
 	msg := &prePrepareMsg{View: r.view, Seq: seq, Block: block, Att: att}
 	r.broadcast(msgPrePrepare, msg)
 	r.maybePrepared(e)
@@ -917,6 +945,14 @@ func (r *Replica) handlePrePrepare(m *prePrepareMsg) {
 	}
 	e.view, e.digest, e.block, e.prePrepared = m.View, digest, m.Block, true
 	e.prepares.add(leaderIdx)
+	if om := r.met; om != nil && e.obsTS == 0 {
+		e.obsTS = om.hub.Now()
+		n := 0
+		if m.Block != nil {
+			n = len(m.Block.Txs)
+		}
+		om.hub.RecordSeq(om.node, obs.StagePrePrepare, m.Seq, int64(n))
+	}
 
 	if r.opts.Variant.Aggregated() {
 		r.sendAggVote(e, phasePrepare)
@@ -1015,6 +1051,7 @@ func (r *Replica) maybeCommitted(e *entry) {
 		return
 	}
 	e.committed = true
+	r.obsCommitted(e)
 	r.tryExecute()
 }
 
@@ -1083,6 +1120,7 @@ func (r *Replica) handleAggVote(m *voteMsg) {
 			}
 			e.commitQCSent = true
 			e.committed = true
+			r.obsCommitted(e)
 			r.broadcast(msgQC, &qcMsg{View: e.view, Seq: e.seq, Phase: phaseCommit, Cert: cert})
 			r.tryExecute()
 		}
@@ -1114,6 +1152,7 @@ func (r *Replica) handleQC(m *qcMsg) {
 	case phaseCommit:
 		if e.prepared && !e.committed {
 			e.committed = true
+			r.obsCommitted(e)
 			r.tryExecute()
 		}
 	}
@@ -1130,8 +1169,21 @@ func (r *Replica) tryExecute() {
 	if e == nil || !e.committed || e.executed || e.block == nil {
 		return
 	}
+	var walT0 int64
+	if m := r.met; m != nil && r.durable != nil {
+		walT0 = m.hub.Now()
+	}
 	if !r.appendDecided(e) {
 		return // durability failure: do not execute what the WAL lost
+	}
+	if m := r.met; m != nil {
+		now := m.hub.Now()
+		if r.durable != nil {
+			m.walAppend.Observe(now - walT0)
+			m.hub.RecordSeq(m.node, obs.StageWALAppend, e.seq, now-walT0)
+		}
+		r.execStartNS = now
+		m.hub.RecordSeq(m.node, obs.StageExecStart, e.seq, 0)
 	}
 	r.executing = true
 	r.execEntry = e
@@ -1197,7 +1249,23 @@ func (r *Replica) finishExecute(e *entry) {
 			rep := Reply{TxID: tx.ID, OK: res.OK(), Replica: r.self()}
 			r.ep.Send(simnet.Message{To: simnet.NodeID(tx.Client), Class: simnet.ClassConsensus,
 				Type: MsgReply, Payload: rep, Size: wire.PayloadSize(MsgReply, rep)})
+			if m := r.met; m != nil {
+				m.hub.RecordTx(m.node, obs.StageReply, e.seq, tx.ID)
+			}
 		}
+	}
+	if m := r.met; m != nil {
+		if r.execStartNS != 0 {
+			m.execLatency.Observe(m.hub.Now() - r.execStartNS)
+			r.execStartNS = 0
+		}
+		m.hub.RecordSeq(m.node, obs.StageExecEnd, e.seq, int64(len(e.block.Txs)))
+		m.executedBatches.Inc()
+		m.executedTxs.Add(uint64(len(results)))
+		if lag := int64(r.executedThrough) - int64(r.h); lag >= 0 {
+			m.checkpointLag.Set(lag)
+		}
+		r.obsOccupancy()
 	}
 	if r.onExec != nil {
 		r.onExec(consensus.BlockEvent{Block: blk, Results: results, Time: r.engine.Now()})
@@ -1264,6 +1332,11 @@ func (r *Replica) recordCheckpoint(m *checkpointMsg) {
 
 func (r *Replica) advanceStable(seq uint64, digest blockcrypto.Digest, ck map[int]*checkpointMsg) {
 	r.h = seq
+	if m := r.met; m != nil {
+		if lag := int64(r.executedThrough) - int64(r.h); lag >= 0 {
+			m.checkpointLag.Set(lag)
+		}
+	}
 	// Keep a snapshot aligned with our own checkpoint for state transfer,
 	// along with the quorum certificate that made it stable — but only if
 	// we have actually executed through seq (otherwise our state does not

@@ -131,6 +131,9 @@ func (r *Replica) startViewChange(newView uint64) {
 	r.vcView = newView
 	r.inViewChange = true
 	r.vcCount++
+	if r.met != nil {
+		r.met.viewChanges.Inc()
+	}
 	r.batchTimer.Stop()
 
 	m := &viewChangeMsg{NewView: newView, StableSeq: r.h, Replica: r.self()}

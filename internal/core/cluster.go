@@ -33,10 +33,13 @@ func liveCosts() tee.CostModel {
 }
 
 // NodeAddr names one node of a live deployment: its deployment-wide node
-// id and the TCP address its process listens on.
+// id, the TCP address its process listens on, and (optionally) the HTTP
+// address its observability endpoints — /metrics, /snapshot, /trace,
+// /debug/pprof — are served on.
 type NodeAddr struct {
-	ID   int    `json:"id"`
-	Addr string `json:"addr"`
+	ID          int    `json:"id"`
+	Addr        string `json:"addr"`
+	MetricsAddr string `json:"metrics_addr,omitempty"`
 }
 
 // ClusterConfig is the static JSON topology every process of a live
@@ -327,6 +330,35 @@ func (r Role) String() string {
 	default:
 		return "role?"
 	}
+}
+
+// MetricsAddr returns node id's configured observability address, or ""
+// when the topology does not expose one for it.
+func (c *ClusterConfig) MetricsAddr(id simnet.NodeID) string {
+	for _, nodes := range c.Shards {
+		for _, n := range nodes {
+			if simnet.NodeID(n.ID) == id {
+				return n.MetricsAddr
+			}
+		}
+	}
+	for _, n := range c.Reference {
+		if simnet.NodeID(n.ID) == id {
+			return n.MetricsAddr
+		}
+	}
+	return ""
+}
+
+// ReplicaNodes returns every shard and reference replica of the topology
+// in declaration order — the scrape set for cluster-wide aggregation.
+func (c *ClusterConfig) ReplicaNodes() []NodeAddr {
+	var out []NodeAddr
+	for _, nodes := range c.Shards {
+		out = append(out, nodes...)
+	}
+	out = append(out, c.Reference...)
+	return out
 }
 
 // Place returns where node id sits in the topology.

@@ -24,6 +24,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/consensus/pbft"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/tee"
@@ -79,6 +80,11 @@ type Config struct {
 	ExtraShardCodes func() []chaincode.Chaincode
 	// Behaviors maps a global node id to a misbehavior.
 	Behaviors map[simnet.NodeID]pbft.Behavior
+	// Obs attaches one engine-clocked observability hub to every replica
+	// (System.Obs). Off by default: the benchmark harnesses leave it off,
+	// so their schedules and reports stay byte-identical; with it on, all
+	// timestamps come from the engine clock, keeping traces deterministic.
+	Obs bool
 }
 
 // System is a running sharded blockchain deployment.
@@ -95,6 +101,11 @@ type System struct {
 	RefCommittee  *pbft.BuiltCommittee
 	Managers      []*txn.Manager
 	Topology      txn.Topology
+
+	// Obs is the deployment-wide observability hub (nil unless Config.Obs):
+	// one hub shared by every replica, timestamped by the engine clock,
+	// with events distinguished by node id.
+	Obs *obs.Hub
 
 	clients []*txn.Client
 
@@ -179,17 +190,24 @@ func NewSystem(cfg Config) *System {
 		Scheme: scheme,
 		rng:    rng,
 	}
+	if cfg.Obs {
+		sys.Obs = obs.NewHub(func() int64 { return int64(engine.Now()) }, obs.Options{})
+	}
 
 	shardF := make([]int, cfg.Shards)
 	for s := 0; s < cfg.Shards; s++ {
-		bc := pbft.Build(net, scheme, rng, ShardSpec(cfg, shardIDs[s], behaviorsFor(cfg.Behaviors, shardIDs[s])))
+		spec := ShardSpec(cfg, shardIDs[s], behaviorsFor(cfg.Behaviors, shardIDs[s]))
+		spec.Obs = sys.Obs
+		bc := pbft.Build(net, scheme, rng, spec)
 		sys.ShardCommittees = append(sys.ShardCommittees, bc)
 		shardF[s] = bc.Committee.F
 	}
 
 	refGroupFs := make([]int, refGroups)
 	for g := 0; g < refGroups; g++ {
-		bc := pbft.Build(net, scheme, rng, RefSpec(cfg, refGroupIDs[g], behaviorsFor(cfg.Behaviors, refGroupIDs[g])))
+		spec := RefSpec(cfg, refGroupIDs[g], behaviorsFor(cfg.Behaviors, refGroupIDs[g]))
+		spec.Obs = sys.Obs
+		bc := pbft.Build(net, scheme, rng, spec)
 		sys.RefCommittees = append(sys.RefCommittees, bc)
 		refGroupFs[g] = bc.Committee.F
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/blockcrypto"
 	"repro/internal/chain"
 	"repro/internal/consensus/pbft"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/storage"
@@ -212,12 +213,14 @@ type LiveNode struct {
 
 	loop    *liveLoop
 	backend storage.Backend
+	obsHub  *obs.Hub
 	fatal   chan error
 }
 
 // openBackend opens node id's durable storage per the cluster config
-// (nil backend when the deployment runs memory-only).
-func openBackend(c *ClusterConfig, id simnet.NodeID) (storage.Backend, error) {
+// (nil backend when the deployment runs memory-only), registering its
+// WAL/snapshot instrumentation on reg.
+func openBackend(c *ClusterConfig, id simnet.NodeID, reg *obs.Registry) (storage.Backend, error) {
 	dir := c.NodeDataDir(id)
 	if dir == "" {
 		return nil, nil
@@ -226,7 +229,7 @@ func openBackend(c *ClusterConfig, id simnet.NodeID) (storage.Backend, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := storage.DiskOptions{Fsync: mode, Logf: log.Printf}
+	opts := storage.DiskOptions{Fsync: mode, Logf: log.Printf, Metrics: storage.NewMetrics(reg)}
 	if c.FsyncIntervalMs > 0 {
 		opts.Interval = time.Duration(c.FsyncIntervalMs) * time.Millisecond
 	}
@@ -303,11 +306,15 @@ func StartLiveNode(c *ClusterConfig, id simnet.NodeID, tr transport.Transport) (
 	}
 	cfg := c.liveConfig()
 	topo := c.Topology()
-	backend, err := openBackend(c, id)
+	// One wall-clocked hub per process: the only sanctioned wall-time
+	// source in the protocol stack is the obs clock seam (see obs.WallClock).
+	hub := obs.NewHub(obs.WallClock(), obs.Options{})
+	backend, err := openBackend(c, id, hub.Reg)
 	if err != nil {
 		return nil, err
 	}
 	_, net, loop := buildLiveStack(c, id, tr)
+	hub.Reg.CounterFunc("node_inbox_dropped_total", loop.droppedIn.Load)
 
 	// Deployment-wide key material: the committee this replica verifies
 	// is its own, so derive every committee member's keys (and our own
@@ -332,9 +339,10 @@ func StartLiveNode(c *ClusterConfig, id simnet.NodeID, tr transport.Transport) (
 	}
 
 	spec.Durable = backend
+	spec.Obs = hub
 	replica, _ := pbft.BuildReplica(net, scheme, spec, place.Index, signer, teeSeedFor(c.Seed, id))
 	n := &LiveNode{ID: id, Place: place, Replica: replica, loop: loop,
-		backend: backend, fatal: make(chan error, 1)}
+		backend: backend, obsHub: hub, fatal: make(chan error, 1)}
 	replica.OnStorageFatal(n.noteFatal)
 	if len(c.Reference) > 0 {
 		if place.Role == RoleShardReplica {
@@ -378,6 +386,12 @@ func (n *LiveNode) Fatal() <-chan error { return n.fatal }
 
 // Do runs fn on the node's engine goroutine (see liveLoop.Do).
 func (n *LiveNode) Do(fn func()) bool { return n.loop.Do(fn) }
+
+// Obs returns the node's observability hub (never nil for a live node).
+// Its registry and tracer are safe to read from any goroutine, which is
+// how the metrics HTTP handler serves snapshots without touching the
+// engine loop.
+func (n *LiveNode) Obs() *obs.Hub { return n.obsHub }
 
 // Executed returns the replica's executed-transaction count.
 func (n *LiveNode) Executed() int {

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonEvent is the raw-trace wire format (one line per event).
+type jsonEvent struct {
+	TS    int64  `json:"ts"`
+	Node  uint32 `json:"node"`
+	Stage string `json:"stage"`
+	Seq   uint64 `json:"seq,omitempty"`
+	Tx    uint64 `json:"tx,omitempty"`
+	Key   string `json:"key,omitempty"`
+	Arg   int64  `json:"arg,omitempty"`
+}
+
+// WriteTraceJSON renders events as a JSON array, one event per line,
+// oldest first. Output is a pure function of the events, so sim-mode
+// exports are byte-identical across runs.
+func WriteTraceJSON(w io.Writer, events []Event) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, e := range events {
+		b, err := json.Marshal(jsonEvent{
+			TS: e.TS, Node: e.Node, Stage: e.Stage.String(),
+			Seq: e.Seq, Tx: e.Tx, Key: e.Key, Arg: e.Arg,
+		})
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}
+
+// ParseTraceJSON decodes a WriteTraceJSON export back into events —
+// the scrape/aggregate path reading a remote node's /trace endpoint.
+// Events with a stage name this build does not know are dropped rather
+// than failing the whole trace (version-skewed scrapes degrade softly).
+func ParseTraceJSON(r io.Reader) ([]Event, error) {
+	var raw []jsonEvent
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, err
+	}
+	events := make([]Event, 0, len(raw))
+	for _, je := range raw {
+		st, ok := stageFromName(je.Stage)
+		if !ok {
+			continue
+		}
+		events = append(events, Event{
+			TS: je.TS, Node: je.Node, Stage: st,
+			Seq: je.Seq, Tx: je.Tx, Key: je.Key, Arg: je.Arg,
+		})
+	}
+	return events, nil
+}
+
+// SpanDurations folds a trace into per-span duration samples (ns),
+// paired exactly as WriteChromeTrace pairs them. The result maps span
+// name ("consensus", "journal", "execute", "2pc", ...) to the durations
+// observed, in event order.
+func SpanDurations(events []Event) map[string][]int64 {
+	pending := make(map[pendKey]int64)
+	out := make(map[string][]int64)
+	for _, e := range events {
+		for _, sp := range traceSpans {
+			if sp.end == e.Stage {
+				k := pendKey{e.Node, sp.start, e.Seq, e.Key}
+				if ts0, ok := pending[k]; ok {
+					delete(pending, k)
+					out[sp.name] = append(out[sp.name], e.TS-ts0)
+				}
+			}
+			if sp.start == e.Stage {
+				pending[pendKey{e.Node, e.Stage, e.Seq, e.Key}] = e.TS
+			}
+		}
+	}
+	return out
+}
+
+// SpanNames lists the span names SpanDurations can produce, in pairing-
+// table order — the deterministic iteration order for rendering.
+func SpanNames() []string {
+	names := make([]string, len(traceSpans))
+	for i, sp := range traceSpans {
+		names[i] = sp.name
+	}
+	return names
+}
+
+// traceSpans pairs lifecycle stages into Chrome complete events. One
+// stage may close one span and open the next (commit-quorum ends
+// "consensus" and starts "journal"); 2pc-done closes whichever of its
+// three start stages the node actually recorded (begin on the reference
+// committee, vote/decide on shards).
+var traceSpans = []struct {
+	start, end Stage
+	name       string
+}{
+	{StagePrePrepare, StageCommitQuorum, "consensus"},
+	{StageCommitQuorum, StageWALAppend, "journal"},
+	{StageExecStart, StageExecEnd, "execute"},
+	{Stage2PCPrepare, Stage2PCVote, "2pc-lock-wait"},
+	{Stage2PCVote, Stage2PCDone, "2pc-lock-hold"},
+	{Stage2PCDecide, Stage2PCDone, "2pc-phase2"},
+	{Stage2PCBegin, Stage2PCDone, "2pc"},
+}
+
+// chromeEvent is one Chrome trace-format (catapult) record. Timestamps
+// and durations are microseconds.
+type chromeEvent struct {
+	Name string     `json:"name"`
+	Cat  string     `json:"cat"`
+	Ph   string     `json:"ph"`
+	TS   float64    `json:"ts"`
+	Dur  float64    `json:"dur,omitempty"`
+	PID  uint32     `json:"pid"`
+	TID  uint32     `json:"tid"`
+	Args chromeArgs `json:"args"`
+}
+
+type chromeArgs struct {
+	Seq uint64 `json:"seq,omitempty"`
+	Tx  uint64 `json:"tx,omitempty"`
+	Key string `json:"key,omitempty"`
+	Arg int64  `json:"arg,omitempty"`
+}
+
+// pendKey identifies one open span.
+type pendKey struct {
+	node  uint32
+	stage Stage
+	seq   uint64
+	key   string
+}
+
+// WriteChromeTrace renders events in Chrome trace format ("load the
+// file in chrome://tracing or ui.perfetto.dev"): per-node tracks of
+// consensus/journal/execute spans, 2PC spans keyed by distributed-txn
+// ID, and instants for the unpaired stages. Deterministic for a given
+// event slice.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	if _, err := io.WriteString(w, `{"traceEvents":[`+"\n"); err != nil {
+		return err
+	}
+	pending := make(map[pendKey]int64)
+	first := true
+	emit := func(ce chromeEvent) error {
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = w.Write(b)
+		return err
+	}
+	for _, e := range events {
+		paired := false
+		args := chromeArgs{Seq: e.Seq, Tx: e.Tx, Key: e.Key, Arg: e.Arg}
+		for _, sp := range traceSpans {
+			if sp.end == e.Stage {
+				k := pendKey{e.Node, sp.start, e.Seq, e.Key}
+				if ts0, ok := pending[k]; ok {
+					delete(pending, k)
+					paired = true
+					err := emit(chromeEvent{
+						Name: sp.name, Cat: "ahl", Ph: "X",
+						TS: float64(ts0) / 1e3, Dur: float64(e.TS-ts0) / 1e3,
+						PID: e.Node, TID: e.Node, Args: args,
+					})
+					if err != nil {
+						return err
+					}
+				}
+			}
+			if sp.start == e.Stage {
+				pending[pendKey{e.Node, e.Stage, e.Seq, e.Key}] = e.TS
+				paired = true
+			}
+		}
+		if !paired {
+			err := emit(chromeEvent{
+				Name: e.Stage.String(), Cat: "ahl", Ph: "i",
+				TS: float64(e.TS) / 1e3, PID: e.Node, TID: e.Node, Args: args,
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewHTTPHandler serves one hub's flight-recorder endpoints:
+//
+//	/metrics        Prometheus text exposition
+//	/snapshot       JSON registry snapshot (Snapshot wire format)
+//	/trace          recent lifecycle events, raw JSON
+//	/trace?format=chrome  same events in Chrome trace format
+//	/debug/pprof/*  the standard net/http/pprof profiles
+//
+// ahlnode mounts this on -metrics-addr.
+func NewHTTPHandler(h *Hub) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ahl flight recorder\n\n/metrics\n/snapshot\n/trace[?format=chrome]\n/debug/pprof/\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		h.Reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(h.Reg.Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		events := h.Trace.Events()
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			WriteChromeTrace(w, events)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		WriteTraceJSON(w, events)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

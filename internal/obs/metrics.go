@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe on
+// a nil receiver (no-ops), so uninstrumented code paths cost one nil
+// check.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value. All methods are safe on a
+// nil receiver.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// watermark that survives for post-run scrapes (e.g. peak pipeline
+// occupancy after load stops).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistBuckets is the fixed bucket count of every Histogram. Bucket i
+// holds values in (2^(i-1), 2^i] units — microseconds for duration
+// histograms, raw units for size histograms — and the last bucket is
+// +Inf. 32 buckets cover 1 µs .. ~35 minutes (or 1 .. 2^30 units).
+const HistBuckets = 32
+
+// Histogram is a fixed-bucket exponential histogram. Observe is lock-
+// and allocation-free: a bits.Len64 bucket index plus three atomic adds.
+// All methods are safe on a nil receiver.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	size    bool // size histogram: raw units, not nanoseconds
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// Observe records a duration in nanoseconds.
+func (h *Histogram) Observe(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	// Ceiling division: 1001ns is strictly over 1µs, so it belongs in
+	// bucket 1 per the (2^(i-1), 2^i] bound convention.
+	h.observe((uint64(ns)+999)/1e3, ns)
+}
+
+// ObserveSize records a dimensionless value (batch size, group count).
+func (h *Histogram) ObserveSize(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.observe(uint64(v), v)
+}
+
+func (h *Histogram) observe(unit uint64, sum int64) {
+	idx := 0
+	if unit > 0 {
+		idx = bits.Len64(unit - 1)
+	}
+	if idx >= HistBuckets {
+		idx = HistBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(sum)
+}
+
+// BucketBound returns the inclusive upper bound of bucket i in the
+// histogram's native unit (microseconds for duration histograms).
+// The last bucket is +Inf.
+func BucketBound(i int) float64 {
+	if i >= HistBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(uint64(1) << uint(i))
+}
+
+// metricKind discriminates registry entries.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+// metric is one named registry entry.
+type metric struct {
+	name    string
+	kind    metricKind
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	cfn     func() uint64
+	gfn     func() int64
+}
+
+// value reads the entry's scalar value (counters and gauges only).
+func (m *metric) value() int64 {
+	switch m.kind {
+	case kindCounter:
+		return int64(m.counter.Load())
+	case kindGauge:
+		return m.gauge.Load()
+	case kindCounterFunc:
+		return int64(m.cfn())
+	case kindGaugeFunc:
+		return m.gfn()
+	}
+	return 0
+}
+
+// Registry is a named-metric registry. Registration (get-or-create by
+// name) takes a mutex and may allocate; it happens at setup time. The
+// returned handles are then observed lock-free. Metric names may carry
+// a Prometheus label suffix, e.g. `transport_peer_queue_depth{peer="a"}`
+// — the text before '{' is the family name.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*metric
+	metrics []*metric // registration order; exports sort by name
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// lookup get-or-creates the named entry, enforcing kind consistency.
+func (r *Registry) lookup(name string, kind metricKind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName == nil {
+		r.byName = make(map[string]*metric) // zero-value Registry is usable
+	}
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return m
+	}
+	m := &metric{name: name, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.counter = &Counter{}
+	case kindGauge:
+		m.gauge = &Gauge{}
+	case kindHistogram:
+		m.hist = &Histogram{}
+	}
+	r.byName[name] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// Counter returns the named counter, creating it on first use. Safe on
+// a nil registry (returns a nil handle, whose methods no-op).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindCounter).counter
+}
+
+// Gauge returns the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindGauge).gauge
+}
+
+// Histogram returns the named duration histogram (nanosecond Observe,
+// microsecond buckets).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindHistogram).hist
+}
+
+// SizeHistogram returns the named dimensionless histogram (ObserveSize,
+// raw-unit buckets).
+func (r *Registry) SizeHistogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.lookup(name, kindHistogram).hist
+	h.size = true
+	return h
+}
+
+// CounterFunc registers a read-at-snapshot counter collector, absorbing
+// counters owned elsewhere (e.g. transport TCPStats atomics).
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.lookup(name, kindCounterFunc).cfn = fn
+}
+
+// GaugeFunc registers a read-at-snapshot gauge collector (e.g. a peer's
+// instantaneous send-queue depth).
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.lookup(name, kindGaugeFunc).gfn = fn
+}
+
+// sortedMetrics returns the entries in name order. Caller must not hold
+// r.mu.
+func (r *Registry) sortedMetrics() []*metric {
+	r.mu.Lock()
+	out := make([]*metric, len(r.metrics))
+	copy(out, r.metrics)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// familyName strips the label suffix: `a_total{peer="x"}` → `a_total`.
+func familyName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}

@@ -1,0 +1,115 @@
+// Package obs is the repository's flight recorder: an allocation-free
+// metrics registry (atomic counters, gauges, fixed-bucket latency
+// histograms; 0 allocs/op on the observe path) and a bounded,
+// deterministically sampled per-transaction lifecycle tracer, both
+// exportable over HTTP (Prometheus text, JSON snapshot, raw/Chrome
+// trace).
+//
+// obs is clock-agnostic by construction: a Hub takes an injected Clock
+// at build time. The live runtime injects WallClock — the one sanctioned
+// wall-time source in the instrumented deterministic packages, carrying
+// its //ahl:nondeterministic suppression right at the seam — while the
+// simulator injects the engine clock, so sim-mode metrics and traces are
+// byte-identical across runs. Everything downstream of the Clock is
+// deterministic: the registry stores metrics in registration order and
+// exports in sorted-name order, and the tracer's ring preserves record
+// order.
+//
+// The package deliberately imports nothing from the rest of the
+// repository, so any layer (consensus, txn, storage, transport, cmd) can
+// depend on it without cycles.
+package obs
+
+import "time"
+
+// Clock is the time source a Hub observes through, returning
+// nanoseconds. In the simulator this wraps sim.Engine.Now (engine
+// nanoseconds since the epoch); in the live runtime it is WallClock.
+// Latency observations only ever subtract two Clock readings, so the
+// epoch is irrelevant.
+type Clock func() int64
+
+// WallClock is the live runtime's clock and the only sanctioned
+// wall-time source inside the instrumented deterministic packages: every
+// other wall-clock read is rejected by the ahlvet walltime analyzer,
+// which keeps the sim/live clock seam reviewable in exactly one place.
+func WallClock() Clock {
+	return func() int64 {
+		return time.Now().UnixNano() //ahl:nondeterministic obs clock seam: the live flight recorder timestamps with wall time by definition; sim hubs inject the engine clock instead
+	}
+}
+
+// Options configures a Hub.
+type Options struct {
+	// TraceCap bounds the trace ring buffer (events). 0 means
+	// DefaultTraceCap; negative disables tracing entirely.
+	TraceCap int
+	// TraceSampleEvery keeps one of every N transactions' per-tx events
+	// (rounded down to a power of two); 0 or 1 records all. Per-sequence
+	// events (pre-prepare, commit quorum, WAL append, execute) are never
+	// sampled out — there are only a handful per batch.
+	TraceSampleEvery int
+}
+
+// DefaultTraceCap is the default trace ring size. At ~64 bytes an event
+// this bounds the recorder at ~1 MiB per node.
+const DefaultTraceCap = 16384
+
+// Hub bundles one node's registry, tracer, and clock. A nil *Hub is
+// valid everywhere and records nothing — the simulator's benchmark paths
+// run hub-less, which is what keeps the published BENCH baselines
+// byte-identical with obs compiled in.
+type Hub struct {
+	Reg   *Registry
+	Trace *Tracer
+	clock Clock
+}
+
+// NewHub builds a Hub around the injected clock.
+func NewHub(clock Clock, opts Options) *Hub {
+	h := &Hub{Reg: NewRegistry(), clock: clock}
+	if opts.TraceCap >= 0 {
+		cap := opts.TraceCap
+		if cap == 0 {
+			cap = DefaultTraceCap
+		}
+		h.Trace = newTracer(cap, opts.TraceSampleEvery)
+	}
+	return h
+}
+
+// Now reads the hub's clock. Safe on a nil hub (returns 0).
+func (h *Hub) Now() int64 {
+	if h == nil || h.clock == nil {
+		return 0
+	}
+	return h.clock()
+}
+
+// RecordSeq traces a per-sequence lifecycle event (never sampled out).
+// Safe on a nil hub.
+func (h *Hub) RecordSeq(node uint32, stage Stage, seq uint64, arg int64) {
+	if h == nil || h.Trace == nil {
+		return
+	}
+	h.Trace.record(Event{TS: h.clock(), Node: node, Stage: stage, Seq: seq, Arg: arg})
+}
+
+// RecordTx traces a per-transaction lifecycle event, subject to the
+// tracer's deterministic sampling on tx. Safe on a nil hub.
+func (h *Hub) RecordTx(node uint32, stage Stage, seq, tx uint64) {
+	if h == nil || h.Trace == nil || !h.Trace.SampleTx(tx) {
+		return
+	}
+	h.Trace.record(Event{TS: h.clock(), Node: node, Stage: stage, Seq: seq, Tx: tx})
+}
+
+// RecordKey traces a string-keyed lifecycle event (cross-shard 2PC
+// stages keyed by distributed-txn ID), subject to deterministic
+// sampling on the key. Safe on a nil hub.
+func (h *Hub) RecordKey(node uint32, stage Stage, key string, arg int64) {
+	if h == nil || h.Trace == nil || !h.Trace.SampleKey(key) {
+		return
+	}
+	h.Trace.record(Event{TS: h.clock(), Node: node, Stage: stage, Key: key, Arg: arg})
+}

@@ -1,0 +1,356 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testHub() *Hub {
+	var now int64
+	return NewHub(func() int64 { now += 1000; return now }, Options{})
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := &Registry{}
+	c := reg.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := reg.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	g.SetMax(10)
+	g.SetMax(2)
+	if got := g.Load(); got != 10 {
+		t.Fatalf("gauge after SetMax = %d, want 10", got)
+	}
+	// Get-or-create returns the same instance.
+	if reg.Counter("c") != c {
+		t.Fatal("Counter(c) did not return the registered instance")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// Every handle and the hub itself must be no-ops when nil — the
+	// uninstrumented path compiles the calls in and must never panic.
+	var c *Counter
+	c.Inc()
+	c.Add(2)
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(1)
+	var h *Histogram
+	h.Observe(5)
+	h.ObserveSize(5)
+	var reg *Registry
+	reg.Counter("x").Inc()
+	reg.Gauge("x").Set(1)
+	reg.Histogram("x").Observe(1)
+	_ = reg.Snapshot()
+	var hub *Hub
+	if hub.Now() != 0 {
+		t.Fatal("nil hub Now() != 0")
+	}
+	hub.RecordSeq(0, StagePrePrepare, 1, 0)
+	hub.RecordTx(0, StageSubmit, 0, 42)
+	hub.RecordKey(0, Stage2PCBegin, "tx", 0)
+	var tr *Tracer
+	if tr.SampleTx(1) || tr.SampleKey("k") {
+		t.Fatal("nil tracer samples")
+	}
+	if tr.Events() != nil || tr.Total() != 0 {
+		t.Fatal("nil tracer has events")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := &Registry{}
+	reg.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gauge on a counter name did not panic")
+		}
+	}()
+	reg.Gauge("m")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := &Registry{}
+	h := reg.Histogram("h")
+	h.Observe(500)              // 0.5µs -> bucket 0 (<=1µs)
+	h.Observe(1000)             // exactly 1µs -> bucket 0
+	h.Observe(1001)             // just over -> bucket 1
+	h.Observe(1_000_000)        // 1ms -> 2^10 = 1024µs bucket, idx 10
+	h.Observe(int64(time.Hour)) // huge -> last bucket
+	snap := reg.Snapshot().Histograms["h"]
+	if snap.Count != 5 {
+		t.Fatalf("count = %d, want 5", snap.Count)
+	}
+	if snap.Buckets[0] != 2 {
+		t.Fatalf("bucket0 = %d, want 2", snap.Buckets[0])
+	}
+	if snap.Buckets[1] != 1 {
+		t.Fatalf("bucket1 = %d, want 1", snap.Buckets[1])
+	}
+	if snap.Buckets[10] != 1 {
+		t.Fatalf("bucket10 = %d, want 1", snap.Buckets[10])
+	}
+	if snap.Buckets[HistBuckets-1] != 1 {
+		t.Fatalf("last bucket = %d, want 1", snap.Buckets[HistBuckets-1])
+	}
+	if q := snap.Quantile(0.5); q <= 0 || math.IsNaN(q) {
+		t.Fatalf("median = %v", q)
+	}
+}
+
+func TestHistogramMergeAndQuantile(t *testing.T) {
+	reg1, reg2 := &Registry{}, &Registry{}
+	h1, h2 := reg1.Histogram("h"), reg2.Histogram("h")
+	for i := 0; i < 100; i++ {
+		h1.Observe(10_000)     // 10µs
+		h2.Observe(10_000_000) // 10ms
+	}
+	a := reg1.Snapshot().Histograms["h"]
+	a.Merge(reg2.Snapshot().Histograms["h"])
+	if a.Count != 200 {
+		t.Fatalf("merged count = %d", a.Count)
+	}
+	// Median sits in the low mode, p99 in the high mode.
+	if q := a.Quantile(0.50); q > 1000 {
+		t.Fatalf("p50 = %vµs, want ~16µs", q)
+	}
+	if q := a.Quantile(0.99); q < 1000 {
+		t.Fatalf("p99 = %vµs, want ~10000µs", q)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	// Run with -race: atomic counters and histogram buckets must be safe
+	// against concurrent writers plus a concurrent snapshot reader.
+	reg := &Registry{}
+	h := reg.Histogram("h")
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	var wg sync.WaitGroup
+	const workers, per = 8, 10_000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.SetMax(int64(i))
+				h.Observe(int64(i) * 1000)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			reg.Snapshot()
+			var buf bytes.Buffer
+			reg.WritePrometheus(&buf)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	snap := reg.Snapshot().Histograms["h"]
+	if snap.Count != workers*per {
+		t.Fatalf("histogram count = %d, want %d", snap.Count, workers*per)
+	}
+}
+
+func TestConcurrentTracer(t *testing.T) {
+	hub := NewHub(WallClock(), Options{TraceCap: 64})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				hub.RecordSeq(uint32(w), StagePrePrepare, uint64(i), 1)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			hub.Trace.Events()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if total := hub.Trace.Total(); total != 4*5000 {
+		t.Fatalf("trace total = %d, want %d", total, 4*5000)
+	}
+	if n := len(hub.Trace.Events()); n != 64 {
+		t.Fatalf("retained = %d, want ring cap 64", n)
+	}
+}
+
+func TestZeroAllocsOnHotPath(t *testing.T) {
+	// The alloc-regression guard the ISSUE pins: observing a metric or
+	// recording a trace event must not allocate.
+	reg := &Registry{}
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h")
+	hub := NewHub(WallClock(), Options{})
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(3) }); n != 0 {
+		t.Fatalf("Gauge.Set allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(12345) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { hub.RecordSeq(1, StagePrePrepare, 7, 3) }); n != 0 {
+		t.Fatalf("Hub.RecordSeq allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { hub.RecordKey(1, Stage2PCVote, "ctl1-42", 0) }); n != 0 {
+		t.Fatalf("Hub.RecordKey allocates %v/op", n)
+	}
+}
+
+func TestPrometheusOutput(t *testing.T) {
+	reg := &Registry{}
+	reg.Counter("requests_total").Add(3)
+	reg.Gauge("depth").Set(-2)
+	reg.Histogram("lat").Observe(2_000_000) // 2ms
+	reg.SizeHistogram("batch").ObserveSize(10)
+	reg.CounterFunc("fn_total", func() uint64 { return 9 })
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE requests_total counter",
+		"requests_total 3",
+		"depth -2",
+		"fn_total 9",
+		"# TYPE lat histogram",
+		`lat_bucket{le="+Inf"}`,
+		"lat_count 1",
+		`batch_bucket{le="16"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative and end at the total count.
+	if !strings.Contains(out, `lat_bucket{le="+Inf"} 1`) {
+		t.Fatalf("+Inf bucket not cumulative:\n%s", out)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	reg := &Registry{}
+	reg.Counter("c").Add(2)
+	reg.Gauge("g").Set(-5)
+	reg.Histogram("h").Observe(1500)
+	snap := reg.Snapshot()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters["c"] != 2 || got.Gauges["g"] != -5 || got.Histograms["h"].Count != 1 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestTraceExportRoundTrip(t *testing.T) {
+	hub := testHub()
+	hub.RecordSeq(1, StagePrePrepare, 5, 3)
+	hub.RecordSeq(1, StageCommitQuorum, 5, 3)
+	hub.RecordKey(2, Stage2PCBegin, "tx-1", 0)
+	hub.RecordKey(2, Stage2PCDone, "tx-1", 1)
+	events := hub.Trace.Events()
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTraceJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip: %d events, want %d", len(back), len(events))
+	}
+	for i := range back {
+		if back[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, back[i], events[i])
+		}
+	}
+	spans := SpanDurations(back)
+	if len(spans["consensus"]) != 1 {
+		t.Fatalf("consensus spans = %v", spans["consensus"])
+	}
+	if len(spans["2pc"]) != 1 {
+		t.Fatalf("2pc spans = %v", spans["2pc"])
+	}
+	var chrome bytes.Buffer
+	if err := WriteChromeTrace(&chrome, events); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chrome.String(), `"name":"consensus"`) {
+		t.Fatalf("chrome trace missing consensus span:\n%s", chrome.String())
+	}
+}
+
+func TestDeterministicSampling(t *testing.T) {
+	hub := NewHub(WallClock(), Options{TraceSampleEvery: 4})
+	sampled := 0
+	for tx := uint64(0); tx < 4096; tx++ {
+		if hub.Trace.SampleTx(tx) {
+			sampled++
+		}
+	}
+	// splitmix64 mixing: roughly 1/4 of ids sampled.
+	if sampled < 800 || sampled > 1300 {
+		t.Fatalf("sampled %d of 4096, want ~1024", sampled)
+	}
+	// Key sampling is a pure function: identical across tracer instances
+	// (cross-process stability is what shards rely on).
+	other := NewHub(WallClock(), Options{TraceSampleEvery: 4})
+	for _, k := range []string{"ctl1-1", "ctl1-2", "ctl9-3.abc", "x"} {
+		if hub.Trace.SampleKey(k) != other.Trace.SampleKey(k) {
+			t.Fatalf("key sampling differs across instances for %q", k)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	reg := &Registry{}
+	reg.Counter("b_total").Add(2)
+	reg.Counter("a_total").Add(1)
+	reg.Counter("zero_total")
+	reg.Gauge("g").Set(3)
+	reg.Histogram("h").Observe(10)
+	sum := reg.Snapshot().Summary()
+	want := "a_total=1 b_total=2 g=3 h_count=1"
+	if sum != want {
+		t.Fatalf("summary = %q, want %q", sum, want)
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4), in sorted-name order. Duration
+// histograms are exported in seconds (the Prometheus convention); size
+// histograms in raw units. Safe on a nil registry (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, m := range r.sortedMetrics() {
+		family := familyName(m.name)
+		if family != lastFamily {
+			lastFamily = family
+			bw.WriteString("# TYPE ")
+			bw.WriteString(family)
+			switch m.kind {
+			case kindCounter, kindCounterFunc:
+				bw.WriteString(" counter\n")
+			case kindGauge, kindGaugeFunc:
+				bw.WriteString(" gauge\n")
+			case kindHistogram:
+				bw.WriteString(" histogram\n")
+			}
+		}
+		if m.kind == kindHistogram {
+			writePromHistogram(bw, m.name, m.hist)
+			continue
+		}
+		bw.WriteString(m.name)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(m.value(), 10))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// writePromHistogram emits the cumulative _bucket series plus _sum and
+// _count for one histogram.
+func writePromHistogram(bw *bufio.Writer, name string, h *Histogram) {
+	base, labels := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base, labels = name[:i], name[i+1:len(name)-1]+","
+	}
+	var cum uint64
+	for i := 0; i < HistBuckets; i++ {
+		cum += h.buckets[i].Load()
+		bw.WriteString(base)
+		bw.WriteString(`_bucket{`)
+		bw.WriteString(labels)
+		bw.WriteString(`le="`)
+		bw.WriteString(formatBound(BucketBound(i), h.size))
+		bw.WriteString(`"} `)
+		bw.WriteString(strconv.FormatUint(cum, 10))
+		bw.WriteByte('\n')
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + strings.TrimSuffix(labels, ",") + "}"
+	}
+	bw.WriteString(base)
+	bw.WriteString("_sum")
+	bw.WriteString(suffix)
+	bw.WriteByte(' ')
+	if h.size {
+		bw.WriteString(strconv.FormatInt(h.sum.Load(), 10))
+	} else {
+		bw.WriteString(strconv.FormatFloat(float64(h.sum.Load())/1e9, 'g', -1, 64))
+	}
+	bw.WriteByte('\n')
+	bw.WriteString(base)
+	bw.WriteString("_count")
+	bw.WriteString(suffix)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(h.count.Load(), 10))
+	bw.WriteByte('\n')
+}
+
+// formatBound renders one bucket bound: seconds for duration histograms
+// (bounds are microseconds), raw units for size histograms.
+func formatBound(bound float64, size bool) string {
+	if math.IsInf(bound, 1) {
+		return "+Inf"
+	}
+	if size {
+		return strconv.FormatFloat(bound, 'g', -1, 64)
+	}
+	return strconv.FormatFloat(bound/1e6, 'g', -1, 64)
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// HistogramSnapshot is a point-in-time copy of one histogram. Buckets
+// are non-cumulative per-bucket counts (len HistBuckets), so snapshots
+// from different nodes merge by index.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     int64    `json:"sum"`
+	Size    bool     `json:"size,omitempty"` // raw-unit buckets, not microseconds
+	Buckets []uint64 `json:"buckets"`
+}
+
+// Merge accumulates b into h (bucket-wise).
+func (h *HistogramSnapshot) Merge(b HistogramSnapshot) {
+	h.Count += b.Count
+	h.Sum += b.Sum
+	h.Size = h.Size || b.Size
+	if h.Buckets == nil {
+		h.Buckets = make([]uint64, HistBuckets)
+	}
+	for i := 0; i < len(b.Buckets) && i < len(h.Buckets); i++ {
+		h.Buckets[i] += b.Buckets[i]
+	}
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) in the histogram's
+// native unit (microseconds for duration histograms), log-interpolating
+// inside the landing bucket. Returns 0 for an empty histogram; the +Inf
+// bucket reports its lower bound.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := q * float64(h.Count)
+	var cum float64
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= target {
+			lower := 0.5 // log midpoint stand-in for bucket 0's 0-lower bound
+			if i > 0 {
+				lower = BucketBound(i - 1)
+			}
+			upper := BucketBound(i)
+			if math.IsInf(upper, 1) {
+				return lower
+			}
+			frac := (target - cum) / float64(n)
+			return lower * math.Pow(upper/lower, frac)
+		}
+		cum = next
+	}
+	return BucketBound(HistBuckets - 2)
+}
+
+// Snapshot is a consistent-enough point-in-time copy of a registry:
+// each metric is read atomically, the set is read under the
+// registration lock. It is the JSON wire format of the /snapshot
+// endpoint (map keys marshal sorted, so sim-mode snapshots are
+// byte-stable).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every registered metric. Safe on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	for _, m := range r.sortedMetrics() {
+		switch m.kind {
+		case kindCounter:
+			s.Counters[m.name] = m.counter.Load()
+		case kindCounterFunc:
+			s.Counters[m.name] = m.cfn()
+		case kindGauge:
+			s.Gauges[m.name] = m.gauge.Load()
+		case kindGaugeFunc:
+			s.Gauges[m.name] = m.gfn()
+		case kindHistogram:
+			hs := HistogramSnapshot{
+				Count:   m.hist.count.Load(),
+				Sum:     m.hist.sum.Load(),
+				Size:    m.hist.size,
+				Buckets: make([]uint64, HistBuckets),
+			}
+			for i := range m.hist.buckets {
+				hs.Buckets[i] = m.hist.buckets[i].Load()
+			}
+			s.Histograms[m.name] = hs
+		}
+	}
+	return s
+}
+
+// ReadSnapshot decodes a /snapshot response — the scrape/aggregate
+// path's inverse of Snapshot's JSON marshaling. Nil maps come back
+// allocated so callers can merge into the result directly.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return s, err
+	}
+	if s.Counters == nil {
+		s.Counters = make(map[string]uint64)
+	}
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]int64)
+	}
+	if s.Histograms == nil {
+		s.Histograms = make(map[string]HistogramSnapshot)
+	}
+	return s, nil
+}
+
+// Summary renders the snapshot as one log-friendly line: sorted
+// `name=value` pairs for every nonzero counter and gauge, plus
+// `name_count=value` for every nonzero histogram. This is the periodic
+// status line ahlnode prints in place of its old bespoke counters.
+func (s Snapshot) Summary() string {
+	var parts []string
+	for _, name := range sortedNames(s.Counters) {
+		if v := s.Counters[name]; v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	for _, name := range sortedNames(s.Gauges) {
+		if v := s.Gauges[name]; v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	for _, name := range sortedNames(s.Histograms) {
+		if h := s.Histograms[name]; h.Count != 0 {
+			parts = append(parts, fmt.Sprintf("%s_count=%d", familyName(name), h.Count))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// sortedNames returns m's keys in sorted order.
+func sortedNames[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -85,6 +85,9 @@ type DiskOptions struct {
 	Keep int
 	// Logf, when set, receives one-line recovery and damage notices.
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives append/fsync/snapshot timings (see
+	// NewMetrics). nil disables instrumentation.
+	Metrics *Metrics
 }
 
 func (o *DiskOptions) fill() {
@@ -454,6 +457,7 @@ func (d *Disk) roll() error {
 		return fmt.Errorf("storage: close WAL segment: %w", err)
 	}
 	d.dirty = false
+	d.opts.Metrics.observeRoll()
 	return d.createSegment(d.curSeg + 1)
 }
 
@@ -461,6 +465,10 @@ func (d *Disk) roll() error {
 func (d *Disk) Append(rec Record) error {
 	if d.closed {
 		return ErrClosed
+	}
+	if m := d.opts.Metrics; m != nil {
+		t0 := time.Now()
+		defer func() { m.observeAppend(time.Since(t0).Nanoseconds()) }()
 	}
 	d.enc.Reset()
 	d.enc.Uvarint(d.nextOrd)
@@ -507,6 +515,10 @@ func (d *Disk) Append(rec Record) error {
 func (d *Disk) SaveSnapshot(snap Snapshot) error {
 	if d.closed {
 		return ErrClosed
+	}
+	if m := d.opts.Metrics; m != nil {
+		t0 := time.Now()
+		defer func() { m.observeSnapshot(time.Since(t0).Nanoseconds()) }()
 	}
 	if err := d.roll(); err != nil {
 		return err
@@ -622,8 +634,16 @@ func (d *Disk) Sync() error {
 	if !d.dirty {
 		return nil
 	}
+	var t0 time.Time
+	m := d.opts.Metrics
+	if m != nil {
+		t0 = time.Now()
+	}
 	if err := d.cur.Sync(); err != nil {
 		return fmt.Errorf("storage: sync WAL: %w", err)
+	}
+	if m != nil {
+		m.observeFsync(time.Since(t0).Nanoseconds())
 	}
 	d.dirty = false
 	d.lastSync = time.Now()

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/wire"
 )
@@ -47,11 +48,9 @@ type TCPConfig struct {
 	// (default 2s).
 	FlushTimeout time.Duration
 	// Logf, when set, receives connection lifecycle diagnostics.
+	// Operational health (queue overflows, reconnects, per-peer queue
+	// depth) is exported through RegisterMetrics instead of the log.
 	Logf func(format string, args ...any)
-	// Warnf, when set, receives rate-limited operational warnings (e.g.
-	// per-peer queue overflow) that a deployment wants even when verbose
-	// Logf diagnostics are off. Defaults to Logf.
-	Warnf func(format string, args ...any)
 }
 
 func (c *TCPConfig) withDefaults() {
@@ -95,16 +94,16 @@ type TCPStats struct {
 // prefixes, one lazily-dialed connection and outbound queue per peer
 // address, exponential redial backoff, and graceful shutdown.
 type TCP struct {
-	cfg   TCPConfig
-	ln    net.Listener
-	logf  func(string, ...any)
-	warnf func(string, ...any)
+	cfg  TCPConfig
+	ln   net.Listener
+	logf func(string, ...any)
 
 	mu       sync.RWMutex
 	handlers map[simnet.NodeID]Handler
 	peers    map[string]*tcpPeer
 	conns    map[net.Conn]bool
 	shut     bool
+	reg      *obs.Registry // set by RegisterMetrics; peers created later self-register
 
 	closed chan struct{}
 	wg     sync.WaitGroup
@@ -123,18 +122,13 @@ type tcpPeer struct {
 	addr string
 	ch   chan []byte
 
-	// overflow warning state: total sheds and the last warning time, so a
-	// persistently-full queue logs one line per overflowWarnEvery instead
-	// of one per frame.
+	// overflows counts frames shed at this peer's full queue, exported as
+	// transport_peer_overflows_total{peer=addr} via RegisterMetrics.
 	overflows atomic.Uint64
-	lastWarn  atomic.Int64 // unix nanoseconds
 	// hadConn marks that the write loop once held a live connection, which
 	// turns the next successful dial into a reconnect (writeLoop only).
 	hadConn bool
 }
-
-// overflowWarnEvery rate-limits per-peer queue-overflow warnings.
-const overflowWarnEvery = 5 * time.Second
 
 // NewTCP starts a TCP transport. If cfg names a listen address (or
 // supplies a listener) the accept loop starts immediately; outbound
@@ -145,7 +139,6 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 		cfg:      cfg,
 		ln:       cfg.Listener,
 		logf:     cfg.Logf,
-		warnf:    cfg.Warnf,
 		handlers: make(map[simnet.NodeID]Handler),
 		peers:    make(map[string]*tcpPeer),
 		conns:    make(map[net.Conn]bool),
@@ -153,9 +146,6 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 	}
 	if t.logf == nil {
 		t.logf = func(string, ...any) {}
-	}
-	if t.warnf == nil {
-		t.warnf = t.logf
 	}
 	if t.ln == nil && cfg.Listen != "" {
 		ln, err := net.Listen("tcp", cfg.Listen)
@@ -192,6 +182,40 @@ func (t *TCP) Stats() TCPStats {
 		Redials:        t.redials.Load(),
 		Reconnects:     t.reconnects.Load(),
 	}
+}
+
+// RegisterMetrics exports the transport's counters on reg as live func
+// collectors (sampled at snapshot time, no double bookkeeping) plus a
+// per-peer queue-depth gauge and overflow counter labeled by peer
+// address. Peers dialed after the call register themselves as they are
+// created.
+func (t *TCP) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("transport_sent_frames_total", t.sentFrames.Load)
+	reg.CounterFunc("transport_sent_bytes_total", t.sentBytes.Load)
+	reg.CounterFunc("transport_recv_frames_total", t.recvFrames.Load)
+	reg.CounterFunc("transport_recv_bytes_total", t.recvBytes.Load)
+	reg.CounterFunc("transport_dropped_total", t.dropped.Load)
+	reg.CounterFunc("transport_queue_overflows_total", t.overflows.Load)
+	reg.CounterFunc("transport_redials_total", t.redials.Load)
+	reg.CounterFunc("transport_reconnects_total", t.reconnects.Load)
+	t.mu.Lock()
+	t.reg = reg
+	peers := make([]*tcpPeer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	t.mu.Unlock()
+	for _, p := range peers {
+		registerPeerMetrics(reg, p)
+	}
+}
+
+// registerPeerMetrics exports one peer's queue depth and overflow count.
+// Queue depth reads len() on the outbound channel, which is safe from
+// the snapshot goroutine.
+func registerPeerMetrics(reg *obs.Registry, p *tcpPeer) {
+	reg.GaugeFunc("transport_peer_queue_depth{peer=\""+p.addr+"\"}", func() int64 { return int64(len(p.ch)) })
+	reg.CounterFunc("transport_peer_overflows_total{peer=\""+p.addr+"\"}", p.overflows.Load)
 }
 
 // RegisterHandler implements Transport.
@@ -242,18 +266,13 @@ func (t *TCP) Send(m simnet.Message) error {
 	return nil
 }
 
-// noteOverflow accounts one frame shed at a full per-peer queue and warns
-// at most once per overflowWarnEvery per peer — enough to see a dead or
-// slow peer in the logs without one line per dropped frame.
+// noteOverflow accounts one frame shed at a full per-peer queue. A dead
+// or slow peer shows up in transport_peer_overflows_total{peer=...} (and
+// in the node's periodic status line), not as per-frame log spam.
 func (t *TCP) noteOverflow(p *tcpPeer) {
 	t.dropped.Add(1)
 	t.overflows.Add(1)
-	n := p.overflows.Add(1)
-	now := time.Now().UnixNano()
-	last := p.lastWarn.Load()
-	if now-last >= int64(overflowWarnEvery) && p.lastWarn.CompareAndSwap(last, now) {
-		t.warnf("transport: outbound queue to %s full, %d frames dropped so far", p.addr, n)
-	}
+	p.overflows.Add(1)
 }
 
 func (t *TCP) peer(addr string) (*tcpPeer, bool) {
@@ -266,6 +285,9 @@ func (t *TCP) peer(addr string) (*tcpPeer, bool) {
 	if p == nil {
 		p = &tcpPeer{addr: addr, ch: make(chan []byte, t.cfg.QueueLen)}
 		t.peers[addr] = p
+		if t.reg != nil {
+			registerPeerMetrics(t.reg, p)
+		}
 		t.wg.Add(1)
 		go t.writeLoop(p)
 	}

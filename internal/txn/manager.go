@@ -7,6 +7,7 @@ import (
 	"repro/internal/chain"
 	"repro/internal/consensus"
 	"repro/internal/consensus/pbft"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/storage"
@@ -160,6 +161,9 @@ type Manager struct {
 	// Durability (see durable.go); nil/empty in the simulator.
 	durable      storage.Backend
 	injectedBody map[uint64]chain.Tx // injected-step bodies for resubmission
+
+	// Observability (see obs.go); nil when the replica has no obs.Hub.
+	met *txnMetrics
 }
 
 // retrySched is one transaction's retransmission state under bounded
@@ -242,6 +246,7 @@ func NewManager(role Role, shardID int, topo Topology, replica *pbft.Replica) *M
 		pending:     make(map[string]*retrySched),
 	}
 	m.retry = newRetryTimer(replica.Engine(), m.retryTick)
+	m.enableObs()
 	m.ep.SetHandler(m)
 	m.ep.OnDownChange(m.onDownChange)
 	replica.OnExecute(m.onExecute)
@@ -360,6 +365,13 @@ func (m *Manager) injectPrepare(txid string) {
 	if !ok {
 		return
 	}
+	if t := m.met; t != nil {
+		if _, seen := t.prepInjAt[txid]; !seen {
+			t.prepInjAt[txid] = t.hub.Now()
+			t.hub.RecordKey(t.node, obs.Stage2PCPrepare, txid, 0)
+		}
+		m.obsArmProbe()
+	}
 	for _, op := range d.Ops {
 		if op.Shard != m.shardID {
 			continue
@@ -446,6 +458,10 @@ func (m *Manager) maybeInjectDecide(txid string) {
 		return
 	}
 	m.decideInj[txid] = true
+	if t := m.met; t != nil {
+		t.decInjAt[txid] = t.hub.Now()
+		t.hub.RecordKey(t.node, obs.Stage2PCDecide, txid, 0)
+	}
 	fn, kind := d.CommitFn, "commit"
 	if !commit {
 		fn, kind = d.AbortFn, "abort"
@@ -540,6 +556,10 @@ func (m *Manager) onRefExecuted(tx chain.Tx, ok bool) {
 		}
 		next := m.replica.Engine().Now().Add(retryInterval)
 		m.pending[txid] = &retrySched{next: next}
+		if t := m.met; t != nil {
+			t.beginAt[txid] = t.hub.Now()
+			t.hub.RecordKey(t.node, obs.Stage2PCBegin, txid, int64(len(d.Shards())))
+		}
 		m.sendPrepares(txid, d)
 		m.scheduleRetry(next)
 	case "vote":
@@ -553,6 +573,19 @@ func (m *Manager) onRefExecuted(tx chain.Tx, ok bool) {
 		}
 		m.announced[txid] = true
 		delete(m.pending, txid)
+		if t := m.met; t != nil {
+			committed := status == StatusCommitted
+			if committed {
+				t.commits.Inc()
+			} else {
+				t.aborts.Inc()
+			}
+			if at, seen := t.beginAt[txid]; seen {
+				t.commitLatency.Observe(t.hub.Now() - at)
+			}
+			t.hub.RecordKey(t.node, obs.Stage2PCDone, txid, boolArg(committed))
+			t.forget(txid)
+		}
 		d, found := DTxOf(m.replica.Store(), txid)
 		if !found {
 			return
@@ -583,6 +616,18 @@ func (m *Manager) onShardExecuted(tx chain.Tx, ok bool) {
 	}
 	switch ref.kind {
 	case "prepare":
+		// Executing the prepare is the moment the 2PL locks land (whatever
+		// happens to them next), so the lock-wait histogram closes here.
+		if t := m.met; t != nil {
+			now := t.hub.Now()
+			if at, seen := t.prepInjAt[ref.txid]; seen {
+				t.prepareWait.Observe(now - at)
+			}
+			if _, seen := t.prepExecAt[ref.txid]; !seen {
+				t.prepExecAt[ref.txid] = now
+			}
+			t.hub.RecordKey(t.node, obs.Stage2PCVote, ref.txid, boolArg(ok))
+		}
 		if m.done[ref.txid] {
 			// The prepare was ordered behind the decision it belongs to
 			// (phase 2 already executed here — only possible for aborts,
@@ -618,6 +663,17 @@ func (m *Manager) onShardExecuted(tx chain.Tx, ok bool) {
 		m.done[ref.txid] = true
 		if _, known := m.decided[ref.txid]; !known {
 			m.decided[ref.txid] = ref.kind == "commit"
+		}
+		if t := m.met; t != nil {
+			now := t.hub.Now()
+			if at, seen := t.prepExecAt[ref.txid]; seen {
+				t.lockHold.Observe(now - at)
+			}
+			if at, seen := t.decInjAt[ref.txid]; seen {
+				t.decideWait.Observe(now - at)
+			}
+			t.hub.RecordKey(t.node, obs.Stage2PCDone, ref.txid, boolArg(ref.kind == "commit"))
+			t.forget(ref.txid)
 		}
 	}
 }
@@ -718,6 +774,9 @@ func (m *Manager) retryTick() {
 			continue
 		}
 		if d, ok := DTxOf(m.replica.Store(), txid); ok {
+			if m.met != nil {
+				m.met.retryPrepares.Inc()
+			}
 			m.sendPrepares(txid, d)
 		}
 		st.attempts++
@@ -732,6 +791,9 @@ func (m *Manager) retryTick() {
 			// Still no decision: the vote (or the decision) was lost. A
 			// reference replica that already decided answers this with a
 			// fresh CommitTx/AbortTx (see handleVote).
+			if m.met != nil {
+				m.met.retryVotes.Inc()
+			}
 			m.sendVote(v)
 		}
 		st.attempts++

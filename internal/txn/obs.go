@@ -1,0 +1,121 @@
+package txn
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// danglingProbeInterval paces the dangling-lock probe: a periodic
+// engine-side scan publishing how many shard-side transactions still
+// hold 2PL state. The probe is lazy — armed on 2PC activity, dropped
+// when nothing is outstanding — so an instrumented simulation can still
+// run to idle.
+const danglingProbeInterval = 2 * time.Second
+
+// txnMetrics holds one manager's resolved observability handles plus
+// the per-transaction obs-clock timestamps the 2PC stage-duration
+// histograms subtract. nil when the replica carries no obs.Hub.
+type txnMetrics struct {
+	hub  *obs.Hub
+	node uint32
+
+	prepareWait   *obs.Histogram // prepare inject -> prepare executed (consensus + lock wait)
+	lockHold      *obs.Histogram // prepare executed -> phase-2 executed (2PL hold time)
+	decideWait    *obs.Histogram // decide inject -> phase-2 executed
+	commitLatency *obs.Histogram // coordinator: begin executed -> decision announced
+
+	commits       *obs.Counter // coordinator decisions, by outcome
+	aborts        *obs.Counter
+	retryPrepares *obs.Counter // PrepareTx retransmissions
+	retryVotes    *obs.Counter // vote retransmissions
+
+	danglingLocks  *obs.Gauge // last probe: prepared-but-unfinished txns
+	danglingProbes *obs.Counter
+
+	// Stage timestamps keyed by distributed-txn id, deleted as soon as
+	// the closing stage observes them (and when the txn finishes).
+	prepInjAt  map[string]int64
+	prepExecAt map[string]int64
+	decInjAt   map[string]int64
+	beginAt    map[string]int64
+
+	probe *sim.Timer
+}
+
+func newTxnMetrics(hub *obs.Hub, node uint32) *txnMetrics {
+	reg := hub.Reg
+	return &txnMetrics{
+		hub:  hub,
+		node: node,
+
+		prepareWait:   reg.Histogram("txn_2pc_prepare_wait"),
+		lockHold:      reg.Histogram("txn_2pc_lock_hold"),
+		decideWait:    reg.Histogram("txn_2pc_decide_wait"),
+		commitLatency: reg.Histogram("txn_2pc_commit_latency"),
+
+		commits:       reg.Counter("txn_2pc_commit_total"),
+		aborts:        reg.Counter("txn_2pc_abort_total"),
+		retryPrepares: reg.Counter("txn_2pc_retry_prepare_total"),
+		retryVotes:    reg.Counter("txn_2pc_retry_vote_total"),
+
+		danglingLocks:  reg.Gauge("txn_dangling_locks"),
+		danglingProbes: reg.Counter("txn_dangling_probe_total"),
+
+		prepInjAt:  make(map[string]int64),
+		prepExecAt: make(map[string]int64),
+		decInjAt:   make(map[string]int64),
+		beginAt:    make(map[string]int64),
+	}
+}
+
+// boolArg encodes an outcome flag into a trace event's Arg field.
+func boolArg(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// forget drops every stage timestamp for txid (the txn reached a
+// terminal state here).
+func (t *txnMetrics) forget(txid string) {
+	delete(t.prepInjAt, txid)
+	delete(t.prepExecAt, txid)
+	delete(t.decInjAt, txid)
+	delete(t.beginAt, txid)
+}
+
+// enableObs wires the manager's instrumentation off the replica's hub.
+// Called from NewManager, so every construction site — sim systems and
+// live nodes alike — is instrumented exactly when its replica is.
+func (m *Manager) enableObs() {
+	hub := m.replica.ObsHub()
+	if hub == nil {
+		return
+	}
+	m.met = newTxnMetrics(hub, uint32(m.ep.ID()))
+	m.met.probe = m.replica.Engine().NewTimer()
+}
+
+// obsArmProbe schedules the next dangling-lock probe if none is pending.
+func (m *Manager) obsArmProbe() {
+	if m.met == nil || m.role != RoleShard || m.met.probe.Active() {
+		return
+	}
+	m.met.probe.Reset(danglingProbeInterval, m.obsProbeTick)
+}
+
+// obsProbeTick publishes the dangling-lock count and re-arms while any
+// prepared transaction is still unfinished. When everything drained the
+// probe stops (the next injectPrepare re-arms it), so instrumented
+// simulations still reach idle.
+func (m *Manager) obsProbeTick() {
+	dangling := m.DanglingLocks()
+	m.met.danglingProbes.Inc()
+	m.met.danglingLocks.Set(int64(len(dangling)))
+	if len(dangling) > 0 {
+		m.obsArmProbe()
+	}
+}

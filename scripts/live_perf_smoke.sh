@@ -14,6 +14,14 @@
 #   LIVE_PERF_BASELINE     baseline row to gate against  (default BENCH_live_pr7.json)
 #   LIVE_PERF_GATE         allowed regression, percent   (default 15; 0 disables)
 #   LIVE_PERF_LABEL        label recorded in the row     (default live-smoke)
+#   LIVE_PERF_OBS_DIR      observability artifact dir    (default BENCH_live_obs)
+#
+# After the measured run, while the cluster is still up, the script
+# scrapes every replica's /metrics (plus node 0's /snapshot, /trace, and
+# a 1s pprof CPU profile) into LIVE_PERF_OBS_DIR as a CI artifact, and
+# fails if no replica reports a nonzero pbft_pipeline_occupancy_peak —
+# a load run that never overlapped consensus instances means the
+# pipeline (or its instrumentation) is broken.
 #
 # Run from the repository root.
 set -euo pipefail
@@ -24,6 +32,7 @@ OUT="${LIVE_PERF_JSON:-BENCH_live_smoke.json}"
 BASELINE="${LIVE_PERF_BASELINE:-BENCH_live_pr7.json}"
 GATE="${LIVE_PERF_GATE:-15}"
 LABEL="${LIVE_PERF_LABEL:-live-smoke}"
+OBS_DIR="${LIVE_PERF_OBS_DIR:-BENCH_live_obs}"
 
 BIN="$(mktemp -d)"
 DATA="$BIN/data"
@@ -58,23 +67,23 @@ cat >"$TOPO" <<'EOF'
   "fsync": "interval",
   "shards": [
     [
-      {"id": 0, "addr": "127.0.0.1:7200"},
-      {"id": 1, "addr": "127.0.0.1:7201"},
-      {"id": 2, "addr": "127.0.0.1:7202"},
-      {"id": 3, "addr": "127.0.0.1:7203"}
+      {"id": 0, "addr": "127.0.0.1:7200", "metrics_addr": "127.0.0.1:7240"},
+      {"id": 1, "addr": "127.0.0.1:7201", "metrics_addr": "127.0.0.1:7241"},
+      {"id": 2, "addr": "127.0.0.1:7202", "metrics_addr": "127.0.0.1:7242"},
+      {"id": 3, "addr": "127.0.0.1:7203", "metrics_addr": "127.0.0.1:7243"}
     ],
     [
-      {"id": 4, "addr": "127.0.0.1:7210"},
-      {"id": 5, "addr": "127.0.0.1:7211"},
-      {"id": 6, "addr": "127.0.0.1:7212"},
-      {"id": 7, "addr": "127.0.0.1:7213"}
+      {"id": 4, "addr": "127.0.0.1:7210", "metrics_addr": "127.0.0.1:7250"},
+      {"id": 5, "addr": "127.0.0.1:7211", "metrics_addr": "127.0.0.1:7251"},
+      {"id": 6, "addr": "127.0.0.1:7212", "metrics_addr": "127.0.0.1:7252"},
+      {"id": 7, "addr": "127.0.0.1:7213", "metrics_addr": "127.0.0.1:7253"}
     ]
   ],
   "reference": [
-    {"id": 8, "addr": "127.0.0.1:7220"},
-    {"id": 9, "addr": "127.0.0.1:7221"},
-    {"id": 10, "addr": "127.0.0.1:7222"},
-    {"id": 11, "addr": "127.0.0.1:7223"}
+    {"id": 8, "addr": "127.0.0.1:7220", "metrics_addr": "127.0.0.1:7260"},
+    {"id": 9, "addr": "127.0.0.1:7221", "metrics_addr": "127.0.0.1:7261"},
+    {"id": 10, "addr": "127.0.0.1:7222", "metrics_addr": "127.0.0.1:7262"},
+    {"id": 11, "addr": "127.0.0.1:7223", "metrics_addr": "127.0.0.1:7263"}
   ],
   "clients": [
     {"id": 12, "addr": "127.0.0.1:7230"}
@@ -109,4 +118,36 @@ if [ "$code" -ne 0 ]; then
   exit "$code"
 fi
 
-echo "live perf smoke OK ($OUT)"
+# Flight-recorder capture: the cluster is still running, so pull every
+# replica's /metrics, node 0's JSON snapshot + trace, and a short pprof
+# CPU profile into the artifact dir, then assert the load actually
+# overlapped consensus instances (nonzero pipeline-occupancy peak).
+echo "== capturing observability artifacts into $OBS_DIR"
+rm -rf "$OBS_DIR"
+mkdir -p "$OBS_DIR"
+occupancy_seen=0
+for id in 0 1 2 3 4 5 6 7 8 9 10 11; do
+  case "$id" in
+    [0-3]) maddr="127.0.0.1:724$id" ;;
+    [4-7]) maddr="127.0.0.1:725$((id - 4))" ;;
+    *)     maddr="127.0.0.1:726$((id - 8))" ;;
+  esac
+  if ! curl -fsS "http://$maddr/metrics" >"$OBS_DIR/node$id.metrics.txt"; then
+    echo "FAIL: /metrics unreachable on node $id ($maddr)" >&2
+    exit 1
+  fi
+  peak="$(awk '$1 == "pbft_pipeline_occupancy_peak" {print $2}' "$OBS_DIR/node$id.metrics.txt")"
+  if [ -n "$peak" ] && [ "$peak" -gt 0 ] 2>/dev/null; then
+    occupancy_seen=1
+  fi
+done
+curl -fsS "http://127.0.0.1:7240/snapshot" >"$OBS_DIR/node0.snapshot.json"
+curl -fsS "http://127.0.0.1:7240/trace" >"$OBS_DIR/node0.trace.json"
+curl -fsS "http://127.0.0.1:7240/debug/pprof/profile?seconds=1" >"$OBS_DIR/node0.cpu.pprof"
+"$BIN/ahlctl" scrape -topo "$TOPO" | tee "$OBS_DIR/scrape.txt"
+if [ "$occupancy_seen" -ne 1 ]; then
+  echo "FAIL: no replica reported pbft_pipeline_occupancy_peak > 0 under load" >&2
+  exit 1
+fi
+
+echo "live perf smoke OK ($OUT; observability artifacts in $OBS_DIR)"
