@@ -1,18 +1,34 @@
-// Command ahlctl is the live-cluster client and load driver: it attaches
-// to a running ahlnode deployment as a client gateway, seeds SmallBank
-// accounts, submits a closed-loop mix of single-shard and cross-shard
-// transactions, and reports committed throughput and latency percentiles.
+// Command ahlctl is the live-cluster client toolbox: it attaches to a
+// running ahlnode deployment as a client gateway and drives or inspects
+// it. Subcommands:
 //
-//	ahlctl -topo topology.json -txs 500 -cross 0.3 -outstanding 16
-//
-// Cross-shard transactions are §6.3 sendPayment transfers driven through
-// the reference committee's 2PC (Figure 5); single-shard transactions are
-// smallbank queries acknowledged by f+1 replica replies.
-//
-// The scrape subcommand aggregates a running cluster's observability
-// endpoints (each node's metrics_addr) into one latency-breakdown table:
-//
+//	ahlctl load   -topo topology.json -txs 500 -cross 0.3 -outstanding 16
+//	ahlctl query  -topo topology.json -expect 32000000
+//	ahlctl status -topo topology.json
 //	ahlctl scrape -topo topology.json
+//
+// load seeds SmallBank accounts, submits a closed-loop mix of
+// single-shard and cross-shard transactions, and reports committed
+// throughput and latency percentiles. Cross-shard transactions are §6.3
+// sendPayment transfers driven through the reference committee's 2PC
+// (Figure 5); single-shard transactions are smallbank queries
+// acknowledged by f+1 replica replies.
+//
+// query runs the height-consistent balance-conservation sweep through
+// the scatter-gather query layer: committed checking + savings totals at
+// one pinned cut of per-shard versions, with in-flight 2PC residues
+// resolved against that cut. -expect asserts the total (exit 4 on
+// mismatch), which turns a live cluster under load into its own
+// consistency check.
+//
+// status pins every shard at its latest sealed version and reports the
+// per-shard heights and account count — a cheap liveness/height probe.
+//
+// scrape aggregates a running cluster's observability endpoints (each
+// node's metrics_addr) into one latency-breakdown table.
+//
+// A bare flag invocation (ahlctl -topo ...) still runs load for one
+// release; migrate scripts to the subcommand form.
 package main
 
 import (
@@ -24,14 +40,191 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/chain"
 	"repro/internal/core"
+	"repro/internal/query"
 	"repro/internal/simnet"
 	"repro/internal/transport"
 	"repro/internal/txn"
 )
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: ahlctl <command> [flags]
+
+commands:
+  load    seed accounts and drive a closed-loop transaction mix
+  query   height-consistent balance-conservation sweep (-expect asserts the total)
+  status  per-shard pinned heights and account count
+  scrape  aggregate cluster metrics endpoints into one table
+
+Run 'ahlctl <command> -h' for per-command flags.
+`)
+}
+
+func main() {
+	args := os.Args[1:]
+	cmd := "load"
+	if len(args) > 0 {
+		switch args[0] {
+		case "load", "query", "status", "scrape":
+			cmd, args = args[0], args[1:]
+		case "-h", "-help", "--help", "help":
+			usage()
+			return
+		default:
+			if !strings.HasPrefix(args[0], "-") {
+				fmt.Fprintf(os.Stderr, "ahlctl: unknown command %q\n\n", args[0])
+				usage()
+				os.Exit(2)
+			}
+			// Legacy flat invocation predating subcommands: run load.
+			log.Printf("ahlctl: note: bare flags are deprecated; use 'ahlctl load %s'", strings.Join(args, " "))
+		}
+	}
+	switch cmd {
+	case "load":
+		runLoad(args)
+	case "query":
+		runQuery(args)
+	case "status":
+		runStatus(args)
+	case "scrape":
+		runScrape(args)
+	}
+}
+
+// connectClient attaches to the cluster described by topoPath as client
+// gateway id (-1 selects the topology's first client entry). The caller
+// owns both returned handles.
+func connectClient(topoPath string, id int) (*core.ClusterConfig, *core.LiveClient, *transport.TCP) {
+	cfg, err := core.LoadClusterConfig(topoPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if id < 0 {
+		if len(cfg.Clients) == 0 {
+			log.Fatal("ahlctl: topology has no client entries")
+		}
+		id = cfg.Clients[0].ID
+	}
+	clientID := simnet.NodeID(id)
+	tr, err := transport.NewTCP(transport.TCPConfig{
+		Listen: cfg.PeerAddrs()[clientID],
+		Peers:  cfg.PeerAddrs(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := core.StartLiveClient(cfg, clientID, tr)
+	if err != nil {
+		tr.Close()
+		log.Fatal(err)
+	}
+	return cfg, client, tr
+}
+
+// runQuery is the ahlctl query subcommand: one conservation sweep through
+// the streaming query layer, optionally asserted against -expect.
+func runQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	var (
+		topoPath = fs.String("topo", "", "cluster topology JSON (required)")
+		id       = fs.Int("id", -1, "client node id (default: first client in the topology)")
+		expect   = fs.Int64("expect", -1, "assert the conserved total equals this value (exit 4 on mismatch)")
+		attempts = fs.Int("attempts", 5, "re-pin retries when a checkpoint overtakes the cut")
+		timeout  = fs.Duration("timeout", time.Minute, "overall query deadline")
+	)
+	fs.Parse(args)
+	if *topoPath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	_, client, tr := connectClient(*topoPath, *id)
+	defer tr.Close()
+	defer client.Stop()
+
+	res, err := client.Conservation(*attempts, *timeout)
+	if err != nil {
+		log.Fatalf("ahlctl: conservation query: %v", err)
+	}
+	fmt.Printf("ahlctl conservation sweep\n")
+	fmt.Printf("  pins          %v\n", res.Pins)
+	fmt.Printf("  accounts      %d\n", res.Accounts)
+	fmt.Printf("  checking      %d\n", res.Checking)
+	fmt.Printf("  savings       %d\n", res.Savings)
+	fmt.Printf("  residues      %d staged deltas, %d applied (committed at the cut)\n",
+		len(res.Residues), res.Applied)
+	fmt.Printf("  total         %d\n", res.Total)
+	if *expect >= 0 && res.Total != *expect {
+		fmt.Printf("  MISMATCH      total %d != expected %d\n", res.Total, *expect)
+		os.Exit(4)
+	}
+	if *expect >= 0 {
+		fmt.Printf("  ok            total matches expected %d\n", *expect)
+	}
+}
+
+// runStatus is the ahlctl status subcommand: pin each shard at its latest
+// sealed version and count the seeded accounts, as a liveness probe.
+func runStatus(args []string) {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	var (
+		topoPath = fs.String("topo", "", "cluster topology JSON (required)")
+		id       = fs.Int("id", -1, "client node id (default: first client in the topology)")
+		timeout  = fs.Duration("timeout", time.Minute, "overall probe deadline")
+	)
+	fs.Parse(args)
+	if *topoPath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	_, client, tr := connectClient(*topoPath, *id)
+	defer tr.Close()
+	defer client.Stop()
+
+	// Each attempt is a fresh one-shot probe: the query protocol sends
+	// every page exactly once, so a sub-query lost over TCP (e.g. the
+	// first reply after this client id's previous process exited) is
+	// recovered by re-issuing, not by waiting.
+	type probe struct {
+		res *query.Result
+		err error
+	}
+	const attempts = 3
+	out := make(chan probe, attempts) // late results from abandoned attempts must not block
+	var res *query.Result
+	var qerr error
+	for i := 0; i < attempts; i++ {
+		q := &query.Query{
+			Spec: query.Spec{Kind: query.KindScan,
+				Start: "c_", End: chain.PrefixEnd("c_"), Proj: query.ProjKV, Agg: query.AggCount},
+			OnDone: func(r *query.Result, err error) { out <- probe{r, err} },
+		}
+		if err := client.Query(q); err != nil {
+			log.Fatalf("ahlctl: status: %v", err)
+		}
+		select {
+		case o := <-out:
+			res, qerr = o.res, o.err
+			if qerr == nil {
+				i = attempts // done
+			}
+		case <-time.After(*timeout / attempts):
+			qerr = fmt.Errorf("status probe timed out")
+		}
+	}
+	if qerr != nil {
+		log.Fatalf("ahlctl: status: %v", qerr)
+	}
+	fmt.Printf("ahlctl status\n")
+	for s, pin := range res.Pins {
+		fmt.Printf("  shard %-2d      sealed version %d\n", s, pin)
+	}
+	fmt.Printf("  accounts      %d\n", res.Count)
+}
 
 // liveReport is one BENCH_live_*.json row: the measured (post-warmup)
 // throughput and latency distribution of a run, comparable across PRs by
@@ -54,55 +247,31 @@ type liveReport struct {
 	MaxMs       float64 `json:"max_ms"`
 }
 
-func main() {
-	if len(os.Args) > 1 && os.Args[1] == "scrape" {
-		runScrape(os.Args[2:])
-		return
-	}
+func runLoad(args []string) {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
 	var (
-		topoPath    = flag.String("topo", "", "cluster topology JSON (required)")
-		id          = flag.Int("id", -1, "client node id (default: first client in the topology)")
-		accounts    = flag.Int("accounts", 32, "SmallBank accounts to seed")
-		balance     = flag.Int64("balance", 1_000_000, "initial checking balance per account")
-		txs         = flag.Int("txs", 200, "transactions to run after seeding")
-		cross       = flag.Float64("cross", 0.3, "fraction of cross-shard transactions")
-		outstanding = flag.Int("outstanding", 16, "closed-loop window (in-flight transactions)")
-		seed        = flag.Int64("seed", 1, "workload RNG seed")
-		timeout     = flag.Duration("timeout", 5*time.Minute, "overall run deadline")
-		warmup      = flag.Int("warmup", -1, "completed transactions excluded from the measurement window (-1 = txs/10)")
-		label       = flag.String("label", "live", "label recorded in the -json report")
-		jsonOut     = flag.String("json", "", "write the measured report as a BENCH_live JSON row to this file")
-		compare     = flag.String("compare", "", "baseline BENCH_live JSON to compare throughput against")
-		gate        = flag.Float64("gate", 0, "with -compare: exit 3 if measured tps regresses more than this percent")
+		topoPath    = fs.String("topo", "", "cluster topology JSON (required)")
+		id          = fs.Int("id", -1, "client node id (default: first client in the topology)")
+		accounts    = fs.Int("accounts", 32, "SmallBank accounts to seed")
+		balance     = fs.Int64("balance", 1_000_000, "initial checking balance per account")
+		txs         = fs.Int("txs", 200, "transactions to run after seeding")
+		cross       = fs.Float64("cross", 0.3, "fraction of cross-shard transactions")
+		outstanding = fs.Int("outstanding", 16, "closed-loop window (in-flight transactions)")
+		seed        = fs.Int64("seed", 1, "workload RNG seed")
+		timeout     = fs.Duration("timeout", 5*time.Minute, "overall run deadline")
+		warmup      = fs.Int("warmup", -1, "completed transactions excluded from the measurement window (-1 = txs/10)")
+		label       = fs.String("label", "live", "label recorded in the -json report")
+		jsonOut     = fs.String("json", "", "write the measured report as a BENCH_live JSON row to this file")
+		compare     = fs.String("compare", "", "baseline BENCH_live JSON to compare throughput against")
+		gate        = fs.Float64("gate", 0, "with -compare: exit 3 if measured tps regresses more than this percent")
 	)
-	flag.Parse()
+	fs.Parse(args)
 	if *topoPath == "" {
-		flag.Usage()
+		fs.Usage()
 		os.Exit(2)
 	}
-	cfg, err := core.LoadClusterConfig(*topoPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *id < 0 {
-		if len(cfg.Clients) == 0 {
-			log.Fatal("ahlctl: topology has no client entries")
-		}
-		*id = cfg.Clients[0].ID
-	}
-	clientID := simnet.NodeID(*id)
-	tr, err := transport.NewTCP(transport.TCPConfig{
-		Listen: cfg.PeerAddrs()[clientID],
-		Peers:  cfg.PeerAddrs(),
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	cfg, client, tr := connectClient(*topoPath, *id)
 	defer tr.Close()
-	client, err := core.StartLiveClient(cfg, clientID, tr)
-	if err != nil {
-		log.Fatal(err)
-	}
 	defer client.Stop()
 	shards := len(cfg.Shards)
 	deadline := time.After(*timeout)

@@ -39,7 +39,11 @@ done
 sleep 1
 
 echo "== driving workload"
-"$BIN/ahlctl" -topo "$TOPO" -accounts 32 -txs 200 -cross 0.3 "$@"
+"$BIN/ahlctl" load -topo "$TOPO" -accounts 32 -txs 200 -cross 0.3 "$@"
+
+echo "== height-consistent cluster status + conservation query"
+"$BIN/ahlctl" status -topo "$TOPO" || true
+"$BIN/ahlctl" query -topo "$TOPO" || true
 
 echo "== scraping cluster observability (per-node metrics_addr endpoints)"
 "$BIN/ahlctl" scrape -topo "$TOPO" || true

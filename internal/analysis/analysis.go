@@ -253,4 +253,5 @@ var detPackages = []string{
 	"internal/report",
 	"internal/core",
 	"internal/obs",
+	"internal/query",
 }

@@ -29,6 +29,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
 		"eq1", "eq2", "eq3",
 		"faults-loss", "faults-crash", "faults-partition", "faults-byz", "faults-2pc",
+		"fig-read", "fig-readx",
 	}
 	for _, id := range wanted {
 		if _, ok := Get(id); !ok {

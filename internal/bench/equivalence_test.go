@@ -107,8 +107,11 @@ func finalStates(workers int) []string {
 	for _, bc := range sys.ShardCommittees {
 		st := bc.MostExecuted().Store()
 		var sb strings.Builder
-		for _, k := range st.KeysWithPrefix("") {
-			v, _ := st.Get(k)
+		for it := st.Head().Iter("", ""); ; {
+			k, v, ok := it.Next()
+			if !ok {
+				break
+			}
 			sb.WriteString(k)
 			sb.WriteByte('=')
 			sb.Write(v)

@@ -73,7 +73,7 @@ func TestWriteSetDigestCanonical(t *testing.T) {
 func TestSnapshotRestore(t *testing.T) {
 	s := NewStore()
 	s.Apply(WriteSet{{Key: "a", Value: []byte("1")}, {Key: "b", Value: []byte("2")}})
-	sn := s.Snapshot()
+	sn := s.Head().Snapshot()
 	s.Apply(WriteSet{{Key: "a", Value: []byte("9")}})
 
 	r := NewStore()

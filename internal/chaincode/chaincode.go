@@ -25,10 +25,11 @@ type Reader interface {
 // buffers writes so a failed invocation leaves the store untouched, and it
 // records read/write sets for cost accounting.
 type Ctx struct {
-	store  Reader
-	writes map[string][]byte // pending writes; nil value = delete
-	order  []string          // write order for deterministic write-sets
-	reads  int
+	store     Reader
+	writes    map[string][]byte // pending writes; nil value = delete
+	order     []string          // write order for deterministic write-sets
+	reads     int
+	committed []string // distributed txids whose staged state this invocation applied
 }
 
 // NewCtx returns a context over store.
@@ -66,6 +67,15 @@ func (c *Ctx) Del(key string) {
 
 // Reads returns the number of Get calls made.
 func (c *Ctx) Reads() int { return c.reads }
+
+// MarkCommitted records that this invocation applied the staged writes of
+// distributed transaction txid (CommitStaged calls it). The executor uses
+// the record to maintain the store's commit index, which height-pinned
+// readers need to resolve in-flight 2PC residues.
+func (c *Ctx) MarkCommitted(txid string) { c.committed = append(c.committed, txid) }
+
+// Committed returns the distributed txids this invocation committed.
+func (c *Ctx) Committed() []string { return c.committed }
 
 // WriteSet returns the buffered writes in first-write order.
 func (c *Ctx) WriteSet() chain.WriteSet {
@@ -129,6 +139,9 @@ type Result struct {
 	Err   error
 	Reads int
 	Write chain.WriteSet
+	// Committed lists distributed txids whose staged 2PL state this
+	// transaction's write-set applied (commit-phase invocations only).
+	Committed []string
 }
 
 // OK reports whether the transaction executed successfully.
@@ -158,6 +171,7 @@ func (r *Registry) ExecuteOver(view Reader, tx chain.Tx) Result {
 	res := Result{Tx: tx, Err: err, Reads: ctx.Reads()}
 	if err == nil {
 		res.Write = ctx.WriteSet()
+		res.Committed = ctx.Committed()
 	}
 	return res
 }

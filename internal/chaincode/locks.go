@@ -19,12 +19,47 @@ import (
 // shardlib subpackage builds its automatic chaincode transformation on
 // them.
 
+// State-key prefixes of the 2PL machinery, exported so read-side layers
+// (residue checks, the query layer's staged-delta resolution) can scan
+// them without re-deriving the scheme.
+const (
+	LockPrefix       = "L_"
+	StagePrefix      = "S_"
+	StageIndexPrefix = "SIDX_"
+)
+
 // LockKey returns the blockchain state key holding the 2PL lock for key.
-func LockKey(key string) string { return "L_" + key }
+func LockKey(key string) string { return LockPrefix + key }
 
-func stageKey(txid, key string) string { return "S_" + txid + "\x00" + key }
+func stageKey(txid, key string) string { return StagePrefix + txid + "\x00" + key }
 
-func stageIndexKey(txid string) string { return "SIDX_" + txid }
+func stageIndexKey(txid string) string { return StageIndexPrefix + txid }
+
+// ParseStageKey splits a StagePrefix state key back into the owning
+// distributed-transaction id and the staged application key.
+func ParseStageKey(stateKey string) (txid, key string, ok bool) {
+	if !strings.HasPrefix(stateKey, StagePrefix) {
+		return "", "", false
+	}
+	rest := stateKey[len(StagePrefix):]
+	i := strings.IndexByte(rest, 0)
+	if i < 0 {
+		return "", "", false
+	}
+	return rest[:i], rest[i+1:], true
+}
+
+// DecodeStagedValue unpacks a raw staged entry (the value stored under a
+// StagePrefix key): the pending value and whether it is a tombstone.
+func DecodeStagedValue(raw []byte) (value []byte, deleted, ok bool) {
+	if len(raw) == 0 {
+		return nil, false, false
+	}
+	if raw[0] == stagedDelete {
+		return nil, true, true
+	}
+	return raw[1:], false, true
+}
 
 // Staged values are tagged so a staged deletion is distinguishable from a
 // staged write of an empty value.
@@ -112,6 +147,7 @@ func CommitStaged(ctx *Ctx, txid string) error {
 		ctx.Del(LockKey(key))
 	}
 	ctx.Del(stageIndexKey(txid))
+	ctx.MarkCommitted(txid)
 	return nil
 }
 
@@ -145,9 +181,10 @@ func IsLocked(ctx *Ctx, key string) bool {
 // here, next to the key constructors, so the prefixes cannot drift out
 // of sync with the checks built on them.
 func ResidueKeys(st *chain.Store) []string {
-	out := st.KeysWithPrefix("L_")
-	out = append(out, st.KeysWithPrefix("S_")...)
-	return append(out, st.KeysWithPrefix("SIDX_")...)
+	r := st.Head()
+	out := r.KeysWithPrefix(LockPrefix)
+	out = append(out, r.KeysWithPrefix(StagePrefix)...)
+	return append(out, r.KeysWithPrefix(StageIndexPrefix)...)
 }
 
 func encodeIndex(keys []string) []byte { return []byte(strings.Join(keys, "\x00")) }

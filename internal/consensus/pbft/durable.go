@@ -71,11 +71,27 @@ func (r *Replica) appendDecided(e *entry) bool {
 	return true
 }
 
+// snapshotStableState materializes the stable-checkpoint view into a
+// transferable snapshot. The copy happens outside the store's write lock
+// (the view is immutable), so execution never stalls behind it; the
+// histogram tracks how long the materialization itself takes.
+func (r *Replica) snapshotStableState() chain.Snapshot {
+	var start int64
+	if m := r.met; m != nil {
+		start = m.hub.Now()
+	}
+	sn := r.stableView.Snapshot()
+	if m := r.met; m != nil {
+		m.snapshotCopy.Observe(m.hub.Now() - start)
+	}
+	return sn
+}
+
 // persistDurableSnapshot saves the current stable-checkpoint state as the
 // recovery root and releases the WAL prefix it covers. Called wherever
-// stableSnap is refreshed.
+// stableView is refreshed.
 func (r *Replica) persistDurableSnapshot() {
-	if r.durable == nil || r.stableSnapSeq == 0 {
+	if r.durable == nil || r.stableSnapSeq == 0 || r.stableView == nil {
 		return
 	}
 	var okIDs, failIDs []uint64
@@ -100,7 +116,7 @@ func (r *Replica) persistDurableSnapshot() {
 		// Seq instead would make every restart fail with a phantom gap.
 		ExecutedThrough: r.executedThrough,
 		View:            r.view,
-		State:           r.stableSnap,
+		State:           r.snapshotStableState(),
 		ExecIDs:         r.stableExecIDs,
 		OKIDs:           okIDs,
 		FailIDs:         failIDs,
@@ -166,7 +182,8 @@ func (r *Replica) RestoreDurableSnapshot(s *storage.Snapshot) ([]byte, error) {
 	r.h = s.Seq
 	r.seqAssign = et
 	r.view = s.View
-	r.stableSnap = s.State
+	r.store.Seal()
+	r.stableView = r.store.Head()
 	r.stableSnapSeq = s.Seq
 	r.stableCert = cert
 	r.stableExecIDs = s.ExecIDs
@@ -204,10 +221,14 @@ func (r *Replica) ReplayDecided(seq uint64, block *chain.Block) error {
 		r.executedTxIDs[tx.ID] = true
 		res := r.deps.Registry.Execute(r.store, tx)
 		r.executedOK[tx.ID] = res.OK()
+		for _, dtx := range res.Committed {
+			r.store.RecordCommit(dtx)
+		}
 		results = append(results, res)
 		r.dropRequest(tx.ID)
 		r.executedCount++
 	}
+	r.store.Seal()
 	if r.seqAssign < seq {
 		r.seqAssign = seq
 	}

@@ -33,6 +33,7 @@ type pbftMetrics struct {
 	checkpointLag   *obs.Gauge // executedThrough - stable checkpoint
 	executedBatches *obs.Counter
 	executedTxs     *obs.Counter
+	snapshotCopy    *obs.Histogram // stable-view snapshot materialization
 
 	// Conflict-aware parallel execution.
 	parexParallel *obs.Counter   // blocks executed in parallel
@@ -65,6 +66,7 @@ func newPBFTMetrics(hub *obs.Hub, node uint32) *pbftMetrics {
 		checkpointLag:   reg.Gauge("pbft_checkpoint_lag"),
 		executedBatches: reg.Counter("pbft_executed_batches_total"),
 		executedTxs:     reg.Counter("pbft_executed_txs_total"),
+		snapshotCopy:    reg.Histogram("pbft_snapshot_copy_latency"),
 
 		parexParallel: reg.Counter("pbft_parexec_parallel_total"),
 		parexSerial:   reg.Counter("pbft_parexec_serial_total"),

@@ -130,8 +130,12 @@ type Replica struct {
 	vcVotes     map[uint64]map[int]*viewChangeMsg
 	checkpoints map[uint64]map[int]*checkpointMsg
 
-	// State-sync bookkeeping (see statesync.go).
-	stableSnap    chain.Snapshot
+	// State-sync bookkeeping (see statesync.go). stableView is the
+	// immutable height-pinned view of the last stable checkpoint's state;
+	// snapshots for state transfer and durable persistence materialize
+	// from it on demand instead of deep-copying under the store's write
+	// lock.
+	stableView    *chain.Reader
 	stableSnapSeq uint64
 	stableCert    []*checkpointMsg
 	stableExecIDs []uint64
@@ -1242,6 +1246,9 @@ func (r *Replica) finishExecute(e *entry) {
 			res = r.deps.Registry.Execute(r.store, tx)
 		}
 		r.executedOK[tx.ID] = res.OK()
+		for _, dtx := range res.Committed {
+			r.store.RecordCommit(dtx)
+		}
 		results = append(results, res)
 		r.dropRequest(tx.ID)
 		r.executedCount++
@@ -1254,6 +1261,10 @@ func (r *Replica) finishExecute(e *entry) {
 			}
 		}
 	}
+	// Publish this block boundary into the store's MVCC retention window:
+	// height-pinned query readers attach to sealed versions, never to the
+	// mutable head. O(1) — later writes copy only the chunks they touch.
+	r.store.Seal()
 	if m := r.met; m != nil {
 		if r.execStartNS != 0 {
 			m.execLatency.Observe(m.hub.Now() - r.execStartNS)
@@ -1342,7 +1353,12 @@ func (r *Replica) advanceStable(seq uint64, digest blockcrypto.Digest, ck map[in
 	// we have actually executed through seq (otherwise our state does not
 	// correspond to this checkpoint).
 	if r.executedThrough >= seq && r.store.Digest() == digest {
-		r.stableSnap = r.store.Snapshot()
+		// The digest match proves current state ≡ this checkpoint, so the
+		// frozen head IS the checkpoint view. Advancing the retention floor
+		// prunes sealed versions below it; readers pinned earlier stay
+		// valid, new pins below the floor get ErrHeightPruned.
+		r.stableView = r.store.Head()
+		r.store.SetFloor(r.stableView.Version())
 		r.stableSnapSeq = seq
 		r.stableCert = certFor(ck, digest)
 		ids := make([]uint64, 0, len(r.executedTxIDs))

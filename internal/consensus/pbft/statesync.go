@@ -92,7 +92,7 @@ func (r *Replica) maybeRequestSync(seq uint64, holders []int) {
 }
 
 func (r *Replica) handleStateReq(m *stateReqMsg) {
-	if r.stableSnapSeq == 0 || r.stableSnapSeq < m.Seq || len(r.stableCert) < r.quorum() {
+	if r.stableView == nil || r.stableSnapSeq == 0 || r.stableSnapSeq < m.Seq || len(r.stableCert) < r.quorum() {
 		return
 	}
 	if m.Replica < 0 || m.Replica >= r.n() {
@@ -100,7 +100,7 @@ func (r *Replica) handleStateReq(m *stateReqMsg) {
 	}
 	resp := &stateRespMsg{
 		Seq:     r.stableSnapSeq,
-		Snap:    r.stableSnap,
+		Snap:    r.snapshotStableState(),
 		Cert:    r.stableCert,
 		ExecIDs: r.stableExecIDs,
 		Replica: r.self(),
@@ -153,7 +153,10 @@ func (r *Replica) installSnapshot(seq uint64, snap chain.Snapshot, cert []*check
 	if r.seqAssign < seq {
 		r.seqAssign = seq
 	}
-	r.stableSnap = snap
+	// Restore dropped the retention window of the discarded history;
+	// re-seal the installed state so it is a pinnable boundary again.
+	r.store.Seal()
+	r.stableView = r.store.Head()
 	r.stableSnapSeq = seq
 	r.stableCert = cert
 	r.stableExecIDs = execIDs

@@ -25,6 +25,7 @@ import (
 	"repro/internal/consensus/pbft"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/query"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/tee"
@@ -108,6 +109,9 @@ type System struct {
 	Obs *obs.Hub
 
 	clients []*txn.Client
+	// queryGateways lazily caches one scatter-gather gateway per client
+	// (the gateway wraps the client endpoint's handler once).
+	queryGateways []*query.Gateway
 
 	epoch uint64
 	rng   *rand.Rand
@@ -245,6 +249,16 @@ func NewSystem(cfg Config) *System {
 	for _, id := range clientIDs {
 		sys.clients = append(sys.clients, txn.NewClient(net, id, sys.Topology))
 	}
+
+	// Query services answer height-pinned reads on every shard replica.
+	// They sit outermost on the handler chain and pass all non-query
+	// traffic through untouched, so deployments that never issue queries
+	// behave byte-identically to before.
+	for _, bc := range sys.ShardCommittees {
+		for _, r := range bc.Replicas {
+			query.AttachService(r.Endpoint(), r.Store())
+		}
+	}
 	return sys
 }
 
@@ -323,6 +337,29 @@ func behaviorsFor(global map[simnet.NodeID]pbft.Behavior, nodes []simnet.NodeID)
 
 // Client returns client gateway i.
 func (s *System) Client(i int) *txn.Client { return s.clients[i%len(s.clients)] }
+
+// QueryGateway returns the scatter-gather query gateway riding on client
+// i's endpoint, attaching it on first use.
+func (s *System) QueryGateway(i int) *query.Gateway {
+	i = i % len(s.clients)
+	for len(s.queryGateways) <= i {
+		s.queryGateways = append(s.queryGateways, nil)
+	}
+	if s.queryGateways[i] == nil {
+		s.queryGateways[i] = query.NewGateway(s.clients[i].Endpoint())
+	}
+	return s.queryGateways[i]
+}
+
+// QueryTargets returns one query-serving replica per shard (the first
+// replica of each committee), the scatter set for Gateway queries.
+func (s *System) QueryTargets() []simnet.NodeID {
+	out := make([]simnet.NodeID, len(s.Topology.ShardNodes))
+	for i, nodes := range s.Topology.ShardNodes {
+		out[i] = nodes[0]
+	}
+	return out
+}
 
 // Clients returns the number of attached client gateways.
 func (s *System) Clients() int { return len(s.clients) }

@@ -3,6 +3,7 @@ package core
 import (
 	crand "crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -14,11 +15,13 @@ import (
 	"repro/internal/chain"
 	"repro/internal/consensus/pbft"
 	"repro/internal/obs"
+	"repro/internal/query"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/txn"
+	"repro/internal/wire"
 )
 
 // The live runtime runs one topology node as a standalone process (or an
@@ -58,6 +61,14 @@ type liveLoop struct {
 	// never written afterwards.
 	preverify func(*simnet.Message)
 
+	// intercept, when set, runs on the transport goroutine before
+	// preverification; returning true consumes the message, and it never
+	// reaches the engine loop. Query sub-queries are answered here: they
+	// read only immutable height-pinned store views, so serving them off
+	// the engine goroutine never contends with consensus or execution.
+	// Set before the handler is registered; never written afterwards.
+	intercept func(simnet.Message) bool
+
 	stopOnce  sync.Once
 	droppedIn atomic.Uint64
 }
@@ -80,6 +91,9 @@ func newLiveLoop(engine *sim.Engine, net *simnet.Network) *liveLoop {
 // across peers while the engine goroutine keeps ordering.
 func (l *liveLoop) handler() transport.Handler {
 	return func(m simnet.Message) {
+		if l.intercept != nil && l.intercept(m) {
+			return
+		}
 		if l.preverify != nil {
 			l.preverify(&m)
 		}
@@ -354,6 +368,25 @@ func StartLiveNode(c *ClusterConfig, id simnet.NodeID, tr transport.Transport) (
 			n.Manager.EnableDurability(backend)
 		}
 	}
+	// Shard replicas answer query sub-queries directly on the transport
+	// goroutine: Answer reads only through sealed immutable views and the
+	// commit-record index (both safe from any goroutine), so the read path
+	// touches neither the engine loop, consensus, nor the 2PL tables.
+	if place.Role == RoleShardReplica {
+		store := replica.Store()
+		loop.intercept = func(m simnet.Message) bool {
+			if m.Type != query.MsgQueryRequest {
+				return false
+			}
+			if req, ok := m.Payload.(*query.Request); ok {
+				ch := query.Answer(store, req)
+				tr.Send(simnet.Message{From: id, To: m.From, Class: simnet.ClassRequest,
+					Type: query.MsgQueryChunk, Payload: ch,
+					Size: wire.PayloadSize(query.MsgQueryChunk, ch)})
+			}
+			return true
+		}
+	}
 	// Attestation checks move off the engine goroutine: frames arriving
 	// from here on are pre-verified on the transport's per-connection
 	// goroutines and buffered in the inbox until the loop runs.
@@ -440,10 +473,12 @@ type LiveClient struct {
 	ID     simnet.NodeID
 	Shards int
 
-	client *txn.Client
-	loop   *liveLoop
-	nextID atomic.Uint64
-	salt   uint64 // random per-process counter start, fixed at birth
+	client  *txn.Client
+	gateway *query.Gateway
+	targets []simnet.NodeID // first replica of each shard, the scatter set
+	loop    *liveLoop
+	nextID  atomic.Uint64
+	salt    uint64 // random per-process counter start, fixed at birth
 }
 
 // StartLiveClient assembles and starts the client gateway for node id.
@@ -463,6 +498,13 @@ func StartLiveClient(c *ClusterConfig, id simnet.NodeID, tr transport.Transport)
 		Shards: len(c.Shards),
 		client: txn.NewClient(net, id, topo),
 		loop:   loop,
+	}
+	// The scatter-gather query gateway rides the same endpoint as the
+	// transaction client (it wraps the handler chain and passes all
+	// non-query traffic through).
+	lc.gateway = query.NewGateway(lc.client.Endpoint())
+	for _, shard := range topo.ShardNodes {
+		lc.targets = append(lc.targets, shard[0])
 	}
 	// Client-unique id space: id(16b) | counter(48b), with the counter
 	// started at a crypto/rand point in its space. Committees deduplicate
@@ -524,6 +566,70 @@ func (c *LiveClient) SubmitSingle(shard int, tx chain.Tx, done func(txn.Result))
 // ShardOf maps an application key to its owning shard under this
 // topology.
 func (c *LiveClient) ShardOf(key string) int { return ShardOfKey(key, c.Shards) }
+
+// QueryTargets returns the replica each shard's sub-queries are served
+// by (the first replica of each shard committee).
+func (c *LiveClient) QueryTargets() []simnet.NodeID {
+	return append([]simnet.NodeID(nil), c.targets...)
+}
+
+// Query launches a scatter-gather read against the cluster. The query's
+// callbacks run on the client's engine goroutine and must return quickly
+// (typically a channel send). The returned error covers validation only;
+// outcomes arrive through q.OnDone.
+func (c *LiveClient) Query(q *query.Query) error {
+	if len(q.Targets) == 0 {
+		q.Targets = c.targets
+	}
+	errc := make(chan error, 1)
+	if !c.loop.Do(func() { errc <- c.gateway.Start(q) }) {
+		return fmt.Errorf("live: client %d stopped", c.ID)
+	}
+	return <-errc
+}
+
+// Conservation runs the height-consistent balance sweep (committed
+// checking + savings totals at one pinned cut, plus resolved in-flight
+// 2PC residues) and blocks for the result. timeout is split evenly
+// across attempts: each attempt is a fresh sweep, so retries cover both
+// checkpoint-overtook-the-cut failures and sub-query messages lost over
+// TCP (the query protocol itself sends each page exactly once — the
+// deadline/retry policy lives here, with the caller).
+func (c *LiveClient) Conservation(attempts int, timeout time.Duration) (*query.ConservationResult, error) {
+	type outcome struct {
+		res *query.ConservationResult
+		err error
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	// Buffered for every attempt: an abandoned sweep that completes late
+	// must never block the engine goroutine on its channel send.
+	out := make(chan outcome, attempts)
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		ok := c.loop.Do(func() {
+			query.Conservation(c.gateway, c.targets, 1, func(res *query.ConservationResult, err error) {
+				out <- outcome{res, err}
+			})
+		})
+		if !ok {
+			return nil, fmt.Errorf("live: client %d stopped", c.ID)
+		}
+		select {
+		case o := <-out:
+			if o.err == nil || (!errors.Is(o.err, chain.ErrHeightPruned) && !errors.Is(o.err, query.ErrNoPin)) {
+				return o.res, o.err
+			}
+			lastErr = o.err // retryable: re-pin on the next attempt
+		case <-time.After(timeout / time.Duration(attempts)): //ahl:nondeterministic client-facing deadline on a live query; never used under simulation
+			lastErr = fmt.Errorf("live: client %d: conservation attempt timed out after %v",
+				c.ID, timeout/time.Duration(attempts))
+		}
+	}
+	return nil, fmt.Errorf("live: client %d: conservation query failed after %d attempts: %w",
+		c.ID, attempts, lastErr)
+}
 
 // Stop halts the client's event loop.
 func (c *LiveClient) Stop() { c.loop.Stop() }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/chain"
 	"repro/internal/core"
+	"repro/internal/query"
 	"repro/internal/simnet"
 	"repro/internal/transport"
 	"repro/internal/txn"
@@ -187,11 +188,11 @@ func (cl *liveCluster) settled(expected map[string]int64) error {
 		var errOut error
 		ok := n.Do(func() {
 			store := n.Replica.Store()
-			if locks := store.KeysWithPrefix("L_"); len(locks) > 0 {
+			if locks := store.Head().KeysWithPrefix("L_"); len(locks) > 0 {
 				errOut = fmt.Errorf("node %d: %d locks held: %v", id, len(locks), locks)
 				return
 			}
-			if staged := store.KeysWithPrefix("S_"); len(staged) > 0 {
+			if staged := store.Head().KeysWithPrefix("S_"); len(staged) > 0 {
 				errOut = fmt.Errorf("node %d: %d staged writes: %v", id, len(staged), staged)
 				return
 			}
@@ -349,6 +350,38 @@ func TestLiveLoopbackClusterSmallBank(t *testing.T) {
 		expected[to] += amount
 		return d
 	}
+	// While the transfer waves run, conservation sweeps hammer the query
+	// path concurrently: every height-consistent cut must account for the
+	// full seeded supply even with 2PC transfers in flight (staged residues
+	// resolved against the cut), and the sweeps never touch 2PL or the
+	// consensus loop — sub-queries are answered on transport goroutines
+	// from immutable sealed views.
+	seededSupply := int64(len(all)) * initialBalance
+	stopSweeps := make(chan struct{})
+	sweepErr := make(chan error, 1)
+	var sweeps int64
+	go func() {
+		defer close(sweepErr)
+		for {
+			select {
+			case <-stopSweeps:
+				return
+			default:
+			}
+			res, err := cl.client.Conservation(5, 60*time.Second)
+			if err != nil {
+				sweepErr <- fmt.Errorf("conservation sweep under load: %v", err)
+				return
+			}
+			sweeps++
+			if res.Total != seededSupply {
+				sweepErr <- fmt.Errorf("conservation sweep under load: total %d (checking %d + savings %d + applied residue %d) != supply %d at pins %v",
+					res.Total, res.Checking, res.Savings, res.Applied, seededSupply, res.Pins)
+				return
+			}
+		}
+	}()
+
 	for wave := 0; wave < 2; wave++ {
 		var dtxs []txn.DTx
 		for i := 0; i < perShardAccs; i++ {
@@ -361,6 +394,15 @@ func TestLiveLoopbackClusterSmallBank(t *testing.T) {
 		}
 		cl.runTransfers(dtxs, 120*time.Second)
 	}
+
+	close(stopSweeps)
+	if err, failed := <-sweepErr; failed {
+		t.Fatal(err)
+	}
+	if sweeps == 0 {
+		t.Fatal("no conservation sweep completed during the transfer waves")
+	}
+	t.Logf("%d conservation sweeps held Total == %d under concurrent cross-shard load", sweeps, seededSupply)
 
 	// Global conservation first: transfers only move money, so the
 	// expected balances must still sum to the seeded supply.
@@ -377,6 +419,63 @@ func TestLiveLoopbackClusterSmallBank(t *testing.T) {
 	// no staged writes. Replicas lag the client-visible outcome (the
 	// decide still has to execute), so poll with a deadline.
 	cl.waitSettled(expected, 90*time.Second)
+
+	// Drained cluster: the conservation query must see every account, the
+	// exact supply, and no staged residues at all.
+	res, err := cl.client.Conservation(5, 60*time.Second)
+	if err != nil {
+		t.Fatalf("conservation after settle: %v", err)
+	}
+	if res.Total != seededSupply || res.Accounts != uint64(len(all)) {
+		t.Fatalf("conservation after settle: total %d accounts %d, want %d / %d",
+			res.Total, res.Accounts, seededSupply, len(all))
+	}
+	if len(res.Residues) != 0 || res.Applied != 0 {
+		t.Fatalf("conservation after settle: %d residues (applied %d) on a drained cluster",
+			len(res.Residues), res.Applied)
+	}
+
+	// Streaming scan: merged rows arrive in global key order across both
+	// shards, paged (PageLimit 3 forces several chunks per shard), and the
+	// per-account values match the settled expectations.
+	got := make(map[string]int64, len(all))
+	var keys []string
+	scanDone := make(chan error, 1)
+	q := &query.Query{
+		Spec:      query.Spec{Kind: query.KindScan, Start: "c_", End: chain.PrefixEnd("c_"), Proj: query.ProjKV},
+		PageLimit: 3,
+		OnRow: func(r query.Row) {
+			keys = append(keys, r.K)
+			if v, err := strconv.ParseInt(string(r.V), 10, 64); err == nil {
+				got[r.K] = v
+			}
+		},
+		OnDone: func(_ *query.Result, err error) { scanDone <- err },
+	}
+	if err := cl.client.Query(q); err != nil {
+		t.Fatalf("scan query: %v", err)
+	}
+	select {
+	case err := <-scanDone:
+		if err != nil {
+			t.Fatalf("scan query: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("scan query timed out")
+	}
+	if len(keys) != len(all) {
+		t.Fatalf("scan returned %d rows, want %d (%v)", len(keys), len(all), keys)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("scan rows out of order: %q before %q", keys[i-1], keys[i])
+		}
+	}
+	for acc, want := range expected {
+		if got["c_"+acc] != want {
+			t.Fatalf("scan row c_%s = %d, want %d", acc, got["c_"+acc], want)
+		}
+	}
 }
 
 func TestClusterConfigValidate(t *testing.T) {

@@ -158,7 +158,7 @@ func (s *System) gracefulHandoff(step sharding.TransitionStep) {
 // discover peers and fetch the shard state, with `concurrent` fetchers
 // sharing the sync bandwidth.
 func (s *System) transferTime(to int, cfg ReshardConfig, concurrent int) time.Duration {
-	snap := s.ShardCommittees[to].Replicas[0].Store().Snapshot()
+	snap := s.ShardCommittees[to].Replicas[0].Store().Head().Snapshot()
 	bytes := snap.SizeBytes() * concurrent
 	return cfg.Discovery + time.Duration(float64(bytes)/float64(cfg.Bandwidth)*float64(time.Second))
 }

@@ -1,0 +1,304 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// Gateway-side typed errors. ErrPruned aliases the chain error so callers
+// can retry on either end's report with one errors.Is check.
+var (
+	ErrNoPin    = errors.New("query: shard has no sealed state to pin")
+	ErrBadQuery = errors.New("query: malformed query or reply")
+)
+
+// Query is one scatter-gather read: the same Spec fanned out to one
+// replica per shard, merged back into a single Result. All callbacks run
+// on the gateway's event-loop goroutine.
+type Query struct {
+	// Targets holds one replica per shard; index i is sub-query i.
+	Targets []simnet.NodeID
+	Spec    Spec
+	// Pins optionally fixes the per-shard versions to read at (same
+	// length as Targets). Nil means "acquire pins first" — one extra
+	// scatter round. Supplying pins lets several scans share one cut.
+	Pins []uint64
+	// PageLimit bounds entries examined per chunk (server-clamped).
+	PageLimit int
+	// Txids is the KindResolve probe list.
+	Txids []string
+	// OnRow, when set, streams merged rows in global key order instead of
+	// accumulating them in Result.Rows.
+	OnRow func(Row)
+	// OnDone receives the final result or the first error. Exactly one
+	// call, after which the query id is dead.
+	OnDone func(*Result, error)
+}
+
+// Result is the gateway's fold of all sub-query chunks.
+type Result struct {
+	Pins     []uint64 // per-shard pinned versions (index = Targets index)
+	Rows     []Row    // merged rows (AggNone, no OnRow)
+	RowCount int      // rows emitted (including via OnRow)
+	Count    uint64
+	Sum      int64
+	Groups   []Group
+	Deltas   []StagedDelta
+	Resolved map[string]bool // txid -> committed at/before some shard's pin
+}
+
+// Gateway scatters sub-queries from a client endpoint and gathers the
+// chunk streams. It wraps the endpoint's existing handler (the
+// txn.Client), passing all non-query traffic through, and keeps one page
+// outstanding per source — arriving chunks immediately trigger the next
+// page request, so the k-way merge is fed ahead of consumption. All state
+// is confined to the endpoint's event-loop goroutine; there are no locks
+// and no clocks here (deadlines belong to the caller).
+type Gateway struct {
+	ep      *simnet.Endpoint
+	inner   simnet.Handler
+	nextQID uint64
+	jobs    map[uint64]*job
+}
+
+// NewGateway interposes a gateway on the endpoint's handler chain.
+func NewGateway(ep *simnet.Endpoint) *Gateway {
+	g := &Gateway{ep: ep, inner: ep.Handler(), jobs: make(map[uint64]*job)}
+	ep.SetHandler(g)
+	return g
+}
+
+// Cost implements simnet.Handler.
+func (g *Gateway) Cost(m simnet.Message) time.Duration {
+	if m.Type == MsgQueryChunk {
+		return chunkCost
+	}
+	if g.inner != nil {
+		return g.inner.Cost(m)
+	}
+	return 0
+}
+
+// Handle implements simnet.Handler.
+func (g *Gateway) Handle(m simnet.Message) {
+	if m.Type != MsgQueryChunk {
+		if g.inner != nil {
+			g.inner.Handle(m)
+		}
+		return
+	}
+	ch, ok := m.Payload.(*Chunk)
+	if !ok {
+		return
+	}
+	if j := g.jobs[ch.QID]; j != nil {
+		j.onChunk(ch)
+	}
+}
+
+// Start launches a query. Must be called from the event-loop goroutine.
+func (g *Gateway) Start(q *Query) error {
+	if len(q.Targets) == 0 || q.OnDone == nil {
+		return fmt.Errorf("%w: need targets and OnDone", ErrBadQuery)
+	}
+	if q.Pins != nil && len(q.Pins) != len(q.Targets) {
+		return fmt.Errorf("%w: %d pins for %d targets", ErrBadQuery, len(q.Pins), len(q.Targets))
+	}
+	if q.Spec.Kind == KindResolve && q.Pins == nil {
+		return fmt.Errorf("%w: resolve requires preset pins", ErrBadQuery)
+	}
+	g.nextQID++
+	j := &job{g: g, q: q, qid: g.nextQID, srcs: make([]source, len(q.Targets))}
+	g.jobs[j.qid] = j
+	j.start()
+	return nil
+}
+
+func (g *Gateway) send(to simnet.NodeID, req *Request) {
+	g.ep.Send(simnet.Message{
+		To:      to,
+		Class:   simnet.ClassRequest,
+		Type:    MsgQueryRequest,
+		Payload: req,
+		Size:    wire.PayloadSize(MsgQueryRequest, req),
+	})
+}
+
+type source struct {
+	buf     []Row // chunk rows awaiting the ordered merge
+	waiting bool  // a request is outstanding
+	done    bool  // server reported no further pages
+}
+
+type job struct {
+	g       *Gateway
+	q       *Query
+	qid     uint64
+	pinning bool
+	pins    []uint64
+	pinLeft int
+	srcs    []source
+	res     *Result
+	parts   [][]Group // per-source group partials
+	dead    bool
+}
+
+func (j *job) start() {
+	if j.q.Pins != nil {
+		j.pins = append([]uint64(nil), j.q.Pins...)
+		j.run()
+		return
+	}
+	j.pinning = true
+	j.pins = make([]uint64, len(j.q.Targets))
+	j.pinLeft = len(j.q.Targets)
+	for i, t := range j.q.Targets {
+		j.srcs[i].waiting = true
+		j.g.send(t, &Request{QID: j.qid, Sub: uint32(i), Spec: Spec{Kind: KindPin}})
+	}
+}
+
+// run begins the post-pin phase: scan paging or the resolve probe.
+func (j *job) run() {
+	j.pinning = false
+	j.res = &Result{Pins: append([]uint64(nil), j.pins...)}
+	switch j.q.Spec.Kind {
+	case KindScan:
+		j.parts = make([][]Group, len(j.q.Targets))
+		for i := range j.q.Targets {
+			j.page(i, j.q.Spec.Start)
+		}
+	case KindResolve:
+		j.res.Resolved = make(map[string]bool, len(j.q.Txids))
+		for _, txid := range j.q.Txids {
+			j.res.Resolved[txid] = false
+		}
+		for i, t := range j.q.Targets {
+			j.srcs[i].waiting = true
+			j.g.send(t, &Request{QID: j.qid, Sub: uint32(i),
+				Spec: Spec{Kind: KindResolve}, Pin: j.pins[i], Txids: j.q.Txids})
+		}
+	default:
+		j.fail(fmt.Errorf("%w: kind %d", ErrBadQuery, j.q.Spec.Kind))
+	}
+}
+
+func (j *job) page(i int, start string) {
+	spec := j.q.Spec
+	spec.Start = start
+	j.srcs[i].waiting = true
+	j.g.send(j.q.Targets[i], &Request{QID: j.qid, Sub: uint32(i),
+		Spec: spec, Pin: j.pins[i], Limit: j.q.PageLimit})
+}
+
+func (j *job) fail(err error) {
+	j.dead = true
+	delete(j.g.jobs, j.qid)
+	j.q.OnDone(nil, err)
+}
+
+func (j *job) onChunk(ch *Chunk) {
+	sub := int(ch.Sub)
+	if j.dead || sub < 0 || sub >= len(j.srcs) || !j.srcs[sub].waiting {
+		return
+	}
+	j.srcs[sub].waiting = false
+	if ch.Err != ErrCodeNone {
+		j.fail(chunkErr(ch.Err))
+		return
+	}
+	if j.pinning {
+		j.pins[sub] = ch.Version
+		j.pinLeft--
+		if j.pinLeft == 0 {
+			j.run()
+		}
+		return
+	}
+	s := &j.srcs[sub]
+	switch j.q.Spec.Kind {
+	case KindResolve:
+		s.done = true
+		for _, r := range ch.Resolved {
+			if r.Committed {
+				j.res.Resolved[r.Txid] = true
+			}
+		}
+	case KindScan:
+		j.res.Count += ch.Count
+		j.res.Sum += ch.Sum
+		if len(ch.Groups) > 0 {
+			j.parts[sub] = append(j.parts[sub], ch.Groups...)
+		}
+		j.res.Deltas = append(j.res.Deltas, ch.Deltas...)
+		s.buf = append(s.buf, ch.Rows...)
+		if ch.Next != "" {
+			j.page(sub, ch.Next) // prefetch while the merge drains
+		} else {
+			s.done = true
+		}
+		j.drainMerge()
+	}
+	j.maybeFinish()
+}
+
+// drainMerge emits buffered rows in global key order: the smallest head
+// can go out only while no source that might still produce a smaller key
+// (not done, buffer empty) blocks the merge.
+func (j *job) drainMerge() {
+	for {
+		best := -1
+		for i := range j.srcs {
+			s := &j.srcs[i]
+			if len(s.buf) == 0 {
+				if !s.done {
+					return // must wait for this source's next page
+				}
+				continue
+			}
+			if best < 0 || s.buf[0].K < j.srcs[best].buf[0].K {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		row := j.srcs[best].buf[0]
+		j.srcs[best].buf = j.srcs[best].buf[1:]
+		j.res.RowCount++
+		if j.q.OnRow != nil {
+			j.q.OnRow(row)
+		} else {
+			j.res.Rows = append(j.res.Rows, row)
+		}
+	}
+}
+
+func (j *job) maybeFinish() {
+	for i := range j.srcs {
+		if !j.srcs[i].done || len(j.srcs[i].buf) > 0 {
+			return
+		}
+	}
+	if len(j.parts) > 0 {
+		j.res.Groups = MergeGroups(j.parts...)
+	}
+	j.dead = true
+	delete(j.g.jobs, j.qid)
+	j.q.OnDone(j.res, nil)
+}
+
+func chunkErr(code uint8) error {
+	switch code {
+	case ErrCodePruned:
+		return chain.ErrHeightPruned
+	case ErrCodeUnknown:
+		return ErrNoPin
+	}
+	return ErrBadQuery
+}

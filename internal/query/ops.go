@@ -1,0 +1,198 @@
+package query
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/chain"
+)
+
+// Stream is a pull-based stream of rows in ascending key order. Operators
+// compose by wrapping: each Next call does O(1) work beyond its input,
+// and nothing is materialized until a fold consumes the stream.
+type Stream interface {
+	// Next returns the next row; ok is false when the stream is finished.
+	Next() (Row, bool)
+}
+
+// Scan streams a chain.Reader's ordered range [start, end). Row values
+// alias the reader's immutable storage; downstream operators must copy
+// before retaining or mutating.
+func Scan(r *chain.Reader, start, end string) Stream {
+	return &scanStream{it: r.Iter(start, end)}
+}
+
+type scanStream struct{ it *chain.Iter }
+
+func (s *scanStream) Next() (Row, bool) {
+	k, v, ok := s.it.Next()
+	if !ok {
+		return Row{}, false
+	}
+	return Row{K: k, V: v}, true
+}
+
+// Filter passes through rows for which keep returns true (σ).
+func Filter(s Stream, keep func(Row) bool) Stream {
+	return &filterStream{s: s, keep: keep}
+}
+
+type filterStream struct {
+	s    Stream
+	keep func(Row) bool
+}
+
+func (f *filterStream) Next() (Row, bool) {
+	for {
+		row, ok := f.s.Next()
+		if !ok {
+			return Row{}, false
+		}
+		if f.keep(row) {
+			return row, true
+		}
+	}
+}
+
+// Project rewrites each row (π). The projection must not change relative
+// key order if the output feeds an ordered operator like Merge.
+func Project(s Stream, f func(Row) Row) Stream {
+	return &projectStream{s: s, f: f}
+}
+
+type projectStream struct {
+	s Stream
+	f func(Row) Row
+}
+
+func (p *projectStream) Next() (Row, bool) {
+	row, ok := p.s.Next()
+	if !ok {
+		return Row{}, false
+	}
+	return p.f(row), true
+}
+
+// Merge combines ordered streams into one ordered stream (k-way merge).
+// Ties between streams break in argument order, so the merge of disjoint
+// per-shard key spaces is deterministic regardless of arrival order.
+func Merge(ss ...Stream) Stream {
+	m := &mergeStream{srcs: ss, heads: make([]Row, len(ss)), live: make([]bool, len(ss))}
+	for i, s := range ss {
+		m.heads[i], m.live[i] = s.Next()
+	}
+	return m
+}
+
+type mergeStream struct {
+	srcs  []Stream
+	heads []Row
+	live  []bool
+}
+
+func (m *mergeStream) Next() (Row, bool) {
+	best := -1
+	for i, alive := range m.live {
+		if alive && (best < 0 || m.heads[i].K < m.heads[best].K) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Row{}, false
+	}
+	row := m.heads[best]
+	m.heads[best], m.live[best] = m.srcs[best].Next()
+	return row, true
+}
+
+// Count drains the stream and returns the row count.
+func Count(s Stream) uint64 {
+	var n uint64
+	for {
+		if _, ok := s.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// Sum drains the stream, summing values that parse as int64; count is the
+// number of summed rows (non-numeric rows are skipped, not errors — the
+// predicate layer is where strictness belongs).
+func Sum(s Stream) (sum int64, count uint64) {
+	for {
+		row, ok := s.Next()
+		if !ok {
+			return sum, count
+		}
+		n, err := strconv.ParseInt(string(row.V), 10, 64)
+		if err != nil {
+			continue
+		}
+		sum += n
+		count++
+	}
+}
+
+// GroupSum drains the stream, grouping rows by the first groupLen bytes
+// of the key and summing numeric values per group. Groups come back in
+// key order. A key shorter than groupLen is its own group.
+func GroupSum(s Stream, groupLen int) []Group {
+	acc := make(map[string]*Group)
+	for {
+		row, ok := s.Next()
+		if !ok {
+			break
+		}
+		gk := row.K
+		if groupLen > 0 && len(gk) > groupLen {
+			gk = gk[:groupLen]
+		}
+		g := acc[gk]
+		if g == nil {
+			g = &Group{Key: gk}
+			acc[gk] = g
+		}
+		if n, err := strconv.ParseInt(string(row.V), 10, 64); err == nil {
+			g.Sum += n
+		}
+		g.Count++
+	}
+	keys := make([]string, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Group, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *acc[k])
+	}
+	return out
+}
+
+// MergeGroups combines per-shard AggGroupSum partials into one key-ordered
+// result (the gateway's fold).
+func MergeGroups(parts ...[]Group) []Group {
+	acc := make(map[string]*Group)
+	for _, part := range parts {
+		for _, g := range part {
+			a := acc[g.Key]
+			if a == nil {
+				a = &Group{Key: g.Key}
+				acc[g.Key] = a
+			}
+			a.Sum += g.Sum
+			a.Count += g.Count
+		}
+	}
+	keys := make([]string, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Group, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *acc[k])
+	}
+	return out
+}

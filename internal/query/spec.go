@@ -1,0 +1,128 @@
+package query
+
+import (
+	"strconv"
+)
+
+// Kind selects what a sub-query asks of a shard replica.
+type Kind uint8
+
+const (
+	// KindPin asks for the shard's latest sealed block version: the pin
+	// all of the query's subsequent pages read at.
+	KindPin Kind = iota
+	// KindScan evaluates one page of an ordered range scan (with pushed-
+	// down predicate, projection, and aggregate) at the pinned version.
+	KindScan
+	// KindResolve asks whether each listed distributed transaction had
+	// committed on this shard at or before the pin (commit-record index).
+	KindResolve
+)
+
+// PredOp is a pushed-down predicate on the numeric value of a row.
+type PredOp uint8
+
+const (
+	PredAny PredOp = iota // no predicate
+	PredEq
+	PredNe
+	PredLt
+	PredGe
+)
+
+// Pred is a value predicate evaluated shard-side before a row is counted,
+// summed, or shipped. Values that do not parse as int64 fail every
+// predicate except PredAny.
+type Pred struct {
+	Op  PredOp
+	Val int64
+}
+
+// Match reports whether a stored value satisfies the predicate.
+func (p Pred) Match(v []byte) bool {
+	if p.Op == PredAny {
+		return true
+	}
+	n, err := strconv.ParseInt(string(v), 10, 64)
+	if err != nil {
+		return false
+	}
+	switch p.Op {
+	case PredEq:
+		return n == p.Val
+	case PredNe:
+		return n != p.Val
+	case PredLt:
+		return n < p.Val
+	case PredGe:
+		return n >= p.Val
+	}
+	return false
+}
+
+// Proj selects the shard-side projection.
+type Proj uint8
+
+const (
+	// ProjKV emits raw key/value rows.
+	ProjKV Proj = iota
+	// ProjStagedDelta interprets the scanned range as 2PL staging entries
+	// and emits (txid, key, delta) triples, where delta is the staged
+	// numeric value minus the currently committed one — the amount the
+	// in-flight transaction would add to the key if it commits. Entries
+	// that are not numeric stage records are skipped.
+	ProjStagedDelta
+)
+
+// Agg selects the shard-side aggregate fold; partials from each shard
+// combine losslessly at the gateway.
+type Agg uint8
+
+const (
+	AggNone Agg = iota // ship rows
+	AggCount
+	AggSum
+	AggGroupSum // group by the first GroupLen bytes of the key
+)
+
+// Spec is the shard-independent body of a query: what to scan and how to
+// reduce it. The same Spec goes to every target shard.
+type Spec struct {
+	Kind     Kind
+	Start    string // range start (inclusive)
+	End      string // range end (exclusive); "" = unbounded
+	Pred     Pred
+	Proj     Proj
+	Agg      Agg
+	GroupLen int // AggGroupSum: group-key prefix length
+}
+
+// Row is one projected key/value pair.
+type Row struct {
+	K string
+	V []byte
+}
+
+// StagedDelta is one in-flight 2PL residue: transaction Txid has staged a
+// change of Delta to key Key but not yet committed it at the pin.
+type StagedDelta struct {
+	Txid  string
+	Key   string
+	Delta int64
+}
+
+// Group is one AggGroupSum partial.
+type Group struct {
+	Key   string
+	Sum   int64
+	Count uint64
+}
+
+// Resolution is one shard's answer about a distributed transaction:
+// Committed reports whether its staged state was applied at or before the
+// shard's pin (Version is the applying block version when known).
+type Resolution struct {
+	Txid      string
+	Committed bool
+	Version   uint64
+}

@@ -196,6 +196,18 @@ var targets = map[string]Target{
 			Agg:   "first", Unit: "tps"},
 		PaperNote: "the 2PC coordinator is a replicated state machine: a reference replica dying at any protocol point (even crash-stop) cannot block or half-apply a transaction",
 	},
+	"fig-read": {
+		Artifact: "§4/§6 read path (extension)",
+		Metric: &Metric{Name: "worst-case conservation violations", Col: "violations",
+			Agg: "max", Unit: ""},
+		PaperNote: "height-pinned scatter-gather sweeps resolve in-flight 2PC residues to an exactly conserved total (violations 0 at every reader count), and write tps is identical with 0, 1, or 4 concurrent readers — reads take no locks and enter no consensus",
+	},
+	"fig-readx": {
+		Artifact: "§4 read path paging (extension)",
+		Metric: &Metric{Name: "rows per ordered scan sweep", Col: "rows/sweep",
+			Agg: "max", Unit: "rows"},
+		PaperNote: "the gateway's k-way merge streams every checking row in global key order regardless of page size; shrinking pages adds round-trips per sweep but never changes the row stream",
+	},
 	"table1": {
 		Artifact:  "Table 1 (§2)",
 		Static:    true,

@@ -228,6 +228,12 @@ func (ep *Endpoint) CPU() *sim.CPU { return ep.cpu }
 // Stats returns a snapshot of traffic counters.
 func (ep *Endpoint) Stats() EndpointStats { return ep.stats }
 
+// Handler returns the currently installed message handler (nil before
+// SetHandler). Layers that wrap an endpoint's handler — the txn manager,
+// the query service — use it to capture the inner handler they delegate
+// non-matching messages to.
+func (ep *Endpoint) Handler() Handler { return ep.handler }
+
 // SetHandler installs the message handler. It must be set before any
 // message arrives.
 func (ep *Endpoint) SetHandler(h Handler) { ep.handler = h }

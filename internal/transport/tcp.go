@@ -128,6 +128,11 @@ type tcpPeer struct {
 	// hadConn marks that the write loop once held a live connection, which
 	// turns the next successful dial into a reconnect (writeLoop only).
 	hadConn bool
+	// gen identifies the current outbound connection; dead is set by that
+	// connection's EOF watchdog (see watchConn) so writeFrame redials
+	// instead of writing into a kernel buffer the peer will never read.
+	gen  atomic.Uint64
+	dead atomic.Bool
 }
 
 // NewTCP starts a TCP transport. If cfg names a listen address (or
@@ -319,6 +324,13 @@ func (t *TCP) writeLoop(p *tcpPeer) {
 // connection (nil after a failure; the frame is then dropped — AHL's
 // retransmission layers own reliability).
 func (t *TCP) writeFrame(p *tcpPeer, conn net.Conn, frame []byte) net.Conn {
+	if conn != nil && p.dead.Load() {
+		// The EOF watchdog saw the peer close this connection (its
+		// process exited or restarted). Writing would only fill a kernel
+		// buffer nobody reads — redial instead.
+		conn.Close()
+		conn = nil
+	}
 	if conn == nil {
 		conn = t.dial(p.addr)
 		if conn == nil {
@@ -329,16 +341,73 @@ func (t *TCP) writeFrame(p *tcpPeer, conn net.Conn, frame []byte) net.Conn {
 			t.reconnects.Add(1)
 		}
 		p.hadConn = true
+		t.watchConn(p, conn)
 	}
 	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 	if _, err := conn.Write(frame); err != nil {
-		t.logf("transport: write %s: %v", p.addr, err)
 		conn.Close()
+		// One immediate fresh dial before shedding the frame: a write
+		// failure on an established connection usually means the peer
+		// process restarted (its old socket is dead but its listener is
+		// back), e.g. consecutive ahlctl invocations reusing one client
+		// id. A single non-backoff dial re-delivers the frame in that
+		// case; a peer that is genuinely gone sheds the frame as before.
+		if c2 := t.dialOnce(p.addr); c2 != nil {
+			t.reconnects.Add(1)
+			t.watchConn(p, c2)
+			c2.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			if _, err2 := c2.Write(frame); err2 == nil {
+				t.sentFrames.Add(1)
+				t.sentBytes.Add(uint64(len(frame)))
+				return c2
+			}
+			c2.Close()
+		}
+		t.logf("transport: write %s: %v", p.addr, err)
 		t.dropped.Add(1)
 		return nil
 	}
 	t.sentFrames.Add(1)
 	t.sentBytes.Add(uint64(len(frame)))
+	return conn
+}
+
+// watchConn marks conn as p's current connection and starts its EOF
+// watchdog: outbound connections are write-only (the peer never sends
+// data back on them), so a Read can only return when the peer closes or
+// resets — the watchdog then flags the connection dead so the next
+// writeFrame redials immediately instead of losing a frame to the closed
+// socket's kernel buffer. The generation check keeps a stale watchdog
+// from condemning a successor connection.
+func (t *TCP) watchConn(p *tcpPeer, conn net.Conn) {
+	gen := p.gen.Add(1)
+	p.dead.Store(false)
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		var buf [1]byte
+		conn.Read(buf[:])
+		if p.gen.Load() == gen {
+			p.dead.Store(true)
+		}
+	}()
+}
+
+// dialOnce attempts a single dial with no backoff loop; nil on failure
+// or shutdown.
+func (t *TCP) dialOnce(addr string) net.Conn {
+	select {
+	case <-t.closed:
+		return nil
+	default:
+	}
+	conn, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+	if err != nil {
+		return nil
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
 	return conn
 }
 

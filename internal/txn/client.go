@@ -89,6 +89,10 @@ func NewClient(net *simnet.Network, id simnet.NodeID, topo Topology) *Client {
 // ID returns the client's network address.
 func (c *Client) ID() simnet.NodeID { return c.ep.ID() }
 
+// Endpoint returns the client's network endpoint, letting read-side
+// layers (the query gateway) wrap its handler and send from its address.
+func (c *Client) Endpoint() *simnet.Endpoint { return c.ep }
+
 // Cost implements simnet.Handler.
 func (c *Client) Cost(simnet.Message) time.Duration { return 10 * time.Microsecond }
 

@@ -329,7 +329,7 @@ func (m *Manager) FinishRecovery() {
 func (m *Manager) recoverReference() {
 	store := m.replica.Store()
 	now := m.replica.Engine().Now()
-	for _, key := range store.KeysWithPrefix("T_") {
+	for _, key := range store.Head().KeysWithPrefix("T_") {
 		txid := key[len("T_"):]
 		status := StatusOf(store, txid)
 		if status.Terminal() {

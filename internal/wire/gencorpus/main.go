@@ -13,6 +13,7 @@ import (
 	"strconv"
 
 	"repro/internal/consensus/pbft"
+	"repro/internal/query"
 	"repro/internal/sharding"
 	"repro/internal/simnet"
 	"repro/internal/txn"
@@ -29,6 +30,7 @@ func main() {
 	samples = append(samples, pbft.WireSamples()...)
 	samples = append(samples, txn.WireSamples()...)
 	samples = append(samples, sharding.WireSamples()...)
+	samples = append(samples, query.WireSamples()...)
 	for _, m := range samples {
 		frame, err := wire.EncodeMessage(nil, m)
 		if err != nil {

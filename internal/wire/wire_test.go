@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/consensus/pbft"
+	"repro/internal/query"
 	"repro/internal/sharding"
 	"repro/internal/simnet"
 	"repro/internal/txn"
@@ -19,6 +20,7 @@ func allSamples() []simnet.Message {
 	out = append(out, pbft.WireSamples()...)
 	out = append(out, txn.WireSamples()...)
 	out = append(out, sharding.WireSamples()...)
+	out = append(out, query.WireSamples()...)
 	return out
 }
 

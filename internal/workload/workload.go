@@ -139,6 +139,15 @@ type SmallBankGen struct {
 	nextID   uint64
 	// Amount per payment.
 	Amount int64
+	// CrossOnly restricts NextDistributed to account pairs on different
+	// shards, so every payment takes the locked 2PC path. The default
+	// mixed stream routes same-shard pairs through the plain smallbank
+	// chaincode, whose writes ignore the 2PL lock keys — a payment racing
+	// an in-flight prepare on the same account is silently lost when the
+	// commit installs its absolute staged value. Conservation experiments
+	// need CrossOnly (the live driver has the same property: only 2PC
+	// transfers move money).
+	CrossOnly bool
 }
 
 // NewSmallBankGen builds a SmallBank generator over `accounts` accounts
@@ -163,6 +172,12 @@ func (g *SmallBankGen) NextSingle() chain.Tx {
 func (g *SmallBankGen) NextDistributed(sys *core.System) (txn.DTx, chain.Tx, int, bool) {
 	a, b := g.chooser.PickTwo()
 	from, to := core.Account(a), core.Account(b)
+	if g.CrossOnly {
+		for sys.ShardOfKey(from) == sys.ShardOfKey(to) {
+			a, b = g.chooser.PickTwo()
+			from, to = core.Account(a), core.Account(b)
+		}
+	}
 	id := g.id()
 	if sys.ShardOfKey(from) == sys.ShardOfKey(to) {
 		tx := chain.Tx{

@@ -109,12 +109,27 @@ if [ "$GATE" != "0" ] && [ -f "$BASELINE" ]; then
   echo "== gating against $BASELINE (allowed regression ${GATE}%)"
 fi
 code=0
-"$BIN/ahlctl" -topo "$TOPO" -accounts 32 -txs "$TXS" -outstanding "$OUTSTANDING" \
+"$BIN/ahlctl" load -topo "$TOPO" -accounts 32 -txs "$TXS" -outstanding "$OUTSTANDING" \
   -cross 0.3 -timeout 300s -label "$LABEL" -json "$OUT" "${GATE_ARGS[@]}" \
   2>"$BIN/ctl.log" || code=$?
 if [ "$code" -ne 0 ]; then
   echo "FAIL: live perf run failed (exit $code; 3 = regression gate)" >&2
   cat "$BIN/ctl.log" >&2
+  exit "$code"
+fi
+
+# Consistency assertion through the streaming query layer: the load run
+# seeded 32 accounts with 1,000,000 each and transfers only move money,
+# so a height-consistent conservation sweep must account for exactly
+# 32,000,000 — anything else means a cross-shard read anomaly (or lost
+# money). Exit 4 is ahlctl's -expect mismatch code.
+echo "== conservation query (expect total 32000000)"
+code=0
+"$BIN/ahlctl" query -topo "$TOPO" -expect 32000000 -timeout 60s \
+  2>"$BIN/query.log" | tee "$BIN/query.out" || code=$?
+if [ "$code" -ne 0 ]; then
+  echo "FAIL: conservation query failed (exit $code; 4 = total mismatch)" >&2
+  cat "$BIN/query.log" >&2
   exit "$code"
 fi
 

@@ -55,7 +55,7 @@ done
 sleep 1
 
 echo "== driving load (background)"
-"$BIN/ahlctl" -topo "$TOPO" -accounts 32 -txs 1000 -outstanding 8 -cross 0.5 \
+"$BIN/ahlctl" load -topo "$TOPO" -accounts 32 -txs 1000 -outstanding 8 -cross 0.5 \
   -timeout 180s >"$BIN/ctl1.log" 2>&1 &
 CTL=$!
 
@@ -103,7 +103,7 @@ fi
 echo "   node $VICTIM rejoined (executed=$execd)"
 
 echo "== second load run over the recovered cluster"
-if ! "$BIN/ahlctl" -topo "$TOPO" -accounts 32 -txs 200 -cross 0.5 -seed 2 \
+if ! "$BIN/ahlctl" load -topo "$TOPO" -accounts 32 -txs 200 -cross 0.5 -seed 2 \
   -timeout 120s >"$BIN/ctl2.log" 2>&1; then
   echo "FAIL: post-recovery load run failed" >&2
   cat "$BIN/ctl2.log" >&2
